@@ -1,0 +1,44 @@
+// Shared plumbing for the table/figure reproduction harnesses.
+//
+// Every binary regenerates one table or figure of the paper on stdout.
+// Campaign sizes default to workstation-friendly counts; set
+// RESILIENCE_TRIALS=4000 to reproduce at the paper's statistical scale
+// and RESILIENCE_SEED to vary the random stream.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "core/similarity.hpp"
+#include "core/study.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+namespace resilience::bench {
+
+/// The paper's benchmark list in presentation order.
+inline std::vector<std::unique_ptr<apps::App>> paper_apps() {
+  std::vector<std::unique_ptr<apps::App>> list;
+  for (const auto id : apps::all_app_ids()) list.push_back(apps::make_app(id));
+  return list;
+}
+
+inline void print_header(const std::string& what, const util::BenchConfig& cfg) {
+  std::cout << "=== " << what << " ===\n"
+            << "trials per deployment: " << cfg.trials
+            << " (RESILIENCE_TRIALS to change; paper uses 4000), seed: "
+            << cfg.seed << "\n\n";
+}
+
+inline std::string pct(double fraction, int precision = 1) {
+  return util::TablePrinter::pct(fraction, precision);
+}
+
+inline std::string fmt(double v, int precision = 3) {
+  return util::TablePrinter::fmt(v, precision);
+}
+
+}  // namespace resilience::bench

@@ -1,0 +1,66 @@
+// Reproduces Figures 1 and 2: error-propagation profiles across MPI
+// processes for CG (Fig. 1) and FT (Fig. 2) —
+//   (a) the small scale (8 ranks),
+//   (b) the large scale (64 ranks), and
+//   (c) the large scale's 64 cases evenly split into 8 groups,
+// plus the cosine similarity between (a) and (c).
+#include "bench_common.hpp"
+#include "harness/campaign.hpp"
+
+namespace {
+
+using namespace resilience;
+
+void propagation_figure(const apps::App& app, const util::BenchConfig& cfg) {
+  harness::DeploymentConfig small_dep;
+  small_dep.nranks = 8;
+  small_dep.trials = cfg.trials;
+  small_dep.seed = cfg.seed;
+  harness::DeploymentConfig large_dep = small_dep;
+  large_dep.nranks = 64;
+
+  const auto small = harness::CampaignRunner::run(app, small_dep);
+  const auto large = harness::CampaignRunner::run(app, large_dep);
+  const auto small_prof = core::PropagationProfile::from_campaign(small);
+  const auto large_prof = core::PropagationProfile::from_campaign(large);
+  const auto grouped = core::group_propagation(large_prof.r, 8);
+
+  std::cout << "-- " << app.label() << " --\n";
+  util::TablePrinter table({"group (ranks contaminated)", "(a) 8 ranks",
+                            "(c) 64 ranks grouped by 8"});
+  for (int g = 1; g <= 8; ++g) {
+    const std::string label = std::to_string((g - 1) * 8 + 1) + "-" +
+                              std::to_string(g * 8) + "  (small: " +
+                              std::to_string(g) + ")";
+    table.add_row({label,
+                   bench::pct(small_prof.r[static_cast<std::size_t>(g - 1)]),
+                   bench::pct(grouped[static_cast<std::size_t>(g - 1)])});
+  }
+  table.print();
+
+  std::cout << "(b) raw 64-rank cases with nonzero mass: ";
+  for (int x = 1; x <= 64; ++x) {
+    const double r = large_prof.r[static_cast<std::size_t>(x - 1)];
+    if (r > 0.0) std::cout << x << ":" << bench::pct(r) << " ";
+  }
+  std::cout << "\ncosine similarity (a) vs (c): "
+            << bench::fmt(core::propagation_similarity(small_prof, large_prof))
+            << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  const auto cfg = resilience::util::BenchConfig::from_env();
+  resilience::bench::print_header(
+      "Figures 1 & 2: error propagation across MPI processes, small (8) vs "
+      "large (64) scale",
+      cfg);
+  propagation_figure(*resilience::apps::make_app(resilience::apps::AppId::CG),
+                     cfg);
+  propagation_figure(*resilience::apps::make_app(resilience::apps::AppId::FT),
+                     cfg);
+  std::cout << "Paper shape: both benchmarks bimodal (mass at 1 and at all "
+               "ranks); (a) and (c) nearly identical, cosine ~0.999.\n";
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Reproduces Figure 5: modeling accuracy when a small-scale execution of
+// FOUR ranks plus serial execution predicts the fault-injection result of
+// 64 ranks, for all six benchmarks.
+//
+// Paper: average success prediction error 8%, worst 27%.
+#include "bench_predict_common.hpp"
+
+int main() {
+  const auto cfg = resilience::util::BenchConfig::from_env();
+  resilience::bench::print_header(
+      "Figure 5: predict 64 ranks from serial + 4 ranks", cfg);
+  resilience::bench::prediction_figure(/*small_p=*/4, /*large_p=*/64, cfg);
+  std::cout << "Paper: average error 8%, worst 27%.\n";
+  return 0;
+}

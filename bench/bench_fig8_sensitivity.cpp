@@ -1,0 +1,127 @@
+// Reproduces Figure 8: the tradeoff between modeling accuracy and fault-
+// injection cost as the small-scale size S grows (4, 8, 16, 32 ranks,
+// predicting 64). Reports
+//   - RMSE (paper Eq. 9) of the success-rate prediction over all six
+//     benchmarks, and
+//   - the fault-injection wall time of the small-scale campaign,
+//     normalized by the serial (one-error) campaign's, averaged over
+//     benchmarks.
+//
+// Paper shape: RMSE falls and time rises with S; S = 16 balances the two.
+//
+// Serial sweep campaigns are cached across S values (their sample points
+// overlap), and the measured 64-rank campaign runs once per benchmark.
+#include <map>
+
+#include "bench_common.hpp"
+#include "util/rng.hpp"
+#include "harness/campaign.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace resilience;
+  const auto base = util::BenchConfig::from_env();
+  util::BenchConfig cfg = base;
+  cfg.trials = std::max<std::size_t>(base.trials / 2, 50);
+  bench::print_header(
+      "Figure 8: modeling accuracy vs fault-injection time, S in {4, 8, 16, "
+      "32} predicting 64",
+      cfg);
+
+  constexpr int kLargeP = 64;
+  const std::vector<int> small_sizes = {4, 8, 16, 32};
+
+  struct PerApp {
+    double measured = 0.0;
+    std::map<int, double> predicted;       // by S
+    std::map<int, double> small_seconds;   // by S
+    double serial_seconds = 0.0;           // one-error serial campaign
+  };
+  std::vector<PerApp> per_app;
+
+  for (const auto& app : bench::paper_apps()) {
+    PerApp data;
+
+    // Measured large-scale campaign (once).
+    harness::DeploymentConfig large_dep;
+    large_dep.nranks = kLargeP;
+    large_dep.trials = cfg.trials;
+    large_dep.seed = cfg.seed;
+    const auto large = harness::CampaignRunner::run(*app, large_dep);
+    data.measured = large.overall.success_rate();
+    const double prob_unique = large.golden.unique_fraction();
+
+    // Serial sweep cache: x errors -> campaign result.
+    std::map<int, harness::FaultInjectionResult> serial_cache;
+    auto serial_result = [&](int x) -> const harness::FaultInjectionResult& {
+      auto it = serial_cache.find(x);
+      if (it == serial_cache.end()) {
+        harness::DeploymentConfig dep;
+        dep.nranks = 1;
+        dep.errors_per_test = x;
+        dep.regions = fsefi::RegionMask::Common;
+        dep.trials = cfg.trials;
+        dep.seed = util::derive_seed(cfg.seed, 100 + static_cast<std::uint64_t>(x));
+        const auto campaign = harness::CampaignRunner::run(*app, dep);
+        if (x == 1) data.serial_seconds = campaign.wall_seconds;
+        it = serial_cache.emplace(x, campaign.overall).first;
+      }
+      return it->second;
+    };
+
+    for (int s : small_sizes) {
+      // Small-scale campaign at S ranks.
+      harness::DeploymentConfig small_dep;
+      small_dep.nranks = s;
+      small_dep.trials = cfg.trials;
+      small_dep.seed = cfg.seed;
+      const auto small_campaign = harness::CampaignRunner::run(*app, small_dep);
+      data.small_seconds[s] = small_campaign.wall_seconds;
+
+      core::SerialSweep sweep;
+      sweep.large_p = kLargeP;
+      sweep.sample_x = core::SerialSweep::sample_points(kLargeP, s);
+      for (int x : sweep.sample_x) sweep.results.push_back(serial_result(x));
+
+      core::PredictorOptions opts;
+      if (prob_unique > 0.02) {
+        harness::DeploymentConfig unique_dep = small_dep;
+        unique_dep.regions = fsefi::RegionMask::ParallelUnique;
+        unique_dep.seed = util::derive_seed(cfg.seed, 200 + static_cast<std::uint64_t>(s));
+        opts.prob_unique = prob_unique;
+        opts.unique_result =
+            harness::CampaignRunner::run(*app, unique_dep).overall;
+      }
+      const core::ResiliencePredictor predictor(
+          sweep, core::SmallScaleObservation::from_campaign(small_campaign),
+          opts);
+      data.predicted[s] = predictor.predict(kLargeP).combined.success;
+    }
+    per_app.push_back(std::move(data));
+  }
+
+  util::TablePrinter table({"small scale S", "RMSE (success rate)",
+                            "small-scale FI time / serial FI time (avg)"});
+  util::CsvWriter csv("fig8_sensitivity.csv");
+  csv.write_row({"S", "rmse", "normalized_time"});
+  for (int s : small_sizes) {
+    std::vector<double> measured, predicted;
+    double norm_time = 0.0;
+    for (const auto& data : per_app) {
+      measured.push_back(data.measured);
+      predicted.push_back(data.predicted.at(s));
+      norm_time += data.small_seconds.at(s) / data.serial_seconds;
+    }
+    norm_time /= static_cast<double>(per_app.size());
+    const double rmse = util::rmse(measured, predicted);
+    table.add_row({std::to_string(s), bench::fmt(rmse),
+                   bench::fmt(norm_time, 2) + "x"});
+    csv.write_row({std::to_string(s), bench::fmt(rmse, 6),
+                   bench::fmt(norm_time, 4)});
+  }
+  table.print();
+  std::cout << "\n(also written to fig8_sensitivity.csv)\n"
+            << "Paper shape: RMSE falls and FI time rises with S; S = 16 "
+               "balances accuracy against cost.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces the Section 1 motivation numbers: parallel execution runs
+// more dynamic instructions than serial execution of the same input
+// problem, and fault-injection time grows accordingly — the cost argument
+// for modeling instead of measuring at large scale.
+//
+// Paper (NPB CG, F-SEFI): 4 MPI processes execute +74.5% instructions vs
+// serial; fault-injection time +58%; plain execution time differs by 15%.
+#include "bench_common.hpp"
+#include "harness/campaign.hpp"
+
+int main() {
+  using namespace resilience;
+  const auto cfg = util::BenchConfig::from_env(/*default_trials=*/200);
+  bench::print_header(
+      "Section 1 motivation: instruction and fault-injection-time growth "
+      "with scale (CG)",
+      cfg);
+
+  const auto app = apps::make_app(apps::AppId::CG);
+
+  util::TablePrinter table({"deployment", "dynamic FP ops", "vs serial",
+                            "messages/run", "FI wall time", "vs serial"});
+  double serial_ops = 0.0, serial_time = 0.0;
+  for (int ranks : {1, 4, 8}) {
+    harness::DeploymentConfig dep;
+    dep.nranks = ranks;
+    dep.trials = cfg.trials;
+    dep.seed = cfg.seed;
+    const auto campaign = harness::CampaignRunner::run(*app, dep);
+    double total_ops = 0.0;
+    for (const auto& prof : campaign.golden.profiles) {
+      total_ops += static_cast<double>(prof.total());
+    }
+    // One clean run's transport volume (the other cost that scales).
+    const auto probe = harness::run_app_once(*app, ranks, /*plans=*/{});
+    if (ranks == 1) {
+      serial_ops = total_ops;
+      serial_time = campaign.wall_seconds;
+    }
+    table.add_row(
+        {std::to_string(ranks) + (ranks == 1 ? " rank (serial)" : " ranks"),
+         bench::fmt(total_ops, 0),
+         ranks == 1 ? "-" : "+" + bench::pct(total_ops / serial_ops - 1.0),
+         std::to_string(probe.runtime.messages_sent),
+         bench::fmt(campaign.wall_seconds, 2) + " s",
+         ranks == 1
+             ? "-"
+             : "+" + bench::pct(campaign.wall_seconds / serial_time - 1.0)});
+  }
+  table.print();
+  std::cout
+      << "\nPaper reference (NPB CG on F-SEFI): 4 ranks ran +74.5% "
+         "instructions and +58% fault-injection time vs serial.\n"
+         "In this reproduction the instrumented app-level FP work is nearly "
+         "scale-invariant (MPI-internal work is uninstrumented), so the FI "
+         "time growth is driven by the per-run messaging and scheduling "
+         "volume shown in the messages column.\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Micro-benchmarks of the substrates (google-benchmark): the cost of the
+// instrumented Real relative to plain double, the injector's hot path,
+// and simmpi messaging/collective latency across job sizes — the numbers
+// that determine how long a fault-injection campaign takes.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "fsefi/real.hpp"
+#include "fsefi/transport.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace {
+
+using resilience::fsefi::ContextGuard;
+using resilience::fsefi::FaultContext;
+using resilience::fsefi::Real;
+using resilience::simmpi::Comm;
+using resilience::simmpi::Runtime;
+
+void BM_DoubleAxpy(benchmark::State& state) {
+  const std::size_t n = 4096;
+  std::vector<double> x(n, 1.5), y(n, 0.5);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) y[i] += 1.000001 * x[i];
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_DoubleAxpy);
+
+void BM_RealAxpyUninstrumented(benchmark::State& state) {
+  const std::size_t n = 4096;
+  std::vector<Real> x(n, Real(1.5)), y(n, Real(0.5));
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) y[i] += Real(1.000001) * x[i];
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_RealAxpyUninstrumented);
+
+void BM_RealAxpyUnderContext(benchmark::State& state) {
+  const std::size_t n = 4096;
+  std::vector<Real> x(n, Real(1.5)), y(n, Real(0.5));
+  FaultContext ctx;
+  ContextGuard guard(&ctx);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) y[i] += Real(1.000001) * x[i];
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_RealAxpyUnderContext);
+
+void BM_RealAxpyArmedPlan(benchmark::State& state) {
+  const std::size_t n = 4096;
+  std::vector<Real> x(n, Real(1.5)), y(n, Real(0.5));
+  FaultContext ctx;
+  resilience::fsefi::InjectionPlan plan;
+  plan.points = {{.op_index = ~0ULL, .operand = 0, .bit = 0}};  // never fires
+  ctx.arm(std::move(plan));
+  ContextGuard guard(&ctx);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) y[i] += Real(1.000001) * x[i];
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_RealAxpyArmedPlan);
+
+void BM_JobSpawnJoin(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto result = Runtime::run(ranks, [](Comm&) {});
+    benchmark::DoNotOptimize(result.ok);
+  }
+}
+BENCHMARK(BM_JobSpawnJoin)->Arg(2)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_PingPong(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  const std::size_t count = bytes / sizeof(double);
+  for (auto _ : state) {
+    Runtime::run(2, [count](Comm& comm) {
+      std::vector<double> buf(count, 1.0);
+      if (comm.rank() == 0) {
+        comm.send(1, 0, std::span<const double>(buf));
+        comm.recv(1, 1, std::span<double>(buf));
+      } else {
+        comm.recv(0, 0, std::span<double>(buf));
+        comm.send(0, 1, std::span<const double>(buf));
+      }
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_PingPong)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_AllreduceRound(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Runtime::run(ranks, [](Comm& comm) {
+      double acc = 0.0;
+      for (int round = 0; round < 16; ++round) {
+        acc += comm.allreduce_value(1.0 + comm.rank());
+      }
+      benchmark::DoNotOptimize(acc);
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_AllreduceRound)->Arg(4)->Arg(8)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

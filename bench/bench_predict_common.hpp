@@ -1,0 +1,43 @@
+// Shared driver for the modeling-accuracy figures (5, 6, 7): run the full
+// study pipeline per benchmark and print predicted vs measured success
+// rates with the prediction error.
+#pragma once
+
+#include "bench_common.hpp"
+
+namespace resilience::bench {
+
+/// Run studies for every paper benchmark at (small_p -> large_p) and print
+/// the figure table. Returns the per-benchmark success prediction errors.
+inline std::vector<double> prediction_figure(int small_p, int large_p,
+                                             const util::BenchConfig& cfg) {
+  util::TablePrinter table({"Benchmark", "measured success",
+                            "predicted success", "error", "fine-tuned",
+                            "prob_unique"});
+  std::vector<double> errors;
+  for (const auto& app : paper_apps()) {
+    core::StudyConfig study_cfg;
+    study_cfg.small_p = small_p;
+    study_cfg.large_p = large_p;
+    study_cfg.trials = cfg.trials;
+    study_cfg.seed = cfg.seed;
+    const auto study = core::run_study(*app, study_cfg);
+    errors.push_back(study.success_error());
+    table.add_row({app->label(), pct(study.measured_success()),
+                   pct(study.predicted_success()), pct(study.success_error()),
+                   study.prediction.fine_tuned ? "yes" : "no",
+                   study.prob_unique > 0 ? pct(study.prob_unique, 2) : "none"});
+  }
+  table.print();
+  double mean = 0.0, worst = 0.0;
+  for (double e : errors) {
+    mean += e;
+    worst = std::max(worst, e);
+  }
+  mean /= static_cast<double>(errors.size());
+  std::cout << "\naverage success prediction error: " << pct(mean)
+            << ", worst: " << pct(worst) << "\n";
+  return errors;
+}
+
+}  // namespace resilience::bench

@@ -1,0 +1,52 @@
+// Reproduces Table 1: percentage of parallel-unique computation in the
+// total execution of a 4-rank parallel run, for every benchmark and both
+// input problems where the paper lists two.
+//
+// The paper measures the time share of parallel-unique code; this
+// reproduction measures the dynamic FP-operation share (the quantity the
+// injector samples from). Expected shape: FT by far the largest, CG and
+// MiniFE small, MG / LU / PENNANT none.
+#include "bench_common.hpp"
+#include "harness/runner.hpp"
+
+int main() {
+  using namespace resilience;
+  const auto cfg = util::BenchConfig::from_env();
+  bench::print_header("Table 1: parallel-unique computation share (4 ranks)",
+                      cfg);
+
+  struct Row {
+    apps::AppId id;
+    std::string size_class;
+    std::string paper_value;
+  };
+  // CG uses its NPB-style 2D decomposition here: the paper's CG numbers
+  // come from the partial-sum merge that only the 2D layout performs.
+  const std::vector<Row> rows = {
+      {apps::AppId::CG, "2D", "1.6%"},
+      {apps::AppId::CG, "B2D", "0.27%"},
+      {apps::AppId::FT, "S", "10.4%"},
+      {apps::AppId::FT, "B", "17.7%"},
+      {apps::AppId::MG, "S", "none"},
+      {apps::AppId::LU, "W", "none"},
+      {apps::AppId::MiniFE, "S", "1.54%"},
+      {apps::AppId::MiniFE, "B", "0.68%"},
+      {apps::AppId::PENNANT, "leblanc", "none"},
+  };
+
+  util::TablePrinter table({"Benchmark", "parallel-unique share (this repro)",
+                            "paper (time share)"});
+  for (const auto& row : rows) {
+    const auto app = apps::make_app(row.id, row.size_class);
+    const auto golden = harness::profile_app(*app, 4);
+    const double frac = golden.unique_fraction();
+    table.add_row({app->label(),
+                   frac == 0.0 ? "none" : bench::pct(frac, 2),
+                   row.paper_value});
+  }
+  table.print();
+  std::cout << "\nCG's share comes from its 2D decomposition's row-group "
+               "partial-sum merge; the 1D CG variant used elsewhere has "
+               "none. See EXPERIMENTS.md.\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces Table 2: cosine similarity between small-scale and
+// large-scale error-propagation profiles — 4 vs 64 ranks and 8 vs 64
+// ranks for all six benchmarks.
+//
+// Paper shape: every 8V64 value ~1.0; 4V64 low for CG (0.122) and LU
+// (0.638) because four ranks propagate in almost every test while 64
+// ranks often do not.
+#include "bench_common.hpp"
+#include "harness/campaign.hpp"
+
+int main() {
+  using namespace resilience;
+  const auto cfg = util::BenchConfig::from_env();
+  bench::print_header("Table 2: propagation cosine similarity (4V64, 8V64)",
+                      cfg);
+
+  const char* paper[6][2] = {{"0.122", "0.999"}, {"0.905", "0.999"},
+                             {"0.999", "1.000"}, {"0.638", "1.000"},
+                             {"0.981", "1.000"}, {"0.979", "0.999"}};
+
+  util::TablePrinter table({"Benchmark", "4V64", "8V64", "paper 4V64",
+                            "paper 8V64"});
+  int row = 0;
+  for (const auto& app : bench::paper_apps()) {
+    harness::DeploymentConfig dep;
+    dep.trials = cfg.trials;
+    dep.seed = cfg.seed;
+
+    dep.nranks = 64;
+    const auto large = core::PropagationProfile::from_campaign(
+        harness::CampaignRunner::run(*app, dep));
+
+    std::string cells[2];
+    int col = 0;
+    for (int small_p : {4, 8}) {
+      dep.nranks = small_p;
+      const auto small = core::PropagationProfile::from_campaign(
+          harness::CampaignRunner::run(*app, dep));
+      cells[col++] = bench::fmt(core::propagation_similarity(small, large));
+    }
+    table.add_row({app->label(), cells[0], cells[1], paper[row][0],
+                   paper[row][1]});
+    ++row;
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// propagation_study: the paper's Section 3 characterization workflow.
+//
+// For one benchmark, profiles error propagation across MPI processes at
+// several scales, prints each profile, groups the larger scales down to
+// the smallest, and reports the cosine similarities — the analysis behind
+// Figures 1/2 and Table 2 that justifies using a small scale to predict a
+// large one.
+//
+//   ./propagation_study [app] [trials]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/similarity.hpp"
+#include "harness/campaign.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace resilience;
+
+  const std::string app_name = (argc > 1) ? argv[1] : "MG";
+  const std::size_t trials =
+      (argc > 2) ? std::strtoull(argv[2], nullptr, 10) : 200;
+  const auto app = apps::make_app(apps::parse_app_id(app_name));
+
+  const std::vector<int> scales = {4, 8, 16, 32, 64};
+  std::cout << "Error-propagation study: " << app->label() << ", " << trials
+            << " one-error trials per scale\n\n";
+
+  std::vector<core::PropagationProfile> profiles;
+  for (int p : scales) {
+    if (!app->supports(p)) {
+      std::cout << p << " ranks unsupported; skipping\n";
+      continue;
+    }
+    harness::DeploymentConfig dep;
+    dep.nranks = p;
+    dep.trials = trials;
+    const auto campaign = harness::CampaignRunner::run(*app, dep);
+    const auto prof = core::PropagationProfile::from_campaign(campaign);
+
+    std::cout << "-- " << p << " ranks --  (success "
+              << util::TablePrinter::pct(campaign.overall.success_rate())
+              << ", SDC "
+              << util::TablePrinter::pct(campaign.overall.sdc_rate())
+              << ", failure "
+              << util::TablePrinter::pct(campaign.overall.failure_rate())
+              << ")\n   propagation: ";
+    for (int x = 1; x <= p; ++x) {
+      const double r = prof.r[static_cast<std::size_t>(x - 1)];
+      if (r > 0.0) {
+        std::cout << x << ":" << util::TablePrinter::pct(r) << " ";
+      }
+    }
+    std::cout << "\n";
+    profiles.push_back(prof);
+  }
+
+  std::cout << "\nCosine similarity of each small scale vs the largest "
+               "(grouped as in paper Fig. 1c):\n";
+  util::TablePrinter table({"comparison", "cosine similarity"});
+  const auto& largest = profiles.back();
+  for (std::size_t i = 0; i + 1 < profiles.size(); ++i) {
+    table.add_row({std::to_string(profiles[i].nranks) + "V" +
+                       std::to_string(largest.nranks),
+                   util::TablePrinter::fmt(
+                       core::propagation_similarity(profiles[i], largest))});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// The application interface the campaign harness drives.
+//
+// Each benchmark is an SPMD program: the harness launches `run` on every
+// rank of a simmpi job; all ranks execute the same code on their partition
+// of one fixed input problem (strong scaling, paper Section 2). The
+// rank-0 return value carries the output signature — a small vector of
+// floating-point results standing in for the benchmark's output file —
+// plus the verdict of the app's own NPB-style verification.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "simmpi/comm.hpp"
+
+namespace resilience::apps {
+
+/// Raised by an app when its numerics leave the domain the algorithm can
+/// handle (diverged solver, non-finite state in a guarded variable, failed
+/// time-step loop). The harness classifies it as a Failure outcome — the
+/// analogue of a crash/abort on a real system.
+class NumericalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// What one run of an application produced (valid on rank 0).
+struct AppResult {
+  /// Output signature: the benchmark's headline numbers (e.g. CG's zeta
+  /// and final residual norm). Compared against the golden run to detect
+  /// SDC. Shadow components are stripped; these are plain values.
+  std::vector<double> signature;
+  /// Iterations / cycles executed (diagnostics and hang analysis).
+  int iterations = 0;
+};
+
+class App {
+ public:
+  virtual ~App() = default;
+
+  /// Benchmark name as used in the paper ("CG", "FT", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Input-problem label ("S", "B", "W", "leblanc", ...).
+  [[nodiscard]] virtual std::string size_class() const = 0;
+  /// True if the app's decomposition supports this many ranks.
+  [[nodiscard]] virtual bool supports(int nranks) const = 0;
+
+  /// SPMD body; every rank of the job calls this with its communicator.
+  /// The rank-0 return value is the run's result; other ranks' return
+  /// values are ignored by the harness.
+  virtual AppResult run(simmpi::Comm& comm) const = 0;
+
+  /// Relative tolerance of the app's verification (the "checker" of the
+  /// paper's Success definition): a corrupted output whose signature stays
+  /// within this relative distance of the reference passes verification.
+  [[nodiscard]] virtual double checker_tolerance() const { return 1e-8; }
+
+  /// Full label, e.g. "CG (Class S)".
+  [[nodiscard]] std::string label() const {
+    return name() + " (" + size_class() + ")";
+  }
+};
+
+/// Identifier + factory registry for the six benchmarks.
+enum class AppId { CG, FT, MG, LU, MiniFE, PENNANT };
+
+/// All app ids in paper order.
+const std::vector<AppId>& all_app_ids();
+
+/// Construct a benchmark. `size_class` may be empty for the default
+/// (paper) input problem; unknown classes throw std::invalid_argument.
+std::unique_ptr<App> make_app(AppId id, const std::string& size_class = "");
+
+/// Parse "CG"/"FT"/... (case-insensitive); throws std::invalid_argument.
+AppId parse_app_id(const std::string& name);
+
+}  // namespace resilience::apps

@@ -1,0 +1,73 @@
+// CG — miniature of NAS Parallel Benchmarks CG.
+//
+// Estimates the largest eigenvalue of a sparse symmetric positive-definite
+// matrix with shifted inverse power iteration: each outer iteration solves
+// A z = x with a fixed number of conjugate-gradient steps, updates the
+// eigenvalue estimate zeta = shift + 1 / (x . z), and normalizes z into
+// the next x. The output signature is (zeta, final CG residual norm),
+// matching NPB CG's verification quantities.
+//
+// Parallelization (strong scaling): rows are block-partitioned; the
+// direction vector is allgathered for the local sparse matvec and all dot
+// products are global reductions — so a surviving error reaches every
+// rank through the rho = r.r allreduce, while an absorbed one stays local
+// (the bimodal propagation of paper Figure 1).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app.hpp"
+#include "apps/sparse.hpp"
+
+namespace resilience::apps {
+
+class CgApp final : public App {
+ public:
+  /// How the matrix is partitioned across ranks.
+  ///
+  /// OneD: block rows; the direction vector is allgathered per matvec.
+  /// TwoD: NPB CG's layout — a sqrt(p) x sqrt(p) process grid owning
+  /// (row-block x column-block) sub-matrices. Each matvec assembles the
+  /// direction segment with a transpose exchange + column-group allgather,
+  /// computes local partials, and merges them across the row group with
+  /// explicit application-level additions — the *parallel-unique
+  /// computation* the paper's Table 1 reports for CG.
+  enum class Decomposition { OneD, TwoD };
+
+  struct Config {
+    int n = 256;             ///< matrix order
+    int row_nonzeros = 6;    ///< expected off-diagonal nonzeros per row
+    int outer_iters = 3;     ///< power-iteration steps
+    int cg_iters = 8;        ///< CG steps per solve (NPB: cgitmax = 25)
+    double shift = 12.0;     ///< diagonal shift (NPB lambda)
+    std::uint64_t matrix_seed = 0x9e3779b9u;
+    Decomposition decomposition = Decomposition::OneD;
+  };
+
+  /// Input problems: "S" (default) and "B" use the 1D decomposition; "2D"
+  /// and "B2D" use the NPB-style 2D decomposition (denser matrices so the
+  /// merge shares match Table 1's scale).
+  static Config config_for_class(const std::string& size_class);
+
+  CgApp(Config config, std::string size_class);
+
+  [[nodiscard]] std::string name() const override { return "CG"; }
+  [[nodiscard]] std::string size_class() const override { return size_class_; }
+  [[nodiscard]] bool supports(int nranks) const override;
+  [[nodiscard]] double checker_tolerance() const override { return 1e-10; }
+
+  AppResult run(simmpi::Comm& comm) const override;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] const SparseMatrix& matrix() const noexcept { return matrix_; }
+
+ private:
+  AppResult run_1d(simmpi::Comm& comm) const;
+  AppResult run_2d(simmpi::Comm& comm) const;
+
+  Config config_;
+  std::string size_class_;
+  SparseMatrix matrix_;  ///< immutable; shared read-only by all ranks
+};
+
+}  // namespace resilience::apps

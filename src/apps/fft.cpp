@@ -1,0 +1,68 @@
+#include "apps/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <utility>
+
+namespace resilience::apps {
+
+namespace {
+bool is_power_of_two(int n) { return n > 0 && (n & (n - 1)) == 0; }
+}  // namespace
+
+FftPlan::FftPlan(int n) : n_(n) {
+  if (!is_power_of_two(n) || n < 2) {
+    throw std::invalid_argument("FftPlan: size must be a power of two >= 2");
+  }
+  bit_reverse_.assign(static_cast<std::size_t>(n), 0);
+  const int log_n = static_cast<int>(std::round(std::log2(n)));
+  for (int i = 0; i < n; ++i) {
+    int rev = 0;
+    for (int b = 0; b < log_n; ++b) {
+      rev |= ((i >> b) & 1) << (log_n - 1 - b);
+    }
+    bit_reverse_[static_cast<std::size_t>(i)] = rev;
+  }
+  // Forward twiddles w^k = exp(-2*pi*i*k/n) for the largest stage; smaller
+  // stages stride through this table.
+  twiddle_re_.assign(static_cast<std::size_t>(n / 2), 0.0);
+  twiddle_im_.assign(static_cast<std::size_t>(n / 2), 0.0);
+  for (int k = 0; k < n / 2; ++k) {
+    const double angle = -2.0 * std::numbers::pi * k / n;
+    twiddle_re_[static_cast<std::size_t>(k)] = std::cos(angle);
+    twiddle_im_[static_cast<std::size_t>(k)] = std::sin(angle);
+  }
+}
+
+void FftPlan::transform(std::span<RComplex> row, bool inverse) const {
+  if (static_cast<int>(row.size()) != n_) {
+    throw std::invalid_argument("FftPlan::transform: wrong row length");
+  }
+  for (int i = 0; i < n_; ++i) {
+    const int j = bit_reverse_[static_cast<std::size_t>(i)];
+    if (i < j) {
+      std::swap(row[static_cast<std::size_t>(i)],
+                row[static_cast<std::size_t>(j)]);
+    }
+  }
+  for (int len = 2; len <= n_; len <<= 1) {
+    const int half = len / 2;
+    const int stride = n_ / len;
+    for (int start = 0; start < n_; start += len) {
+      for (int k = 0; k < half; ++k) {
+        const auto tw_idx = static_cast<std::size_t>(k * stride);
+        const RComplex w{fsefi::Real(twiddle_re_[tw_idx]),
+                         fsefi::Real(inverse ? -twiddle_im_[tw_idx]
+                                             : twiddle_im_[tw_idx])};
+        auto& lo = row[static_cast<std::size_t>(start + k)];
+        auto& hi = row[static_cast<std::size_t>(start + k + half)];
+        const RComplex t = w * hi;
+        hi = lo - t;
+        lo = lo + t;
+      }
+    }
+  }
+}
+
+}  // namespace resilience::apps

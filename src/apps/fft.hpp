@@ -1,0 +1,52 @@
+// Radix-2 FFT over instrumented complex values — the numerical core of
+// the FT benchmark, exposed for direct testing and reuse.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fsefi/real.hpp"
+
+namespace resilience::apps {
+
+/// Complex value over instrumented reals; trivially copyable so FT's
+/// transpose can ship blocks of them through the transport.
+struct RComplex {
+  fsefi::Real re{0.0};
+  fsefi::Real im{0.0};
+
+  friend RComplex operator+(RComplex a, RComplex b) {
+    return {a.re + b.re, a.im + b.im};
+  }
+  friend RComplex operator-(RComplex a, RComplex b) {
+    return {a.re - b.re, a.im - b.im};
+  }
+  friend RComplex operator*(RComplex a, RComplex b) {
+    return {a.re * b.re - a.im * b.im, a.re * b.im + a.im * b.re};
+  }
+};
+static_assert(std::is_trivially_copyable_v<RComplex>);
+
+/// Precomputed support tables for power-of-two FFTs of one size.
+/// Construction uses plain doubles (setup is uninstrumented); transforms
+/// run on Real (counted and injectable).
+class FftPlan {
+ public:
+  /// Throws std::invalid_argument unless n is a power of two >= 2.
+  explicit FftPlan(int n);
+
+  [[nodiscard]] int size() const noexcept { return n_; }
+
+  /// In-place radix-2 FFT; `inverse` conjugates the twiddles.
+  /// No normalization is applied (callers own the 1/n placement).
+  /// row.size() must equal size().
+  void transform(std::span<RComplex> row, bool inverse) const;
+
+ private:
+  int n_;
+  std::vector<int> bit_reverse_;
+  std::vector<double> twiddle_re_;
+  std::vector<double> twiddle_im_;
+};
+
+}  // namespace resilience::apps

@@ -1,0 +1,172 @@
+#include "apps/ft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "apps/kernels.hpp"
+#include "util/rng.hpp"
+
+namespace resilience::apps {
+
+FtApp::Config FtApp::config_for_class(const std::string& size_class) {
+  Config cfg;
+  if (size_class.empty() || size_class == "S") return cfg;
+  if (size_class == "B") {
+    cfg.n = 128;
+    return cfg;
+  }
+  throw std::invalid_argument("FT: unknown size class " + size_class);
+}
+
+FtApp::FtApp(Config config, std::string size_class)
+    : config_(config),
+      size_class_(std::move(size_class)),
+      plan_(config.n) {}
+
+namespace {
+
+/// Unit-modulus evolution factor for global element (gi, gj); symmetric in
+/// its arguments so it is invariant under transposition.
+RComplex evolve_factor(int gi, int gj, int n, double alpha, int step,
+                       bool inverse) {
+  const double k2 = static_cast<double>(gi) * gi + static_cast<double>(gj) * gj;
+  double angle = 2.0 * std::numbers::pi * alpha * k2 *
+                 static_cast<double>(step + 1) / (n * n);
+  if (inverse) angle = -angle;
+  return {Real(std::cos(angle)), Real(std::sin(angle))};
+}
+
+}  // namespace
+
+AppResult FtApp::run(simmpi::Comm& comm) const {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const int n = config_.n;
+  if (n % p != 0) throw NumericalError("FT: ranks must divide grid size");
+  const int rows_local = n / p;
+  const int row_lo = rank * rows_local;
+  const auto block = static_cast<std::size_t>(rows_local) *
+                     static_cast<std::size_t>(rows_local);
+
+  // Initial field: deterministic pseudo-random complex values in [0,1)^2.
+  std::vector<RComplex> u(static_cast<std::size_t>(rows_local) *
+                          static_cast<std::size_t>(n));
+  for (int i = 0; i < rows_local; ++i) {
+    util::Xoshiro256 rng(
+        util::derive_seed(config_.field_seed,
+                          static_cast<std::uint64_t>(row_lo + i)));
+    for (int j = 0; j < n; ++j) {
+      auto& c = u[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(j)];
+      c.re = Real(rng.uniform01());
+      c.im = Real(rng.uniform01());
+    }
+  }
+
+  // Transpose the row-partitioned field. In parallel this is the NPB FT
+  // all-to-all exchange whose unpack applies `factor_step` (>= 0: evolve
+  // factor of that step; -1: none) and `scale`; that arithmetic is the
+  // parallel-unique computation. Serial execution does the same arithmetic
+  // in a plain loop (common computation).
+  auto transpose = [&](std::vector<RComplex>& data, int factor_step,
+                       bool inverse_factor, double scale) {
+    const Real s(scale);
+    if (p == 1) {
+      std::vector<RComplex> out(data.size());
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+          RComplex v = data[static_cast<std::size_t>(i) * n +
+                            static_cast<std::size_t>(j)];
+          if (factor_step >= 0) {
+            v = v * evolve_factor(j, i, n, config_.evolve_alpha, factor_step,
+                                  inverse_factor);
+          }
+          if (scale != 1.0) v = {v.re * s, v.im * s};
+          out[static_cast<std::size_t>(j) * n + static_cast<std::size_t>(i)] = v;
+        }
+      }
+      data = std::move(out);
+      return;
+    }
+    // Pack b x b blocks destined for each rank (data movement only).
+    const int b = rows_local;
+    std::vector<RComplex> sendbuf(data.size());
+    for (int dst = 0; dst < p; ++dst) {
+      for (int i = 0; i < b; ++i) {
+        for (int j = 0; j < b; ++j) {
+          sendbuf[static_cast<std::size_t>(dst) * block +
+                  static_cast<std::size_t>(i) * b + static_cast<std::size_t>(j)] =
+              data[static_cast<std::size_t>(i) * n +
+                   static_cast<std::size_t>(dst * b + j)];
+        }
+      }
+    }
+    std::vector<RComplex> recvbuf(data.size());
+    comm.alltoall(std::span<const RComplex>(sendbuf),
+                  std::span<RComplex>(recvbuf));
+    // Unpack with the factor/scale arithmetic: parallel-unique computation.
+    fsefi::RegionScope unique(fsefi::Region::ParallelUnique);
+    for (int src = 0; src < p; ++src) {
+      for (int i = 0; i < b; ++i) {    // row index within src's original rows
+        for (int j = 0; j < b; ++j) {  // column within my transposed block
+          const int gi = src * b + i;  // original row = my transposed column
+          const int gj = row_lo + j;   // original column = my transposed row
+          RComplex v = recvbuf[static_cast<std::size_t>(src) * block +
+                               static_cast<std::size_t>(i) * b +
+                               static_cast<std::size_t>(j)];
+          if (factor_step >= 0) {
+            v = v * evolve_factor(gi, gj, n, config_.evolve_alpha, factor_step,
+                                  inverse_factor);
+          }
+          if (scale != 1.0) v = {v.re * s, v.im * s};
+          data[static_cast<std::size_t>(j) * n + static_cast<std::size_t>(gi)] =
+              v;
+        }
+      }
+    }
+  };
+
+  auto fft_all_rows = [&](std::vector<RComplex>& data, bool inverse) {
+    for (int i = 0; i < rows_local; ++i) {
+      plan_.transform(std::span<RComplex>(data).subspan(
+                          static_cast<std::size_t>(i) * n,
+                          static_cast<std::size_t>(n)),
+                      inverse);
+    }
+  };
+
+  RComplex checksum{Real(0.0), Real(0.0)};
+  for (int step = 0; step < config_.iterations; ++step) {
+    // Forward transform with the evolution factor applied at the transpose.
+    fft_all_rows(u, /*inverse=*/false);
+    transpose(u, step, /*inverse_factor=*/false, 1.0);
+    fft_all_rows(u, /*inverse=*/false);
+    // Inverse transform; the full 1/n^2 normalization rides the transpose.
+    fft_all_rows(u, /*inverse=*/true);
+    transpose(u, -1, false, 1.0 / (static_cast<double>(n) * n));
+    fft_all_rows(u, /*inverse=*/true);
+
+    // Checksum over a strided subset of global elements (NPB style).
+    RComplex local{Real(0.0), Real(0.0)};
+    for (int q = 0; q < n; ++q) {
+      const int gi = (q * 5 + 3) % n;
+      const int gj = (q * 11 + 1) % n;
+      if (gi >= row_lo && gi < row_lo + rows_local) {
+        local = local + u[static_cast<std::size_t>(gi - row_lo) * n +
+                          static_cast<std::size_t>(gj)];
+      }
+    }
+    const RComplex total = comm.allreduce_value(
+        local, [](RComplex a, RComplex b) { return a + b; });
+    guard_finite(total.re, "FT checksum");
+    guard_finite(total.im, "FT checksum");
+    checksum = checksum + total;
+  }
+
+  AppResult result;
+  result.iterations = config_.iterations;
+  result.signature = {checksum.re.value(), checksum.im.value()};
+  return result;
+}
+
+}  // namespace resilience::apps

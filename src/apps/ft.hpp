@@ -1,0 +1,56 @@
+// FT — miniature of NAS Parallel Benchmarks FT.
+//
+// Evolves a 2D complex field spectrally: each iteration performs a forward
+// 2D FFT (row FFTs, transpose, row FFTs), multiplies by a unit-modulus
+// evolution factor, inverse-transforms, and accumulates a checksum over a
+// strided subset of elements (NPB's verification quantity).
+//
+// Parallelization (strong scaling): rows are block-partitioned and the
+// transpose is a personalized all-to-all exchange — NPB FT's signature
+// communication pattern. The transpose unpack in the parallel code path
+// applies the evolution factor / inverse normalization and is the
+// benchmark's *parallel-unique computation* (paper Table 1 reports FT as
+// the only benchmark where it is large): serial execution performs the
+// same arithmetic inside a plain local-transpose loop that does not exist
+// in the parallel code path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "apps/app.hpp"
+#include "apps/fft.hpp"
+
+namespace resilience::apps {
+
+class FtApp final : public App {
+ public:
+  struct Config {
+    int n = 64;       ///< grid is n x n complex values; ranks must divide n
+    int iterations = 1;
+    double evolve_alpha = 1e-4;  ///< evolution factor angular scale
+    std::uint64_t field_seed = 0x5ca1ab1eULL;
+  };
+
+  static Config config_for_class(const std::string& size_class);
+
+  FtApp(Config config, std::string size_class);
+
+  [[nodiscard]] std::string name() const override { return "FT"; }
+  [[nodiscard]] std::string size_class() const override { return size_class_; }
+  [[nodiscard]] bool supports(int nranks) const override {
+    return nranks >= 1 && nranks <= config_.n && config_.n % nranks == 0;
+  }
+  [[nodiscard]] double checker_tolerance() const override { return 1e-10; }
+
+  AppResult run(simmpi::Comm& comm) const override;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  std::string size_class_;
+  FftPlan plan_;  ///< shared read-only by all ranks
+};
+
+}  // namespace resilience::apps

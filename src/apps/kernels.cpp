@@ -1,0 +1,80 @@
+#include "apps/kernels.hpp"
+
+#include <algorithm>
+
+#include "apps/app.hpp"
+
+namespace resilience::apps {
+
+Real local_dot(std::span<const Real> a, std::span<const Real> b) {
+  Real acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+Real global_dot(simmpi::Comm& comm, std::span<const Real> a,
+                std::span<const Real> b) {
+  return comm.allreduce_value(local_dot(a, b), simmpi::Sum{});
+}
+
+void axpy(Real alpha, std::span<const Real> x, std::span<Real> y) {
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void xpby(std::span<const Real> x, Real beta, std::span<Real> y) {
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] + beta * y[i];
+}
+
+Real global_norm2(simmpi::Comm& comm, std::span<const Real> x) {
+  return sqrt(global_dot(comm, x, x));
+}
+
+std::vector<Real> allgather_blocks(simmpi::Comm& comm,
+                                   std::span<const Real> local,
+                                   std::int64_t n) {
+  const int p = comm.size();
+  const auto max_block = static_cast<std::size_t>((n + p - 1) / p);
+  std::vector<Real> padded(max_block, Real(0.0));
+  std::copy(local.begin(), local.end(), padded.begin());
+  std::vector<Real> gathered(max_block * static_cast<std::size_t>(p));
+  comm.allgather(std::span<const Real>(padded), std::span<Real>(gathered));
+  // Compact the padded blocks into the true global layout.
+  std::vector<Real> global(static_cast<std::size_t>(n));
+  for (int r = 0; r < p; ++r) {
+    const auto range = simmpi::block_partition(n, p, r);
+    for (std::int64_t i = 0; i < range.count(); ++i) {
+      global[static_cast<std::size_t>(range.lo + i)] =
+          gathered[static_cast<std::size_t>(r) * max_block +
+                   static_cast<std::size_t>(i)];
+    }
+  }
+  return global;
+}
+
+void exchange_halo_rows(simmpi::Comm& comm, int tag_base,
+                        std::span<const Real> to_prev,
+                        std::span<const Real> to_next,
+                        std::span<Real> from_prev, std::span<Real> from_next,
+                        int prev_rank, int next_rank) {
+  // Standard nonblocking halo pattern: post the receives, push the sends
+  // (buffered), complete — deadlock-free without pairwise ordering tricks.
+  simmpi::Request reqs[2];
+  int nreqs = 0;
+  if (prev_rank >= 0) {
+    reqs[nreqs++] = comm.irecv(prev_rank, tag_base + 1, from_prev);
+  }
+  if (next_rank >= 0) {
+    reqs[nreqs++] = comm.irecv(next_rank, tag_base, from_next);
+  }
+  if (prev_rank >= 0) comm.send(prev_rank, tag_base, to_prev);
+  if (next_rank >= 0) comm.send(next_rank, tag_base + 1, to_next);
+  simmpi::Comm::wait_all(std::span<simmpi::Request>(reqs, static_cast<std::size_t>(nreqs)));
+}
+
+void guard_finite(Real v, const char* what) {
+  if (!isfinite(v)) {
+    throw NumericalError(std::string(what) + " became non-finite");
+  }
+}
+
+}  // namespace resilience::apps

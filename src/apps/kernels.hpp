@@ -1,0 +1,59 @@
+// Shared distributed numerical kernels used by the mini-apps: partitioned
+// BLAS-1 operations with deterministic global reductions, block
+// allgather with padding for uneven partitions, and halo exchange between
+// neighbouring ranks of a 1D decomposition.
+//
+// All arithmetic runs on fsefi::Real so it is counted and injectable.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fsefi/real.hpp"
+#include "fsefi/transport.hpp"
+#include "simmpi/comm.hpp"
+#include "simmpi/topology.hpp"
+
+namespace resilience::apps {
+
+using fsefi::Real;
+
+/// Local dot product of two equal-length spans.
+Real local_dot(std::span<const Real> a, std::span<const Real> b);
+
+/// Global dot product over a partitioned vector: local dot + allreduce.
+Real global_dot(simmpi::Comm& comm, std::span<const Real> a,
+                std::span<const Real> b);
+
+/// y += alpha * x (elementwise on the local partition).
+void axpy(Real alpha, std::span<const Real> x, std::span<Real> y);
+
+/// y = x + beta * y.
+void xpby(std::span<const Real> x, Real beta, std::span<Real> y);
+
+/// Global 2-norm of a partitioned vector.
+Real global_norm2(simmpi::Comm& comm, std::span<const Real> x);
+
+/// Gather a block-partitioned vector of global length `n` onto all ranks.
+/// Handles uneven partitions by padding blocks to the maximum block size.
+/// `local` must be this rank's block under simmpi::block_partition(n, p, r).
+std::vector<Real> allgather_blocks(simmpi::Comm& comm,
+                                   std::span<const Real> local,
+                                   std::int64_t n);
+
+/// Exchange one value-row of width `width` with the previous and next rank
+/// of a 1D chain (rank-1 and rank+1; skipped at the ends). On return,
+/// `from_prev`/`from_next` hold the neighbour rows (untouched at ends).
+/// Ranks with `active == false` do not participate; the caller must ensure
+/// the chain of active ranks is contiguous starting at rank 0.
+void exchange_halo_rows(simmpi::Comm& comm, int tag_base,
+                        std::span<const Real> to_prev,
+                        std::span<const Real> to_next,
+                        std::span<Real> from_prev, std::span<Real> from_next,
+                        int prev_rank, int next_rank);
+
+/// Throw NumericalError if `v` is not finite. `what` names the guarded
+/// quantity in the error message.
+void guard_finite(Real v, const char* what);
+
+}  // namespace resilience::apps

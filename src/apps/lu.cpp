@@ -1,0 +1,149 @@
+#include "apps/lu.hpp"
+
+#include <stdexcept>
+
+#include "apps/kernels.hpp"
+#include "util/rng.hpp"
+
+namespace resilience::apps {
+
+namespace {
+constexpr int kHaloTag = 100;
+constexpr int kForwardTag = 200;
+constexpr int kBackwardTag = 300;
+}  // namespace
+
+LuApp::Config LuApp::config_for_class(const std::string& size_class) {
+  Config cfg;
+  if (size_class.empty() || size_class == "W") return cfg;
+  throw std::invalid_argument("LU: unknown size class " + size_class);
+}
+
+LuApp::LuApp(Config config, std::string size_class)
+    : config_(config), size_class_(std::move(size_class)) {
+  if (config_.rows < 1 || config_.cols < 1) {
+    throw std::invalid_argument("LU: bad grid");
+  }
+}
+
+AppResult LuApp::run(simmpi::Comm& comm) const {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const int cols = config_.cols;
+  const auto width = static_cast<std::size_t>(cols);
+  const auto block = simmpi::block_partition(config_.rows, p, rank);
+  const int lo = static_cast<int>(block.lo);
+  const int count = static_cast<int>(block.count());
+  const int prev = (rank > 0) ? rank - 1 : -1;
+  const int next = (rank + 1 < p) ? rank + 1 : -1;
+
+  auto at = [&](int i, int j) {
+    return static_cast<std::size_t>(i) * width + static_cast<std::size_t>(j);
+  };
+
+  // Fixed right-hand side; solution starts at zero.
+  std::vector<Real> u(static_cast<std::size_t>(count) * width, Real(0.0));
+  std::vector<Real> f(u.size());
+  for (int i = 0; i < count; ++i) {
+    util::Xoshiro256 rng(
+        util::derive_seed(config_.rhs_seed, static_cast<std::uint64_t>(lo + i)));
+    for (int j = 0; j < cols; ++j) {
+      f[at(i, j)] = Real(rng.uniform_real(-1.0, 1.0));
+    }
+  }
+
+  std::vector<Real> rhs(u.size()), z(u.size()), v(u.size());
+  std::vector<Real> above(width), below(width), boundary(width);
+  const Real omega(config_.omega);
+  const Real inv_diag(1.0 / config_.diag);
+
+  // r = f - A u with A = 4 I - (up + down + left + right).
+  auto compute_residual = [&](int tag) {
+    std::fill(above.begin(), above.end(), Real(0.0));
+    std::fill(below.begin(), below.end(), Real(0.0));
+    if (p > 1 && count > 0) {
+      exchange_halo_rows(
+          comm, tag, std::span<const Real>(u).subspan(0, width),
+          std::span<const Real>(u).subspan(
+              static_cast<std::size_t>(count - 1) * width, width),
+          std::span<Real>(above), std::span<Real>(below), prev, next);
+    }
+    for (int i = 0; i < count; ++i) {
+      for (int j = 0; j < cols; ++j) {
+        const Real up = (i > 0) ? u[at(i - 1, j)]
+                                : (lo + i > 0 ? above[static_cast<std::size_t>(j)]
+                                              : Real(0.0));
+        const Real down =
+            (i + 1 < count)
+                ? u[at(i + 1, j)]
+                : (lo + i + 1 < config_.rows ? below[static_cast<std::size_t>(j)]
+                                             : Real(0.0));
+        const Real left = (j > 0) ? u[at(i, j - 1)] : Real(0.0);
+        const Real right = (j + 1 < cols) ? u[at(i, j + 1)] : Real(0.0);
+        const Real au = Real(4.0) * u[at(i, j)] - up - down - left - right;
+        rhs[at(i, j)] = f[at(i, j)] - au;
+      }
+    }
+  };
+
+  for (int iter = 0; iter < config_.iterations; ++iter) {
+    compute_residual(kHaloTag + 2 * iter);
+
+    // ---- forward (lower-triangular) sweep: wavefront top -> bottom ----
+    std::fill(boundary.begin(), boundary.end(), Real(0.0));
+    if (prev >= 0) {
+      comm.recv(prev, kForwardTag + iter, std::span<Real>(boundary));
+    }
+    for (int i = 0; i < count; ++i) {
+      for (int j = 0; j < cols; ++j) {
+        const Real up = (i > 0) ? z[at(i - 1, j)]
+                                : (lo > 0 ? boundary[static_cast<std::size_t>(j)]
+                                          : Real(0.0));
+        const Real left = (j > 0) ? z[at(i, j - 1)] : Real(0.0);
+        z[at(i, j)] = (rhs[at(i, j)] + omega * (up + left)) * inv_diag;
+      }
+    }
+    if (next >= 0 && count > 0) {
+      comm.send(next, kForwardTag + iter,
+                std::span<const Real>(z).subspan(
+                    static_cast<std::size_t>(count - 1) * width, width));
+    }
+
+    // ---- backward (upper-triangular) sweep: wavefront bottom -> top ----
+    std::fill(boundary.begin(), boundary.end(), Real(0.0));
+    if (next >= 0) {
+      comm.recv(next, kBackwardTag + iter, std::span<Real>(boundary));
+    }
+    for (int i = count - 1; i >= 0; --i) {
+      for (int j = cols - 1; j >= 0; --j) {
+        const Real down =
+            (i + 1 < count)
+                ? v[at(i + 1, j)]
+                : (lo + count < config_.rows
+                       ? boundary[static_cast<std::size_t>(j)]
+                       : Real(0.0));
+        const Real right = (j + 1 < cols) ? v[at(i, j + 1)] : Real(0.0);
+        v[at(i, j)] = (z[at(i, j)] + omega * (down + right)) * inv_diag;
+      }
+    }
+    if (prev >= 0 && count > 0) {
+      comm.send(prev, kBackwardTag + iter,
+                std::span<const Real>(v).subspan(0, width));
+    }
+
+    // ---- apply the SSOR update ----
+    for (std::size_t k = 0; k < u.size(); ++k) u[k] += v[k];
+  }
+
+  compute_residual(kHaloTag + 2 * config_.iterations);
+  const Real rnorm = global_norm2(comm, rhs);
+  guard_finite(rnorm, "LU residual norm");
+  const Real unorm = global_norm2(comm, u);
+
+  AppResult result;
+  result.iterations = config_.iterations;
+  result.signature = {rnorm.value(), unorm.value()};
+  return result;
+}
+
+}  // namespace resilience::apps

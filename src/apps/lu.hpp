@@ -1,0 +1,55 @@
+// LU — miniature of NAS Parallel Benchmarks LU (SSOR).
+//
+// Applies SSOR iterations to a 2D model problem: each iteration computes
+// the residual of a 5-point operator, then performs a lower-triangular
+// sweep in ascending row order and an upper-triangular sweep in descending
+// row order, and applies the update. The sweeps carry a wavefront data
+// dependency between consecutive rows, so the parallel version is a
+// software pipeline: rank r blocks until rank r-1 (forward) or rank r+1
+// (backward) delivers its boundary row — NPB LU's signature communication
+// structure, and the reason an error injected into one rank wavefront-
+// propagates to every downstream rank that consumes its boundary rows.
+//
+// Output signature: L2 norms of the final residual and solution (NPB LU
+// verifies RMS residual norms).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "apps/app.hpp"
+
+namespace resilience::apps {
+
+class LuApp final : public App {
+ public:
+  struct Config {
+    int rows = 128;
+    int cols = 12;
+    int iterations = 3;
+    double omega = 1.2;     ///< SSOR relaxation factor
+    double diag = 4.0;      ///< diagonal of the triangular factors
+    std::uint64_t rhs_seed = 0x10adedULL;
+  };
+
+  static Config config_for_class(const std::string& size_class);
+
+  LuApp(Config config, std::string size_class);
+
+  [[nodiscard]] std::string name() const override { return "LU"; }
+  [[nodiscard]] std::string size_class() const override { return size_class_; }
+  [[nodiscard]] bool supports(int nranks) const override {
+    return nranks >= 1 && nranks <= config_.rows;
+  }
+  [[nodiscard]] double checker_tolerance() const override { return 1e-9; }
+
+  AppResult run(simmpi::Comm& comm) const override;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  std::string size_class_;
+};
+
+}  // namespace resilience::apps

@@ -1,0 +1,206 @@
+#include "apps/pennant.hpp"
+
+#include <stdexcept>
+
+#include "apps/kernels.hpp"
+
+namespace resilience::apps {
+
+namespace {
+constexpr int kZoneHaloTag = 800;
+}
+
+PennantApp::Config PennantApp::config_for_class(const std::string& size_class) {
+  Config cfg;
+  if (size_class.empty() || size_class == "leblanc") return cfg;
+  throw std::invalid_argument("PENNANT: unknown size class " + size_class);
+}
+
+PennantApp::PennantApp(Config config, std::string size_class)
+    : config_(config), size_class_(std::move(size_class)) {
+  if (config_.zones < 2) throw std::invalid_argument("PENNANT: too few zones");
+}
+
+AppResult PennantApp::run(simmpi::Comm& comm) const {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const auto& cfg = config_;
+  const auto block = simmpi::block_partition(cfg.zones, p, rank);
+  const int zlo = static_cast<int>(block.lo);
+  const int nzones = static_cast<int>(block.count());
+  const int nnodes = nzones + 1;  // nodes zlo .. zlo+nzones inclusive
+  const int prev = (rank > 0) ? rank - 1 : -1;
+  const int next = (rank + 1 < p) ? rank + 1 : -1;
+
+  const Real gamma_m1(cfg.gamma - 1.0);
+  const double dx0 = cfg.tube_length / cfg.zones;
+
+  // ---- initial state (plain doubles; setup is uninstrumented) -----------
+  std::vector<Real> x(static_cast<std::size_t>(nnodes));
+  std::vector<Real> v(static_cast<std::size_t>(nnodes), Real(0.0));
+  std::vector<Real> zm(static_cast<std::size_t>(nzones));   // zone mass
+  std::vector<Real> rho(static_cast<std::size_t>(nzones));
+  std::vector<Real> en(static_cast<std::size_t>(nzones));   // specific energy
+  std::vector<Real> pr(static_cast<std::size_t>(nzones));
+  std::vector<Real> qv(static_cast<std::size_t>(nzones), Real(0.0));
+
+  for (int i = 0; i < nnodes; ++i) {
+    x[static_cast<std::size_t>(i)] = Real((zlo + i) * dx0);
+  }
+  for (int i = 0; i < nzones; ++i) {
+    const double center = (zlo + i + 0.5) * dx0;
+    const bool left = center < cfg.interface;
+    const double r0 = left ? cfg.rho_left : cfg.rho_right;
+    const double p0 = left ? cfg.p_left : cfg.p_right;
+    rho[static_cast<std::size_t>(i)] = Real(r0);
+    pr[static_cast<std::size_t>(i)] = Real(p0);
+    en[static_cast<std::size_t>(i)] = Real(p0 / ((cfg.gamma - 1.0) * r0));
+    zm[static_cast<std::size_t>(i)] = Real(r0 * dx0);
+  }
+  // Node masses: half the adjacent zone masses; end-node halves come from
+  // the neighbour's boundary zone (constant, exchanged once).
+  Real mass_from_prev(0.0), mass_from_next(0.0);
+  if (p > 1) {
+    exchange_halo_rows(comm, kZoneHaloTag,
+                       std::span<const Real>(&zm.front(), 1),
+                       std::span<const Real>(&zm.back(), 1),
+                       std::span<Real>(&mass_from_prev, 1),
+                       std::span<Real>(&mass_from_next, 1), prev, next);
+  }
+  std::vector<Real> nm(static_cast<std::size_t>(nnodes));
+  for (int i = 0; i < nnodes; ++i) {
+    const Real left_mass =
+        (i > 0) ? zm[static_cast<std::size_t>(i - 1)]
+                : (zlo > 0 ? mass_from_prev : Real(0.0));
+    const Real right_mass =
+        (i < nzones) ? zm[static_cast<std::size_t>(i)]
+                     : (zlo + nzones < cfg.zones ? mass_from_next : Real(0.0));
+    nm[static_cast<std::size_t>(i)] = Real(0.5) * (left_mass + right_mass);
+  }
+
+  // ---- time-step loop ----------------------------------------------------
+  // Simulation time is tracked as a plain double fed by the *broadcast* dt
+  // value, so every rank always agrees on the loop trip count — a corrupted
+  // local accumulation of t would otherwise deadlock the halo exchanges.
+  double t = 0.0;
+  int step = 0;
+  std::vector<Real> ptot(static_cast<std::size_t>(nzones));  // P + q
+  for (; step < cfg.max_steps && t < cfg.t_final * (1.0 - 1e-12); ++step) {
+    // Artificial viscosity from the current velocity field (local).
+    for (int i = 0; i < nzones; ++i) {
+      const Real dv = v[static_cast<std::size_t>(i + 1)] -
+                      v[static_cast<std::size_t>(i)];
+      if (dv < Real(0.0)) {
+        const Real c = sqrt(Real(cfg.gamma) * pr[static_cast<std::size_t>(i)] /
+                            rho[static_cast<std::size_t>(i)]);
+        qv[static_cast<std::size_t>(i)] =
+            rho[static_cast<std::size_t>(i)] *
+            (Real(cfg.q2) * dv * dv + Real(cfg.q1) * c * abs(dv));
+      } else {
+        qv[static_cast<std::size_t>(i)] = Real(0.0);
+      }
+    }
+
+    // CFL-limited global time step (the per-cycle collective).
+    Real dt_local(1e30);
+    for (int i = 0; i < nzones; ++i) {
+      const Real dx = x[static_cast<std::size_t>(i + 1)] -
+                      x[static_cast<std::size_t>(i)];
+      const Real c = sqrt(Real(cfg.gamma) * pr[static_cast<std::size_t>(i)] /
+                          rho[static_cast<std::size_t>(i)]);
+      const Real dv = abs(v[static_cast<std::size_t>(i + 1)] -
+                          v[static_cast<std::size_t>(i)]);
+      dt_local = min(dt_local, Real(cfg.cfl) * dx / (c + dv + Real(1e-30)));
+    }
+    Real dt = comm.allreduce_value(dt_local, simmpi::Min{});
+    dt = min(dt, Real(cfg.t_final - t));
+    if (!isfinite(dt) || dt <= Real(0.0)) {
+      throw NumericalError("PENNANT time step became invalid");
+    }
+
+    // Exchange boundary-zone total pressure with the neighbours.
+    for (int i = 0; i < nzones; ++i) {
+      ptot[static_cast<std::size_t>(i)] =
+          pr[static_cast<std::size_t>(i)] + qv[static_cast<std::size_t>(i)];
+    }
+    Real ptot_prev(0.0), ptot_next(0.0);
+    if (p > 1) {
+      exchange_halo_rows(comm, kZoneHaloTag + 1 + step,
+                         std::span<const Real>(&ptot.front(), 1),
+                         std::span<const Real>(&ptot.back(), 1),
+                         std::span<Real>(&ptot_prev, 1),
+                         std::span<Real>(&ptot_next, 1), prev, next);
+    }
+
+    // Node accelerations and positions. Wall boundary: end nodes pinned.
+    for (int i = 0; i < nnodes; ++i) {
+      const int g = zlo + i;
+      if (g == 0 || g == cfg.zones) {
+        v[static_cast<std::size_t>(i)] = Real(0.0);
+        continue;
+      }
+      const Real p_left_zone =
+          (i > 0) ? ptot[static_cast<std::size_t>(i - 1)] : ptot_prev;
+      const Real p_right_zone =
+          (i < nzones) ? ptot[static_cast<std::size_t>(i)] : ptot_next;
+      const Real force = p_left_zone - p_right_zone;
+      v[static_cast<std::size_t>(i)] +=
+          dt * force / nm[static_cast<std::size_t>(i)];
+    }
+    for (int i = 0; i < nnodes; ++i) {
+      x[static_cast<std::size_t>(i)] += dt * v[static_cast<std::size_t>(i)];
+    }
+
+    // Zone updates: compression work and equation of state.
+    for (int i = 0; i < nzones; ++i) {
+      const Real dx = x[static_cast<std::size_t>(i + 1)] -
+                      x[static_cast<std::size_t>(i)];
+      if (!(dx > Real(0.0))) {
+        throw NumericalError("PENNANT mesh tangled (non-positive zone length)");
+      }
+      rho[static_cast<std::size_t>(i)] = zm[static_cast<std::size_t>(i)] / dx;
+      const Real dv = v[static_cast<std::size_t>(i + 1)] -
+                      v[static_cast<std::size_t>(i)];
+      en[static_cast<std::size_t>(i)] -=
+          dt * ptot[static_cast<std::size_t>(i)] * dv /
+          zm[static_cast<std::size_t>(i)];
+      if (!(en[static_cast<std::size_t>(i)] > Real(0.0)) ||
+          !isfinite(en[static_cast<std::size_t>(i)])) {
+        throw NumericalError("PENNANT energy became invalid");
+      }
+      pr[static_cast<std::size_t>(i)] = gamma_m1 *
+                                        rho[static_cast<std::size_t>(i)] *
+                                        en[static_cast<std::size_t>(i)];
+    }
+    t += dt.value();
+  }
+
+  if (t < cfg.t_final * (1.0 - 1e-9)) {
+    // The step budget ran out before reaching the end time: the analogue of
+    // a hung job whose dt collapsed.
+    throw NumericalError("PENNANT exceeded the step budget before t_final");
+  }
+
+  // ---- conserved-quantity signature --------------------------------------
+  // Each rank owns nodes [zlo, zlo+nzones), the last rank also the end node.
+  Real e_local(0.0), mom_local(0.0);
+  for (int i = 0; i < nzones; ++i) {
+    e_local += zm[static_cast<std::size_t>(i)] * en[static_cast<std::size_t>(i)];
+  }
+  const int owned_nodes = nzones + ((zlo + nzones == cfg.zones) ? 1 : 0);
+  for (int i = 0; i < owned_nodes; ++i) {
+    const Real vi = v[static_cast<std::size_t>(i)];
+    e_local += Real(0.5) * nm[static_cast<std::size_t>(i)] * vi * vi;
+    mom_local += nm[static_cast<std::size_t>(i)] * vi;
+  }
+  const Real e_total = comm.allreduce_value(e_local, simmpi::Sum{});
+  const Real mom_total = comm.allreduce_value(mom_local, simmpi::Sum{});
+  guard_finite(e_total, "PENNANT total energy");
+
+  AppResult result;
+  result.iterations = step;
+  result.signature = {e_total.value(), mom_total.value()};
+  return result;
+}
+
+}  // namespace resilience::apps

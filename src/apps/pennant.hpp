@@ -1,0 +1,63 @@
+// PENNANT — miniature of the LANL PENNANT mini-app.
+//
+// Staggered-grid compressible Lagrangian hydrodynamics on a 1D tube:
+// zone-centered density/energy/pressure, node-centered position/velocity,
+// artificial viscosity for shocks, and a CFL-limited global time step.
+// The input problem is a shock tube in the spirit of PENNANT's "leblanc"
+// input (we use Sod-strength jumps rather than leblanc's extreme 1e5
+// pressure ratio so the miniature integrator stays robust; the
+// communication and propagation structure is unchanged — see DESIGN.md).
+//
+// Parallelization (strong scaling): zones are block-partitioned; each
+// cycle exchanges boundary-zone pressure/viscosity with the two
+// neighbours and reduces the global minimum dt — the collective through
+// which a surviving error reaches every rank within one cycle.
+//
+// Output signature: final total energy and total momentum.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "apps/app.hpp"
+
+namespace resilience::apps {
+
+class PennantApp final : public App {
+ public:
+  struct Config {
+    int zones = 128;
+    double tube_length = 1.0;
+    double t_final = 0.12;
+    int max_steps = 400;        ///< Failure (hang) when exceeded
+    double gamma = 1.4;
+    double cfl = 0.5;
+    double q1 = 0.5;            ///< linear artificial-viscosity coefficient
+    double q2 = 1.5;            ///< quadratic artificial-viscosity coefficient
+    // Left/right initial states (Sod-like shock tube).
+    double rho_left = 1.0, rho_right = 0.125;
+    double p_left = 1.0, p_right = 0.1;
+    double interface = 0.5;     ///< position of the initial discontinuity
+  };
+
+  static Config config_for_class(const std::string& size_class);
+
+  PennantApp(Config config, std::string size_class);
+
+  [[nodiscard]] std::string name() const override { return "PENNANT"; }
+  [[nodiscard]] std::string size_class() const override { return size_class_; }
+  [[nodiscard]] bool supports(int nranks) const override {
+    return nranks >= 1 && nranks <= config_.zones;
+  }
+  [[nodiscard]] double checker_tolerance() const override { return 1e-9; }
+
+  AppResult run(simmpi::Comm& comm) const override;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  std::string size_class_;
+};
+
+}  // namespace resilience::apps

@@ -1,0 +1,65 @@
+#include "apps/sparse.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace resilience::apps {
+
+SparseMatrix make_spd_matrix(std::int64_t n, int row_nonzeros, double shift,
+                             std::uint64_t seed) {
+  if (n < 1 || row_nonzeros < 0) {
+    throw std::invalid_argument("make_spd_matrix: bad arguments");
+  }
+  // Symmetric pattern: pair (i, j), i < j, exists iff a hash of the pair
+  // falls below the density threshold; the value is derived from the same
+  // hash so both triangles agree by construction.
+  const std::uint64_t threshold =
+      (n > 1) ? static_cast<std::uint64_t>(
+                    (static_cast<double>(row_nonzeros) /
+                     static_cast<double>(n - 1)) *
+                    static_cast<double>(~0ULL / 2) * 2.0)
+              : 0;
+
+  // Build rows via a per-row ordered map of columns (n is small: the
+  // matrices stand in for NPB Class S/B inputs).
+  std::vector<std::map<std::int64_t, double>> rows(
+      static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = i + 1; j < n; ++j) {
+      util::SplitMix64 mix(seed ^ (static_cast<std::uint64_t>(i) * 0x1f123bb5ULL) ^
+                           static_cast<std::uint64_t>(j));
+      const std::uint64_t h = mix.next();
+      if (h < threshold) {
+        // Value in (0.05, 1.05]; sign always positive keeps the matrix an
+        // M-matrix-like operator with a well-conditioned spectrum.
+        const double v =
+            0.05 + static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+        rows[static_cast<std::size_t>(i)][j] = v;
+        rows[static_cast<std::size_t>(j)][i] = v;
+      }
+    }
+  }
+
+  SparseMatrix m;
+  m.n = n;
+  m.row_ptr.reserve(static_cast<std::size_t>(n) + 1);
+  m.row_ptr.push_back(0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    auto& row = rows[static_cast<std::size_t>(i)];
+    double magnitude_sum = 0.0;
+    for (const auto& [col, val] : row) magnitude_sum += std::abs(val);
+    // Diagonal inserted in sorted position along with the off-diagonals.
+    row[i] = shift + magnitude_sum;
+    for (const auto& [col, val] : row) {
+      m.col_idx.push_back(col);
+      m.values.push_back(val);
+    }
+    m.row_ptr.push_back(static_cast<std::int64_t>(m.col_idx.size()));
+  }
+  return m;
+}
+
+}  // namespace resilience::apps

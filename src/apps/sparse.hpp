@@ -1,0 +1,50 @@
+// Deterministic sparse symmetric positive-definite test matrices in CSR
+// form, standing in for NPB CG's `makea` generator.
+//
+// The matrix is a function of (n, nonzeros-per-row, seed) only — every
+// rank of every scale builds the identical matrix, as strong scaling
+// requires. Entries are generated with plain doubles (the paper's fault
+// injection targets the main computation loop, not problem setup), so
+// construction is uninstrumented and cheap.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace resilience::apps {
+
+/// Compressed sparse row matrix of plain doubles.
+struct SparseMatrix {
+  std::int64_t n = 0;
+  std::vector<std::int64_t> row_ptr;  ///< size n+1
+  std::vector<std::int64_t> col_idx;  ///< size nnz
+  std::vector<double> values;         ///< size nnz
+
+  [[nodiscard]] std::int64_t nnz() const noexcept {
+    return static_cast<std::int64_t>(col_idx.size());
+  }
+
+  /// Nonzeros of row i as (col_idx, values) subspans.
+  [[nodiscard]] std::span<const std::int64_t> row_cols(std::int64_t i) const {
+    return std::span<const std::int64_t>(col_idx).subspan(
+        static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(i)]),
+        static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(i) + 1] -
+                                 row_ptr[static_cast<std::size_t>(i)]));
+  }
+  [[nodiscard]] std::span<const double> row_vals(std::int64_t i) const {
+    return std::span<const double>(values).subspan(
+        static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(i)]),
+        static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(i) + 1] -
+                                 row_ptr[static_cast<std::size_t>(i)]));
+  }
+};
+
+/// Random sparse SPD matrix: symmetric off-diagonal pattern with about
+/// `row_nonzeros` entries per row, plus a diagonal of
+/// `shift + sum(|offdiag of the row|)` making it strictly diagonally
+/// dominant (hence SPD).
+SparseMatrix make_spd_matrix(std::int64_t n, int row_nonzeros, double shift,
+                             std::uint64_t seed);
+
+}  // namespace resilience::apps

@@ -1,0 +1,23 @@
+// Modeling-accuracy metrics (paper Section 5).
+#pragma once
+
+#include <span>
+
+#include "util/stats.hpp"
+
+namespace resilience::core {
+
+/// Absolute prediction error of a rate, in rate units (the paper reports
+/// "prediction error" as the absolute difference of success percentages).
+inline double prediction_error(double measured, double predicted) noexcept {
+  const double d = measured - predicted;
+  return d < 0 ? -d : d;
+}
+
+/// Root mean square error over a set of benchmarks (paper Eq. 9).
+inline double rmse(std::span<const double> measured,
+                   std::span<const double> predicted) {
+  return util::rmse(measured, predicted);
+}
+
+}  // namespace resilience::core

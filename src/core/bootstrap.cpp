@@ -1,0 +1,121 @@
+#include "core/bootstrap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace resilience::core {
+
+namespace {
+
+/// Multinomial resample of one campaign result (same trial count).
+harness::FaultInjectionResult resample(const harness::FaultInjectionResult& r,
+                                       util::Xoshiro256& rng) {
+  harness::FaultInjectionResult out;
+  if (r.trials == 0) return out;
+  const double p_success = r.success_rate();
+  const double p_sdc = r.sdc_rate();
+  for (std::size_t t = 0; t < r.trials; ++t) {
+    const double u = rng.uniform01();
+    if (u < p_success) {
+      out.add(harness::Outcome::Success);
+    } else if (u < p_success + p_sdc) {
+      out.add(harness::Outcome::SDC);
+    } else {
+      out.add(harness::Outcome::Failure);
+    }
+  }
+  return out;
+}
+
+/// Joint resample of the small-scale observation: draw each trial's
+/// contamination group from the empirical distribution, then its outcome
+/// from that group's conditional result.
+SmallScaleObservation resample(const SmallScaleObservation& obs,
+                               util::Xoshiro256& rng) {
+  SmallScaleObservation out;
+  out.nranks = obs.nranks;
+  out.conditional.assign(static_cast<std::size_t>(obs.nranks),
+                         harness::FaultInjectionResult{});
+
+  std::size_t total_trials = 0;
+  for (const auto& cond : obs.conditional) total_trials += cond.trials;
+  // Cumulative distribution over groups.
+  std::vector<double> cdf(obs.conditional.size(), 0.0);
+  double acc = 0.0;
+  for (std::size_t g = 0; g < obs.conditional.size(); ++g) {
+    acc += total_trials == 0
+               ? 0.0
+               : static_cast<double>(obs.conditional[g].trials) /
+                     static_cast<double>(total_trials);
+    cdf[g] = acc;
+  }
+
+  for (std::size_t t = 0; t < total_trials; ++t) {
+    const double u = rng.uniform01();
+    std::size_t g = 0;
+    while (g + 1 < cdf.size() && u >= cdf[g]) ++g;
+    const auto& cond = obs.conditional[g];
+    auto& target = out.conditional[g];
+    const double v = rng.uniform01();
+    if (v < cond.success_rate()) {
+      target.add(harness::Outcome::Success);
+    } else if (v < cond.success_rate() + cond.sdc_rate()) {
+      target.add(harness::Outcome::SDC);
+    } else {
+      target.add(harness::Outcome::Failure);
+    }
+  }
+
+  out.propagation.nranks = obs.nranks;
+  out.propagation.r.assign(static_cast<std::size_t>(obs.nranks), 0.0);
+  for (std::size_t g = 0; g < out.conditional.size(); ++g) {
+    out.overall.merge(out.conditional[g]);
+    if (total_trials > 0) {
+      out.propagation.r[g] = static_cast<double>(out.conditional[g].trials) /
+                             static_cast<double>(total_trials);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BootstrapInterval bootstrap_prediction(const SerialSweep& sweep,
+                                       const SmallScaleObservation& small,
+                                       const PredictorOptions& options,
+                                       int large_p,
+                                       const BootstrapOptions& boot) {
+  // Validate once with the original inputs.
+  (void)ResiliencePredictor(sweep, small, options).predict(large_p);
+
+  std::vector<double> successes;
+  successes.reserve(boot.resamples);
+  for (std::size_t b = 0; b < boot.resamples; ++b) {
+    util::Xoshiro256 rng(util::derive_seed(boot.seed, b));
+    SerialSweep sweep_b = sweep;
+    for (auto& result : sweep_b.results) result = resample(result, rng);
+    SmallScaleObservation small_b = resample(small, rng);
+    PredictorOptions options_b = options;
+    if (options_b.unique_result.has_value()) {
+      options_b.unique_result = resample(*options_b.unique_result, rng);
+    }
+    const ResiliencePredictor predictor(std::move(sweep_b), std::move(small_b),
+                                        options_b);
+    successes.push_back(predictor.predict(large_p).combined.success);
+  }
+  std::sort(successes.begin(), successes.end());
+
+  const double alpha = (1.0 - boot.confidence) / 2.0;
+  auto quantile = [&](double q) {
+    const double pos = q * static_cast<double>(successes.size() - 1);
+    const auto lo_idx = static_cast<std::size_t>(std::floor(pos));
+    const auto hi_idx = std::min(lo_idx + 1, successes.size() - 1);
+    const double frac = pos - std::floor(pos);
+    return successes[lo_idx] * (1.0 - frac) + successes[hi_idx] * frac;
+  };
+  return {quantile(alpha), quantile(1.0 - alpha), quantile(0.5)};
+}
+
+}  // namespace resilience::core

@@ -1,0 +1,39 @@
+// Bootstrap uncertainty for model predictions.
+//
+// A prediction is a deterministic function of finite fault-injection
+// campaigns; with the paper's 4000 tests (or this reproduction's smaller
+// defaults) the sampling noise is not negligible. This module resamples
+// the campaign counts — multinomially over outcomes for every serial
+// sweep sample, and jointly over (contamination count, outcome) for the
+// small-scale campaign — recomputes the prediction for each resample, and
+// reports a percentile confidence interval on the predicted success rate.
+#pragma once
+
+#include "core/model.hpp"
+
+namespace resilience::core {
+
+struct BootstrapOptions {
+  std::size_t resamples = 200;
+  double confidence = 0.95;  ///< central interval mass
+  std::uint64_t seed = 0xb007;
+};
+
+struct BootstrapInterval {
+  double lo = 0.0;
+  double hi = 1.0;
+  double median = 0.0;
+
+  [[nodiscard]] double width() const noexcept { return hi - lo; }
+};
+
+/// Percentile bootstrap interval on the predicted success rate at
+/// `large_p`. Inputs are the same as ResiliencePredictor's; throws the
+/// same validation errors.
+BootstrapInterval bootstrap_prediction(const SerialSweep& sweep,
+                                       const SmallScaleObservation& small,
+                                       const PredictorOptions& options,
+                                       int large_p,
+                                       const BootstrapOptions& boot = {});
+
+}  // namespace resilience::core

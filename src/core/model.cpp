@@ -1,0 +1,177 @@
+#include "core/model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace resilience::core {
+
+std::vector<int> SerialSweep::sample_points(int p, int s) {
+  if (s < 1 || p < 1 || s > p) {
+    throw std::invalid_argument("sample_points: need 1 <= s <= p");
+  }
+  if (p % s != 0) {
+    throw std::invalid_argument("sample_points: s must divide p");
+  }
+  std::vector<int> points;
+  points.reserve(static_cast<std::size_t>(s));
+  points.push_back(1);
+  for (int i = 2; i <= s; ++i) points.push_back(i * (p / s));
+  return points;
+}
+
+int SerialSweep::group_of(int x) const {
+  if (x < 1 || x > large_p) {
+    throw std::invalid_argument("group_of: x out of [1, p]");
+  }
+  const int s = static_cast<int>(sample_x.size());
+  // ceil(x * S / p), clamped to [1, S].
+  const long long g =
+      (static_cast<long long>(x) * s + large_p - 1) / large_p;
+  return static_cast<int>(std::max(1LL, std::min<long long>(g, s)));
+}
+
+const harness::FaultInjectionResult& SerialSweep::result_for(int x) const {
+  return results[static_cast<std::size_t>(group_of(x) - 1)];
+}
+
+PropagationProfile PropagationProfile::from_campaign(
+    const harness::CampaignResult& c) {
+  PropagationProfile prof;
+  prof.nranks = c.config.nranks;
+  prof.r = c.propagation_probabilities();
+  return prof;
+}
+
+std::vector<double> PropagationProfile::project(int large_p) const {
+  if (nranks < 1 || large_p < nranks || large_p % nranks != 0) {
+    throw std::invalid_argument(
+        "PropagationProfile::project: small scale must divide large scale");
+  }
+  const int per_group = large_p / nranks;
+  std::vector<double> projected(static_cast<std::size_t>(large_p), 0.0);
+  for (int x = 1; x <= large_p; ++x) {
+    const int g = (x + per_group - 1) / per_group;  // ceil(x / (p/S)), Eq. 5
+    projected[static_cast<std::size_t>(x - 1)] =
+        r[static_cast<std::size_t>(g - 1)] / per_group;
+  }
+  return projected;
+}
+
+SmallScaleObservation SmallScaleObservation::from_campaign(
+    const harness::CampaignResult& c) {
+  SmallScaleObservation obs;
+  obs.nranks = c.config.nranks;
+  obs.propagation = PropagationProfile::from_campaign(c);
+  obs.overall = c.overall;
+  obs.conditional.assign(static_cast<std::size_t>(c.config.nranks),
+                         harness::FaultInjectionResult{});
+  for (int x = 1; x <= c.config.nranks; ++x) {
+    obs.conditional[static_cast<std::size_t>(x - 1)] =
+        c.by_contamination[static_cast<std::size_t>(x)];
+  }
+  return obs;
+}
+
+SerialSweep rescale_sweep(const SerialSweep& sweep, int target_p) {
+  if (target_p > sweep.large_p || target_p < 1) {
+    throw std::invalid_argument("rescale_sweep: target_p out of range");
+  }
+  const int s = static_cast<int>(sweep.sample_x.size());
+  SerialSweep out;
+  out.large_p = target_p;
+  out.sample_x = SerialSweep::sample_points(target_p, s);
+  out.results.reserve(out.sample_x.size());
+  for (int x : out.sample_x) out.results.push_back(sweep.result_for(x));
+  return out;
+}
+
+ResiliencePredictor::ResiliencePredictor(SerialSweep sweep,
+                                         SmallScaleObservation small,
+                                         PredictorOptions options)
+    : sweep_(std::move(sweep)), small_(std::move(small)), options_(options) {
+  if (sweep_.sample_x.size() != sweep_.results.size()) {
+    throw std::invalid_argument("SerialSweep: sample/result size mismatch");
+  }
+  if (sweep_.sample_x.empty() || sweep_.sample_x.front() != 1 ||
+      sweep_.sample_x.back() != sweep_.large_p) {
+    throw std::invalid_argument(
+        "SerialSweep: samples must start at 1 and end at p");
+  }
+  // The paper uses the same S for the serial sampling and the small-scale
+  // propagation profile: group g of the sweep aligns with r'_g.
+  if (static_cast<int>(sweep_.sample_x.size()) != small_.nranks) {
+    throw std::invalid_argument(
+        "predictor: serial sample count must equal the small scale size S");
+  }
+  if (options_.prob_unique < 0.0 || options_.prob_unique > 1.0) {
+    throw std::invalid_argument("predictor: prob_unique out of [0, 1]");
+  }
+  if (options_.prob_unique > 0.0 && !options_.unique_result.has_value()) {
+    throw std::invalid_argument(
+        "predictor: prob_unique > 0 requires a unique-region result");
+  }
+}
+
+Prediction ResiliencePredictor::predict(int large_p) const {
+  if (large_p != sweep_.large_p) {
+    throw std::invalid_argument("predict: large_p != sweep.large_p");
+  }
+  const int s = small_.nranks;
+  Prediction pred;
+  pred.alpha.assign(static_cast<std::size_t>(s), 1.0);
+
+  // ---- fine-tune decision (Observation 4 / Section 4.2) -----------------
+  // The g-th serial sample (x_g errors) emulates the g-th propagation
+  // group (g of S ranks contaminated at the small scale) — the alignment
+  // the paper's fine-tuning example uses (FI'_ser_32 = FI_small_par_2 for
+  // S = 4, p = 64). The divergence is the success-rate difference between
+  // the two, weighted by how often the small scale observed each group.
+  double diff_acc = 0.0, weight_acc = 0.0;
+  for (int g = 1; g <= s; ++g) {
+    const auto& cond = small_.conditional[static_cast<std::size_t>(g - 1)];
+    if (cond.trials == 0) continue;
+    const double weight = small_.propagation.r[static_cast<std::size_t>(g - 1)];
+    const auto& serial = sweep_.results[static_cast<std::size_t>(g - 1)];
+    diff_acc += weight * std::abs(serial.success_rate() - cond.success_rate());
+    weight_acc += weight;
+  }
+  pred.divergence = (weight_acc > 0.0) ? diff_acc / weight_acc : 0.0;
+  pred.fine_tuned = options_.allow_fine_tune &&
+                    pred.divergence > options_.fine_tune_threshold;
+
+  // ---- FI_par_common (Eq. 8): sum over sample groups ---------------------
+  // r'_g already aggregates the probability mass of group g (Eq. 5/7).
+  Rates common;
+  for (int g = 1; g <= s; ++g) {
+    const double weight = small_.propagation.r[static_cast<std::size_t>(g - 1)];
+    if (weight == 0.0) continue;
+    const auto& serial = sweep_.results[static_cast<std::size_t>(g - 1)];
+    Rates rates = Rates::from(serial);
+    if (pred.fine_tuned) {
+      // alpha_g = FI_small_par_g / FI_ser_g, i.e. the fine-tuned sample is
+      // the small scale's conditional result (paper Section 4.2 example).
+      const auto& cond = small_.conditional[static_cast<std::size_t>(g - 1)];
+      if (cond.trials > 0) {
+        pred.alpha[static_cast<std::size_t>(g - 1)] =
+            (serial.success_rate() > 0.0)
+                ? cond.success_rate() / serial.success_rate()
+                : 1.0;
+        rates = Rates::from(cond);
+      }
+    }
+    common += rates.scaled(weight);
+  }
+  pred.common = common;
+
+  // ---- Eq. 1: weighted sum with the parallel-unique term ----------------
+  if (options_.prob_unique > 0.0 && options_.unique_result.has_value()) {
+    const Rates unique = Rates::from(*options_.unique_result);
+    pred.combined = common.scaled(1.0 - options_.prob_unique);
+    pred.combined += unique.scaled(options_.prob_unique);
+  } else {
+    pred.combined = common;
+  }
+  return pred;
+}
+
+}  // namespace resilience::core

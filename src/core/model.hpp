@@ -1,0 +1,139 @@
+// The paper's resilience model (Section 4): predict the fault-injection
+// result of a large-scale parallel execution from
+//   (a) serial fault-injection sweeps with multiple errors injected into
+//       the common computation (FI_ser_x, sampled per Section 4.2), and
+//   (b) the error-propagation profile of a small-scale parallel execution
+//       (r'_x', Eq. 3/5), with
+//   (c) optional fine-tuning against the small scale's conditional results
+//       (the alpha_x parameters) when serial emulation is poor, and
+//   (d) an optional parallel-unique computation term (Eq. 1).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "harness/campaign.hpp"
+
+namespace resilience::core {
+
+/// Outcome-rate triple; the model's linear algebra operates on these.
+struct Rates {
+  double success = 0.0;
+  double sdc = 0.0;
+  double failure = 0.0;
+
+  static Rates from(const harness::FaultInjectionResult& r) noexcept {
+    return {r.success_rate(), r.sdc_rate(), r.failure_rate()};
+  }
+  [[nodiscard]] Rates scaled(double w) const noexcept {
+    return {success * w, sdc * w, failure * w};
+  }
+  Rates& operator+=(const Rates& o) noexcept {
+    success += o.success;
+    sdc += o.sdc;
+    failure += o.failure;
+    return *this;
+  }
+};
+
+/// Serial fault-injection sweep: FI_ser_x measured at S sample points
+/// x_1 = 1, x_i = i*p/S (i = 2..S), per the paper's sampling approach.
+struct SerialSweep {
+  int large_p = 0;            ///< the p this sweep was sampled for
+  std::vector<int> sample_x;  ///< ascending; front()==1, back()==large_p
+  std::vector<harness::FaultInjectionResult> results;  ///< per sample
+
+  /// The paper's sample points {1, 2p/s, 3p/s, ..., p}.
+  /// Requires 1 <= s <= p and s | p.
+  static std::vector<int> sample_points(int p, int s);
+
+  /// Sample group of error count x (1-based): ceil(x*S/p), clamped to
+  /// [1, S]. FI_ser_x is approximated by the result of its group's sample.
+  [[nodiscard]] int group_of(int x) const;
+
+  /// FI_ser_x via the group mapping.
+  [[nodiscard]] const harness::FaultInjectionResult& result_for(int x) const;
+};
+
+/// Error-propagation profile of a (small-scale) campaign: r_x for
+/// x = 1..p (Eq. 3), stored with r[0] == r_1.
+struct PropagationProfile {
+  int nranks = 0;
+  std::vector<double> r;
+
+  static PropagationProfile from_campaign(const harness::CampaignResult& c);
+
+  /// Project to a larger scale via Eq. 5: r_x (x = 1..large_p) equals
+  /// r'_{ceil(x*S/p)} divided evenly over the group's members, so the
+  /// grouped mass is preserved. Requires nranks | large_p.
+  [[nodiscard]] std::vector<double> project(int large_p) const;
+};
+
+/// Everything the model consumes from one small-scale campaign.
+struct SmallScaleObservation {
+  int nranks = 0;
+  PropagationProfile propagation;
+  /// Fault-injection result conditioned on x ranks contaminated
+  /// (index x-1; entries with zero trials were never observed).
+  std::vector<harness::FaultInjectionResult> conditional;
+  harness::FaultInjectionResult overall;
+
+  static SmallScaleObservation from_campaign(const harness::CampaignResult& c);
+};
+
+struct PredictorOptions {
+  /// Fine-tune when the weighted serial-vs-small-scale success-rate
+  /// difference exceeds this (paper: "larger than 20% difference").
+  double fine_tune_threshold = 0.20;
+  bool allow_fine_tune = true;
+  /// prob2 of Eq. 1: fraction of large-scale execution spent in
+  /// parallel-unique computation (0 disables the unique term).
+  double prob_unique = 0.0;
+  /// FI_par_unique: result of a small-scale campaign with errors injected
+  /// into the parallel-unique computation only.
+  std::optional<harness::FaultInjectionResult> unique_result;
+};
+
+struct Prediction {
+  Rates common;    ///< FI_par_common (Eq. 4 / Eq. 8)
+  Rates combined;  ///< FI_par (Eq. 1)
+  bool fine_tuned = false;
+  /// Weighted |serial - small| success-rate difference that drove the
+  /// fine-tune decision.
+  double divergence = 0.0;
+  /// alpha_x fine-tuning factors per sample group (1.0 when not tuned).
+  std::vector<double> alpha;
+};
+
+/// Rescale a sweep sampled for `sweep.large_p` down to a smaller target
+/// scale: the sample points of `target_p` are filled via the group
+/// mapping, letting ONE set of serial campaigns serve predictions at many
+/// scales (the extrapolation use case: sweep once for the largest scale
+/// of interest, predict everything below it). Requires
+/// small-scale-size | target_p and target_p <= sweep.large_p.
+SerialSweep rescale_sweep(const SerialSweep& sweep, int target_p);
+
+/// The model of Section 4. Construction validates that the serial sweep's
+/// sample count matches the small scale size S (the paper uses the same S
+/// for both the sampling of FI_ser_x and the propagation profile).
+class ResiliencePredictor {
+ public:
+  ResiliencePredictor(SerialSweep sweep, SmallScaleObservation small,
+                      PredictorOptions options = {});
+
+  /// Predict the fault-injection result at `large_p` ranks (must equal the
+  /// sweep's large_p).
+  [[nodiscard]] Prediction predict(int large_p) const;
+
+  [[nodiscard]] const SerialSweep& sweep() const noexcept { return sweep_; }
+  [[nodiscard]] const SmallScaleObservation& small() const noexcept {
+    return small_;
+  }
+
+ private:
+  SerialSweep sweep_;
+  SmallScaleObservation small_;
+  PredictorOptions options_;
+};
+
+}  // namespace resilience::core

@@ -1,0 +1,93 @@
+#include "core/report.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace resilience::core {
+
+namespace {
+
+std::string pct(double fraction) { return util::TablePrinter::pct(fraction); }
+
+void rates_row(std::ostringstream& os, const char* label, const Rates& r) {
+  os << "| " << label << " | " << pct(r.success) << " | " << pct(r.sdc)
+     << " | " << pct(r.failure) << " |\n";
+}
+
+}  // namespace
+
+std::string render_report(const std::string& app_label,
+                          const StudyResult& study) {
+  std::ostringstream os;
+  const auto& cfg = study.config;
+  os << "# Resilience prediction report: " << app_label << "\n\n"
+     << "Predicting the fault-injection result of **" << cfg.large_p
+     << " ranks** from serial execution and a **" << cfg.small_p
+     << "-rank** small-scale execution (" << cfg.trials
+     << " fault-injection tests per deployment, seed " << cfg.seed << ").\n\n";
+
+  os << "## Serial sweeps (FI_ser_x, errors into the common computation)\n\n"
+     << "| errors x | success | SDC | failure |\n|---|---|---|---|\n";
+  for (std::size_t i = 0; i < study.sweep.sample_x.size(); ++i) {
+    const auto& r = study.sweep.results[i];
+    os << "| " << study.sweep.sample_x[i] << " | " << pct(r.success_rate())
+       << " | " << pct(r.sdc_rate()) << " | " << pct(r.failure_rate())
+       << " |\n";
+  }
+
+  os << "\n## Small-scale propagation (r'_x at " << cfg.small_p
+     << " ranks)\n\n"
+     << "| ranks contaminated | probability | conditional success |\n"
+     << "|---|---|---|\n";
+  for (int x = 1; x <= cfg.small_p; ++x) {
+    const auto& cond = study.small.conditional[static_cast<std::size_t>(x - 1)];
+    os << "| " << x << " | "
+       << pct(study.small.propagation.r[static_cast<std::size_t>(x - 1)])
+       << " | " << (cond.trials > 0 ? pct(cond.success_rate()) : "unobserved")
+       << " |\n";
+  }
+
+  os << "\n## Model decisions\n\n"
+     << "- serial-vs-small divergence: " << pct(study.prediction.divergence)
+     << " -> alpha fine-tuning **"
+     << (study.prediction.fine_tuned ? "applied" : "not needed") << "**\n"
+     << "- parallel-unique computation share (large scale): "
+     << pct(study.prob_unique)
+     << (study.prob_unique > cfg.unique_fraction_threshold
+             ? " -> Eq. 1 unique term modeled\n"
+             : " -> negligible, unique term skipped\n");
+
+  os << "\n## Prediction\n\n"
+     << "| | success | SDC | failure |\n|---|---|---|---|\n";
+  rates_row(os, "FI_par_common (Eq. 8)", study.prediction.common);
+  rates_row(os, "FI_par (Eq. 1)", study.prediction.combined);
+  if (study.measured_large) {
+    const auto& m = *study.measured_large;
+    os << "| measured (" << m.trials << " tests) | " << pct(m.success_rate())
+       << " | " << pct(m.sdc_rate()) << " | " << pct(m.failure_rate())
+       << " |\n";
+    os << "\n**Success prediction error: " << pct(study.success_error())
+       << "**\n";
+  }
+
+  os << "\n## Cost\n\n"
+     << "- serial fault-injection time: " << study.serial_injection_seconds
+     << " s\n- small-scale fault-injection time: "
+     << study.small_injection_seconds << " s\n";
+  if (study.measured_large) {
+    os << "- large-scale validation time (not needed for prediction): "
+       << study.large_injection_seconds << " s\n";
+  }
+  return os.str();
+}
+
+void write_report(const std::string& path, const std::string& app_label,
+                  const StudyResult& study) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write report to " + path);
+  out << render_report(app_label, study);
+}
+
+}  // namespace resilience::core

@@ -1,0 +1,24 @@
+// Human-readable study reports.
+//
+// Renders a StudyResult — the full serial + small-scale -> large-scale
+// prediction pipeline — as a Markdown document: inputs, serial sweep,
+// propagation profile, fine-tuning decision, prediction, and (when the
+// study measured the large scale) the validation. The CLI's
+// `predict --report <file>` writes one per study.
+#pragma once
+
+#include <string>
+
+#include "core/study.hpp"
+
+namespace resilience::core {
+
+/// Render `study` for application `app_label` as Markdown.
+std::string render_report(const std::string& app_label,
+                          const StudyResult& study);
+
+/// Render and write to `path`; throws std::runtime_error on I/O failure.
+void write_report(const std::string& path, const std::string& app_label,
+                  const StudyResult& study);
+
+}  // namespace resilience::core

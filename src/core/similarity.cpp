@@ -1,0 +1,30 @@
+#include "core/similarity.hpp"
+
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace resilience::core {
+
+std::vector<double> group_propagation(const std::vector<double>& large_r,
+                                      int groups) {
+  if (groups < 1 || large_r.empty() ||
+      large_r.size() % static_cast<std::size_t>(groups) != 0) {
+    throw std::invalid_argument(
+        "group_propagation: groups must evenly split the profile");
+  }
+  return util::group_sum(large_r, static_cast<std::size_t>(groups));
+}
+
+double propagation_similarity(const PropagationProfile& small,
+                              const PropagationProfile& large) {
+  if (small.nranks < 1 || large.nranks < small.nranks ||
+      large.nranks % small.nranks != 0) {
+    throw std::invalid_argument(
+        "propagation_similarity: small scale must divide large scale");
+  }
+  const std::vector<double> grouped = group_propagation(large.r, small.nranks);
+  return util::cosine_similarity(small.r, grouped);
+}
+
+}  // namespace resilience::core

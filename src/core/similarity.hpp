@@ -1,0 +1,26 @@
+// Propagation-profile similarity analysis (paper Section 3.2, Table 2).
+//
+// To compare error propagation across scales, the large scale's
+// propagation cases are evenly split into as many groups as the small
+// scale has ranks (Figure 1c), and the cosine similarity of the two
+// profiles quantifies how well the small scale predicts the large one.
+#pragma once
+
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace resilience::core {
+
+/// Aggregate a large-scale propagation profile (r_x for x = 1..large_p)
+/// into `groups` evenly-split buckets (paper Figure 1c). Requires
+/// groups | large_p.
+std::vector<double> group_propagation(const std::vector<double>& large_r,
+                                      int groups);
+
+/// Cosine similarity between a small-scale propagation profile and the
+/// grouped large-scale profile (paper Table 2).
+double propagation_similarity(const PropagationProfile& small,
+                              const PropagationProfile& large);
+
+}  // namespace resilience::core

@@ -1,0 +1,93 @@
+#include "core/study.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace resilience::core {
+
+namespace {
+
+harness::DeploymentConfig base_deployment(const StudyConfig& cfg,
+                                          std::uint64_t stream) {
+  harness::DeploymentConfig dep;
+  dep.trials = cfg.trials;
+  dep.seed = util::derive_seed(cfg.seed, stream);
+  dep.deadlock_timeout = cfg.deadlock_timeout;
+  return dep;
+}
+
+}  // namespace
+
+StudyResult run_study(const apps::App& app, const StudyConfig& cfg) {
+  if (cfg.small_p < 1 || cfg.large_p < cfg.small_p ||
+      cfg.large_p % cfg.small_p != 0) {
+    throw std::invalid_argument("run_study: small_p must divide large_p");
+  }
+  if (!app.supports(cfg.small_p) || !app.supports(cfg.large_p)) {
+    throw std::invalid_argument("run_study: " + app.label() +
+                                " does not support the requested scales");
+  }
+
+  StudyResult out;
+  out.config = cfg;
+
+  // ---- serial sweeps: FI_ser_x at the paper's sample points --------------
+  out.sweep.large_p = cfg.large_p;
+  out.sweep.sample_x = SerialSweep::sample_points(cfg.large_p, cfg.small_p);
+  for (std::size_t i = 0; i < out.sweep.sample_x.size(); ++i) {
+    harness::DeploymentConfig dep = base_deployment(cfg, 1000 + i);
+    dep.nranks = 1;
+    dep.errors_per_test = out.sweep.sample_x[i];
+    dep.regions = fsefi::RegionMask::Common;  // errors go into the common
+                                              // computation (Section 3.3)
+    const auto campaign = harness::CampaignRunner::run(app, dep);
+    out.serial_injection_seconds += campaign.wall_seconds;
+    out.sweep.results.push_back(campaign.overall);
+  }
+
+  // ---- small-scale campaign: propagation + conditional results -----------
+  {
+    harness::DeploymentConfig dep = base_deployment(cfg, 2000);
+    dep.nranks = cfg.small_p;
+    const auto campaign = harness::CampaignRunner::run(app, dep);
+    out.small_injection_seconds = campaign.wall_seconds;
+    out.small = SmallScaleObservation::from_campaign(campaign);
+  }
+
+  // ---- parallel-unique term (Eq. 1) --------------------------------------
+  // prob2 comes from one fault-free profile of the large scale (the paper
+  // assumes the large scale's time split is known/predictable).
+  PredictorOptions popts = cfg.predictor;
+  {
+    const auto golden_large =
+        harness::profile_app(app, cfg.large_p, cfg.deadlock_timeout);
+    out.prob_unique = golden_large.unique_fraction();
+  }
+  if (out.prob_unique > cfg.unique_fraction_threshold) {
+    harness::DeploymentConfig dep = base_deployment(cfg, 3000);
+    dep.nranks = cfg.small_p;
+    dep.regions = fsefi::RegionMask::ParallelUnique;
+    const auto campaign = harness::CampaignRunner::run(app, dep);
+    out.small_injection_seconds += campaign.wall_seconds;
+    popts.prob_unique = out.prob_unique;
+    popts.unique_result = campaign.overall;
+  }
+
+  // ---- predict ------------------------------------------------------------
+  const ResiliencePredictor predictor(out.sweep, out.small, popts);
+  out.prediction = predictor.predict(cfg.large_p);
+
+  // ---- optional measured large-scale campaign ----------------------------
+  if (cfg.measure_large) {
+    harness::DeploymentConfig dep = base_deployment(cfg, 4000);
+    dep.nranks = cfg.large_p;
+    const auto campaign = harness::CampaignRunner::run(app, dep);
+    out.large_injection_seconds = campaign.wall_seconds;
+    out.measured_large = campaign.overall;
+    out.measured_propagation = campaign.propagation_probabilities();
+  }
+  return out;
+}
+
+}  // namespace resilience::core

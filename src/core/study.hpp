@@ -1,0 +1,66 @@
+// End-to-end modeling studies: run the full pipeline of the paper for one
+// benchmark — serial sweeps, small-scale campaign, optional unique-region
+// campaign, prediction, and (optionally) a measured large-scale campaign
+// to validate against. This is the code path behind Figures 5-8.
+#pragma once
+
+#include <optional>
+
+#include "core/model.hpp"
+
+namespace resilience::core {
+
+struct StudyConfig {
+  int small_p = 4;    ///< S: small-scale size and serial sample count
+  int large_p = 64;   ///< p: scale to predict
+  std::size_t trials = 400;
+  std::uint64_t seed = 20180813;
+  /// Run the measured large-scale campaign for validation (Figures 5-7
+  /// need it; pure prediction does not).
+  bool measure_large = true;
+  /// Model the parallel-unique term when the large-scale unique fraction
+  /// exceeds this (the paper invokes it for FT only).
+  double unique_fraction_threshold = 0.02;
+  PredictorOptions predictor;
+  std::chrono::milliseconds deadlock_timeout{10'000};
+};
+
+struct StudyResult {
+  StudyConfig config;
+  SerialSweep sweep;
+  SmallScaleObservation small;
+  Prediction prediction;
+  /// prob2 measured from the large-scale fault-free profile (the paper
+  /// assumes the common/unique execution-time split of the large scale is
+  /// known; one fault-free run supplies it).
+  double prob_unique = 0.0;
+  std::optional<harness::FaultInjectionResult> measured_large;
+  std::optional<std::vector<double>> measured_propagation;  ///< large r_x
+
+  /// Wall-clock of the fault-injection phases (paper Figure 8's cost axis).
+  double serial_injection_seconds = 0.0;
+  double small_injection_seconds = 0.0;
+  double large_injection_seconds = 0.0;
+
+  [[nodiscard]] double predicted_success() const noexcept {
+    return prediction.combined.success;
+  }
+  [[nodiscard]] double measured_success() const noexcept {
+    return measured_large ? measured_large->success_rate() : 0.0;
+  }
+  /// |measured - predicted| success rate, in rate units.
+  [[nodiscard]] double success_error() const noexcept {
+    return measured_large
+               ? (measured_success() > predicted_success()
+                      ? measured_success() - predicted_success()
+                      : predicted_success() - measured_success())
+               : 0.0;
+  }
+};
+
+/// Run the full study for one app. Deterministic in (app, config).
+/// Throws when the app does not support the requested scales or the
+/// scales are incompatible (small_p must divide large_p).
+StudyResult run_study(const apps::App& app, const StudyConfig& config);
+
+}  // namespace resilience::core

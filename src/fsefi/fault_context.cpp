@@ -1,0 +1,67 @@
+#include "fsefi/fault_context.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace resilience::fsefi {
+
+namespace {
+thread_local FaultContext* tl_context = nullptr;
+}  // namespace
+
+double flip_bit(double value, int bit) noexcept {
+  const int clamped = std::clamp(bit, 0, 63);
+  const auto bits = std::bit_cast<std::uint64_t>(value);
+  return std::bit_cast<double>(bits ^ (1ULL << clamped));
+}
+
+double flip_bits(double value, int bit, int width) noexcept {
+  const int lo = std::clamp(bit, 0, 63);
+  const int hi = std::clamp(bit + std::max(width, 1) - 1, lo, 63);
+  std::uint64_t mask = 0;
+  for (int b = lo; b <= hi; ++b) mask |= 1ULL << b;
+  return std::bit_cast<double>(std::bit_cast<std::uint64_t>(value) ^ mask);
+}
+
+const char* to_string(FaultPattern pattern) noexcept {
+  switch (pattern) {
+    case FaultPattern::SingleBit:
+      return "single-bit";
+    case FaultPattern::DoubleBit:
+      return "double-bit";
+    case FaultPattern::Burst4:
+      return "burst-4";
+  }
+  return "?";
+}
+
+FaultContext* current_context() noexcept { return tl_context; }
+
+void install_context(FaultContext* ctx) noexcept { tl_context = ctx; }
+
+void FaultContext::arm(InjectionPlan plan) {
+  reset();
+  if (!std::is_sorted(plan.points.begin(), plan.points.end(),
+                      [](const InjectionPoint& a, const InjectionPoint& b) {
+                        return a.op_index < b.op_index;
+                      })) {
+    throw std::invalid_argument("InjectionPlan points must be sorted");
+  }
+  plan_ = std::move(plan);
+  armed_ = true;
+}
+
+void FaultContext::reset() {
+  profile_ = OpCountProfile{};
+  ops_total_ = 0;
+  filtered_ops_ = 0;
+  plan_ = InjectionPlan{};
+  armed_ = false;
+  next_point_ = 0;
+  events_.clear();
+  contaminated_ = false;
+  first_contamination_op_ = 0;
+  region_ = Region::Common;
+}
+
+}  // namespace resilience::fsefi

@@ -1,0 +1,224 @@
+// Per-rank fault-injection state: the software analogue of one F-SEFI
+// guest VM (paper Section 2).
+//
+// Exactly one FaultContext is installed per rank thread for the duration
+// of an application run. Every instrumented floating-point operation
+// reports here: the context counts dynamic operations by (region, kind),
+// performs the planned bit flips when their dynamic index comes up, and
+// records whether this rank ever touched corrupted data ("contamination",
+// the quantity profiled in Figures 1 and 2 of the paper).
+//
+// Corruption is tracked by *value divergence*, not symbolic taint: every
+// fsefi::Real carries a shadow copy that computes the fault-free result
+// alongside the (possibly corrupted) primary value. A rank counts as
+// contaminated when a value whose primary and shadow bit patterns differ
+// is produced by its computation, injected into it, or delivered into its
+// memory by a receive. This matches F-SEFI's memory-diff observation
+// model, including its most important consequence: a low-order mantissa
+// flip whose contribution is rounded away in a long accumulation stops
+// propagating — which is why most injections in CG contaminate only one
+// MPI process (Figure 1a).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "fsefi/plan.hpp"
+
+namespace resilience::fsefi {
+
+/// Thrown when a rank exceeds its dynamic-operation budget. The budget is
+/// the deterministic stand-in for a wall-clock hang detector: a corrupted
+/// run that executes many times the fault-free operation count is "hung"
+/// and the harness classifies it as a Failure outcome.
+class HangBudgetExceeded : public std::runtime_error {
+ public:
+  HangBudgetExceeded()
+      : std::runtime_error("dynamic FP operation budget exceeded (hang)") {}
+};
+
+/// True when primary and shadow values diverge. Bit-pattern comparison so
+/// that NaN == NaN and +0 != -0 behave as memory diffing would.
+inline bool values_diverge(double primary, double shadow) noexcept {
+  return std::bit_cast<std::uint64_t>(primary) !=
+         std::bit_cast<std::uint64_t>(shadow);
+}
+
+/// Record of one performed injection (for debugging and trace analysis:
+/// F-SEFI similarly maps each injected instruction back to the
+/// application).
+struct InjectionEvent {
+  std::uint64_t op_total = 0;     ///< unfiltered dynamic op count at injection
+  std::uint64_t op_filtered = 0;  ///< index within the filtered stream
+  OpKind kind = OpKind::Add;
+  Region region = Region::Common;
+  std::uint8_t operand = 0;
+  std::uint8_t bit = 0;
+  std::uint8_t width = 1;
+  double value_before = 0.0;
+  double value_after = 0.0;
+};
+
+class FaultContext {
+ public:
+  FaultContext() = default;
+
+  // Contexts are pinned per rank; copying one mid-run is always a bug.
+  FaultContext(const FaultContext&) = delete;
+  FaultContext& operator=(const FaultContext&) = delete;
+
+  /// Install an injection plan for the next run. Clears all counters.
+  /// Throws std::invalid_argument if plan.points is not sorted by op_index.
+  void arm(InjectionPlan plan);
+
+  /// Clear counters and any armed plan (counting-only mode).
+  void reset();
+
+  /// Abort the run (via HangBudgetExceeded) once more than `budget`
+  /// instrumented operations execute. 0 disables the guard.
+  void set_op_budget(std::uint64_t budget) noexcept { op_budget_ = budget; }
+
+  // ---- observed results ---------------------------------------------------
+
+  [[nodiscard]] const OpCountProfile& profile() const noexcept {
+    return profile_;
+  }
+  [[nodiscard]] std::uint64_t ops_total() const noexcept { return ops_total_; }
+  /// Number of planned flips actually performed.
+  [[nodiscard]] std::size_t injections_done() const noexcept {
+    return next_point_;
+  }
+  /// Trace of performed injections, in execution order.
+  [[nodiscard]] const std::vector<InjectionEvent>& injection_events()
+      const noexcept {
+    return events_;
+  }
+  /// True if corrupted (primary != shadow) data was injected here, produced
+  /// by this rank's computation, or delivered into its memory by a receive.
+  [[nodiscard]] bool contaminated() const noexcept { return contaminated_; }
+  /// Dynamic op index (unfiltered) at which contamination first occurred;
+  /// meaningful only when contaminated().
+  [[nodiscard]] std::uint64_t first_contamination_op() const noexcept {
+    return first_contamination_op_;
+  }
+
+  /// Mark this rank contaminated outside an op (message delivery).
+  void note_external_taint() noexcept { mark_contaminated(); }
+
+  // ---- region tracking ------------------------------------------------------
+
+  [[nodiscard]] Region current_region() const noexcept { return region_; }
+
+  // ---- hot path -------------------------------------------------------------
+
+  /// Record one dynamic FP operation and perform any planned bit flips on
+  /// the primary operand values (shadows are never flipped). The caller
+  /// computes the op on both the primary and shadow values afterwards.
+  /// `b`/`b_shadow` are ignored for unary kinds.
+  void on_op(OpKind kind, double& a, double& b) {
+    const auto region_index = static_cast<int>(region_);
+    const auto kind_index = static_cast<int>(kind);
+    ++profile_.counts[region_index][kind_index];
+    ++ops_total_;
+    if (op_budget_ != 0 && ops_total_ > op_budget_) {
+      throw HangBudgetExceeded();
+    }
+    if (armed_ && contains(plan_.kinds, kind) &&
+        contains(plan_.regions, region_)) {
+      const std::uint64_t idx = filtered_ops_++;
+      while (next_point_ < plan_.points.size() &&
+             plan_.points[next_point_].op_index == idx) {
+        const InjectionPoint& pt = plan_.points[next_point_];
+        double& target = (pt.operand == 0) ? a : b;
+        const double before = target;
+        target = flip_bits(target, pt.bit, pt.width);
+        events_.push_back({ops_total_, idx, kind, region_, pt.operand, pt.bit,
+                           pt.width, before, target});
+        ++next_point_;
+        mark_contaminated();
+      }
+    }
+  }
+
+  /// Called with each op's computed result; flags contamination when the
+  /// corrupted execution diverges from the shadow (fault-free) execution.
+  void observe_result(double primary, double shadow) noexcept {
+    if (!contaminated_ && values_diverge(primary, shadow)) {
+      mark_contaminated();
+    }
+  }
+
+ private:
+  friend class RegionScope;
+
+  void mark_contaminated() noexcept {
+    if (!contaminated_) {
+      contaminated_ = true;
+      first_contamination_op_ = ops_total_;
+    }
+  }
+
+  OpCountProfile profile_{};
+  std::uint64_t ops_total_ = 0;
+  std::uint64_t filtered_ops_ = 0;
+  std::uint64_t op_budget_ = 0;
+
+  InjectionPlan plan_{};
+  bool armed_ = false;
+  std::size_t next_point_ = 0;
+  std::vector<InjectionEvent> events_;
+
+  bool contaminated_ = false;
+  std::uint64_t first_contamination_op_ = 0;
+
+  Region region_ = Region::Common;
+};
+
+/// The context installed on the calling thread, or nullptr when the thread
+/// is not running under fault injection (ops then execute uninstrumented).
+FaultContext* current_context() noexcept;
+
+/// Install `ctx` on the calling thread; pass nullptr to uninstall.
+void install_context(FaultContext* ctx) noexcept;
+
+/// RAII installer for the calling thread.
+class ContextGuard {
+ public:
+  explicit ContextGuard(FaultContext* ctx) noexcept
+      : previous_(current_context()) {
+    install_context(ctx);
+  }
+  ~ContextGuard() { install_context(previous_); }
+  ContextGuard(const ContextGuard&) = delete;
+  ContextGuard& operator=(const ContextGuard&) = delete;
+
+ private:
+  FaultContext* previous_;
+};
+
+/// RAII region marker. Apps wrap their parallel-unique computation
+/// (Observation 1) in RegionScope(Region::ParallelUnique) so the injector
+/// can attribute dynamic operations — and target injections — per region.
+class RegionScope {
+ public:
+  explicit RegionScope(Region region) noexcept
+      : ctx_(current_context()), previous_(Region::Common) {
+    if (ctx_ != nullptr) {
+      previous_ = ctx_->region_;
+      ctx_->region_ = region;
+    }
+  }
+  ~RegionScope() {
+    if (ctx_ != nullptr) ctx_->region_ = previous_;
+  }
+  RegionScope(const RegionScope&) = delete;
+  RegionScope& operator=(const RegionScope&) = delete;
+
+ private:
+  FaultContext* ctx_;
+  Region previous_;
+};
+
+}  // namespace resilience::fsefi

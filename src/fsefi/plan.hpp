@@ -1,0 +1,141 @@
+// Fault model vocabulary: which dynamic floating-point operations are
+// eligible for injection, and where exactly a given trial flips a bit.
+//
+// This mirrors F-SEFI's configuration surface (paper Section 2): a fault
+// injection deployment fixes an instruction-type filter (we default to
+// floating-point add and multiply, as the paper does), a region filter
+// (common vs parallel-unique computation, Section 3.1), and each trial
+// then picks a random dynamic operation index, operand, and bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace resilience::fsefi {
+
+/// Instrumented floating-point operation kinds ("instruction types").
+enum class OpKind : std::uint8_t { Add = 0, Sub, Mul, Div, Sqrt };
+inline constexpr int kNumOpKinds = 5;
+
+/// Bitmask over OpKind.
+enum class KindMask : std::uint8_t {
+  None = 0,
+  Add = 1u << 0,
+  Sub = 1u << 1,
+  Mul = 1u << 2,
+  Div = 1u << 3,
+  Sqrt = 1u << 4,
+  All = 0x1f,
+  /// The paper's default: FP addition and multiplication.
+  AddMul = Add | Mul,
+};
+
+constexpr KindMask operator|(KindMask a, KindMask b) noexcept {
+  return static_cast<KindMask>(static_cast<std::uint8_t>(a) |
+                               static_cast<std::uint8_t>(b));
+}
+constexpr bool contains(KindMask mask, OpKind kind) noexcept {
+  return (static_cast<std::uint8_t>(mask) &
+          (1u << static_cast<std::uint8_t>(kind))) != 0;
+}
+constexpr KindMask mask_of(OpKind kind) noexcept {
+  return static_cast<KindMask>(1u << static_cast<std::uint8_t>(kind));
+}
+
+/// Code-region classification (paper Observation 1): common computation
+/// exists in both serial and parallel execution; parallel-unique
+/// computation only exists in parallel execution.
+enum class Region : std::uint8_t { Common = 0, ParallelUnique = 1 };
+inline constexpr int kNumRegions = 2;
+
+/// Bitmask over Region.
+enum class RegionMask : std::uint8_t {
+  None = 0,
+  Common = 1u << 0,
+  ParallelUnique = 1u << 1,
+  All = 0x3,
+};
+
+constexpr RegionMask operator|(RegionMask a, RegionMask b) noexcept {
+  return static_cast<RegionMask>(static_cast<std::uint8_t>(a) |
+                                 static_cast<std::uint8_t>(b));
+}
+constexpr bool contains(RegionMask mask, Region region) noexcept {
+  return (static_cast<std::uint8_t>(mask) &
+          (1u << static_cast<std::uint8_t>(region))) != 0;
+}
+
+/// One fault: at the `op_index`-th dynamic operation matching the plan's
+/// filters (0-based, counted on this rank only), flip `width` adjacent
+/// bits starting at `bit` of operand `operand` (0 = left, 1 = right)
+/// before the operation executes. width = 1 is the paper's single-bit
+/// flip; larger widths model multi-bit upsets (the paper notes the
+/// methodology does not depend on the single-bit assumption). Flips past
+/// bit 63 are clipped.
+struct InjectionPoint {
+  std::uint64_t op_index = 0;
+  std::uint8_t operand = 0;  ///< 0 or 1
+  std::uint8_t bit = 0;      ///< 0..63 within the IEEE-754 double
+  std::uint8_t width = 1;    ///< adjacent bits to flip (>= 1)
+};
+
+/// Fault patterns a deployment can use; each trial expands into one or
+/// more InjectionPoints.
+enum class FaultPattern : std::uint8_t {
+  SingleBit,  ///< one random bit (the paper's model)
+  DoubleBit,  ///< two independent random bits of the same operand
+  Burst4,     ///< four adjacent bits starting at a random position
+};
+
+const char* to_string(FaultPattern pattern) noexcept;
+
+/// A complete per-rank injection plan for one fault-injection test.
+/// `points` must be sorted by op_index (duplicates allowed: two flips at
+/// the same dynamic op hit both operands or the same operand twice).
+struct InjectionPlan {
+  KindMask kinds = KindMask::AddMul;
+  RegionMask regions = RegionMask::All;
+  std::vector<InjectionPoint> points;
+};
+
+/// Dynamic-operation counts observed in one rank of a fault-free run,
+/// broken down by region and kind. This is the sample space the harness
+/// draws injection targets from.
+struct OpCountProfile {
+  std::uint64_t counts[kNumRegions][kNumOpKinds] = {};
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& row : counts)
+      for (std::uint64_t c : row) sum += c;
+    return sum;
+  }
+
+  /// Operations matching both filters.
+  [[nodiscard]] std::uint64_t matching(KindMask kinds,
+                                       RegionMask regions) const noexcept {
+    std::uint64_t sum = 0;
+    for (int r = 0; r < kNumRegions; ++r) {
+      if (!contains(regions, static_cast<Region>(r))) continue;
+      for (int k = 0; k < kNumOpKinds; ++k) {
+        if (contains(kinds, static_cast<OpKind>(k))) sum += counts[r][k];
+      }
+    }
+    return sum;
+  }
+
+  /// Operations in one region, any kind.
+  [[nodiscard]] std::uint64_t in_region(Region region) const noexcept {
+    std::uint64_t sum = 0;
+    for (std::uint64_t c : counts[static_cast<int>(region)]) sum += c;
+    return sum;
+  }
+};
+
+/// Flip one bit of an IEEE-754 double (the paper's single-bit-flip model).
+double flip_bit(double value, int bit) noexcept;
+
+/// Flip `width` adjacent bits starting at `bit`, clipped to bit 63.
+double flip_bits(double value, int bit, int width) noexcept;
+
+}  // namespace resilience::fsefi

@@ -1,0 +1,164 @@
+// fsefi::Real — an instrumented IEEE-754 double with shadow execution.
+//
+// This is the reproduction's stand-in for F-SEFI's QEMU-level instruction
+// instrumentation: every arithmetic operation on Real
+//   1. is counted as one dynamic FP instruction of its kind,
+//   2. may have a bit of one operand's primary value flipped if the armed
+//      InjectionPlan selected this dynamic operation, and
+//   3. computes a shadow (fault-free) result alongside the primary one, so
+//      corruption is tracked by actual value divergence. An error whose
+//      contribution is numerically absorbed (rounded away in a long sum)
+//      stops being corruption — the behaviour a memory-diffing injector
+//      like F-SEFI observes, and the reason most CG injections contaminate
+//      only one MPI process (paper Figure 1a).
+//
+// Control flow (comparisons, min/max selection) follows the corrupted
+// primary values, as in the real faulty execution; after a control-flow
+// divergence the shadow is a per-operation counterfactual rather than a
+// replay of the exact fault-free run, which is the standard approximation.
+//
+// Real is trivially copyable so the simmpi transport can move arrays of it
+// between ranks; the shadow travels inside the value and the transport
+// reports divergent payloads as contamination on the receiving rank.
+//
+// Threads not running under a FaultContext (golden runs, unit tests) pay
+// one predictable branch per operation and compute exactly like double.
+#pragma once
+
+#include <cmath>
+#include <type_traits>
+
+#include "fsefi/fault_context.hpp"
+
+namespace resilience::fsefi {
+
+class Real {
+ public:
+  constexpr Real() = default;
+  // Implicit from double so numeric literals read naturally in app code.
+  constexpr Real(double v) noexcept : v_(v), shadow_(v) {}  // NOLINT(google-explicit-constructor)
+
+  /// The value the (possibly corrupted) execution actually computed.
+  [[nodiscard]] constexpr double value() const noexcept { return v_; }
+  /// The value the fault-free execution would have computed.
+  [[nodiscard]] constexpr double shadow() const noexcept { return shadow_; }
+  /// True when the primary value has diverged from the fault-free one.
+  [[nodiscard]] bool tainted() const noexcept {
+    return values_diverge(v_, shadow_);
+  }
+
+  /// Construct an explicitly corrupted value (tests and fault-model demos;
+  /// campaigns corrupt through injection plans).
+  static constexpr Real corrupted(double primary, double shadow) noexcept {
+    Real r;
+    r.v_ = primary;
+    r.shadow_ = shadow;
+    return r;
+  }
+
+  /// Collapse the shadow onto the primary value (checkers comparing final
+  /// outputs, never application math).
+  [[nodiscard]] constexpr Real untainted() const noexcept { return Real(v_); }
+
+  // ---- arithmetic (instrumented) ------------------------------------------
+
+  friend Real operator+(Real a, Real b) { return binary(OpKind::Add, a, b); }
+  friend Real operator-(Real a, Real b) { return binary(OpKind::Sub, a, b); }
+  friend Real operator*(Real a, Real b) { return binary(OpKind::Mul, a, b); }
+  friend Real operator/(Real a, Real b) { return binary(OpKind::Div, a, b); }
+
+  Real& operator+=(Real b) { return *this = *this + b; }
+  Real& operator-=(Real b) { return *this = *this - b; }
+  Real& operator*=(Real b) { return *this = *this * b; }
+  Real& operator/=(Real b) { return *this = *this / b; }
+
+  /// Sign flip: not an FP add/mul instruction, so uncounted.
+  friend constexpr Real operator-(Real a) noexcept {
+    return corrupted(-a.v_, -a.shadow_);
+  }
+  friend constexpr Real operator+(Real a) noexcept { return a; }
+
+  // ---- comparisons (follow the corrupted execution) -------------------------
+
+  friend constexpr bool operator==(Real a, Real b) noexcept {
+    return a.v_ == b.v_;
+  }
+  friend constexpr bool operator!=(Real a, Real b) noexcept {
+    return a.v_ != b.v_;
+  }
+  friend constexpr bool operator<(Real a, Real b) noexcept {
+    return a.v_ < b.v_;
+  }
+  friend constexpr bool operator>(Real a, Real b) noexcept {
+    return a.v_ > b.v_;
+  }
+  friend constexpr bool operator<=(Real a, Real b) noexcept {
+    return a.v_ <= b.v_;
+  }
+  friend constexpr bool operator>=(Real a, Real b) noexcept {
+    return a.v_ >= b.v_;
+  }
+
+  // ---- unary instrumented math ---------------------------------------------
+
+  friend Real sqrt(Real a) {
+    if (FaultContext* ctx = current_context()) {
+      double dummy = 0.0;
+      ctx->on_op(OpKind::Sqrt, a.v_, dummy);
+      const Real r = corrupted(std::sqrt(a.v_), std::sqrt(a.shadow_));
+      ctx->observe_result(r.v_, r.shadow_);
+      return r;
+    }
+    return corrupted(std::sqrt(a.v_), std::sqrt(a.shadow_));
+  }
+
+  /// Magnitude: sign manipulation only, uncounted.
+  friend constexpr Real abs(Real a) noexcept {
+    return corrupted(a.v_ < 0 ? -a.v_ : a.v_,
+                     a.shadow_ < 0 ? -a.shadow_ : a.shadow_);
+  }
+
+  /// Selection by the corrupted comparison; the chosen value keeps its own
+  /// shadow (control-flow divergence is not tracked).
+  friend constexpr Real min(Real a, Real b) noexcept { return b < a ? b : a; }
+  friend constexpr Real max(Real a, Real b) noexcept { return a < b ? b : a; }
+
+  friend bool isfinite(Real a) noexcept { return std::isfinite(a.v_); }
+  friend bool isnan(Real a) noexcept { return std::isnan(a.v_); }
+
+ private:
+  static Real binary(OpKind kind, Real a, Real b) {
+    if (FaultContext* ctx = current_context()) {
+      ctx->on_op(kind, a.v_, b.v_);
+      const Real r =
+          corrupted(eval(kind, a.v_, b.v_), eval(kind, a.shadow_, b.shadow_));
+      ctx->observe_result(r.v_, r.shadow_);
+      return r;
+    }
+    return corrupted(eval(kind, a.v_, b.v_), eval(kind, a.shadow_, b.shadow_));
+  }
+
+  static constexpr double eval(OpKind kind, double a, double b) noexcept {
+    switch (kind) {
+      case OpKind::Add:
+        return a + b;
+      case OpKind::Sub:
+        return a - b;
+      case OpKind::Mul:
+        return a * b;
+      case OpKind::Div:
+        return a / b;
+      case OpKind::Sqrt:
+        break;  // unary; handled in sqrt()
+    }
+    return 0.0;
+  }
+
+  double v_ = 0.0;
+  double shadow_ = 0.0;
+};
+
+static_assert(std::is_trivially_copyable_v<Real>,
+              "Real must be transportable by simmpi");
+
+}  // namespace resilience::fsefi

@@ -1,0 +1,48 @@
+// Glue between the fault injector and the transport: a rank becomes
+// contaminated the moment a tainted value is delivered into its memory by
+// a receive, matching P-FSEFI's per-process contamination tracking.
+//
+// Include this header (rather than simmpi/comm.hpp directly) in any
+// translation unit that sends or receives fsefi::Real.
+#pragma once
+
+#include "fsefi/real.hpp"
+#include "simmpi/transport_traits.hpp"
+
+namespace resilience::simmpi {
+
+template <>
+struct TransportTraits<resilience::fsefi::Real> {
+  static void on_receive(std::span<const resilience::fsefi::Real> values) noexcept {
+    using resilience::fsefi::current_context;
+    auto* ctx = current_context();
+    if (ctx == nullptr) return;
+    for (const auto& v : values) {
+      if (v.tainted()) {
+        ctx->note_external_taint();
+        return;
+      }
+    }
+  }
+
+  /// Reduction combines are MPI-library arithmetic: suspend the rank's
+  /// fault context so they are neither counted nor injectable. Shadow
+  /// values still flow through the combine, so corruption carried by a
+  /// contribution propagates into the reduced result (and on_receive has
+  /// already marked the contamination of this rank).
+  class LibraryGuard {
+   public:
+    LibraryGuard() noexcept
+        : saved_(resilience::fsefi::current_context()) {
+      resilience::fsefi::install_context(nullptr);
+    }
+    ~LibraryGuard() { resilience::fsefi::install_context(saved_); }
+    LibraryGuard(const LibraryGuard&) = delete;
+    LibraryGuard& operator=(const LibraryGuard&) = delete;
+
+   private:
+    resilience::fsefi::FaultContext* saved_;
+  };
+};
+
+}  // namespace resilience::simmpi

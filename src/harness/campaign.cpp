@@ -1,0 +1,205 @@
+#include "harness/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace resilience::harness {
+
+namespace {
+
+/// Draw the injection plan of one trial: a target rank plus
+/// `errors_per_test` distinct dynamic-op indices in that rank's filtered
+/// op stream, each with a random bit and operand.
+std::pair<int, fsefi::InjectionPlan> draw_plan(
+    const DeploymentConfig& cfg, const GoldenRun& golden,
+    const std::vector<std::uint64_t>& rank_ops, std::uint64_t total_ops,
+    util::Xoshiro256& rng) {
+  // Pick the target rank.
+  int target = 0;
+  if (cfg.selection == TargetSelection::UniformInstruction) {
+    std::uint64_t pick = rng.uniform_below(total_ops);
+    for (int r = 0; r < cfg.nranks; ++r) {
+      const std::uint64_t ops = rank_ops[static_cast<std::size_t>(r)];
+      if (pick < ops) {
+        target = r;
+        break;
+      }
+      pick -= ops;
+    }
+  } else {
+    // Uniform over ranks with a non-empty sample space.
+    std::vector<int> eligible;
+    for (int r = 0; r < cfg.nranks; ++r) {
+      if (rank_ops[static_cast<std::size_t>(r)] >=
+          static_cast<std::uint64_t>(cfg.errors_per_test)) {
+        eligible.push_back(r);
+      }
+    }
+    if (eligible.empty()) {
+      throw std::runtime_error("no rank has enough eligible operations");
+    }
+    target = eligible[rng.uniform_below(eligible.size())];
+  }
+
+  const std::uint64_t ops = rank_ops[static_cast<std::size_t>(target)];
+  const auto x = static_cast<std::uint64_t>(cfg.errors_per_test);
+  if (ops < x) {
+    throw std::runtime_error("target rank has fewer eligible ops than errors");
+  }
+  std::vector<std::uint64_t> indices = rng.sample_distinct(ops, x);
+  std::sort(indices.begin(), indices.end());
+
+  fsefi::InjectionPlan plan;
+  plan.kinds = cfg.kinds;
+  plan.regions = cfg.regions;
+  plan.points.reserve(indices.size());
+  for (std::uint64_t idx : indices) {
+    // Expand the deployment's fault pattern into injection points at this
+    // dynamic operation.
+    const auto operand = static_cast<std::uint8_t>(rng.uniform_below(2));
+    switch (cfg.pattern) {
+      case fsefi::FaultPattern::SingleBit:
+        plan.points.push_back(
+            {idx, operand, static_cast<std::uint8_t>(rng.uniform_below(64)),
+             1});
+        break;
+      case fsefi::FaultPattern::DoubleBit: {
+        // Two distinct random bits of the same operand.
+        const auto bits = rng.sample_distinct(64, 2);
+        for (auto bit : bits) {
+          plan.points.push_back(
+              {idx, operand, static_cast<std::uint8_t>(bit), 1});
+        }
+        break;
+      }
+      case fsefi::FaultPattern::Burst4:
+        plan.points.push_back(
+            {idx, operand, static_cast<std::uint8_t>(rng.uniform_below(61)),
+             4});
+        break;
+    }
+  }
+  (void)golden;
+  return {target, std::move(plan)};
+}
+
+}  // namespace
+
+const char* to_string(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::Success:
+      return "Success";
+    case Outcome::SDC:
+      return "SDC";
+    case Outcome::Failure:
+      return "Failure";
+  }
+  return "?";
+}
+
+double signature_deviation(const std::vector<double>& a,
+                           const std::vector<double>& b, double floor) {
+  if (a.size() != b.size()) return std::numeric_limits<double>::infinity();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!std::isfinite(a[i])) return std::numeric_limits<double>::infinity();
+    const double scale = std::max(std::abs(b[i]), floor);
+    worst = std::max(worst, std::abs(a[i] - b[i]) / scale);
+  }
+  return worst;
+}
+
+Outcome CampaignRunner::classify(const RunOutput& out,
+                                 const std::vector<double>& golden_signature,
+                                 double tolerance) {
+  if (!out.runtime.ok || !out.result.has_value()) return Outcome::Failure;
+  const auto& sig = out.result->signature;
+  if (sig == golden_signature) return Outcome::Success;  // bit-identical
+  const double dev = signature_deviation(sig, golden_signature);
+  // "Different from the fault-free run but passes the application
+  // checkers" (paper Success case 1).
+  return dev <= tolerance ? Outcome::Success : Outcome::SDC;
+}
+
+std::vector<double> CampaignResult::propagation_probabilities() const {
+  std::size_t injected_total = 0;
+  for (std::size_t x = 1; x < contamination_hist.size(); ++x) {
+    injected_total += contamination_hist[x];
+  }
+  std::vector<double> r(static_cast<std::size_t>(config.nranks), 0.0);
+  if (injected_total == 0) return r;
+  for (std::size_t x = 1; x < contamination_hist.size(); ++x) {
+    r[x - 1] = static_cast<double>(contamination_hist[x]) /
+               static_cast<double>(injected_total);
+  }
+  return r;
+}
+
+CampaignResult CampaignRunner::run(const apps::App& app,
+                                   const DeploymentConfig& cfg) {
+  if (cfg.errors_per_test < 1) {
+    throw std::invalid_argument("errors_per_test must be >= 1");
+  }
+  CampaignResult result;
+  result.config = cfg;
+  result.golden = profile_app(app, cfg.nranks, cfg.deadlock_timeout);
+
+  std::vector<std::uint64_t> rank_ops;
+  rank_ops.reserve(result.golden.profiles.size());
+  std::uint64_t total_ops = 0;
+  for (const auto& prof : result.golden.profiles) {
+    rank_ops.push_back(prof.matching(cfg.kinds, cfg.regions));
+    total_ops += rank_ops.back();
+  }
+  if (total_ops == 0) {
+    throw std::runtime_error(app.label() +
+                             ": no dynamic operations match the deployment's "
+                             "kind/region filters");
+  }
+
+  RunOptions run_opts;
+  run_opts.deadlock_timeout = cfg.deadlock_timeout;
+  run_opts.op_budget = static_cast<std::uint64_t>(
+                           cfg.hang_budget_factor *
+                           static_cast<double>(result.golden.max_rank_ops)) +
+                       cfg.hang_budget_slack;
+
+  result.contamination_hist.assign(static_cast<std::size_t>(cfg.nranks) + 1,
+                                   0);
+  result.by_contamination.assign(static_cast<std::size_t>(cfg.nranks) + 1,
+                                 FaultInjectionResult{});
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
+    util::Xoshiro256 rng(util::derive_seed(cfg.seed, trial));
+    auto [target, plan] =
+        draw_plan(cfg, result.golden, rank_ops, total_ops, rng);
+
+    std::vector<fsefi::InjectionPlan> plans(
+        static_cast<std::size_t>(cfg.nranks));
+    plans[static_cast<std::size_t>(target)] = std::move(plan);
+
+    const RunOutput out = run_app_once(app, cfg.nranks, plans, run_opts);
+    const Outcome outcome =
+        classify(out, result.golden.signature, app.checker_tolerance());
+
+    result.overall.add(outcome);
+    const int contaminated = out.contaminated_ranks();
+    if (contaminated >= 0 &&
+        contaminated < static_cast<int>(result.contamination_hist.size())) {
+      result.contamination_hist[static_cast<std::size_t>(contaminated)] += 1;
+      result.by_contamination[static_cast<std::size_t>(contaminated)].add(
+          outcome);
+    }
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace resilience::harness

@@ -1,0 +1,97 @@
+// Fault-injection deployments and campaigns (paper Section 2).
+//
+// A *deployment* fixes the configuration — application, rank count, how
+// many errors per test, which instruction kinds and code regions are
+// eligible — and a *campaign* executes many independent fault-injection
+// tests under that configuration, classifying each test as Success, SDC,
+// or Failure and profiling how many ranks the error contaminated.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/result.hpp"
+#include "harness/runner.hpp"
+
+namespace resilience::harness {
+
+/// How the target rank of a trial is chosen.
+enum class TargetSelection {
+  /// Uniform over all eligible dynamic operations of the whole job (ranks
+  /// are implicitly weighted by their operation counts) — matches "pick a
+  /// random instruction during application execution".
+  UniformInstruction,
+  /// Uniform over ranks, then uniform over that rank's operations.
+  UniformRank,
+};
+
+struct DeploymentConfig {
+  int nranks = 1;
+  /// Errors injected per fault-injection test. For parallel deployments
+  /// all errors of one test are injected into the same target rank (the
+  /// paper's multi-error tests run serially; parallel tests use 1 error).
+  int errors_per_test = 1;
+  /// Instruction-type filter; the paper uses FP add and multiply.
+  fsefi::KindMask kinds = fsefi::KindMask::AddMul;
+  /// Fault pattern per injected error; the paper uses single-bit flips.
+  fsefi::FaultPattern pattern = fsefi::FaultPattern::SingleBit;
+  /// Code-region filter: All for parallel campaigns, Common for the serial
+  /// emulation sweeps, ParallelUnique for the FI_par_unique estimate.
+  fsefi::RegionMask regions = fsefi::RegionMask::All;
+  std::size_t trials = 400;
+  std::uint64_t seed = 20180813;  // ICPP 2018 opening day
+  TargetSelection selection = TargetSelection::UniformInstruction;
+  /// Hang guard: budget = factor * fault-free max rank ops + slack.
+  double hang_budget_factor = 8.0;
+  std::uint64_t hang_budget_slack = 1u << 16;
+  std::chrono::milliseconds deadlock_timeout{10'000};
+};
+
+/// Everything a campaign produced.
+struct CampaignResult {
+  DeploymentConfig config;
+  FaultInjectionResult overall;
+  /// contamination_hist[x] = tests whose error contaminated exactly x
+  /// ranks (x in [0, nranks]; 0 never occurs — injection itself
+  /// contaminates the target).
+  std::vector<std::size_t> contamination_hist;
+  /// Fault-injection result conditioned on x ranks contaminated.
+  std::vector<FaultInjectionResult> by_contamination;
+  /// The golden (fault-free) pre-pass of this deployment.
+  GoldenRun golden;
+  /// Wall-clock spent running injected trials (the paper's "fault
+  /// injection time"; excludes the golden pre-pass).
+  double wall_seconds = 0.0;
+
+  /// r_x (paper Eq. 3): probability that an injected error contaminates
+  /// exactly x ranks, for x = 1..nranks. Returned as a vector of size
+  /// nranks with r[0] == r_1.
+  [[nodiscard]] std::vector<double> propagation_probabilities() const;
+};
+
+/// Runs fault-injection campaigns. Stateless apart from configuration;
+/// each call is deterministic in (app, config.seed).
+class CampaignRunner {
+ public:
+  /// Execute `config.trials` fault-injection tests. Throws
+  /// std::runtime_error when the deployment has an empty sample space
+  /// (no operations match the filters) or the golden run fails.
+  static CampaignResult run(const apps::App& app,
+                            const DeploymentConfig& config);
+
+  /// Classify one run output against the golden signature (exposed for
+  /// tests and for custom drivers).
+  static Outcome classify(const RunOutput& out,
+                          const std::vector<double>& golden_signature,
+                          double tolerance);
+};
+
+/// Relative deviation used by the checker: max over components of
+/// |a - b| / max(|b|, floor).
+double signature_deviation(const std::vector<double>& a,
+                           const std::vector<double>& b,
+                           double floor = 1e-30);
+
+}  // namespace resilience::harness

@@ -1,0 +1,70 @@
+// Fault-injection outcome vocabulary (paper Section 2).
+//
+// Each fault-injection test ends in one of three outcomes; a fault
+// injection *result* is the per-outcome fraction over all tests of a
+// deployment. The paper's headline metric is the success rate.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace resilience::harness {
+
+enum class Outcome {
+  /// Output identical to the fault-free run, or different but accepted by
+  /// the application's own verification ("checker").
+  Success,
+  /// Output differs from the fault-free run and fails verification.
+  SDC,
+  /// The run crashed, aborted, hung, or exceeded its operation budget.
+  Failure,
+};
+
+const char* to_string(Outcome o) noexcept;
+
+/// Statistical summary of one fault-injection deployment.
+struct FaultInjectionResult {
+  std::size_t trials = 0;
+  std::size_t success = 0;
+  std::size_t sdc = 0;
+  std::size_t failure = 0;
+
+  void add(Outcome o) {
+    ++trials;
+    switch (o) {
+      case Outcome::Success:
+        ++success;
+        break;
+      case Outcome::SDC:
+        ++sdc;
+        break;
+      case Outcome::Failure:
+        ++failure;
+        break;
+    }
+  }
+
+  void merge(const FaultInjectionResult& other) noexcept {
+    trials += other.trials;
+    success += other.success;
+    sdc += other.sdc;
+    failure += other.failure;
+  }
+
+  [[nodiscard]] double rate(Outcome o) const noexcept {
+    if (trials == 0) return 0.0;
+    const std::size_t count =
+        (o == Outcome::Success) ? success : (o == Outcome::SDC) ? sdc : failure;
+    return static_cast<double>(count) / static_cast<double>(trials);
+  }
+  [[nodiscard]] double success_rate() const noexcept {
+    return rate(Outcome::Success);
+  }
+  [[nodiscard]] double sdc_rate() const noexcept { return rate(Outcome::SDC); }
+  [[nodiscard]] double failure_rate() const noexcept {
+    return rate(Outcome::Failure);
+  }
+};
+
+}  // namespace resilience::harness

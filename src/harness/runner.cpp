@@ -1,0 +1,102 @@
+#include "harness/runner.hpp"
+
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace resilience::harness {
+
+RunOutput run_app_once(const apps::App& app, int nranks,
+                       const std::vector<fsefi::InjectionPlan>& plans,
+                       const RunOptions& options) {
+  if (!app.supports(nranks)) {
+    throw simmpi::UsageError(app.label() + " does not support " +
+                             std::to_string(nranks) + " ranks");
+  }
+  if (!plans.empty() && plans.size() != static_cast<std::size_t>(nranks)) {
+    throw simmpi::UsageError("plans must be empty or one per rank");
+  }
+
+  // Contexts live here (stable addresses) for the duration of the job.
+  std::vector<std::unique_ptr<fsefi::FaultContext>> contexts;
+  contexts.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    contexts.push_back(std::make_unique<fsefi::FaultContext>());
+  }
+
+  RunOutput out;
+
+  simmpi::RunOptions run_opts;
+  run_opts.deadlock_timeout = options.deadlock_timeout;
+  run_opts.on_rank_start = [&](int rank) {
+    auto& ctx = *contexts[static_cast<std::size_t>(rank)];
+    if (!plans.empty()) {
+      ctx.arm(plans[static_cast<std::size_t>(rank)]);
+    } else {
+      ctx.reset();
+    }
+    ctx.set_op_budget(options.op_budget);
+    fsefi::install_context(&ctx);
+  };
+  run_opts.on_rank_exit = [&](int) { fsefi::install_context(nullptr); };
+
+  std::optional<apps::AppResult> rank0_result;
+  out.runtime = simmpi::Runtime::run(
+      nranks,
+      [&](simmpi::Comm& comm) {
+        apps::AppResult r = app.run(comm);
+        if (comm.rank() == 0) rank0_result = std::move(r);
+      },
+      run_opts);
+
+  if (out.runtime.ok) out.result = std::move(rank0_result);
+  out.hang = !out.runtime.ok &&
+             out.runtime.error.find("operation budget exceeded") !=
+                 std::string::npos;
+
+  out.profiles.reserve(contexts.size());
+  out.contaminated.reserve(contexts.size());
+  for (const auto& ctx : contexts) {
+    out.profiles.push_back(ctx->profile());
+    out.contaminated.push_back(ctx->contaminated());
+  }
+  return out;
+}
+
+double GoldenRun::unique_fraction() const noexcept {
+  std::uint64_t unique = 0, total = 0;
+  for (const auto& prof : profiles) {
+    unique += prof.in_region(fsefi::Region::ParallelUnique);
+    total += prof.total();
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(unique) / static_cast<double>(total);
+}
+
+std::uint64_t GoldenRun::matching_total(fsefi::KindMask kinds,
+                                        fsefi::RegionMask regions) const {
+  std::uint64_t total = 0;
+  for (const auto& prof : profiles) total += prof.matching(kinds, regions);
+  return total;
+}
+
+GoldenRun profile_app(const apps::App& app, int nranks,
+                      std::chrono::milliseconds deadlock_timeout) {
+  RunOptions opts;
+  opts.deadlock_timeout = deadlock_timeout;
+  RunOutput out = run_app_once(app, nranks, /*plans=*/{}, opts);
+  if (!out.runtime.ok || !out.result.has_value()) {
+    throw std::runtime_error("golden run of " + app.label() + " on " +
+                             std::to_string(nranks) +
+                             " ranks failed: " + out.runtime.error);
+  }
+  GoldenRun golden;
+  golden.profiles = std::move(out.profiles);
+  golden.signature = out.result->signature;
+  for (const auto& prof : golden.profiles) {
+    golden.max_rank_ops = std::max(golden.max_rank_ops, prof.total());
+  }
+  return golden;
+}
+
+}  // namespace resilience::harness

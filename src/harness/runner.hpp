@@ -1,0 +1,70 @@
+// Single-run execution of an application under fault-injection contexts.
+//
+// The runner launches one simmpi job for the app, installs a FaultContext
+// on every rank thread (optionally armed with per-rank injection plans),
+// and collects what the fault injector observed: per-rank dynamic
+// operation profiles, per-rank contamination flags, and the rank-0 output.
+#pragma once
+
+#include <chrono>
+#include <optional>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "fsefi/fault_context.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace resilience::harness {
+
+struct RunOptions {
+  /// Per-rank dynamic-operation budget; 0 disables the hang guard.
+  std::uint64_t op_budget = 0;
+  /// Deadlock timeout of the underlying simmpi job.
+  std::chrono::milliseconds deadlock_timeout{10'000};
+};
+
+struct RunOutput {
+  simmpi::RunResult runtime;             ///< how the job ended
+  std::optional<apps::AppResult> result; ///< rank-0 output if the job finished
+  std::vector<fsefi::OpCountProfile> profiles;  ///< per rank
+  std::vector<bool> contaminated;               ///< per rank
+  bool hang = false;  ///< failure was the op-budget (hang) guard
+
+  /// Number of ranks whose memory or computation touched corrupted data.
+  [[nodiscard]] int contaminated_ranks() const noexcept {
+    int n = 0;
+    for (bool c : contaminated) n += c ? 1 : 0;
+    return n;
+  }
+};
+
+/// Run `app` on `nranks` ranks. `plans[r]`, when present, is armed on rank
+/// r before the run; an empty vector means a fault-free (counting-only)
+/// run. Throws simmpi::UsageError for unsupported rank counts.
+RunOutput run_app_once(const apps::App& app, int nranks,
+                       const std::vector<fsefi::InjectionPlan>& plans,
+                       const RunOptions& options = {});
+
+/// Fault-free profiling pre-pass: dynamic op counts per rank and the
+/// golden output signature of this (app, nranks) deployment.
+struct GoldenRun {
+  std::vector<fsefi::OpCountProfile> profiles;  ///< per rank
+  std::vector<double> signature;                ///< rank-0 output
+  std::uint64_t max_rank_ops = 0;
+
+  /// Fraction of all dynamic operations spent in the parallel-unique
+  /// region (the op-count analogue of the paper's Table 1 time fraction).
+  [[nodiscard]] double unique_fraction() const noexcept;
+
+  /// Total operations matching the filters, summed over ranks.
+  [[nodiscard]] std::uint64_t matching_total(fsefi::KindMask kinds,
+                                             fsefi::RegionMask regions) const;
+};
+
+/// Run the fault-free pre-pass; throws std::runtime_error if the golden
+/// run itself fails (an app/configuration bug, never an injected fault).
+GoldenRun profile_app(const apps::App& app, int nranks,
+                      std::chrono::milliseconds deadlock_timeout =
+                          std::chrono::milliseconds{10'000});
+
+}  // namespace resilience::harness

@@ -1,0 +1,187 @@
+#include "harness/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace resilience::harness {
+
+namespace {
+
+constexpr int kSchemaVersion = 1;
+
+util::Json to_json(const FaultInjectionResult& r) {
+  util::JsonObject obj;
+  obj["trials"] = util::Json(r.trials);
+  obj["success"] = util::Json(r.success);
+  obj["sdc"] = util::Json(r.sdc);
+  obj["failure"] = util::Json(r.failure);
+  return util::Json(std::move(obj));
+}
+
+FaultInjectionResult result_from_json(const util::Json& json) {
+  FaultInjectionResult r;
+  r.trials = static_cast<std::size_t>(json.at("trials").as_int());
+  r.success = static_cast<std::size_t>(json.at("success").as_int());
+  r.sdc = static_cast<std::size_t>(json.at("sdc").as_int());
+  r.failure = static_cast<std::size_t>(json.at("failure").as_int());
+  if (r.success + r.sdc + r.failure != r.trials) {
+    throw util::JsonError("fault injection result counts are inconsistent");
+  }
+  return r;
+}
+
+util::Json to_json(const DeploymentConfig& cfg) {
+  util::JsonObject obj;
+  obj["nranks"] = util::Json(cfg.nranks);
+  obj["errors_per_test"] = util::Json(cfg.errors_per_test);
+  obj["kinds"] = util::Json(static_cast<int>(cfg.kinds));
+  obj["pattern"] = util::Json(static_cast<int>(cfg.pattern));
+  obj["regions"] = util::Json(static_cast<int>(cfg.regions));
+  obj["trials"] = util::Json(cfg.trials);
+  obj["seed"] = util::Json(cfg.seed);
+  obj["selection"] = util::Json(static_cast<int>(cfg.selection));
+  return util::Json(std::move(obj));
+}
+
+DeploymentConfig config_from_json(const util::Json& json) {
+  DeploymentConfig cfg;
+  cfg.nranks = static_cast<int>(json.at("nranks").as_int());
+  cfg.errors_per_test = static_cast<int>(json.at("errors_per_test").as_int());
+  cfg.kinds = static_cast<fsefi::KindMask>(json.at("kinds").as_int());
+  cfg.pattern = static_cast<fsefi::FaultPattern>(json.at("pattern").as_int());
+  cfg.regions = static_cast<fsefi::RegionMask>(json.at("regions").as_int());
+  cfg.trials = static_cast<std::size_t>(json.at("trials").as_int());
+  cfg.seed = static_cast<std::uint64_t>(json.at("seed").as_int());
+  cfg.selection =
+      static_cast<TargetSelection>(json.at("selection").as_int());
+  return cfg;
+}
+
+}  // namespace
+
+util::Json to_json(const CampaignResult& result) {
+  util::JsonObject obj;
+  obj["version"] = util::Json(kSchemaVersion);
+  obj["config"] = to_json(result.config);
+  obj["overall"] = to_json(result.overall);
+
+  util::JsonArray hist;
+  for (std::size_t count : result.contamination_hist) {
+    hist.push_back(util::Json(count));
+  }
+  obj["contamination_hist"] = util::Json(std::move(hist));
+
+  util::JsonArray conditional;
+  for (const auto& cond : result.by_contamination) {
+    conditional.push_back(to_json(cond));
+  }
+  obj["by_contamination"] = util::Json(std::move(conditional));
+
+  util::JsonObject golden;
+  {
+    util::JsonArray signature;
+    for (double v : result.golden.signature) signature.push_back(util::Json(v));
+    golden["signature"] = util::Json(std::move(signature));
+    golden["max_rank_ops"] = util::Json(result.golden.max_rank_ops);
+    util::JsonArray profiles;
+    for (const auto& prof : result.golden.profiles) {
+      util::JsonArray counts;
+      for (const auto& row : prof.counts) {
+        for (std::uint64_t c : row) counts.push_back(util::Json(c));
+      }
+      profiles.push_back(util::Json(std::move(counts)));
+    }
+    golden["profiles"] = util::Json(std::move(profiles));
+  }
+  obj["golden"] = util::Json(std::move(golden));
+  obj["wall_seconds"] = util::Json(result.wall_seconds);
+  return util::Json(std::move(obj));
+}
+
+CampaignResult campaign_from_json(const util::Json& json) {
+  if (json.at("version").as_int() != kSchemaVersion) {
+    throw util::JsonError("unsupported campaign schema version");
+  }
+  CampaignResult result;
+  result.config = config_from_json(json.at("config"));
+  result.overall = result_from_json(json.at("overall"));
+
+  for (const auto& item : json.at("contamination_hist").as_array()) {
+    result.contamination_hist.push_back(
+        static_cast<std::size_t>(item.as_int()));
+  }
+  for (const auto& item : json.at("by_contamination").as_array()) {
+    result.by_contamination.push_back(result_from_json(item));
+  }
+  if (result.contamination_hist.size() !=
+          static_cast<std::size_t>(result.config.nranks) + 1 ||
+      result.by_contamination.size() != result.contamination_hist.size()) {
+    throw util::JsonError("contamination data has the wrong shape");
+  }
+
+  const auto& golden = json.at("golden");
+  for (const auto& item : golden.at("signature").as_array()) {
+    result.golden.signature.push_back(item.as_double());
+  }
+  result.golden.max_rank_ops =
+      static_cast<std::uint64_t>(golden.at("max_rank_ops").as_int());
+  for (const auto& item : golden.at("profiles").as_array()) {
+    const auto& counts = item.as_array();
+    constexpr std::size_t kCells =
+        static_cast<std::size_t>(fsefi::kNumRegions) * fsefi::kNumOpKinds;
+    if (counts.size() != kCells) {
+      throw util::JsonError("op-count profile has the wrong shape");
+    }
+    fsefi::OpCountProfile prof;
+    std::size_t i = 0;
+    for (auto& row : prof.counts) {
+      for (auto& cell : row) {
+        cell = static_cast<std::uint64_t>(counts[i++].as_int());
+      }
+    }
+    result.golden.profiles.push_back(prof);
+  }
+  result.wall_seconds = json.at("wall_seconds").as_double();
+  return result;
+}
+
+void save_campaign(const std::string& path, const CampaignResult& result) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write campaign to " + path);
+  out << to_json(result).dump(2) << '\n';
+}
+
+CampaignResult load_campaign(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read campaign from " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return campaign_from_json(util::Json::parse(buffer.str()));
+}
+
+CampaignResult merge_campaigns(const CampaignResult& a,
+                               const CampaignResult& b) {
+  const auto& ca = a.config;
+  const auto& cb = b.config;
+  if (ca.nranks != cb.nranks || ca.errors_per_test != cb.errors_per_test ||
+      ca.kinds != cb.kinds || ca.regions != cb.regions ||
+      ca.pattern != cb.pattern || ca.selection != cb.selection) {
+    throw simmpi::UsageError(
+        "merge_campaigns: deployments have different shapes");
+  }
+  if (a.golden.signature != b.golden.signature) {
+    throw simmpi::UsageError(
+        "merge_campaigns: golden signatures differ (different app or input)");
+  }
+  CampaignResult merged = a;
+  merged.config.trials = ca.trials + cb.trials;
+  merged.overall.merge(b.overall);
+  for (std::size_t i = 0; i < merged.contamination_hist.size(); ++i) {
+    merged.contamination_hist[i] += b.contamination_hist[i];
+    merged.by_contamination[i].merge(b.by_contamination[i]);
+  }
+  merged.wall_seconds += b.wall_seconds;
+  return merged;
+}
+
+}  // namespace resilience::harness

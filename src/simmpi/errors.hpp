@@ -1,0 +1,40 @@
+// Error types raised by the simulated MPI runtime.
+//
+// The campaign harness maps these onto the paper's "Failure" outcome:
+// AbortError models MPI_Abort-style teardown after a rank dies, and
+// DeadlockError models a hung job that a batch system would eventually
+// kill.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace resilience::simmpi {
+
+/// Base class for all runtime errors raised inside a rank.
+class MpiError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Raised in blocked ranks when another rank has failed and the job is
+/// being torn down (the analogue of MPI_Abort reaching a blocked call).
+class AbortError : public MpiError {
+ public:
+  AbortError() : MpiError("job aborted by another rank") {}
+};
+
+/// Raised when a blocking operation waits past the runtime's deadlock
+/// timeout — the simulated analogue of a hung MPI job.
+class DeadlockError : public MpiError {
+ public:
+  explicit DeadlockError(const std::string& what) : MpiError(what) {}
+};
+
+/// Raised on API misuse (bad rank, mismatched buffer sizes, ...).
+class UsageError : public MpiError {
+ public:
+  explicit UsageError(const std::string& what) : MpiError(what) {}
+};
+
+}  // namespace resilience::simmpi

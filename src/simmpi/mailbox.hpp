@@ -1,0 +1,115 @@
+// Per-rank mailbox with MPI-style (source, tag) matching.
+//
+// Sends are buffered (they enqueue and return, like MPI_Send on small
+// messages); receives block until a matching envelope arrives, the job is
+// aborted, or the deadlock timeout expires. Matching is FIFO per
+// (source, tag) pair, which is exactly MPI's non-overtaking guarantee.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "simmpi/errors.hpp"
+
+namespace resilience::simmpi {
+
+/// Wildcard source for receives (the analogue of MPI_ANY_SOURCE).
+inline constexpr int kAnySource = -1;
+/// Wildcard tag for receives (the analogue of MPI_ANY_TAG).
+inline constexpr int kAnyTag = -1;
+
+/// A message in flight: raw bytes plus the matching metadata.
+struct Envelope {
+  int source = 0;
+  int tag = 0;
+  std::vector<std::byte> bytes;
+};
+
+/// Shared abort flag for one job; wakes every blocked mailbox.
+class AbortToken {
+ public:
+  void trigger() noexcept { aborted_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool triggered() const noexcept {
+    return aborted_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> aborted_{false};
+};
+
+class Mailbox {
+ public:
+  Mailbox(AbortToken* abort, std::chrono::milliseconds deadlock_timeout)
+      : abort_(abort), timeout_(deadlock_timeout) {}
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Enqueue an envelope; never blocks.
+  void push(Envelope env) {
+    {
+      std::lock_guard lock(mu_);
+      queue_.push_back(std::move(env));
+    }
+    cv_.notify_all();
+  }
+
+  /// Wake a blocked receive so it can observe an abort.
+  void interrupt() { cv_.notify_all(); }
+
+  /// Dequeue the first envelope matching (source, tag), blocking as needed.
+  /// Throws AbortError if the job aborts while waiting and DeadlockError if
+  /// the timeout elapses with no match.
+  Envelope pop_matching(int source, int tag) {
+    std::unique_lock lock(mu_);
+    const auto deadline = std::chrono::steady_clock::now() + timeout_;
+    for (;;) {
+      if (abort_->triggered()) throw AbortError();
+      if (auto it = find_match(source, tag); it != queue_.end()) {
+        Envelope env = std::move(*it);
+        queue_.erase(it);
+        return env;
+      }
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        if (abort_->triggered()) throw AbortError();
+        throw DeadlockError("receive timed out: likely deadlock or hang");
+      }
+    }
+  }
+
+  /// Non-blocking probe: true if a matching envelope is queued.
+  [[nodiscard]] bool probe(int source, int tag) {
+    std::lock_guard lock(mu_);
+    return find_match(source, tag) != queue_.end();
+  }
+
+  /// Number of queued envelopes (any source/tag).
+  [[nodiscard]] std::size_t pending() {
+    std::lock_guard lock(mu_);
+    return queue_.size();
+  }
+
+ private:
+  std::deque<Envelope>::iterator find_match(int source, int tag) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      const bool src_ok = (source == kAnySource) || (it->source == source);
+      const bool tag_ok = (tag == kAnyTag) || (it->tag == tag);
+      if (src_ok && tag_ok) return it;
+    }
+    return queue_.end();
+  }
+
+  AbortToken* abort_;
+  std::chrono::milliseconds timeout_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Envelope> queue_;
+};
+
+}  // namespace resilience::simmpi

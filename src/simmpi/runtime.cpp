@@ -1,0 +1,71 @@
+#include "simmpi/runtime.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace resilience::simmpi {
+
+RunResult Runtime::run(int nranks, const std::function<void(Comm&)>& body,
+                       const RunOptions& options) {
+  if (nranks < 1) throw UsageError("Runtime::run: nranks must be >= 1");
+
+  detail::JobState job(nranks, options.deadlock_timeout);
+
+  std::mutex result_mu;
+  RunResult result;
+  result.ok = true;
+
+  auto record_failure = [&](int rank, const char* what, bool deadlock) {
+    std::lock_guard lock(result_mu);
+    // Keep the first root cause; ranks that die with AbortError are
+    // collateral damage of an already-recorded failure.
+    if (result.ok) {
+      result.ok = false;
+      result.aborted = true;
+      result.deadlocked = deadlock;
+      result.failed_rank = rank;
+      result.error = what;
+    }
+  };
+
+  auto rank_main = [&](int rank) {
+    Comm comm(&job, rank, nranks);
+    if (options.on_rank_start) options.on_rank_start(rank);
+    try {
+      body(comm);
+    } catch (const AbortError&) {
+      // Torn down because another rank failed first; nothing to record.
+    } catch (const DeadlockError& e) {
+      record_failure(rank, e.what(), /*deadlock=*/true);
+      job.trigger_abort();
+    } catch (const std::exception& e) {
+      record_failure(rank, e.what(), /*deadlock=*/false);
+      job.trigger_abort();
+    } catch (...) {
+      record_failure(rank, "unknown exception", /*deadlock=*/false);
+      job.trigger_abort();
+    }
+    if (options.on_rank_exit) options.on_rank_exit(rank);
+  };
+
+  if (nranks == 1) {
+    // Serial execution runs inline: no thread spawn, so the fault
+    // injector's thread-local context installed by the caller stays valid
+    // and serial campaigns are cheap.
+    rank_main(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      threads.emplace_back(rank_main, r);
+    }
+    for (auto& t : threads) t.join();
+  }
+  result.messages_sent = job.messages_sent.load(std::memory_order_relaxed);
+  result.bytes_sent = job.bytes_sent.load(std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace resilience::simmpi

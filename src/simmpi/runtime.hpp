@@ -1,0 +1,53 @@
+// Job launcher for the simulated MPI runtime.
+//
+// Runtime::run spawns one OS thread per rank, hands each a Comm, and
+// reports how the job ended: clean completion, abort (a rank threw), or
+// deadlock/hang. The campaign harness maps abnormal endings onto the
+// paper's "Failure" fault-injection outcome.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <string>
+
+#include "simmpi/comm.hpp"
+
+namespace resilience::simmpi {
+
+struct RunOptions {
+  /// How long a blocked receive waits before declaring the job hung.
+  std::chrono::milliseconds deadlock_timeout{10'000};
+  /// Optional hook run on each rank's thread before the body (the fault
+  /// injector uses it to install per-rank thread-local state).
+  std::function<void(int rank)> on_rank_start;
+  /// Optional hook run on each rank's thread after the body, even when the
+  /// body throws.
+  std::function<void(int rank)> on_rank_exit;
+};
+
+struct RunResult {
+  bool ok = false;          ///< all ranks returned normally
+  bool aborted = false;     ///< a rank threw; job torn down
+  bool deadlocked = false;  ///< a blocking op timed out
+  int failed_rank = -1;     ///< rank whose exception triggered the abort
+  std::string error;        ///< what() of the first exception
+  /// Transport statistics over the whole job: point-to-point messages and
+  /// the messages collectives decompose into.
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+
+  [[nodiscard]] bool failed() const noexcept { return !ok; }
+};
+
+class Runtime {
+ public:
+  /// Run `body` on `nranks` ranks and join all of them.
+  /// Exceptions thrown by a rank trigger an MPI_Abort-style teardown: the
+  /// first exception is recorded and every blocked rank is woken with
+  /// AbortError. Never throws for in-job errors; throws UsageError for
+  /// nranks < 1.
+  static RunResult run(int nranks, const std::function<void(Comm&)>& body,
+                       const RunOptions& options = {});
+};
+
+}  // namespace resilience::simmpi

@@ -1,0 +1,31 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace resilience::util {
+
+std::int64_t env_int(const char* name, std::int64_t fallback,
+                     std::int64_t min_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return parsed < min_value ? min_value : parsed;
+}
+
+std::string env_str(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  return (raw == nullptr || *raw == '\0') ? fallback : std::string(raw);
+}
+
+BenchConfig BenchConfig::from_env(std::size_t default_trials) {
+  BenchConfig cfg{};
+  cfg.trials = static_cast<std::size_t>(
+      env_int("RESILIENCE_TRIALS", static_cast<std::int64_t>(default_trials)));
+  cfg.seed = static_cast<std::uint64_t>(
+      env_int("RESILIENCE_SEED", 20180813, /*min_value=*/0));
+  return cfg;
+}
+
+}  // namespace resilience::util

@@ -1,0 +1,25 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+
+namespace resilience::util {
+
+std::vector<std::uint64_t> Xoshiro256::sample_distinct(std::uint64_t n,
+                                                       std::uint64_t k) {
+  if (k > n) throw std::invalid_argument("sample_distinct: k > n");
+  // Floyd's algorithm: for j in [n-k, n): pick t in [0, j]; insert t unless
+  // already chosen, in which case insert j. Produces a uniform k-subset.
+  std::vector<std::uint64_t> chosen;
+  chosen.reserve(k);
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    const std::uint64_t t = uniform_below(j + 1);
+    if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+      chosen.push_back(t);
+    } else {
+      chosen.push_back(j);
+    }
+  }
+  return chosen;
+}
+
+}  // namespace resilience::util

@@ -1,0 +1,121 @@
+// Deterministic, seedable random number generation for fault-injection
+// campaigns.
+//
+// Every random decision in a campaign (which rank, which dynamic FP op,
+// which bit, which operand) must be reproducible from a single trial seed
+// so that a fault-injection test can be re-run in isolation for debugging.
+// We use xoshiro256** seeded through SplitMix64, following the reference
+// construction by Blackman & Vigna; <random> engines are avoided because
+// their distributions are not guaranteed bit-identical across standard
+// library implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace resilience::util {
+
+/// SplitMix64: used to expand a 64-bit seed into xoshiro state.
+/// Also useful on its own for cheap hash-like seed derivation.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Derive a child seed from a parent seed and a stream index.
+/// Used to give each trial / rank an independent stream.
+constexpr std::uint64_t derive_seed(std::uint64_t parent,
+                                    std::uint64_t stream) noexcept {
+  SplitMix64 mix(parent ^ (0x7f4a7c15ULL + stream * 0x9e3779b97f4a7c15ULL));
+  // Burn one output so stream 0 does not coincide with the parent stream.
+  (void)mix.next();
+  return mix.next();
+}
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG with 256 bits of state.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    SplitMix64 mix(seed);
+    for (auto& word : state_) word = mix.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased multiply-shift
+  /// rejection method. bound must be nonzero.
+  std::uint64_t uniform_below(std::uint64_t bound) {
+    if (bound == 0) throw std::invalid_argument("uniform_below: bound == 0");
+    // Rejection loop: expected iterations < 2 for any bound.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      // 128-bit multiply to map r into [0, bound) without modulo bias.
+      const __uint128_t m = static_cast<__uint128_t>(r) * bound;
+      const std::uint64_t low = static_cast<std::uint64_t>(m);
+      if (low >= threshold) return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("uniform_int: lo > hi");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    // span == 0 means the full 64-bit range; next() is already uniform there.
+    const std::uint64_t off = (span == 0) ? next() : uniform_below(span);
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + off);
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// k distinct values drawn uniformly from [0, n), in selection order.
+  /// Uses Floyd's algorithm: O(k) expected time, no O(n) storage.
+  std::vector<std::uint64_t> sample_distinct(std::uint64_t n, std::uint64_t k);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace resilience::util

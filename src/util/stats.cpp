@@ -1,0 +1,107 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace resilience::util {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  const double sum = std::accumulate(xs.begin(), xs.end(), 0.0);
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  return std::sqrt(variance(xs));
+}
+
+double rmse(std::span<const double> measured,
+            std::span<const double> predicted) {
+  if (measured.size() != predicted.size()) {
+    throw std::invalid_argument("rmse: length mismatch");
+  }
+  if (measured.empty()) throw std::invalid_argument("rmse: empty input");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    const double d = measured[i] - predicted[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(measured.size()));
+}
+
+double mae(std::span<const double> measured,
+           std::span<const double> predicted) {
+  if (measured.size() != predicted.size()) {
+    throw std::invalid_argument("mae: length mismatch");
+  }
+  if (measured.empty()) throw std::invalid_argument("mae: empty input");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    acc += std::abs(measured[i] - predicted[i]);
+  }
+  return acc / static_cast<double>(measured.size());
+}
+
+double cosine_similarity(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("cosine_similarity: length mismatch");
+  }
+  if (a.empty()) throw std::invalid_argument("cosine_similarity: empty input");
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+WilsonInterval wilson_interval(std::size_t successes, std::size_t trials,
+                               double z) noexcept {
+  if (trials == 0) return {0.0, 0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  return {p, std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+std::vector<double> normalize(std::span<const std::size_t> counts) {
+  std::size_t total = 0;
+  for (std::size_t c : counts) total += c;
+  std::vector<double> out(counts.size(), 0.0);
+  if (total == 0) return out;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    out[i] = static_cast<double>(counts[i]) / static_cast<double>(total);
+  }
+  return out;
+}
+
+std::vector<double> group_sum(std::span<const double> values,
+                              std::size_t groups) {
+  if (groups == 0) throw std::invalid_argument("group_sum: groups == 0");
+  if (values.size() % groups != 0) {
+    throw std::invalid_argument("group_sum: size not divisible by groups");
+  }
+  const std::size_t per = values.size() / groups;
+  std::vector<double> out(groups, 0.0);
+  for (std::size_t g = 0; g < groups; ++g) {
+    for (std::size_t i = 0; i < per; ++i) out[g] += values[g * per + i];
+  }
+  return out;
+}
+
+}  // namespace resilience::util

@@ -1,0 +1,57 @@
+// Statistical helpers used throughout the campaign harness and the
+// resilience model: descriptive statistics, the cosine similarity used by
+// the paper to compare propagation profiles (Table 2), the RMSE of Eq. 9,
+// and Wilson score intervals for reporting the uncertainty of
+// fault-injection result percentages.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace resilience::util {
+
+/// Arithmetic mean; 0 for an empty range.
+double mean(std::span<const double> xs) noexcept;
+
+/// Unbiased sample variance; 0 for fewer than two samples.
+double variance(std::span<const double> xs) noexcept;
+
+/// Sample standard deviation.
+double stddev(std::span<const double> xs) noexcept;
+
+/// Root mean square error between two equal-length series (paper Eq. 9).
+/// Throws std::invalid_argument on length mismatch or empty input.
+double rmse(std::span<const double> measured, std::span<const double> predicted);
+
+/// Mean absolute error between two equal-length series.
+double mae(std::span<const double> measured, std::span<const double> predicted);
+
+/// Cosine similarity of two equal-length vectors, in [0, 1] for
+/// non-negative inputs (paper Section 3.2). Returns 0 if either vector is
+/// all-zero. Throws std::invalid_argument on length mismatch or empty input.
+double cosine_similarity(std::span<const double> a, std::span<const double> b);
+
+/// Wilson score interval for a binomial proportion.
+struct WilsonInterval {
+  double center = 0.0;  ///< point estimate successes / trials
+  double lo = 0.0;      ///< lower bound of the interval
+  double hi = 0.0;      ///< upper bound of the interval
+};
+
+/// Wilson score interval at confidence z (default z = 1.96, ~95%).
+/// trials == 0 yields the degenerate interval [0, 1] around 0.
+WilsonInterval wilson_interval(std::size_t successes, std::size_t trials,
+                               double z = 1.96) noexcept;
+
+/// Normalize a histogram of counts into a probability vector.
+/// An all-zero histogram normalizes to all zeros.
+std::vector<double> normalize(std::span<const std::size_t> counts);
+
+/// Aggregate `values` (length divisible by `groups`) into `groups` buckets
+/// by summing consecutive runs — the even split used to compare a 64-rank
+/// propagation histogram against an 8-rank one (paper Fig. 1c / Eq. 5).
+/// Throws std::invalid_argument if values.size() % groups != 0 or groups == 0.
+std::vector<double> group_sum(std::span<const double> values, std::size_t groups);
+
+}  // namespace resilience::util

@@ -1,0 +1,58 @@
+// Plain-text table and CSV emission for the benchmark harnesses.
+//
+// Every bench binary regenerates one of the paper's tables or figures as
+// rows on stdout; TablePrinter keeps the columns aligned and CsvWriter
+// mirrors the same rows into a machine-readable file so the results can be
+// re-plotted.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace resilience::util {
+
+/// Fixed-width text table. Collects rows, then renders with column widths
+/// sized to the content.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append one row; missing cells render empty, extra cells throw.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with fixed precision.
+  static std::string fmt(double value, int precision = 3);
+
+  /// Convenience: format a fraction as a percentage string, e.g. "12.3%".
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Render the table (header, separator, rows) as a string.
+  [[nodiscard]] std::string str() const;
+
+  /// Render to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Minimal CSV writer with RFC-4180 quoting of cells that need it.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_row(std::initializer_list<std::string> cells);
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ofstream out_;
+};
+
+}  // namespace resilience::util

@@ -1,0 +1,139 @@
+// Direct tests of the shared distributed kernels the mini-apps build on.
+#include "apps/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace resilience::apps {
+namespace {
+
+using simmpi::Comm;
+using simmpi::Runtime;
+
+TEST(Kernels, LocalDotMatchesHandComputation) {
+  const std::vector<Real> a{1.0, 2.0, 3.0};
+  const std::vector<Real> b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(local_dot(a, b).value(), 32.0);
+  EXPECT_DOUBLE_EQ(local_dot({}, {}).value(), 0.0);
+}
+
+TEST(Kernels, GlobalDotSumsAcrossRanks) {
+  const auto result = Runtime::run(4, [](Comm& comm) {
+    const std::vector<Real> mine{Real(comm.rank() + 1.0)};
+    const Real dot = global_dot(comm, mine, mine);
+    // 1 + 4 + 9 + 16
+    EXPECT_DOUBLE_EQ(dot.value(), 30.0);
+  });
+  EXPECT_TRUE(result.ok);
+}
+
+TEST(Kernels, AxpyAndXpby) {
+  std::vector<Real> x{1.0, 2.0};
+  std::vector<Real> y{10.0, 20.0};
+  axpy(Real(2.0), x, y);
+  EXPECT_DOUBLE_EQ(y[0].value(), 12.0);
+  EXPECT_DOUBLE_EQ(y[1].value(), 24.0);
+  xpby(x, Real(0.5), y);
+  EXPECT_DOUBLE_EQ(y[0].value(), 7.0);   // 1 + 0.5*12
+  EXPECT_DOUBLE_EQ(y[1].value(), 14.0);  // 2 + 0.5*24
+}
+
+TEST(Kernels, GlobalNorm2) {
+  const auto result = Runtime::run(2, [](Comm& comm) {
+    const std::vector<Real> mine{Real(3.0 * (comm.rank() + 1))};  // 3, 6
+    EXPECT_NEAR(global_norm2(comm, mine).value(), std::sqrt(45.0), 1e-12);
+  });
+  EXPECT_TRUE(result.ok);
+}
+
+TEST(Kernels, AllgatherBlocksEvenPartition) {
+  const auto result = Runtime::run(4, [](Comm& comm) {
+    const auto range = simmpi::block_partition(8, comm.size(), comm.rank());
+    std::vector<Real> mine;
+    for (auto i = range.lo; i < range.hi; ++i) mine.push_back(Real(i * 1.5));
+    const auto full = allgather_blocks(comm, mine, 8);
+    ASSERT_EQ(full.size(), 8u);
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_DOUBLE_EQ(full[static_cast<std::size_t>(i)].value(), i * 1.5);
+    }
+  });
+  EXPECT_TRUE(result.ok);
+}
+
+TEST(Kernels, AllgatherBlocksUnevenPartition) {
+  // 7 elements over 3 ranks: blocks of 3, 2, 2 — exercises the padding.
+  const auto result = Runtime::run(3, [](Comm& comm) {
+    const auto range = simmpi::block_partition(7, comm.size(), comm.rank());
+    std::vector<Real> mine;
+    for (auto i = range.lo; i < range.hi; ++i) mine.push_back(Real(100.0 + i));
+    const auto full = allgather_blocks(comm, mine, 7);
+    ASSERT_EQ(full.size(), 7u);
+    for (int i = 0; i < 7; ++i) {
+      EXPECT_DOUBLE_EQ(full[static_cast<std::size_t>(i)].value(), 100.0 + i);
+    }
+  });
+  EXPECT_TRUE(result.ok);
+}
+
+TEST(Kernels, HaloExchangeChain) {
+  const auto result = Runtime::run(4, [](Comm& comm) {
+    const int prev = comm.rank() > 0 ? comm.rank() - 1 : -1;
+    const int next = comm.rank() + 1 < comm.size() ? comm.rank() + 1 : -1;
+    const std::vector<Real> top{Real(comm.rank() * 10.0)};
+    const std::vector<Real> bottom{Real(comm.rank() * 10.0 + 1.0)};
+    std::vector<Real> from_prev{Real(-1.0)}, from_next{Real(-1.0)};
+    exchange_halo_rows(comm, 5, top, bottom, from_prev, from_next, prev, next);
+    if (prev >= 0) {
+      EXPECT_DOUBLE_EQ(from_prev[0].value(), prev * 10.0 + 1.0);
+    } else {
+      EXPECT_DOUBLE_EQ(from_prev[0].value(), -1.0);  // untouched at the end
+    }
+    if (next >= 0) {
+      EXPECT_DOUBLE_EQ(from_next[0].value(), next * 10.0);
+    } else {
+      EXPECT_DOUBLE_EQ(from_next[0].value(), -1.0);
+    }
+  });
+  EXPECT_TRUE(result.ok);
+}
+
+TEST(Kernels, HaloExchangePropagatesCorruption) {
+  // A corrupted halo row contaminates the receiving neighbour.
+  std::vector<std::unique_ptr<fsefi::FaultContext>> contexts;
+  for (int r = 0; r < 3; ++r) {
+    contexts.push_back(std::make_unique<fsefi::FaultContext>());
+  }
+  simmpi::RunOptions opts;
+  opts.on_rank_start = [&](int rank) {
+    contexts[static_cast<std::size_t>(rank)]->reset();
+    fsefi::install_context(contexts[static_cast<std::size_t>(rank)].get());
+  };
+  opts.on_rank_exit = [](int) { fsefi::install_context(nullptr); };
+  const auto result = Runtime::run(
+      3,
+      [](Comm& comm) {
+        const int prev = comm.rank() > 0 ? comm.rank() - 1 : -1;
+        const int next = comm.rank() + 1 < comm.size() ? comm.rank() + 1 : -1;
+        std::vector<Real> row{comm.rank() == 1
+                                  ? Real::corrupted(5.0, 1.0)
+                                  : Real(0.0)};
+        std::vector<Real> from_prev{Real(0.0)}, from_next{Real(0.0)};
+        exchange_halo_rows(comm, 3, row, row, from_prev, from_next, prev,
+                           next);
+      },
+      opts);
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(contexts[0]->contaminated());  // received rank 1's halo
+  EXPECT_TRUE(contexts[2]->contaminated());
+}
+
+TEST(Kernels, GuardFiniteThrowsOnBadValues) {
+  EXPECT_NO_THROW(guard_finite(Real(1.0), "x"));
+  EXPECT_THROW(guard_finite(Real(1.0) / Real(0.0), "x"), NumericalError);
+  EXPECT_THROW(guard_finite(Real(0.0) / Real(0.0), "x"), NumericalError);
+}
+
+}  // namespace
+}  // namespace resilience::apps

@@ -1,0 +1,99 @@
+#include "apps/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace resilience::apps {
+namespace {
+
+TEST(SpdMatrix, IsDeterministic) {
+  const auto a = make_spd_matrix(64, 4, 10.0, 7);
+  const auto b = make_spd_matrix(64, 4, 10.0, 7);
+  EXPECT_EQ(a.col_idx, b.col_idx);
+  EXPECT_EQ(a.values, b.values);
+}
+
+TEST(SpdMatrix, DifferentSeedsDiffer) {
+  const auto a = make_spd_matrix(64, 4, 10.0, 7);
+  const auto b = make_spd_matrix(64, 4, 10.0, 8);
+  EXPECT_NE(a.col_idx, b.col_idx);
+}
+
+TEST(SpdMatrix, IsSymmetric) {
+  const auto m = make_spd_matrix(48, 5, 10.0, 3);
+  std::map<std::pair<std::int64_t, std::int64_t>, double> entries;
+  for (std::int64_t i = 0; i < m.n; ++i) {
+    const auto cols = m.row_cols(i);
+    const auto vals = m.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      entries[{i, cols[k]}] = vals[k];
+    }
+  }
+  for (const auto& [key, value] : entries) {
+    const auto it = entries.find({key.second, key.first});
+    ASSERT_NE(it, entries.end()) << key.first << "," << key.second;
+    EXPECT_DOUBLE_EQ(it->second, value);
+  }
+}
+
+TEST(SpdMatrix, IsStrictlyDiagonallyDominant) {
+  const auto m = make_spd_matrix(80, 6, 2.0, 11);
+  for (std::int64_t i = 0; i < m.n; ++i) {
+    const auto cols = m.row_cols(i);
+    const auto vals = m.row_vals(i);
+    double diag = 0.0, off = 0.0;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] == i) {
+        diag = vals[k];
+      } else {
+        off += std::abs(vals[k]);
+      }
+    }
+    EXPECT_GT(diag, off);  // diag = shift + off with shift > 0
+    EXPECT_NEAR(diag, 2.0 + off, 1e-12);
+  }
+}
+
+TEST(SpdMatrix, RowDensityNearTarget) {
+  const auto m = make_spd_matrix(256, 6, 10.0, 5);
+  const double avg_offdiag =
+      static_cast<double>(m.nnz() - m.n) / static_cast<double>(m.n);
+  EXPECT_NEAR(avg_offdiag, 6.0, 2.0);
+}
+
+TEST(SpdMatrix, RowPointersAreConsistent) {
+  const auto m = make_spd_matrix(32, 3, 10.0, 1);
+  ASSERT_EQ(m.row_ptr.size(), 33u);
+  EXPECT_EQ(m.row_ptr.front(), 0);
+  EXPECT_EQ(m.row_ptr.back(), m.nnz());
+  for (std::size_t i = 0; i + 1 < m.row_ptr.size(); ++i) {
+    EXPECT_LE(m.row_ptr[i], m.row_ptr[i + 1]);
+  }
+  // Columns sorted within each row (std::map iteration order).
+  for (std::int64_t i = 0; i < m.n; ++i) {
+    const auto cols = m.row_cols(i);
+    for (std::size_t k = 1; k < cols.size(); ++k) {
+      EXPECT_LT(cols[k - 1], cols[k]);
+    }
+  }
+}
+
+TEST(SpdMatrix, EveryRowHasDiagonal) {
+  const auto m = make_spd_matrix(40, 2, 5.0, 9);
+  for (std::int64_t i = 0; i < m.n; ++i) {
+    const auto cols = m.row_cols(i);
+    bool has_diag = false;
+    for (auto c : cols) has_diag |= (c == i);
+    EXPECT_TRUE(has_diag) << "row " << i;
+  }
+}
+
+TEST(SpdMatrix, BadArgumentsThrow) {
+  EXPECT_THROW(make_spd_matrix(0, 2, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(make_spd_matrix(8, -1, 1.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace resilience::apps

@@ -1,0 +1,25 @@
+#include "core/accuracy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace resilience::core {
+namespace {
+
+TEST(Accuracy, PredictionErrorIsAbsolute) {
+  EXPECT_NEAR(prediction_error(0.8, 0.7), 0.1, 1e-12);
+  EXPECT_NEAR(prediction_error(0.7, 0.8), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(prediction_error(0.5, 0.5), 0.0);
+}
+
+TEST(Accuracy, RmseMatchesEquationNine) {
+  // Paper Eq. 9 over n benchmarks.
+  const std::vector<double> measured{0.8, 0.6, 0.9};
+  const std::vector<double> predicted{0.7, 0.6, 0.8};
+  EXPECT_NEAR(rmse(measured, predicted), std::sqrt(0.02 / 3.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace resilience::core

@@ -1,0 +1,130 @@
+#include "core/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace resilience::core {
+namespace {
+
+harness::FaultInjectionResult make_result(std::size_t success,
+                                          std::size_t sdc,
+                                          std::size_t failure) {
+  harness::FaultInjectionResult r;
+  r.trials = success + sdc + failure;
+  r.success = success;
+  r.sdc = sdc;
+  r.failure = failure;
+  return r;
+}
+
+SerialSweep make_sweep(int p, int s,
+                       std::vector<harness::FaultInjectionResult> results) {
+  SerialSweep sweep;
+  sweep.large_p = p;
+  sweep.sample_x = SerialSweep::sample_points(p, s);
+  sweep.results = std::move(results);
+  return sweep;
+}
+
+SmallScaleObservation make_small(
+    int s, std::vector<harness::FaultInjectionResult> cond) {
+  SmallScaleObservation small;
+  small.nranks = s;
+  small.conditional = std::move(cond);
+  std::size_t total = 0;
+  for (const auto& c : small.conditional) total += c.trials;
+  small.propagation.nranks = s;
+  small.propagation.r.assign(static_cast<std::size_t>(s), 0.0);
+  for (std::size_t g = 0; g < small.conditional.size(); ++g) {
+    small.overall.merge(small.conditional[g]);
+    small.propagation.r[g] =
+        static_cast<double>(small.conditional[g].trials) /
+        static_cast<double>(total);
+  }
+  return small;
+}
+
+TEST(Bootstrap, IntervalContainsPointPrediction) {
+  const auto sweep =
+      make_sweep(8, 2, {make_result(180, 20, 0), make_result(40, 150, 10)});
+  const auto small =
+      make_small(2, {make_result(90, 10, 0), make_result(20, 75, 5)});
+  PredictorOptions opts;
+  const double point =
+      ResiliencePredictor(sweep, small, opts).predict(8).combined.success;
+  const auto interval = bootstrap_prediction(sweep, small, opts, 8);
+  EXPECT_LE(interval.lo, point + 0.02);
+  EXPECT_GE(interval.hi, point - 0.02);
+  EXPECT_GT(interval.width(), 0.0);
+  EXPECT_LT(interval.width(), 0.5);
+}
+
+TEST(Bootstrap, DeterministicInSeed) {
+  const auto sweep =
+      make_sweep(8, 2, {make_result(90, 10, 0), make_result(20, 80, 0)});
+  const auto small =
+      make_small(2, {make_result(45, 5, 0), make_result(10, 40, 0)});
+  const auto a = bootstrap_prediction(sweep, small, {}, 8);
+  const auto b = bootstrap_prediction(sweep, small, {}, 8);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+  EXPECT_DOUBLE_EQ(a.median, b.median);
+}
+
+TEST(Bootstrap, MoreTrialsNarrowTheInterval) {
+  PredictorOptions opts;
+  const auto small_n =
+      make_small(2, {make_result(18, 2, 0), make_result(4, 16, 0)});
+  const auto sweep_n =
+      make_sweep(8, 2, {make_result(18, 2, 0), make_result(4, 16, 0)});
+  const auto big = make_small(
+      2, {make_result(1800, 200, 0), make_result(400, 1600, 0)});
+  const auto sweep_big = make_sweep(
+      8, 2, {make_result(1800, 200, 0), make_result(400, 1600, 0)});
+  const auto wide = bootstrap_prediction(sweep_n, small_n, opts, 8);
+  const auto narrow = bootstrap_prediction(sweep_big, big, opts, 8);
+  EXPECT_LT(narrow.width(), wide.width());
+}
+
+TEST(Bootstrap, ValidatesLikeThePredictor) {
+  const auto sweep =
+      make_sweep(8, 2, {make_result(1, 0, 0), make_result(1, 0, 0)});
+  const auto bad_small = make_small(4, {make_result(1, 0, 0),
+                                        make_result(1, 0, 0),
+                                        make_result(1, 0, 0),
+                                        make_result(1, 0, 0)});
+  EXPECT_THROW(bootstrap_prediction(sweep, bad_small, {}, 8),
+               std::invalid_argument);
+}
+
+TEST(RescaleSweep, FillsTargetSamplesViaGroupMapping) {
+  // Sweep sampled for p = 64 with S = 4: samples {1, 32, 48, 64}.
+  const auto sweep = make_sweep(64, 4,
+                                {make_result(90, 10, 0), make_result(50, 50, 0),
+                                 make_result(30, 70, 0), make_result(10, 90, 0)});
+  const auto rescaled = rescale_sweep(sweep, 16);
+  EXPECT_EQ(rescaled.large_p, 16);
+  EXPECT_EQ(rescaled.sample_x, (std::vector<int>{1, 8, 12, 16}));
+  // x = 1 -> group 1; x = 8 -> ceil(8*4/64) = 1; x = 12 -> 1; x = 16 -> 1.
+  for (const auto& r : rescaled.results) {
+    EXPECT_DOUBLE_EQ(r.success_rate(), 0.9);
+  }
+}
+
+TEST(RescaleSweep, IdentityAtSameScale) {
+  const auto sweep =
+      make_sweep(8, 2, {make_result(9, 1, 0), make_result(1, 9, 0)});
+  const auto same = rescale_sweep(sweep, 8);
+  EXPECT_EQ(same.sample_x, sweep.sample_x);
+  EXPECT_DOUBLE_EQ(same.results[1].success_rate(),
+                   sweep.results[1].success_rate());
+}
+
+TEST(RescaleSweep, RejectsUpscaling) {
+  const auto sweep =
+      make_sweep(8, 2, {make_result(1, 0, 0), make_result(1, 0, 0)});
+  EXPECT_THROW(rescale_sweep(sweep, 16), std::invalid_argument);
+  EXPECT_THROW(rescale_sweep(sweep, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace resilience::core

@@ -1,0 +1,265 @@
+#include "core/model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace resilience::core {
+namespace {
+
+harness::FaultInjectionResult make_result(std::size_t success,
+                                          std::size_t sdc,
+                                          std::size_t failure) {
+  harness::FaultInjectionResult r;
+  r.trials = success + sdc + failure;
+  r.success = success;
+  r.sdc = sdc;
+  r.failure = failure;
+  return r;
+}
+
+TEST(SamplePoints, MatchesPaperExample) {
+  // Section 4.2: S = 4, p = 64 -> {1, 32, 48, 64}.
+  EXPECT_EQ(SerialSweep::sample_points(64, 4), (std::vector<int>{1, 32, 48, 64}));
+}
+
+TEST(SamplePoints, EightSamples) {
+  EXPECT_EQ(SerialSweep::sample_points(64, 8),
+            (std::vector<int>{1, 16, 24, 32, 40, 48, 56, 64}));
+}
+
+TEST(SamplePoints, DegenerateSingleSample) {
+  EXPECT_EQ(SerialSweep::sample_points(8, 1), (std::vector<int>{1}));
+}
+
+TEST(SamplePoints, FullSampling) {
+  EXPECT_EQ(SerialSweep::sample_points(4, 4), (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(SamplePoints, BadArgumentsThrow) {
+  EXPECT_THROW(SerialSweep::sample_points(64, 0), std::invalid_argument);
+  EXPECT_THROW(SerialSweep::sample_points(4, 8), std::invalid_argument);
+  EXPECT_THROW(SerialSweep::sample_points(64, 5), std::invalid_argument);
+}
+
+TEST(GroupOf, MatchesPaperEquation7) {
+  // S = 4, p = 64: x in [1, 16] -> group 1, [17, 32] -> 2, [33, 48] -> 3,
+  // [49, 64] -> 4 (Eq. 7's bracketing).
+  SerialSweep sweep;
+  sweep.large_p = 64;
+  sweep.sample_x = SerialSweep::sample_points(64, 4);
+  sweep.results.resize(4);
+  EXPECT_EQ(sweep.group_of(1), 1);
+  EXPECT_EQ(sweep.group_of(16), 1);
+  EXPECT_EQ(sweep.group_of(17), 2);
+  EXPECT_EQ(sweep.group_of(32), 2);
+  EXPECT_EQ(sweep.group_of(33), 3);
+  EXPECT_EQ(sweep.group_of(48), 3);
+  EXPECT_EQ(sweep.group_of(49), 4);
+  EXPECT_EQ(sweep.group_of(64), 4);
+  EXPECT_THROW((void)sweep.group_of(0), std::invalid_argument);
+  EXPECT_THROW((void)sweep.group_of(65), std::invalid_argument);
+}
+
+TEST(GroupOf, ResultForUsesGroupSample) {
+  SerialSweep sweep;
+  sweep.large_p = 8;
+  sweep.sample_x = SerialSweep::sample_points(8, 2);  // {1, 8}
+  sweep.results = {make_result(9, 1, 0), make_result(1, 9, 0)};
+  EXPECT_DOUBLE_EQ(sweep.result_for(2).success_rate(), 0.9);   // group 1
+  EXPECT_DOUBLE_EQ(sweep.result_for(5).success_rate(), 0.1);   // group 2
+}
+
+TEST(Projection, PreservesGroupMass) {
+  PropagationProfile small;
+  small.nranks = 4;
+  small.r = {0.5, 0.1, 0.1, 0.3};
+  const auto projected = small.project(64);
+  ASSERT_EQ(projected.size(), 64u);
+  // Mass of x in [1, 16] equals r'_1, etc.
+  double g1 = 0.0, g4 = 0.0;
+  for (int x = 1; x <= 16; ++x) g1 += projected[static_cast<std::size_t>(x - 1)];
+  for (int x = 49; x <= 64; ++x) g4 += projected[static_cast<std::size_t>(x - 1)];
+  EXPECT_NEAR(g1, 0.5, 1e-12);
+  EXPECT_NEAR(g4, 0.3, 1e-12);
+  double total = 0.0;
+  for (double v : projected) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Projection, IdentityWhenScalesEqual) {
+  PropagationProfile prof;
+  prof.nranks = 4;
+  prof.r = {0.25, 0.25, 0.25, 0.25};
+  EXPECT_EQ(prof.project(4), prof.r);
+}
+
+TEST(Projection, RejectsNonDividingScales) {
+  PropagationProfile prof;
+  prof.nranks = 4;
+  prof.r = {1.0, 0.0, 0.0, 0.0};
+  EXPECT_THROW(prof.project(6), std::invalid_argument);
+  EXPECT_THROW(prof.project(2), std::invalid_argument);
+}
+
+// ---- predictor algebra on hand-built inputs --------------------------------
+
+SerialSweep make_sweep(int p, int s,
+                       std::vector<harness::FaultInjectionResult> results) {
+  SerialSweep sweep;
+  sweep.large_p = p;
+  sweep.sample_x = SerialSweep::sample_points(p, s);
+  sweep.results = std::move(results);
+  return sweep;
+}
+
+SmallScaleObservation make_small(int s, std::vector<double> r,
+                                 std::vector<harness::FaultInjectionResult> cond) {
+  SmallScaleObservation small;
+  small.nranks = s;
+  small.propagation.nranks = s;
+  small.propagation.r = std::move(r);
+  small.conditional = std::move(cond);
+  for (const auto& c : small.conditional) small.overall.merge(c);
+  return small;
+}
+
+TEST(Predictor, EquationEightWeightedSum) {
+  // Two groups: r' = {0.6, 0.4}; serial success rates {0.9, 0.1}.
+  // FI_par_common = 0.6 * 0.9 + 0.4 * 0.1 = 0.58 (no fine-tuning).
+  const auto sweep =
+      make_sweep(8, 2, {make_result(90, 10, 0), make_result(10, 85, 5)});
+  // Conditionals match the serial results so fine-tuning stays off.
+  const auto small = make_small(
+      2, {0.6, 0.4}, {make_result(54, 6, 0), make_result(4, 34, 2)});
+  PredictorOptions opts;
+  const ResiliencePredictor predictor(sweep, small, opts);
+  const auto pred = predictor.predict(8);
+  EXPECT_FALSE(pred.fine_tuned);
+  EXPECT_NEAR(pred.common.success, 0.58, 1e-12);
+  EXPECT_NEAR(pred.common.sdc, 0.6 * 0.1 + 0.4 * 0.85, 1e-12);
+  EXPECT_NEAR(pred.common.failure, 0.4 * 0.05, 1e-12);
+  // Rates stay a distribution when inputs are distributions.
+  EXPECT_NEAR(pred.common.success + pred.common.sdc + pred.common.failure,
+              1.0, 1e-12);
+  EXPECT_EQ(pred.combined.success, pred.common.success);
+}
+
+TEST(Predictor, FineTuneTriggersOnDivergence) {
+  // Serial says 90% success; the small scale's conditional says 20%:
+  // divergence 0.7 > 0.2 -> alpha fine-tuning replaces the samples.
+  const auto sweep =
+      make_sweep(8, 2, {make_result(90, 10, 0), make_result(80, 20, 0)});
+  const auto small = make_small(
+      2, {0.5, 0.5}, {make_result(20, 80, 0), make_result(10, 90, 0)});
+  const ResiliencePredictor predictor(sweep, small, {});
+  const auto pred = predictor.predict(8);
+  EXPECT_TRUE(pred.fine_tuned);
+  EXPECT_NEAR(pred.divergence, 0.5 * 0.7 + 0.5 * 0.7, 1e-12);
+  // Fine-tuned samples are the small scale's conditionals.
+  EXPECT_NEAR(pred.common.success, 0.5 * 0.2 + 0.5 * 0.1, 1e-12);
+  // alpha_g = small_g / serial_g.
+  EXPECT_NEAR(pred.alpha[0], 0.2 / 0.9, 1e-12);
+  EXPECT_NEAR(pred.alpha[1], 0.1 / 0.8, 1e-12);
+}
+
+TEST(Predictor, FineTuneCanBeDisabled) {
+  const auto sweep =
+      make_sweep(8, 2, {make_result(90, 10, 0), make_result(80, 20, 0)});
+  const auto small = make_small(
+      2, {0.5, 0.5}, {make_result(20, 80, 0), make_result(10, 90, 0)});
+  PredictorOptions opts;
+  opts.allow_fine_tune = false;
+  const ResiliencePredictor predictor(sweep, small, opts);
+  const auto pred = predictor.predict(8);
+  EXPECT_FALSE(pred.fine_tuned);
+  EXPECT_NEAR(pred.common.success, 0.5 * 0.9 + 0.5 * 0.8, 1e-12);
+}
+
+TEST(Predictor, UnobservedGroupsKeepSerialResults) {
+  // The small scale never saw 2 ranks contaminated: conditional has zero
+  // trials, so even under fine-tuning group 2 keeps the serial sample.
+  const auto sweep =
+      make_sweep(8, 2, {make_result(90, 10, 0), make_result(30, 70, 0)});
+  const auto small =
+      make_small(2, {1.0, 0.0}, {make_result(10, 90, 0), make_result(0, 0, 0)});
+  const ResiliencePredictor predictor(sweep, small, {});
+  const auto pred = predictor.predict(8);
+  EXPECT_TRUE(pred.fine_tuned);
+  // Group 2 has zero weight anyway; prediction is group 1's conditional.
+  EXPECT_NEAR(pred.common.success, 0.1, 1e-12);
+}
+
+TEST(Predictor, UniqueTermBlendsPerEquationOne) {
+  const auto sweep = make_sweep(8, 2, {make_result(100, 0, 0),
+                                       make_result(100, 0, 0)});
+  const auto small = make_small(2, {1.0, 0.0},
+                                {make_result(100, 0, 0), make_result(0, 0, 0)});
+  PredictorOptions opts;
+  opts.prob_unique = 0.2;
+  opts.unique_result = make_result(0, 100, 0);  // unique region always SDCs
+  const ResiliencePredictor predictor(sweep, small, opts);
+  const auto pred = predictor.predict(8);
+  EXPECT_NEAR(pred.combined.success, 0.8 * 1.0, 1e-12);
+  EXPECT_NEAR(pred.combined.sdc, 0.2, 1e-12);
+}
+
+TEST(Predictor, ValidationErrors) {
+  const auto good_sweep =
+      make_sweep(8, 2, {make_result(1, 0, 0), make_result(1, 0, 0)});
+  const auto good_small =
+      make_small(2, {1.0, 0.0}, {make_result(1, 0, 0), make_result(0, 0, 0)});
+
+  // Sample count != small scale size.
+  const auto bad_small =
+      make_small(4, {1, 0, 0, 0},
+                 {make_result(1, 0, 0), make_result(0, 0, 0),
+                  make_result(0, 0, 0), make_result(0, 0, 0)});
+  EXPECT_THROW(ResiliencePredictor(good_sweep, bad_small, {}),
+               std::invalid_argument);
+
+  // Samples not starting at 1.
+  auto bad_sweep = good_sweep;
+  bad_sweep.sample_x = {2, 8};
+  EXPECT_THROW(ResiliencePredictor(bad_sweep, good_small, {}),
+               std::invalid_argument);
+
+  // prob_unique without a unique result.
+  PredictorOptions opts;
+  opts.prob_unique = 0.5;
+  EXPECT_THROW(ResiliencePredictor(good_sweep, good_small, opts),
+               std::invalid_argument);
+
+  // predict at the wrong scale.
+  const ResiliencePredictor predictor(good_sweep, good_small, {});
+  EXPECT_THROW(predictor.predict(16), std::invalid_argument);
+}
+
+TEST(Rates, FromAndScale) {
+  const auto r = Rates::from(make_result(5, 3, 2));
+  EXPECT_DOUBLE_EQ(r.success, 0.5);
+  EXPECT_DOUBLE_EQ(r.sdc, 0.3);
+  EXPECT_DOUBLE_EQ(r.failure, 0.2);
+  const auto half = r.scaled(0.5);
+  EXPECT_DOUBLE_EQ(half.success, 0.25);
+  Rates acc = half;
+  acc += half;
+  EXPECT_DOUBLE_EQ(acc.success, 0.5);
+}
+
+TEST(SmallScaleObservation, FromCampaignExtractsConditionals) {
+  harness::CampaignResult campaign;
+  campaign.config.nranks = 2;
+  campaign.contamination_hist = {0, 6, 4};
+  campaign.by_contamination.assign(3, harness::FaultInjectionResult{});
+  campaign.by_contamination[1] = make_result(6, 0, 0);
+  campaign.by_contamination[2] = make_result(1, 3, 0);
+  campaign.overall = make_result(7, 3, 0);
+  const auto obs = SmallScaleObservation::from_campaign(campaign);
+  EXPECT_EQ(obs.nranks, 2);
+  EXPECT_NEAR(obs.propagation.r[0], 0.6, 1e-12);
+  EXPECT_NEAR(obs.propagation.r[1], 0.4, 1e-12);
+  EXPECT_DOUBLE_EQ(obs.conditional[0].success_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(obs.conditional[1].success_rate(), 0.25);
+}
+
+}  // namespace
+}  // namespace resilience::core

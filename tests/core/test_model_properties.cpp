@@ -1,0 +1,128 @@
+// Randomized property tests of the model algebra: for arbitrary valid
+// campaign statistics, predictions must be well-formed probability
+// distributions and respect the model's structural identities.
+#include <gtest/gtest.h>
+
+#include "core/model.hpp"
+#include "util/rng.hpp"
+
+namespace resilience::core {
+namespace {
+
+harness::FaultInjectionResult random_result(util::Xoshiro256& rng,
+                                            std::size_t trials) {
+  harness::FaultInjectionResult r;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const double u = rng.uniform01();
+    r.add(u < 0.6   ? harness::Outcome::Success
+          : u < 0.9 ? harness::Outcome::SDC
+                    : harness::Outcome::Failure);
+  }
+  return r;
+}
+
+struct Inputs {
+  SerialSweep sweep;
+  SmallScaleObservation small;
+};
+
+Inputs random_inputs(std::uint64_t seed, int p, int s) {
+  util::Xoshiro256 rng(seed);
+  Inputs in;
+  in.sweep.large_p = p;
+  in.sweep.sample_x = SerialSweep::sample_points(p, s);
+  for (int i = 0; i < s; ++i) {
+    in.sweep.results.push_back(random_result(rng, 100));
+  }
+  in.small.nranks = s;
+  in.small.conditional.resize(static_cast<std::size_t>(s));
+  std::size_t total = 0;
+  for (int g = 0; g < s; ++g) {
+    // Some groups may be unobserved (zero trials), as in real campaigns.
+    const std::size_t trials = rng.uniform_below(3) == 0
+                                   ? 0
+                                   : 20 + rng.uniform_below(80);
+    in.small.conditional[static_cast<std::size_t>(g)] =
+        random_result(rng, trials);
+    total += trials;
+  }
+  // Guarantee at least one observed group.
+  if (total == 0) {
+    in.small.conditional[0] = random_result(rng, 50);
+    total = 50;
+  }
+  in.small.propagation.nranks = s;
+  in.small.propagation.r.assign(static_cast<std::size_t>(s), 0.0);
+  for (int g = 0; g < s; ++g) {
+    in.small.overall.merge(in.small.conditional[static_cast<std::size_t>(g)]);
+    in.small.propagation.r[static_cast<std::size_t>(g)] =
+        static_cast<double>(
+            in.small.conditional[static_cast<std::size_t>(g)].trials) /
+        static_cast<double>(total);
+  }
+  return in;
+}
+
+class ModelFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ModelFuzz, PredictionsAreProbabilityDistributions) {
+  for (const auto [p, s] : {std::pair{64, 4}, std::pair{64, 8},
+                            std::pair{32, 8}, std::pair{16, 2}}) {
+    const Inputs in = random_inputs(GetParam() * 1000 + static_cast<std::uint64_t>(p) + static_cast<std::uint64_t>(s), p, s);
+    const ResiliencePredictor predictor(in.sweep, in.small, {});
+    const auto pred = predictor.predict(p);
+    for (const Rates& rates : {pred.common, pred.combined}) {
+      EXPECT_GE(rates.success, -1e-12);
+      EXPECT_GE(rates.sdc, -1e-12);
+      EXPECT_GE(rates.failure, -1e-12);
+      EXPECT_LE(rates.success + rates.sdc + rates.failure, 1.0 + 1e-9);
+    }
+    // Propagation weights sum to 1, so the rates sum to exactly 1 when
+    // every observed group contributes (a distribution in, a
+    // distribution out).
+    EXPECT_NEAR(pred.common.success + pred.common.sdc + pred.common.failure,
+                1.0, 1e-9);
+  }
+}
+
+TEST_P(ModelFuzz, FineTuneNeverWorsensAgainstSmallScale) {
+  // By construction, fine-tuned group rates equal the small-scale
+  // conditional rates; the weighted prediction therefore matches the
+  // small scale's overall success exactly when projected at S == groups.
+  const Inputs in = random_inputs(GetParam() ^ 0xabcdef, 64, 8);
+  PredictorOptions force;
+  force.fine_tune_threshold = -1.0;  // always fine-tune
+  const ResiliencePredictor predictor(in.sweep, in.small, force);
+  const auto pred = predictor.predict(64);
+  EXPECT_TRUE(pred.fine_tuned);
+  double expected = 0.0;
+  for (int g = 0; g < 8; ++g) {
+    const auto& cond = in.small.conditional[static_cast<std::size_t>(g)];
+    const double weight = in.small.propagation.r[static_cast<std::size_t>(g)];
+    const double rate = cond.trials > 0
+                            ? cond.success_rate()
+                            : in.sweep.results[static_cast<std::size_t>(g)]
+                                  .success_rate();
+    expected += weight * rate;
+  }
+  EXPECT_NEAR(pred.common.success, expected, 1e-9);
+}
+
+TEST_P(ModelFuzz, RescaleIsConsistentWithGroupMapping) {
+  const Inputs in = random_inputs(GetParam() + 17, 64, 4);
+  for (int target : {4, 8, 16, 32, 64}) {
+    const auto rescaled = rescale_sweep(in.sweep, target);
+    ASSERT_EQ(rescaled.sample_x.size(), 4u);
+    for (std::size_t i = 0; i < rescaled.sample_x.size(); ++i) {
+      EXPECT_DOUBLE_EQ(
+          rescaled.results[i].success_rate(),
+          in.sweep.result_for(rescaled.sample_x[i]).success_rate());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace resilience::core

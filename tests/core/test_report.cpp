@@ -1,0 +1,69 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "apps/app.hpp"
+
+namespace resilience::core {
+namespace {
+
+StudyResult small_study() {
+  const auto app = apps::make_app(apps::AppId::LU);
+  StudyConfig cfg;
+  cfg.small_p = 2;
+  cfg.large_p = 4;
+  cfg.trials = 15;
+  return run_study(*app, cfg);
+}
+
+TEST(Report, ContainsAllSections) {
+  const auto study = small_study();
+  const std::string md = render_report("LU (W)", study);
+  EXPECT_NE(md.find("# Resilience prediction report: LU (W)"),
+            std::string::npos);
+  EXPECT_NE(md.find("## Serial sweeps"), std::string::npos);
+  EXPECT_NE(md.find("## Small-scale propagation"), std::string::npos);
+  EXPECT_NE(md.find("## Model decisions"), std::string::npos);
+  EXPECT_NE(md.find("## Prediction"), std::string::npos);
+  EXPECT_NE(md.find("FI_par (Eq. 1)"), std::string::npos);
+  EXPECT_NE(md.find("measured ("), std::string::npos);
+  EXPECT_NE(md.find("Success prediction error"), std::string::npos);
+  EXPECT_NE(md.find("## Cost"), std::string::npos);
+}
+
+TEST(Report, OmitsValidationWhenNotMeasured) {
+  const auto app = apps::make_app(apps::AppId::LU);
+  StudyConfig cfg;
+  cfg.small_p = 2;
+  cfg.large_p = 4;
+  cfg.trials = 10;
+  cfg.measure_large = false;
+  const auto study = run_study(*app, cfg);
+  const std::string md = render_report("LU (W)", study);
+  EXPECT_EQ(md.find("measured ("), std::string::npos);
+  EXPECT_EQ(md.find("Success prediction error"), std::string::npos);
+}
+
+TEST(Report, WritesToFile) {
+  const auto study = small_study();
+  const std::string path = ::testing::TempDir() + "/resilience_report_test.md";
+  write_report(path, "LU (W)", study);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_EQ(first_line, "# Resilience prediction report: LU (W)");
+  std::remove(path.c_str());
+}
+
+TEST(Report, BadPathThrows) {
+  const auto study = small_study();
+  EXPECT_THROW(write_report("/nonexistent_dir_xyz/report.md", "LU", study),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace resilience::core

@@ -1,0 +1,69 @@
+#include "core/similarity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace resilience::core {
+namespace {
+
+PropagationProfile profile(int nranks, std::vector<double> r) {
+  PropagationProfile p;
+  p.nranks = nranks;
+  p.r = std::move(r);
+  return p;
+}
+
+TEST(GroupPropagation, MatchesFigure1cConstruction) {
+  // 64 propagation cases evenly split into 8 groups of 8 (Figure 1c).
+  std::vector<double> large(64, 0.0);
+  large[0] = 0.77;   // one rank contaminated
+  large[63] = 0.22;  // all 64 contaminated
+  large[31] = 0.01;
+  const auto grouped = group_propagation(large, 8);
+  ASSERT_EQ(grouped.size(), 8u);
+  EXPECT_DOUBLE_EQ(grouped[0], 0.77);
+  EXPECT_DOUBLE_EQ(grouped[3], 0.01);
+  EXPECT_DOUBLE_EQ(grouped[7], 0.22);
+}
+
+TEST(GroupPropagation, RejectsUnevenSplit) {
+  EXPECT_THROW(group_propagation(std::vector<double>(10), 4),
+               std::invalid_argument);
+  EXPECT_THROW(group_propagation({}, 1), std::invalid_argument);
+}
+
+TEST(PropagationSimilarity, IdenticalShapesScoreNearOne) {
+  // Small scale bimodal at {1, 8}; large scale bimodal at {1, 64} with the
+  // same proportions: the paper's 8V64 case.
+  const auto small = profile(8, {0.77, 0, 0, 0, 0, 0, 0.01, 0.22});
+  std::vector<double> large_r(64, 0.0);
+  large_r[0] = 0.75;
+  large_r[55] = 0.01;
+  large_r[63] = 0.24;
+  const auto large = profile(64, large_r);
+  EXPECT_GT(propagation_similarity(small, large), 0.99);
+}
+
+TEST(PropagationSimilarity, DissimilarShapesScoreLow) {
+  // The paper's CG 4V64 anomaly: the small scale almost always propagates
+  // to everyone, the large scale almost never does.
+  const auto small = profile(4, {0.02, 0.0, 0.0, 0.98});
+  std::vector<double> large_r(64, 0.0);
+  large_r[0] = 0.95;
+  large_r[63] = 0.05;
+  const auto large = profile(64, large_r);
+  EXPECT_LT(propagation_similarity(small, large), 0.3);
+}
+
+TEST(PropagationSimilarity, RequiresCompatibleScales) {
+  const auto small = profile(3, {1.0, 0.0, 0.0});
+  const auto large = profile(64, std::vector<double>(64, 1.0 / 64));
+  EXPECT_THROW(propagation_similarity(small, large), std::invalid_argument);
+}
+
+TEST(PropagationSimilarity, SelfSimilarityIsOne) {
+  const auto p = profile(8, {0.5, 0.1, 0.05, 0.05, 0.05, 0.05, 0.1, 0.1});
+  EXPECT_NEAR(propagation_similarity(p, p), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace resilience::core

@@ -1,0 +1,87 @@
+#include "core/study.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+
+namespace resilience::core {
+namespace {
+
+TEST(Study, EndToEndPipelineProducesPrediction) {
+  const auto app = apps::make_app(apps::AppId::LU);
+  StudyConfig cfg;
+  cfg.small_p = 2;
+  cfg.large_p = 8;
+  cfg.trials = 30;
+  const auto study = run_study(*app, cfg);
+  ASSERT_TRUE(study.measured_large.has_value());
+  EXPECT_EQ(study.sweep.sample_x, (std::vector<int>{1, 8}));
+  EXPECT_EQ(study.sweep.results.size(), 2u);
+  // A prediction is a rate.
+  EXPECT_GE(study.predicted_success(), 0.0);
+  EXPECT_LE(study.predicted_success(), 1.0 + 1e-9);
+  EXPECT_GE(study.measured_success(), 0.0);
+  // Sanity: the model should not be wildly wrong even at tiny trial counts.
+  EXPECT_LT(study.success_error(), 0.5);
+  EXPECT_GT(study.serial_injection_seconds, 0.0);
+  EXPECT_GT(study.small_injection_seconds, 0.0);
+}
+
+TEST(Study, DeterministicInSeed) {
+  const auto app = apps::make_app(apps::AppId::LU);
+  StudyConfig cfg;
+  cfg.small_p = 2;
+  cfg.large_p = 4;
+  cfg.trials = 15;
+  cfg.seed = 42;
+  const auto a = run_study(*app, cfg);
+  const auto b = run_study(*app, cfg);
+  EXPECT_EQ(a.predicted_success(), b.predicted_success());
+  EXPECT_EQ(a.measured_success(), b.measured_success());
+}
+
+TEST(Study, MeasureLargeCanBeSkipped) {
+  const auto app = apps::make_app(apps::AppId::LU);
+  StudyConfig cfg;
+  cfg.small_p = 2;
+  cfg.large_p = 4;
+  cfg.trials = 10;
+  cfg.measure_large = false;
+  const auto study = run_study(*app, cfg);
+  EXPECT_FALSE(study.measured_large.has_value());
+  EXPECT_EQ(study.large_injection_seconds, 0.0);
+  EXPECT_EQ(study.success_error(), 0.0);
+}
+
+TEST(Study, FtEngagesUniqueTerm) {
+  const auto app = apps::make_app(apps::AppId::FT);
+  StudyConfig cfg;
+  cfg.small_p = 4;
+  cfg.large_p = 8;
+  cfg.trials = 15;
+  cfg.measure_large = false;
+  const auto study = run_study(*app, cfg);
+  // FT's transpose work exceeds the threshold, so prob_unique is modeled.
+  EXPECT_GT(study.prob_unique, cfg.unique_fraction_threshold);
+}
+
+TEST(Study, RejectsIncompatibleScales) {
+  const auto app = apps::make_app(apps::AppId::LU);
+  StudyConfig cfg;
+  cfg.small_p = 3;
+  cfg.large_p = 8;
+  EXPECT_THROW(run_study(*app, cfg), std::invalid_argument);
+  cfg.small_p = 0;
+  EXPECT_THROW(run_study(*app, cfg), std::invalid_argument);
+}
+
+TEST(Study, RejectsUnsupportedApp) {
+  const auto app = apps::make_app(apps::AppId::FT);  // needs p | 64
+  StudyConfig cfg;
+  cfg.small_p = 5;
+  cfg.large_p = 10;
+  EXPECT_THROW(run_study(*app, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace resilience::core

@@ -1,0 +1,234 @@
+#include "fsefi/fault_context.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsefi/real.hpp"
+
+namespace resilience::fsefi {
+namespace {
+
+/// Fixture installing a fresh context on the test thread.
+class ContextTest : public ::testing::Test {
+ protected:
+  void SetUp() override { install_context(&ctx_); }
+  void TearDown() override { install_context(nullptr); }
+  FaultContext ctx_;
+};
+
+TEST_F(ContextTest, CountsOpsByKind) {
+  const Real a = 2.0, b = 3.0;
+  (void)(a + b);
+  (void)(a + b);
+  (void)(a - b);
+  (void)(a * b);
+  (void)(a / b);
+  (void)sqrt(a);
+  const auto& prof = ctx_.profile();
+  const int common = static_cast<int>(Region::Common);
+  EXPECT_EQ(prof.counts[common][static_cast<int>(OpKind::Add)], 2u);
+  EXPECT_EQ(prof.counts[common][static_cast<int>(OpKind::Sub)], 1u);
+  EXPECT_EQ(prof.counts[common][static_cast<int>(OpKind::Mul)], 1u);
+  EXPECT_EQ(prof.counts[common][static_cast<int>(OpKind::Div)], 1u);
+  EXPECT_EQ(prof.counts[common][static_cast<int>(OpKind::Sqrt)], 1u);
+  EXPECT_EQ(ctx_.ops_total(), 6u);
+  EXPECT_EQ(prof.total(), 6u);
+}
+
+TEST_F(ContextTest, UncountedOperationsStayUncounted) {
+  const Real a = -2.0;
+  (void)(-a);
+  (void)abs(a);
+  (void)(a < Real(0.0));
+  (void)min(a, Real(1.0));
+  EXPECT_EQ(ctx_.ops_total(), 0u);
+}
+
+TEST_F(ContextTest, RegionScopeAttributesOps) {
+  const Real a = 1.0, b = 2.0;
+  (void)(a + b);  // common
+  {
+    RegionScope unique(Region::ParallelUnique);
+    EXPECT_EQ(ctx_.current_region(), Region::ParallelUnique);
+    (void)(a * b);
+    (void)(a * b);
+  }
+  EXPECT_EQ(ctx_.current_region(), Region::Common);
+  (void)(a + b);  // common again
+  const auto& prof = ctx_.profile();
+  EXPECT_EQ(prof.in_region(Region::Common), 2u);
+  EXPECT_EQ(prof.in_region(Region::ParallelUnique), 2u);
+}
+
+TEST_F(ContextTest, RegionScopesNest) {
+  {
+    RegionScope outer(Region::ParallelUnique);
+    {
+      RegionScope inner(Region::Common);
+      EXPECT_EQ(ctx_.current_region(), Region::Common);
+    }
+    EXPECT_EQ(ctx_.current_region(), Region::ParallelUnique);
+  }
+  EXPECT_EQ(ctx_.current_region(), Region::Common);
+}
+
+TEST_F(ContextTest, InjectsAtExactDynamicIndex) {
+  InjectionPlan plan;
+  plan.kinds = KindMask::AddMul;
+  plan.points = {{.op_index = 2, .operand = 0, .bit = 52}};  // third add/mul
+  ctx_.arm(std::move(plan));
+
+  Real acc = 0.0;
+  for (int i = 0; i < 5; ++i) acc += Real(1.0);  // adds 0..4; flip at #2
+  EXPECT_EQ(ctx_.injections_done(), 1u);
+  EXPECT_TRUE(ctx_.contaminated());
+  EXPECT_TRUE(acc.tainted());
+  // Bit 52 of the accumulator (value 2.0) doubles it to 4.0 at add #2:
+  // corrupted 4+1+1 = 6, shadow 2+1+1 = 4... trace the exact arithmetic:
+  EXPECT_DOUBLE_EQ(acc.shadow(), 5.0);
+  EXPECT_NE(acc.value(), acc.shadow());
+}
+
+TEST_F(ContextTest, KindFilterSkipsOtherOps) {
+  InjectionPlan plan;
+  plan.kinds = KindMask::Mul;  // only multiplies are eligible
+  plan.points = {{.op_index = 0, .operand = 0, .bit = 1}};
+  ctx_.arm(std::move(plan));
+
+  const Real a = 1.5, b = 2.5;
+  (void)(a + b);  // not eligible: no injection
+  EXPECT_EQ(ctx_.injections_done(), 0u);
+  (void)(a * b);  // first eligible op: injected
+  EXPECT_EQ(ctx_.injections_done(), 1u);
+}
+
+TEST_F(ContextTest, RegionFilterTargetsUniqueOnly) {
+  InjectionPlan plan;
+  plan.regions = RegionMask::ParallelUnique;
+  plan.points = {{.op_index = 0, .operand = 1, .bit = 3}};
+  ctx_.arm(std::move(plan));
+
+  const Real a = 1.0, b = 2.0;
+  (void)(a + b);  // common: skipped
+  EXPECT_EQ(ctx_.injections_done(), 0u);
+  {
+    RegionScope unique(Region::ParallelUnique);
+    (void)(a + b);  // first unique op: injected
+  }
+  EXPECT_EQ(ctx_.injections_done(), 1u);
+}
+
+TEST_F(ContextTest, MultiErrorPlanFiresAllPoints) {
+  InjectionPlan plan;
+  plan.points = {{.op_index = 1, .operand = 0, .bit = 5},
+                 {.op_index = 3, .operand = 1, .bit = 7},
+                 {.op_index = 4, .operand = 0, .bit = 9}};
+  ctx_.arm(std::move(plan));
+  const Real a = 1.0, b = 2.0;
+  for (int i = 0; i < 6; ++i) (void)(a + b);
+  EXPECT_EQ(ctx_.injections_done(), 3u);
+}
+
+TEST_F(ContextTest, TwoFlipsAtSameIndexBothFire) {
+  InjectionPlan plan;
+  plan.points = {{.op_index = 0, .operand = 0, .bit = 4},
+                 {.op_index = 0, .operand = 0, .bit = 4}};
+  ctx_.arm(std::move(plan));
+  const Real a = 1.0, b = 2.0;
+  const Real r = a + b;
+  EXPECT_EQ(ctx_.injections_done(), 2u);
+  // Double flip of the same bit cancels: no corruption in the result.
+  EXPECT_FALSE(r.tainted());
+  // ...but the injected rank still counts as contaminated (it was hit).
+  EXPECT_TRUE(ctx_.contaminated());
+}
+
+TEST_F(ContextTest, UnsortedPlanRejected) {
+  InjectionPlan plan;
+  plan.points = {{.op_index = 5}, {.op_index = 2}};
+  EXPECT_THROW(ctx_.arm(std::move(plan)), std::invalid_argument);
+}
+
+TEST_F(ContextTest, OpBudgetThrowsHang) {
+  ctx_.set_op_budget(10);
+  const Real a = 1.0, b = 2.0;
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 100; ++i) (void)(a + b);
+      },
+      HangBudgetExceeded);
+  EXPECT_LE(ctx_.ops_total(), 11u);
+}
+
+TEST_F(ContextTest, ZeroBudgetDisablesGuard) {
+  ctx_.set_op_budget(0);
+  const Real a = 1.0, b = 2.0;
+  for (int i = 0; i < 1000; ++i) (void)(a + b);
+  EXPECT_EQ(ctx_.ops_total(), 1000u);
+}
+
+TEST_F(ContextTest, ResetClearsEverything) {
+  InjectionPlan plan;
+  plan.points = {{.op_index = 0}};
+  ctx_.arm(std::move(plan));
+  (void)(Real(1.0) + Real(2.0));
+  EXPECT_TRUE(ctx_.contaminated());
+  ctx_.reset();
+  EXPECT_FALSE(ctx_.contaminated());
+  EXPECT_EQ(ctx_.ops_total(), 0u);
+  EXPECT_EQ(ctx_.injections_done(), 0u);
+  (void)(Real(1.0) + Real(2.0));
+  EXPECT_FALSE(ctx_.contaminated());  // plan is gone
+}
+
+TEST_F(ContextTest, FirstContaminationOpRecorded) {
+  InjectionPlan plan;
+  plan.points = {{.op_index = 4, .operand = 0, .bit = 10}};
+  ctx_.arm(std::move(plan));
+  const Real a = 1.0, b = 2.0;
+  for (int i = 0; i < 10; ++i) (void)(a + b);
+  EXPECT_TRUE(ctx_.contaminated());
+  EXPECT_EQ(ctx_.first_contamination_op(), 5u);  // during the 5th op
+}
+
+TEST_F(ContextTest, ExternalTaintMarksContamination) {
+  EXPECT_FALSE(ctx_.contaminated());
+  ctx_.note_external_taint();
+  EXPECT_TRUE(ctx_.contaminated());
+}
+
+TEST_F(ContextTest, MatchingCountsRespectFilters) {
+  const Real a = 1.0, b = 2.0;
+  (void)(a + b);
+  (void)(a * b);
+  (void)(a / b);
+  {
+    RegionScope unique(Region::ParallelUnique);
+    (void)(a + b);
+  }
+  const auto& prof = ctx_.profile();
+  EXPECT_EQ(prof.matching(KindMask::AddMul, RegionMask::All), 3u);
+  EXPECT_EQ(prof.matching(KindMask::AddMul, RegionMask::Common), 2u);
+  EXPECT_EQ(prof.matching(KindMask::All, RegionMask::All), 4u);
+  EXPECT_EQ(prof.matching(KindMask::Div, RegionMask::All), 1u);
+  EXPECT_EQ(prof.matching(KindMask::None, RegionMask::All), 0u);
+}
+
+TEST(ContextFree, OpsWithoutContextAreUninstrumented) {
+  ASSERT_EQ(current_context(), nullptr);
+  const Real r = Real(1.0) + Real(2.0);
+  EXPECT_DOUBLE_EQ(r.value(), 3.0);
+}
+
+TEST(ContextGuardTest, InstallsAndRestores) {
+  FaultContext outer, inner;
+  install_context(&outer);
+  {
+    ContextGuard guard(&inner);
+    EXPECT_EQ(current_context(), &inner);
+  }
+  EXPECT_EQ(current_context(), &outer);
+  install_context(nullptr);
+}
+
+}  // namespace
+}  // namespace resilience::fsefi

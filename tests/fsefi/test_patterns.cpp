@@ -1,0 +1,122 @@
+// Tests for the extended fault model: multi-bit flips, burst flips, and
+// the injection event trace.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "fsefi/real.hpp"
+#include "harness/campaign.hpp"
+
+namespace resilience::fsefi {
+namespace {
+
+TEST(FlipBits, WidthOneMatchesFlipBit) {
+  for (int bit : {0, 13, 52, 63}) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(flip_bits(1.5, bit, 1)),
+              std::bit_cast<std::uint64_t>(flip_bit(1.5, bit)));
+  }
+}
+
+TEST(FlipBits, BurstTogglesAdjacentRange) {
+  const double v = 3.25;
+  const auto before = std::bit_cast<std::uint64_t>(v);
+  const auto after = std::bit_cast<std::uint64_t>(flip_bits(v, 8, 4));
+  EXPECT_EQ(before ^ after, 0xFULL << 8);
+}
+
+TEST(FlipBits, ClipsAtBit63) {
+  const auto before = std::bit_cast<std::uint64_t>(1.0);
+  const auto after = std::bit_cast<std::uint64_t>(flip_bits(1.0, 62, 4));
+  EXPECT_EQ(before ^ after, (1ULL << 62) | (1ULL << 63));
+}
+
+TEST(FlipBits, SelfInverse) {
+  const double once = flip_bits(2.75, 20, 3);
+  EXPECT_DOUBLE_EQ(flip_bits(once, 20, 3), 2.75);
+}
+
+TEST(FaultPatternNames, AllNamed) {
+  EXPECT_STREQ(to_string(FaultPattern::SingleBit), "single-bit");
+  EXPECT_STREQ(to_string(FaultPattern::DoubleBit), "double-bit");
+  EXPECT_STREQ(to_string(FaultPattern::Burst4), "burst-4");
+}
+
+class PatternContextTest : public ::testing::Test {
+ protected:
+  void SetUp() override { install_context(&ctx_); }
+  void TearDown() override { install_context(nullptr); }
+  FaultContext ctx_;
+};
+
+TEST_F(PatternContextTest, BurstPointFlipsFourBits) {
+  InjectionPlan plan;
+  plan.points = {{.op_index = 0, .operand = 0, .bit = 4, .width = 4}};
+  ctx_.arm(std::move(plan));
+  Real a = 1.0, b = 0.0;
+  const Real r = a + b;
+  ASSERT_EQ(ctx_.injection_events().size(), 1u);
+  const auto& ev = ctx_.injection_events()[0];
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(ev.value_before) ^
+                std::bit_cast<std::uint64_t>(ev.value_after),
+            0xFULL << 4);
+  EXPECT_TRUE(r.tainted());
+}
+
+TEST_F(PatternContextTest, EventTraceRecordsWhatHappened) {
+  InjectionPlan plan;
+  plan.kinds = KindMask::Mul;
+  plan.points = {{.op_index = 1, .operand = 1, .bit = 52, .width = 1}};
+  ctx_.arm(std::move(plan));
+  const Real a = 3.0, b = 2.0;
+  (void)(a + b);  // uncounted by the filter
+  (void)(a * b);  // filtered op 0
+  (void)(a * b);  // filtered op 1: injected, operand b, bit 52 (2 -> 4)
+  ASSERT_EQ(ctx_.injection_events().size(), 1u);
+  const auto& ev = ctx_.injection_events()[0];
+  EXPECT_EQ(ev.op_filtered, 1u);
+  EXPECT_EQ(ev.kind, OpKind::Mul);
+  EXPECT_EQ(ev.region, Region::Common);
+  EXPECT_EQ(ev.operand, 1);
+  EXPECT_EQ(ev.bit, 52);
+  EXPECT_DOUBLE_EQ(ev.value_before, 2.0);
+  EXPECT_DOUBLE_EQ(ev.value_after, 4.0);
+  EXPECT_EQ(ev.op_total, 3u);  // the third instrumented op overall
+}
+
+TEST_F(PatternContextTest, ResetClearsEvents) {
+  InjectionPlan plan;
+  plan.points = {{.op_index = 0}};
+  ctx_.arm(std::move(plan));
+  (void)(Real(1.0) + Real(1.0));
+  EXPECT_EQ(ctx_.injection_events().size(), 1u);
+  ctx_.reset();
+  EXPECT_TRUE(ctx_.injection_events().empty());
+}
+
+TEST(PatternCampaign, DoubleBitInjectsTwoFlipsPerError) {
+  const auto app = apps::make_app(apps::AppId::LU);
+  harness::DeploymentConfig cfg;
+  cfg.nranks = 1;
+  cfg.trials = 10;
+  cfg.pattern = FaultPattern::DoubleBit;
+  const auto result = harness::CampaignRunner::run(*app, cfg);
+  EXPECT_EQ(result.overall.trials, 10u);
+}
+
+TEST(PatternCampaign, PatternsShiftTheOutcomeDistribution) {
+  // Wider faults corrupt more aggressively: burst-4 success should not
+  // exceed single-bit success by more than noise.
+  const auto app = apps::make_app(apps::AppId::CG);
+  harness::DeploymentConfig cfg;
+  cfg.nranks = 1;
+  cfg.trials = 80;
+  cfg.pattern = FaultPattern::SingleBit;
+  const auto single = harness::CampaignRunner::run(*app, cfg);
+  cfg.pattern = FaultPattern::Burst4;
+  const auto burst = harness::CampaignRunner::run(*app, cfg);
+  EXPECT_LE(burst.overall.success_rate(),
+            single.overall.success_rate() + 0.15);
+}
+
+}  // namespace
+}  // namespace resilience::fsefi

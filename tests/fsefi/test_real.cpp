@@ -1,0 +1,147 @@
+#include "fsefi/real.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace resilience::fsefi {
+namespace {
+
+// These tests run without an installed FaultContext: Real must behave
+// exactly like double and keep its shadow in lockstep.
+
+TEST(Real, ArithmeticMatchesDouble) {
+  const Real a = 3.5, b = -1.25;
+  EXPECT_DOUBLE_EQ((a + b).value(), 2.25);
+  EXPECT_DOUBLE_EQ((a - b).value(), 4.75);
+  EXPECT_DOUBLE_EQ((a * b).value(), -4.375);
+  EXPECT_DOUBLE_EQ((a / b).value(), -2.8);
+  EXPECT_DOUBLE_EQ(sqrt(Real(2.0)).value(), std::sqrt(2.0));
+}
+
+TEST(Real, CompoundAssignments) {
+  Real x = 10.0;
+  x += 5.0;
+  EXPECT_DOUBLE_EQ(x.value(), 15.0);
+  x -= 3.0;
+  EXPECT_DOUBLE_EQ(x.value(), 12.0);
+  x *= 2.0;
+  EXPECT_DOUBLE_EQ(x.value(), 24.0);
+  x /= 4.0;
+  EXPECT_DOUBLE_EQ(x.value(), 6.0);
+}
+
+TEST(Real, UntaintedByDefault) {
+  const Real a = 1.0;
+  EXPECT_FALSE(a.tainted());
+  EXPECT_FALSE((a * 2.0 + 3.0).tainted());
+  EXPECT_DOUBLE_EQ(a.shadow(), a.value());
+}
+
+TEST(Real, CorruptedCarriesDivergence) {
+  const Real c = Real::corrupted(2.0, 1.0);
+  EXPECT_TRUE(c.tainted());
+  EXPECT_DOUBLE_EQ(c.value(), 2.0);
+  EXPECT_DOUBLE_EQ(c.shadow(), 1.0);
+}
+
+TEST(Real, ShadowPropagatesThroughArithmetic) {
+  const Real c = Real::corrupted(2.0, 1.0);
+  const Real r = c * 3.0 + 1.0;
+  EXPECT_DOUBLE_EQ(r.value(), 7.0);
+  EXPECT_DOUBLE_EQ(r.shadow(), 4.0);
+  EXPECT_TRUE(r.tainted());
+}
+
+TEST(Real, CorruptionCancelsWhenValuesReconverge) {
+  // 0 * corrupted is 0 in both executions: the corruption is absorbed,
+  // exactly as a memory-diffing injector would observe.
+  const Real c = Real::corrupted(2.0, 1.0);
+  const Real r = c * 0.0;
+  EXPECT_FALSE(r.tainted());
+}
+
+TEST(Real, RoundingAbsorptionClearsTaint) {
+  // A divergence far below the accumulator's ulp disappears when added.
+  const Real small = Real::corrupted(1e-40, 1.1e-40);
+  const Real acc = Real(1.0) + small;
+  EXPECT_FALSE(acc.tainted());
+  EXPECT_DOUBLE_EQ(acc.value(), 1.0);
+}
+
+TEST(Real, UntaintedCollapsesShadow) {
+  const Real c = Real::corrupted(2.0, 1.0);
+  const Real u = c.untainted();
+  EXPECT_FALSE(u.tainted());
+  EXPECT_DOUBLE_EQ(u.value(), 2.0);
+  EXPECT_DOUBLE_EQ(u.shadow(), 2.0);
+}
+
+TEST(Real, ComparisonsFollowCorruptedValue) {
+  const Real c = Real::corrupted(5.0, 1.0);
+  EXPECT_TRUE(c > Real(4.0));   // primary 5 > 4 even though shadow is 1
+  EXPECT_FALSE(c < Real(4.0));
+  EXPECT_TRUE(c == Real(5.0));
+  EXPECT_TRUE(c != Real(1.0));
+  EXPECT_TRUE(c >= Real(5.0));
+  EXPECT_TRUE(c <= Real(5.0));
+}
+
+TEST(Real, NegationAndAbs) {
+  const Real c = Real::corrupted(-3.0, -2.0);
+  EXPECT_DOUBLE_EQ((-c).value(), 3.0);
+  EXPECT_DOUBLE_EQ((-c).shadow(), 2.0);
+  EXPECT_DOUBLE_EQ(abs(c).value(), 3.0);
+  EXPECT_DOUBLE_EQ(abs(c).shadow(), 2.0);
+  EXPECT_TRUE(abs(c).tainted());
+}
+
+TEST(Real, MinMaxSelectByPrimary) {
+  const Real a = Real::corrupted(1.0, 100.0);  // primary small, shadow big
+  const Real b = 2.0;
+  EXPECT_DOUBLE_EQ(min(a, b).value(), 1.0);
+  EXPECT_DOUBLE_EQ(min(a, b).shadow(), 100.0);  // keeps its own shadow
+  EXPECT_DOUBLE_EQ(max(a, b).value(), 2.0);
+}
+
+TEST(Real, FiniteAndNanPredicates) {
+  EXPECT_TRUE(isfinite(Real(1.0)));
+  EXPECT_FALSE(isfinite(Real(1.0) / Real(0.0)));
+  EXPECT_TRUE(isnan(Real(0.0) / Real(0.0)));
+  EXPECT_FALSE(isnan(Real(3.0)));
+}
+
+TEST(Real, NanDoesNotSelfTaint) {
+  // NaN in both executions compares bit-equal: not corruption.
+  const Real n = Real(0.0) / Real(0.0);
+  EXPECT_FALSE(n.tainted());
+}
+
+TEST(FlipBit, TogglesExactlyOneBit) {
+  const double x = 1.0;
+  for (int bit = 0; bit < 64; ++bit) {
+    const double flipped = flip_bit(x, bit);
+    EXPECT_NE(std::bit_cast<std::uint64_t>(flipped),
+              std::bit_cast<std::uint64_t>(x));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(flip_bit(flipped, bit)),
+              std::bit_cast<std::uint64_t>(x));
+  }
+}
+
+TEST(FlipBit, SignBit) {
+  EXPECT_DOUBLE_EQ(flip_bit(1.0, 63), -1.0);
+}
+
+TEST(FlipBit, ClampsBitIndex) {
+  EXPECT_DOUBLE_EQ(flip_bit(1.0, 200), flip_bit(1.0, 63));
+  EXPECT_DOUBLE_EQ(flip_bit(1.0, -5), flip_bit(1.0, 0));
+}
+
+TEST(Real, ImplicitConversionFromLiteralsReadsNaturally) {
+  const Real x = 2.0;
+  const Real y = 3.0 * x + 1.0;  // double literals promote to Real
+  EXPECT_DOUBLE_EQ(y.value(), 7.0);
+}
+
+}  // namespace
+}  // namespace resilience::fsefi

@@ -1,0 +1,163 @@
+#include "fsefi/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "simmpi/runtime.hpp"
+
+namespace resilience::fsefi {
+namespace {
+
+using simmpi::Comm;
+using simmpi::Runtime;
+
+/// Helper running a 2..n-rank job with one FaultContext per rank.
+struct Job {
+  explicit Job(int nranks) : contexts(static_cast<std::size_t>(nranks)) {
+    for (auto& c : contexts) c = std::make_unique<FaultContext>();
+  }
+
+  simmpi::RunResult run(int nranks, const std::function<void(Comm&)>& body) {
+    simmpi::RunOptions opts;
+    opts.on_rank_start = [this](int rank) {
+      contexts[static_cast<std::size_t>(rank)]->reset();
+      install_context(contexts[static_cast<std::size_t>(rank)].get());
+    };
+    opts.on_rank_exit = [](int) { install_context(nullptr); };
+    return Runtime::run(nranks, body, opts);
+  }
+
+  [[nodiscard]] bool contaminated(int rank) const {
+    return contexts[static_cast<std::size_t>(rank)]->contaminated();
+  }
+
+  std::vector<std::unique_ptr<FaultContext>> contexts;
+};
+
+TEST(Transport, CorruptedPayloadContaminatesReceiver) {
+  Job job(2);
+  const auto result = job.run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const Real bad = Real::corrupted(2.0, 1.0);
+      comm.send_value(1, 0, bad);
+    } else {
+      (void)comm.recv_value<Real>(0, 0);
+    }
+  });
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(job.contaminated(1));
+}
+
+TEST(Transport, CleanPayloadDoesNotContaminate) {
+  Job job(2);
+  const auto result = job.run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 0, Real(1.5));
+    } else {
+      (void)comm.recv_value<Real>(0, 0);
+    }
+  });
+  EXPECT_TRUE(result.ok);
+  EXPECT_FALSE(job.contaminated(0));
+  EXPECT_FALSE(job.contaminated(1));
+}
+
+TEST(Transport, CorruptionSpreadsThroughAllreduce) {
+  Job job(4);
+  const auto result = job.run(4, [](Comm& comm) {
+    Real mine = Real(1.0);
+    if (comm.rank() == 2) mine = Real::corrupted(5.0, 1.0);
+    (void)comm.allreduce_value(mine);
+  });
+  EXPECT_TRUE(result.ok);
+  for (int r = 0; r < 4; ++r) EXPECT_TRUE(job.contaminated(r)) << "rank " << r;
+}
+
+TEST(Transport, AbsorbedCorruptionDoesNotSpread) {
+  Job job(2);
+  const auto result = job.run(2, [](Comm& comm) {
+    // The corruption is annihilated locally (times zero) before sending.
+    Real mine = Real(1.0);
+    if (comm.rank() == 0) {
+      mine = Real::corrupted(7.0, 3.0) * Real(0.0) + Real(1.0);
+    }
+    if (comm.rank() == 0) {
+      comm.send_value(1, 0, mine);
+    } else {
+      (void)comm.recv_value<Real>(0, 0);
+    }
+  });
+  EXPECT_TRUE(result.ok);
+  EXPECT_FALSE(job.contaminated(1));
+}
+
+TEST(Transport, ReduceCombineIsUninstrumented) {
+  // The combine adds inside allreduce are MPI-library arithmetic: ranks
+  // must not count them as application operations.
+  Job job(4);
+  const auto result = job.run(4, [](Comm& comm) {
+    (void)comm.allreduce_value(Real(1.0));
+  });
+  EXPECT_TRUE(result.ok);
+  for (const auto& ctx : job.contexts) {
+    EXPECT_EQ(ctx->ops_total(), 0u);
+  }
+}
+
+TEST(Transport, CorruptionStillFlowsThroughLibraryCombine) {
+  // Even though combines are uninstrumented, a corrupted contribution must
+  // corrupt the reduced value delivered to every rank.
+  Job job(3);
+  std::vector<int> tainted_result(3, 0);
+  const auto result = job.run(3, [&](Comm& comm) {
+    Real mine = Real(1.0);
+    if (comm.rank() == 1) mine = Real::corrupted(100.0, 1.0);
+    const Real sum = comm.allreduce_value(mine);
+    tainted_result[static_cast<std::size_t>(comm.rank())] = sum.tainted();
+  });
+  EXPECT_TRUE(result.ok);
+  for (int r = 0; r < 3; ++r) EXPECT_TRUE(tainted_result[static_cast<std::size_t>(r)]);
+}
+
+TEST(Transport, LibraryGuardSuspendsAndRestores) {
+  FaultContext ctx;
+  ContextGuard outer(&ctx);
+  {
+    simmpi::TransportTraits<Real>::LibraryGuard guard{};
+    EXPECT_EQ(current_context(), nullptr);
+    (void)(Real(1.0) + Real(2.0));  // uncounted
+  }
+  EXPECT_EQ(current_context(), &ctx);
+  EXPECT_EQ(ctx.ops_total(), 0u);
+  (void)(Real(1.0) + Real(2.0));
+  EXPECT_EQ(ctx.ops_total(), 1u);
+}
+
+TEST(Transport, InjectionInOneRankContaminatesDownstreamChain) {
+  // rank 0 -> rank 1 -> rank 2 pipeline; injection at rank 0 contaminates
+  // the whole chain through the forwarded values.
+  Job job(3);
+  const auto result = job.run(3, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      InjectionPlan plan;
+      plan.points = {{.op_index = 0, .operand = 0, .bit = 52}};
+      current_context()->arm(std::move(plan));
+      const Real v = Real(2.0) * Real(3.0);  // injected here
+      comm.send_value(1, 0, v);
+    } else {
+      const Real v = comm.recv_value<Real>(comm.rank() - 1, 0);
+      if (comm.rank() + 1 < comm.size()) {
+        comm.send_value(comm.rank() + 1, 0, v + Real(1.0));
+      }
+    }
+  });
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(job.contaminated(0));
+  EXPECT_TRUE(job.contaminated(1));
+  EXPECT_TRUE(job.contaminated(2));
+}
+
+}  // namespace
+}  // namespace resilience::fsefi

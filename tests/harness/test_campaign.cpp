@@ -1,0 +1,229 @@
+#include "harness/campaign.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+
+namespace resilience::harness {
+namespace {
+
+TEST(Classify, FailureWhenRuntimeFailed) {
+  RunOutput out;
+  out.runtime.ok = false;
+  EXPECT_EQ(CampaignRunner::classify(out, {1.0}, 1e-10), Outcome::Failure);
+}
+
+TEST(Classify, SuccessOnBitIdenticalOutput) {
+  RunOutput out;
+  out.runtime.ok = true;
+  out.result = apps::AppResult{.signature = {1.0, 2.0}, .iterations = 1};
+  EXPECT_EQ(CampaignRunner::classify(out, {1.0, 2.0}, 1e-10),
+            Outcome::Success);
+}
+
+TEST(Classify, SuccessWithinCheckerTolerance) {
+  RunOutput out;
+  out.runtime.ok = true;
+  out.result = apps::AppResult{.signature = {1.0 + 1e-12}, .iterations = 1};
+  EXPECT_EQ(CampaignRunner::classify(out, {1.0}, 1e-10), Outcome::Success);
+}
+
+TEST(Classify, SdcBeyondTolerance) {
+  RunOutput out;
+  out.runtime.ok = true;
+  out.result = apps::AppResult{.signature = {1.001}, .iterations = 1};
+  EXPECT_EQ(CampaignRunner::classify(out, {1.0}, 1e-10), Outcome::SDC);
+}
+
+TEST(Classify, NonFiniteOutputIsSdc) {
+  RunOutput out;
+  out.runtime.ok = true;
+  out.result = apps::AppResult{
+      .signature = {std::numeric_limits<double>::quiet_NaN()},
+      .iterations = 1};
+  EXPECT_EQ(CampaignRunner::classify(out, {1.0}, 1e-10), Outcome::SDC);
+}
+
+TEST(SignatureDeviation, RelativeAndInfinityCases) {
+  EXPECT_DOUBLE_EQ(signature_deviation({2.0}, {1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(signature_deviation({1.0, 4.0}, {1.0, 2.0}), 1.0);
+  EXPECT_TRUE(std::isinf(signature_deviation({1.0}, {1.0, 2.0})));
+  EXPECT_TRUE(std::isinf(
+      signature_deviation({std::numeric_limits<double>::infinity()}, {1.0})));
+}
+
+TEST(FaultInjectionResult, RatesAndMerge) {
+  FaultInjectionResult r;
+  r.add(Outcome::Success);
+  r.add(Outcome::Success);
+  r.add(Outcome::SDC);
+  r.add(Outcome::Failure);
+  EXPECT_EQ(r.trials, 4u);
+  EXPECT_DOUBLE_EQ(r.success_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(r.sdc_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(r.failure_rate(), 0.25);
+
+  FaultInjectionResult other;
+  other.add(Outcome::Success);
+  r.merge(other);
+  EXPECT_EQ(r.trials, 5u);
+  EXPECT_EQ(r.success, 3u);
+}
+
+TEST(FaultInjectionResult, EmptyRatesAreZero) {
+  const FaultInjectionResult r;
+  EXPECT_EQ(r.success_rate(), 0.0);
+  EXPECT_EQ(r.sdc_rate(), 0.0);
+  EXPECT_EQ(r.failure_rate(), 0.0);
+}
+
+TEST(Campaign, OutcomeCountsSumToTrials) {
+  const auto app = apps::make_app(apps::AppId::LU);
+  DeploymentConfig cfg;
+  cfg.nranks = 4;
+  cfg.trials = 40;
+  const auto result = CampaignRunner::run(*app, cfg);
+  EXPECT_EQ(result.overall.trials, 40u);
+  EXPECT_EQ(result.overall.success + result.overall.sdc +
+                result.overall.failure,
+            40u);
+  std::size_t hist_total = 0;
+  for (std::size_t c : result.contamination_hist) hist_total += c;
+  EXPECT_EQ(hist_total, 40u);
+  // No test can contaminate zero ranks: the injection itself contaminates.
+  EXPECT_EQ(result.contamination_hist[0], 0u);
+}
+
+TEST(Campaign, DeterministicInSeed) {
+  const auto app = apps::make_app(apps::AppId::LU);
+  DeploymentConfig cfg;
+  cfg.nranks = 2;
+  cfg.trials = 25;
+  cfg.seed = 777;
+  const auto a = CampaignRunner::run(*app, cfg);
+  const auto b = CampaignRunner::run(*app, cfg);
+  EXPECT_EQ(a.overall.success, b.overall.success);
+  EXPECT_EQ(a.overall.sdc, b.overall.sdc);
+  EXPECT_EQ(a.overall.failure, b.overall.failure);
+  EXPECT_EQ(a.contamination_hist, b.contamination_hist);
+}
+
+TEST(Campaign, DifferentSeedsDiffer) {
+  const auto app = apps::make_app(apps::AppId::LU);
+  DeploymentConfig cfg;
+  cfg.nranks = 2;
+  cfg.trials = 40;
+  cfg.seed = 1;
+  const auto a = CampaignRunner::run(*app, cfg);
+  cfg.seed = 2;
+  const auto b = CampaignRunner::run(*app, cfg);
+  // Statistically certain to differ somewhere.
+  EXPECT_TRUE(a.overall.success != b.overall.success ||
+              a.contamination_hist != b.contamination_hist);
+}
+
+TEST(Campaign, ConditionalResultsPartitionOverall) {
+  const auto app = apps::make_app(apps::AppId::LU);
+  DeploymentConfig cfg;
+  cfg.nranks = 4;
+  cfg.trials = 30;
+  const auto result = CampaignRunner::run(*app, cfg);
+  FaultInjectionResult merged;
+  for (const auto& cond : result.by_contamination) merged.merge(cond);
+  EXPECT_EQ(merged.trials, result.overall.trials);
+  EXPECT_EQ(merged.success, result.overall.success);
+}
+
+TEST(Campaign, PropagationProbabilitiesSumToOne) {
+  const auto app = apps::make_app(apps::AppId::MG);
+  DeploymentConfig cfg;
+  cfg.nranks = 4;
+  cfg.trials = 30;
+  const auto result = CampaignRunner::run(*app, cfg);
+  const auto r = result.propagation_probabilities();
+  ASSERT_EQ(r.size(), 4u);
+  double sum = 0.0;
+  for (double v : r) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Campaign, MultiErrorSerialDeploymentRuns) {
+  const auto app = apps::make_app(apps::AppId::LU);
+  DeploymentConfig cfg;
+  cfg.nranks = 1;
+  cfg.errors_per_test = 8;
+  cfg.trials = 20;
+  cfg.regions = fsefi::RegionMask::Common;
+  const auto result = CampaignRunner::run(*app, cfg);
+  EXPECT_EQ(result.overall.trials, 20u);
+}
+
+TEST(Campaign, MoreErrorsLowerSuccess) {
+  const auto app = apps::make_app(apps::AppId::CG);
+  DeploymentConfig one;
+  one.nranks = 1;
+  one.errors_per_test = 1;
+  one.trials = 60;
+  DeploymentConfig many = one;
+  many.errors_per_test = 32;
+  const auto r1 = CampaignRunner::run(*app, one);
+  const auto r32 = CampaignRunner::run(*app, many);
+  EXPECT_LE(r32.overall.success_rate(), r1.overall.success_rate());
+}
+
+TEST(Campaign, UniqueRegionDeploymentTargetsUniqueOps) {
+  const auto app = apps::make_app(apps::AppId::FT);
+  DeploymentConfig cfg;
+  cfg.nranks = 4;
+  cfg.trials = 10;
+  cfg.regions = fsefi::RegionMask::ParallelUnique;
+  const auto result = CampaignRunner::run(*app, cfg);
+  EXPECT_EQ(result.overall.trials, 10u);
+}
+
+TEST(Campaign, UniqueRegionOnSerialIsEmptySampleSpace) {
+  // Serial execution has no parallel-unique ops: the deployment is invalid.
+  const auto app = apps::make_app(apps::AppId::FT);
+  DeploymentConfig cfg;
+  cfg.nranks = 1;
+  cfg.regions = fsefi::RegionMask::ParallelUnique;
+  EXPECT_THROW(CampaignRunner::run(*app, cfg), std::runtime_error);
+}
+
+TEST(Campaign, UniformRankSelectionWorks) {
+  const auto app = apps::make_app(apps::AppId::LU);
+  DeploymentConfig cfg;
+  cfg.nranks = 4;
+  cfg.trials = 20;
+  cfg.selection = TargetSelection::UniformRank;
+  const auto result = CampaignRunner::run(*app, cfg);
+  EXPECT_EQ(result.overall.trials, 20u);
+}
+
+TEST(Campaign, RejectsZeroErrors) {
+  const auto app = apps::make_app(apps::AppId::LU);
+  DeploymentConfig cfg;
+  cfg.errors_per_test = 0;
+  EXPECT_THROW(CampaignRunner::run(*app, cfg), std::invalid_argument);
+}
+
+TEST(Campaign, GoldenIncludedInResult) {
+  const auto app = apps::make_app(apps::AppId::MG);
+  DeploymentConfig cfg;
+  cfg.nranks = 2;
+  cfg.trials = 5;
+  const auto result = CampaignRunner::run(*app, cfg);
+  EXPECT_FALSE(result.golden.signature.empty());
+  EXPECT_EQ(result.golden.profiles.size(), 2u);
+  EXPECT_GE(result.wall_seconds, 0.0);
+}
+
+TEST(OutcomeToString, AllValuesNamed) {
+  EXPECT_STREQ(to_string(Outcome::Success), "Success");
+  EXPECT_STREQ(to_string(Outcome::SDC), "SDC");
+  EXPECT_STREQ(to_string(Outcome::Failure), "Failure");
+}
+
+}  // namespace
+}  // namespace resilience::harness

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "harness/serialize.hpp"
+
+namespace resilience::harness {
+namespace {
+
+CampaignResult run_with_seed(std::uint64_t seed, std::size_t trials = 20) {
+  const auto app = apps::make_app(apps::AppId::LU);
+  DeploymentConfig cfg;
+  cfg.nranks = 4;
+  cfg.trials = trials;
+  cfg.seed = seed;
+  return CampaignRunner::run(*app, cfg);
+}
+
+TEST(MergeCampaigns, PoolsCountsAcrossSeeds) {
+  const auto a = run_with_seed(1);
+  const auto b = run_with_seed(2, 30);
+  const auto merged = merge_campaigns(a, b);
+  EXPECT_EQ(merged.overall.trials, 50u);
+  EXPECT_EQ(merged.overall.success, a.overall.success + b.overall.success);
+  EXPECT_EQ(merged.overall.sdc, a.overall.sdc + b.overall.sdc);
+  for (std::size_t x = 0; x < merged.contamination_hist.size(); ++x) {
+    EXPECT_EQ(merged.contamination_hist[x],
+              a.contamination_hist[x] + b.contamination_hist[x]);
+    EXPECT_EQ(merged.by_contamination[x].trials,
+              a.by_contamination[x].trials + b.by_contamination[x].trials);
+  }
+  EXPECT_DOUBLE_EQ(merged.wall_seconds, a.wall_seconds + b.wall_seconds);
+  // The pooled campaign still feeds the model coherently.
+  const auto r = merged.propagation_probabilities();
+  double sum = 0.0;
+  for (double v : r) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(MergeCampaigns, KeepsGoldenOfFirst) {
+  const auto a = run_with_seed(1);
+  const auto b = run_with_seed(2);
+  const auto merged = merge_campaigns(a, b);
+  EXPECT_EQ(merged.golden.signature, a.golden.signature);
+}
+
+TEST(MergeCampaigns, RejectsDifferentShapes) {
+  const auto a = run_with_seed(1);
+  auto b = run_with_seed(2);
+  b.config.nranks = 8;
+  EXPECT_THROW(merge_campaigns(a, b), simmpi::UsageError);
+
+  auto c = run_with_seed(3);
+  c.config.pattern = fsefi::FaultPattern::Burst4;
+  EXPECT_THROW(merge_campaigns(a, c), simmpi::UsageError);
+}
+
+TEST(MergeCampaigns, RejectsDifferentApplications) {
+  const auto a = run_with_seed(1);
+  const auto app = apps::make_app(apps::AppId::MG);
+  DeploymentConfig cfg;
+  cfg.nranks = 4;
+  cfg.trials = 10;
+  const auto other = CampaignRunner::run(*app, cfg);
+  EXPECT_THROW(merge_campaigns(a, other), simmpi::UsageError);
+}
+
+TEST(MergeCampaigns, SurvivesSerializationRoundTrip) {
+  const auto a = run_with_seed(1);
+  const auto b = run_with_seed(2);
+  const auto restored_a =
+      campaign_from_json(util::Json::parse(to_json(a).dump()));
+  const auto merged = merge_campaigns(restored_a, b);
+  EXPECT_EQ(merged.overall.trials, 40u);
+}
+
+}  // namespace
+}  // namespace resilience::harness

@@ -1,0 +1,108 @@
+#include "harness/runner.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "apps/pennant.hpp"
+
+namespace resilience::harness {
+namespace {
+
+TEST(Runner, ProfileCountsAreStable) {
+  const auto app = apps::make_app(apps::AppId::LU);
+  const auto a = profile_app(*app, 4);
+  const auto b = profile_app(*app, 4);
+  ASSERT_EQ(a.profiles.size(), 4u);
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(a.profiles[r].total(), b.profiles[r].total());
+    EXPECT_GT(a.profiles[r].total(), 0u);
+  }
+  EXPECT_EQ(a.max_rank_ops, b.max_rank_ops);
+}
+
+TEST(Runner, PlansMustMatchRankCount) {
+  const auto app = apps::make_app(apps::AppId::LU);
+  std::vector<fsefi::InjectionPlan> plans(3);  // wrong: job has 4 ranks
+  EXPECT_THROW(run_app_once(*app, 4, plans), simmpi::UsageError);
+}
+
+TEST(Runner, ArmedPlanInjectsAndContaminatesTarget) {
+  const auto app = apps::make_app(apps::AppId::LU);
+  std::vector<fsefi::InjectionPlan> plans(4);
+  plans[2].points = {{.op_index = 100, .operand = 0, .bit = 62}};  // exponent
+  const auto out = run_app_once(*app, 4, plans);
+  EXPECT_TRUE(out.contaminated[2]);
+  EXPECT_GE(out.contaminated_ranks(), 1);
+}
+
+TEST(Runner, ExponentFlipEarlyUsuallyChangesOutput) {
+  const auto app = apps::make_app(apps::AppId::CG);
+  const auto golden = profile_app(*app, 1);
+  std::vector<fsefi::InjectionPlan> plans(1);
+  plans[0].points = {{.op_index = 10, .operand = 0, .bit = 62}};
+  const auto out = run_app_once(*app, 1, plans);
+  if (out.runtime.ok) {
+    EXPECT_NE(out.result->signature, golden.signature);
+  }
+}
+
+TEST(Runner, LowBitFlipLateOftenLeavesOutputIdentical) {
+  const auto app = apps::make_app(apps::AppId::CG);
+  const auto golden = profile_app(*app, 1);
+  // Flip bit 0 of an operand in the last 1% of the run: almost always
+  // rounded away before it can reach the signature.
+  std::vector<fsefi::InjectionPlan> plans(1);
+  const auto target = golden.profiles[0].matching(fsefi::KindMask::AddMul,
+                                                  fsefi::RegionMask::All) -
+                      5;
+  plans[0].points = {{.op_index = target, .operand = 1, .bit = 0}};
+  const auto out = run_app_once(*app, 1, plans);
+  ASSERT_TRUE(out.runtime.ok);
+  // The run itself must have performed the injection.
+  EXPECT_TRUE(out.contaminated[0]);
+}
+
+TEST(Runner, OpBudgetTurnsRunawayIntoHang) {
+  const auto app = apps::make_app(apps::AppId::LU);
+  RunOptions opts;
+  opts.op_budget = 100;  // far below the real op count
+  const auto out = run_app_once(*app, 1, {}, opts);
+  EXPECT_FALSE(out.runtime.ok);
+  EXPECT_TRUE(out.hang);
+}
+
+TEST(Runner, GoldenRunFailureThrows) {
+  const auto app = apps::make_app(apps::AppId::PENNANT);
+  // PENNANT with an impossible step budget cannot produce a golden run.
+  apps::PennantApp::Config cfg =
+      apps::PennantApp::config_for_class("leblanc");
+  cfg.max_steps = 1;
+  const apps::PennantApp broken(cfg, "leblanc");
+  EXPECT_THROW(profile_app(broken, 1), std::runtime_error);
+}
+
+TEST(Runner, SerialProfileHasOneRank) {
+  const auto app = apps::make_app(apps::AppId::MG);
+  const auto golden = profile_app(*app, 1);
+  EXPECT_EQ(golden.profiles.size(), 1u);
+  EXPECT_EQ(golden.profiles[0].total(), golden.max_rank_ops);
+  EXPECT_EQ(golden.unique_fraction(), 0.0);
+}
+
+TEST(Runner, MatchingTotalHonorsFilters) {
+  const auto app = apps::make_app(apps::AppId::FT);
+  const auto golden = profile_app(*app, 4);
+  const auto all = golden.matching_total(fsefi::KindMask::All,
+                                         fsefi::RegionMask::All);
+  const auto addmul = golden.matching_total(fsefi::KindMask::AddMul,
+                                            fsefi::RegionMask::All);
+  const auto unique_only = golden.matching_total(
+      fsefi::KindMask::All, fsefi::RegionMask::ParallelUnique);
+  EXPECT_GT(all, addmul);   // FT has divisions (none? it has sqrt... adds/muls dominate)
+  EXPECT_GT(unique_only, 0u);
+  EXPECT_LT(unique_only, all);
+}
+
+}  // namespace
+}  // namespace resilience::harness

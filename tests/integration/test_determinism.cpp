@@ -1,0 +1,83 @@
+// Scheduling-independence stress tests: campaign results must be a pure
+// function of (app, config) regardless of how the OS interleaves the rank
+// threads. This is what makes every number in EXPERIMENTS.md exactly
+// reproducible, and what the profiling pre-pass's dynamic-op indices rely
+// on.
+#include <gtest/gtest.h>
+
+#include "harness/campaign.hpp"
+
+namespace resilience {
+namespace {
+
+using harness::CampaignRunner;
+using harness::DeploymentConfig;
+
+TEST(Determinism, SixteenRankCampaignIdenticalAcrossRepeats) {
+  const auto app = apps::make_app(apps::AppId::CG);
+  DeploymentConfig cfg;
+  cfg.nranks = 16;
+  cfg.trials = 30;
+  cfg.seed = 4242;
+  const auto first = CampaignRunner::run(*app, cfg);
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    const auto again = CampaignRunner::run(*app, cfg);
+    EXPECT_EQ(again.overall.success, first.overall.success);
+    EXPECT_EQ(again.overall.sdc, first.overall.sdc);
+    EXPECT_EQ(again.overall.failure, first.overall.failure);
+    EXPECT_EQ(again.contamination_hist, first.contamination_hist);
+    EXPECT_EQ(again.golden.signature, first.golden.signature);
+  }
+}
+
+TEST(Determinism, EveryAppGoldenStableAtEightRanks) {
+  for (const auto id : apps::all_app_ids()) {
+    const auto app = apps::make_app(id);
+    const auto a = harness::profile_app(*app, 8);
+    const auto b = harness::profile_app(*app, 8);
+    EXPECT_EQ(a.signature, b.signature) << app->label();
+    for (std::size_t r = 0; r < 8; ++r) {
+      // Per-rank dynamic op counts are the injection sample space: any
+      // scheduling sensitivity here would corrupt index targeting.
+      EXPECT_EQ(a.profiles[r].total(), b.profiles[r].total())
+          << app->label() << " rank " << r;
+      EXPECT_EQ(a.profiles[r].matching(fsefi::KindMask::AddMul,
+                                       fsefi::RegionMask::All),
+                b.profiles[r].matching(fsefi::KindMask::AddMul,
+                                       fsefi::RegionMask::All))
+          << app->label() << " rank " << r;
+    }
+  }
+}
+
+TEST(Determinism, InjectedRunReplaysExactly) {
+  // Re-running one trial's plan reproduces the identical outcome and
+  // contamination pattern — the debugging workflow the seeded design
+  // exists for.
+  const auto app = apps::make_app(apps::AppId::FT);
+  const auto golden = harness::profile_app(*app, 8);
+  std::vector<fsefi::InjectionPlan> plans(8);
+  plans[3].points = {{.op_index = 777, .operand = 1, .bit = 51}};
+  const auto a = harness::run_app_once(*app, 8, plans);
+  const auto b = harness::run_app_once(*app, 8, plans);
+  EXPECT_EQ(a.runtime.ok, b.runtime.ok);
+  EXPECT_EQ(a.contaminated, b.contaminated);
+  if (a.result && b.result) {
+    EXPECT_EQ(a.result->signature, b.result->signature);
+  }
+  EXPECT_EQ(
+      CampaignRunner::classify(a, golden.signature, app->checker_tolerance()),
+      CampaignRunner::classify(b, golden.signature, app->checker_tolerance()));
+}
+
+TEST(Determinism, Cg2dStableUnderThreadScheduling) {
+  // The 2D decomposition adds split communicators, transpose exchanges
+  // and merge traffic; repeat runs must still agree bit for bit.
+  const auto app = apps::make_app(apps::AppId::CG, "2D");
+  const auto a = harness::profile_app(*app, 16);
+  const auto b = harness::profile_app(*app, 16);
+  EXPECT_EQ(a.signature, b.signature);
+}
+
+}  // namespace
+}  // namespace resilience

@@ -1,0 +1,96 @@
+// Failure-injection coverage: plant faults engineered to drive each app
+// down its Failure paths (numerical guards, hang budget, mesh tangling)
+// and check the harness classifies them as the paper's Failure outcome.
+#include <gtest/gtest.h>
+
+#include "apps/pennant.hpp"
+#include "harness/campaign.hpp"
+
+namespace resilience {
+namespace {
+
+using harness::CampaignRunner;
+using harness::Outcome;
+
+/// Run one planted-fault trial and classify it.
+Outcome classify_planted(const apps::App& app, int nranks, int target_rank,
+                         fsefi::InjectionPlan plan,
+                         std::uint64_t op_budget = 0) {
+  const auto golden = harness::profile_app(app, nranks);
+  std::vector<fsefi::InjectionPlan> plans(static_cast<std::size_t>(nranks));
+  plans[static_cast<std::size_t>(target_rank)] = std::move(plan);
+  harness::RunOptions opts;
+  opts.op_budget = op_budget;
+  const auto out = harness::run_app_once(app, nranks, plans, opts);
+  return CampaignRunner::classify(out, golden.signature,
+                                  app.checker_tolerance());
+}
+
+TEST(FailurePaths, PennantSignBitStormTanglesTheMesh) {
+  // Flipping the sign bit of many operands early in the run reverses
+  // forces/velocities until a zone inverts: PENNANT's mesh-tangling guard
+  // turns this into an abort, classified as Failure.
+  const auto app = apps::make_app(apps::AppId::PENNANT);
+  fsefi::InjectionPlan plan;
+  for (std::uint64_t i = 0; i < 60; ++i) {
+    plan.points.push_back({100 + i * 2, 0, 63, 1});
+  }
+  const Outcome outcome = classify_planted(*app, 1, 0, std::move(plan));
+  EXPECT_EQ(outcome, Outcome::Failure);
+}
+
+TEST(FailurePaths, HangBudgetClassifiesAsFailure) {
+  const auto app = apps::make_app(apps::AppId::MG);
+  const Outcome outcome =
+      classify_planted(*app, 1, 0, fsefi::InjectionPlan{}, /*op_budget=*/500);
+  EXPECT_EQ(outcome, Outcome::Failure);
+}
+
+TEST(FailurePaths, ParallelAbortTearsDownAllRanks) {
+  // A planted hang budget on one rank of a parallel job must end the whole
+  // job (MPI_Abort semantics), not leave peers blocked.
+  const auto app = apps::make_app(apps::AppId::LU);
+  const auto golden = harness::profile_app(*app, 4);
+  std::vector<fsefi::InjectionPlan> plans(4);
+  harness::RunOptions opts;
+  opts.op_budget = 200;  // every rank trips quickly; first to trip aborts
+  const auto out = harness::run_app_once(*app, 4, plans, opts);
+  EXPECT_FALSE(out.runtime.ok);
+  EXPECT_TRUE(out.hang);
+  EXPECT_EQ(CampaignRunner::classify(out, golden.signature,
+                                     app->checker_tolerance()),
+            Outcome::Failure);
+}
+
+TEST(FailurePaths, CampaignWithAggressiveFaultsSeesFailures) {
+  // PENNANT under burst faults: its guards should convert some corrupted
+  // states into Failure outcomes within a modest campaign.
+  const auto app = apps::make_app(apps::AppId::PENNANT);
+  harness::DeploymentConfig cfg;
+  cfg.nranks = 1;
+  cfg.trials = 120;
+  cfg.errors_per_test = 4;
+  cfg.pattern = fsefi::FaultPattern::Burst4;
+  const auto result = CampaignRunner::run(*app, cfg);
+  EXPECT_GT(result.overall.failure, 0u)
+      << "expected at least one Failure among " << cfg.trials
+      << " aggressive multi-burst trials";
+}
+
+TEST(FailurePaths, PennantStepExplosionHitsTheStepBudget) {
+  // Corrupting dt-controlling values can push PENNANT into many tiny
+  // steps; the step/op budget must convert that into Failure, not an
+  // endless run. Use a tight op budget to emulate.
+  apps::PennantApp::Config cfg = apps::PennantApp::config_for_class("leblanc");
+  cfg.max_steps = 500;
+  const apps::PennantApp app(cfg, "leblanc");
+  const auto golden = harness::profile_app(app, 1);
+  std::vector<fsefi::InjectionPlan> plans(1);
+  harness::RunOptions opts;
+  opts.op_budget = golden.profiles[0].total() / 2;  // less than fault-free
+  const auto out = harness::run_app_once(app, 1, plans, opts);
+  EXPECT_TRUE(out.hang);
+}
+
+}  // namespace
+}  // namespace resilience

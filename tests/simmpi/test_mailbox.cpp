@@ -1,0 +1,109 @@
+// Direct unit tests of the mailbox transport primitive.
+#include "simmpi/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace resilience::simmpi {
+namespace {
+
+Envelope make_envelope(int source, int tag, std::size_t bytes = 8) {
+  Envelope env;
+  env.source = source;
+  env.tag = tag;
+  env.bytes.assign(bytes, std::byte{0x5a});
+  return env;
+}
+
+TEST(Mailbox, PopMatchesSourceAndTag) {
+  AbortToken abort;
+  Mailbox box(&abort, std::chrono::milliseconds(1000));
+  box.push(make_envelope(1, 10));
+  box.push(make_envelope(2, 20));
+  const Envelope got = box.pop_matching(2, 20);
+  EXPECT_EQ(got.source, 2);
+  EXPECT_EQ(got.tag, 20);
+  EXPECT_EQ(box.pending(), 1u);
+}
+
+TEST(Mailbox, WildcardsMatchAnything) {
+  AbortToken abort;
+  Mailbox box(&abort, std::chrono::milliseconds(1000));
+  box.push(make_envelope(3, 30));
+  EXPECT_EQ(box.pop_matching(kAnySource, kAnyTag).source, 3);
+}
+
+TEST(Mailbox, FifoWithinMatchingMessages) {
+  AbortToken abort;
+  Mailbox box(&abort, std::chrono::milliseconds(1000));
+  for (int i = 0; i < 3; ++i) {
+    Envelope env = make_envelope(1, 7, 1);
+    env.bytes[0] = static_cast<std::byte>(i);
+    box.push(std::move(env));
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(static_cast<int>(box.pop_matching(1, 7).bytes[0]), i);
+  }
+}
+
+TEST(Mailbox, NonMatchingMessagesAreSkippedNotConsumed) {
+  AbortToken abort;
+  Mailbox box(&abort, std::chrono::milliseconds(1000));
+  box.push(make_envelope(1, 1));
+  box.push(make_envelope(1, 2));
+  EXPECT_EQ(box.pop_matching(1, 2).tag, 2);
+  EXPECT_EQ(box.pop_matching(1, 1).tag, 1);
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+TEST(Mailbox, ProbeDoesNotConsume) {
+  AbortToken abort;
+  Mailbox box(&abort, std::chrono::milliseconds(1000));
+  EXPECT_FALSE(box.probe(1, 1));
+  box.push(make_envelope(1, 1));
+  EXPECT_TRUE(box.probe(1, 1));
+  EXPECT_TRUE(box.probe(kAnySource, kAnyTag));
+  EXPECT_FALSE(box.probe(2, 1));
+  EXPECT_EQ(box.pending(), 1u);
+}
+
+TEST(Mailbox, BlockedPopWakesOnPush) {
+  AbortToken abort;
+  Mailbox box(&abort, std::chrono::milliseconds(5000));
+  std::thread producer([&box] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    box.push(make_envelope(0, 9));
+  });
+  const Envelope got = box.pop_matching(0, 9);
+  EXPECT_EQ(got.tag, 9);
+  producer.join();
+}
+
+TEST(Mailbox, TimeoutRaisesDeadlock) {
+  AbortToken abort;
+  Mailbox box(&abort, std::chrono::milliseconds(30));
+  EXPECT_THROW(box.pop_matching(0, 0), DeadlockError);
+}
+
+TEST(Mailbox, AbortWakesBlockedPop) {
+  AbortToken abort;
+  Mailbox box(&abort, std::chrono::milliseconds(5000));
+  std::thread aborter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    abort.trigger();
+    box.interrupt();
+  });
+  EXPECT_THROW(box.pop_matching(0, 0), AbortError);
+  aborter.join();
+}
+
+TEST(Mailbox, AbortedBoxThrowsImmediately) {
+  AbortToken abort;
+  abort.trigger();
+  Mailbox box(&abort, std::chrono::milliseconds(5000));
+  EXPECT_THROW(box.pop_matching(kAnySource, kAnyTag), AbortError);
+}
+
+}  // namespace
+}  // namespace resilience::simmpi

@@ -1,0 +1,144 @@
+#include "simmpi/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace resilience::simmpi {
+namespace {
+
+TEST(BlockPartition, EvenSplit) {
+  EXPECT_EQ(block_partition(8, 4, 0), (BlockRange{0, 2}));
+  EXPECT_EQ(block_partition(8, 4, 3), (BlockRange{6, 8}));
+}
+
+TEST(BlockPartition, UnevenSplitFrontLoaded) {
+  // 10 over 4: sizes 3, 3, 2, 2.
+  EXPECT_EQ(block_partition(10, 4, 0).count(), 3);
+  EXPECT_EQ(block_partition(10, 4, 1).count(), 3);
+  EXPECT_EQ(block_partition(10, 4, 2).count(), 2);
+  EXPECT_EQ(block_partition(10, 4, 3).count(), 2);
+}
+
+TEST(BlockPartition, MorePartsThanElements) {
+  EXPECT_EQ(block_partition(2, 4, 0).count(), 1);
+  EXPECT_EQ(block_partition(2, 4, 1).count(), 1);
+  EXPECT_EQ(block_partition(2, 4, 2).count(), 0);
+  EXPECT_EQ(block_partition(2, 4, 3).count(), 0);
+}
+
+TEST(BlockPartition, BadArgumentsThrow) {
+  EXPECT_THROW(block_partition(4, 0, 0), UsageError);
+  EXPECT_THROW(block_partition(4, 2, 2), UsageError);
+  EXPECT_THROW(block_partition(4, 2, -1), UsageError);
+  EXPECT_THROW(block_partition(-1, 2, 0), UsageError);
+}
+
+/// Property sweep over (n, parts): blocks tile [0, n) exactly, sizes
+/// differ by at most one, and block_owner inverts block_partition.
+class PartitionProperty
+    : public ::testing::TestWithParam<std::pair<std::int64_t, int>> {};
+
+TEST_P(PartitionProperty, TilesAndInverts) {
+  const auto [n, parts] = GetParam();
+  std::int64_t covered = 0;
+  std::int64_t min_count = n, max_count = 0;
+  for (int r = 0; r < parts; ++r) {
+    const auto range = block_partition(n, parts, r);
+    EXPECT_EQ(range.lo, covered);
+    covered = range.hi;
+    min_count = std::min(min_count, range.count());
+    max_count = std::max(max_count, range.count());
+    for (std::int64_t i = range.lo; i < range.hi; ++i) {
+      EXPECT_EQ(block_owner(n, parts, i), r);
+      EXPECT_TRUE(range.contains(i));
+    }
+  }
+  EXPECT_EQ(covered, n);
+  EXPECT_LE(max_count - min_count, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PartitionProperty,
+    ::testing::Values(std::pair<std::int64_t, int>{1, 1},
+                      std::pair<std::int64_t, int>{10, 3},
+                      std::pair<std::int64_t, int>{128, 64},
+                      std::pair<std::int64_t, int>{127, 64},
+                      std::pair<std::int64_t, int>{343, 64},
+                      std::pair<std::int64_t, int>{5, 8},
+                      std::pair<std::int64_t, int>{256, 128}));
+
+TEST(BlockOwner, OutOfRangeThrows) {
+  EXPECT_THROW(block_owner(4, 2, 4), UsageError);
+  EXPECT_THROW(block_owner(4, 2, -1), UsageError);
+}
+
+TEST(DimsCreate, ProductEqualsRanks) {
+  for (int p : {1, 2, 6, 12, 64, 100, 128, 97}) {
+    for (int d : {1, 2, 3}) {
+      const auto dims = dims_create(p, d);
+      EXPECT_EQ(static_cast<int>(dims.size()), d);
+      int prod = 1;
+      for (int v : dims) prod *= v;
+      EXPECT_EQ(prod, p);
+    }
+  }
+}
+
+TEST(DimsCreate, NearCubic) {
+  const auto dims = dims_create(64, 3);
+  EXPECT_EQ(dims, (std::vector<int>{4, 4, 4}));
+  const auto dims2 = dims_create(12, 2);
+  EXPECT_EQ(dims2, (std::vector<int>{4, 3}));
+}
+
+TEST(DimsCreate, BadArgumentsThrow) {
+  EXPECT_THROW(dims_create(0, 2), UsageError);
+  EXPECT_THROW(dims_create(4, 0), UsageError);
+}
+
+TEST(CartGrid, RankCoordsRoundTrip) {
+  const CartGrid grid({3, 4}, {false, false});
+  EXPECT_EQ(grid.size(), 12);
+  for (int r = 0; r < grid.size(); ++r) {
+    EXPECT_EQ(grid.rank_of(grid.coords_of(r)), r);
+  }
+}
+
+TEST(CartGrid, ShiftNonPeriodicHitsBoundary) {
+  const CartGrid grid({2, 2}, {false, false});
+  // rank 0 is (0, 0): shifting -1 along either dim falls off.
+  EXPECT_EQ(grid.shift(0, 0, -1), -1);
+  EXPECT_EQ(grid.shift(0, 1, -1), -1);
+  EXPECT_EQ(grid.shift(0, 0, +1), grid.rank_of({1, 0}));
+}
+
+TEST(CartGrid, ShiftPeriodicWrapsAround) {
+  const CartGrid grid({4}, {true});
+  EXPECT_EQ(grid.shift(0, 0, -1), 3);
+  EXPECT_EQ(grid.shift(3, 0, +1), 0);
+  EXPECT_EQ(grid.shift(1, 0, +9), 2);  // large displacement wraps
+}
+
+TEST(CartGrid, BalancedFactoryMatchesDimsCreate) {
+  const auto grid = CartGrid::balanced(12, 2, false);
+  EXPECT_EQ(grid.dims(), dims_create(12, 2));
+  EXPECT_EQ(grid.size(), 12);
+}
+
+TEST(CartGrid, InvalidConstructionThrows) {
+  EXPECT_THROW(CartGrid({}, {}), UsageError);
+  EXPECT_THROW(CartGrid({2}, {true, false}), UsageError);
+  EXPECT_THROW(CartGrid({0}, {false}), UsageError);
+}
+
+TEST(CartGrid, InvalidQueriesThrow) {
+  const CartGrid grid({2, 2}, {false, false});
+  EXPECT_THROW((void)grid.rank_of({5, 0}), UsageError);
+  EXPECT_THROW((void)grid.rank_of({0}), UsageError);
+  EXPECT_THROW((void)grid.coords_of(99), UsageError);
+  EXPECT_THROW((void)grid.shift(0, 7, 1), UsageError);
+}
+
+}  // namespace
+}  // namespace resilience::simmpi

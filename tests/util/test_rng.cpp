@@ -1,0 +1,139 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace resilience::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(DeriveSeed, DistinctStreamsGiveDistinctSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 1000; ++s) seeds.insert(derive_seed(7, s));
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(DeriveSeed, ChildDiffersFromParent) {
+  EXPECT_NE(derive_seed(12345, 0), 12345u);
+}
+
+TEST(Xoshiro256, IsDeterministic) {
+  Xoshiro256 a(99), b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, UniformBelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.uniform_below(bound), bound);
+  }
+}
+
+TEST(Xoshiro256, UniformBelowZeroThrows) {
+  Xoshiro256 rng(7);
+  EXPECT_THROW(rng.uniform_below(0), std::invalid_argument);
+}
+
+TEST(Xoshiro256, UniformBelowOneIsAlwaysZero) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.uniform_below(1), 0u);
+}
+
+TEST(Xoshiro256, UniformIntCoversInclusiveRange) {
+  Xoshiro256 rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values hit in 2000 draws
+}
+
+TEST(Xoshiro256, UniformIntBadRangeThrows) {
+  Xoshiro256 rng(11);
+  EXPECT_THROW(rng.uniform_int(1, 0), std::invalid_argument);
+}
+
+TEST(Xoshiro256, Uniform01InHalfOpenUnitInterval) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Xoshiro256, Uniform01MeanIsAboutHalf) {
+  Xoshiro256 rng(17);
+  double acc = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) acc += rng.uniform01();
+  EXPECT_NEAR(acc / kN, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, SampleDistinctHasNoDuplicates) {
+  Xoshiro256 rng(23);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto sample = rng.sample_distinct(100, 10);
+    std::set<std::uint64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), sample.size());
+    for (auto v : sample) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(Xoshiro256, SampleDistinctFullRangeIsPermutationOfAll) {
+  Xoshiro256 rng(29);
+  auto sample = rng.sample_distinct(16, 16);
+  std::sort(sample.begin(), sample.end());
+  for (std::uint64_t i = 0; i < 16; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(Xoshiro256, SampleDistinctKGreaterThanNThrows) {
+  Xoshiro256 rng(31);
+  EXPECT_THROW(rng.sample_distinct(3, 4), std::invalid_argument);
+}
+
+TEST(Xoshiro256, SampleDistinctZeroKIsEmpty) {
+  Xoshiro256 rng(37);
+  EXPECT_TRUE(rng.sample_distinct(10, 0).empty());
+}
+
+/// Property sweep: Floyd sampling is uniform enough that every element of
+/// a small universe appears with roughly equal frequency.
+class SampleDistinctUniformity : public ::testing::TestWithParam<int> {};
+
+TEST_P(SampleDistinctUniformity, AllElementsRoughlyEquallyLikely) {
+  const int k = GetParam();
+  constexpr int kUniverse = 10;
+  constexpr int kTrials = 5000;
+  std::array<int, kUniverse> counts{};
+  Xoshiro256 rng(1234 + static_cast<std::uint64_t>(k));
+  for (int t = 0; t < kTrials; ++t) {
+    for (auto v : rng.sample_distinct(kUniverse, static_cast<std::uint64_t>(k))) {
+      counts[static_cast<std::size_t>(v)] += 1;
+    }
+  }
+  const double expected = static_cast<double>(kTrials) * k / kUniverse;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), expected, expected * 0.15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, SampleDistinctUniformity,
+                         ::testing::Values(1, 2, 5, 9));
+
+}  // namespace
+}  // namespace resilience::util

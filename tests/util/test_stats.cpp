@@ -1,0 +1,167 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace resilience::util {
+namespace {
+
+TEST(Mean, EmptyIsZero) { EXPECT_EQ(mean({}), 0.0); }
+
+TEST(Mean, SimpleAverage) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Variance, FewerThanTwoSamplesIsZero) {
+  const std::vector<double> one{5.0};
+  EXPECT_EQ(variance({}), 0.0);
+  EXPECT_EQ(variance(one), 0.0);
+}
+
+TEST(Variance, MatchesHandComputation) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Sample variance with Bessel's correction: 32 / 7.
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Rmse, ZeroForIdenticalSeries) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(rmse(xs, xs), 0.0);
+}
+
+TEST(Rmse, MatchesHandComputation) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{2.0, 4.0};
+  EXPECT_DOUBLE_EQ(rmse(a, b), std::sqrt((1.0 + 4.0) / 2.0));
+}
+
+TEST(Rmse, MismatchedLengthsThrow) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(rmse(a, b), std::invalid_argument);
+  EXPECT_THROW(rmse({}, {}), std::invalid_argument);
+}
+
+TEST(Mae, MatchesHandComputation) {
+  const std::vector<double> a{1.0, 5.0};
+  const std::vector<double> b{2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mae(a, b), 1.5);
+}
+
+TEST(CosineSimilarity, ParallelVectorsGiveOne) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{2.0, 4.0, 6.0};
+  EXPECT_NEAR(cosine_similarity(a, b), 1.0, 1e-12);
+}
+
+TEST(CosineSimilarity, OrthogonalVectorsGiveZero) {
+  const std::vector<double> a{1.0, 0.0};
+  const std::vector<double> b{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, b), 0.0);
+}
+
+TEST(CosineSimilarity, ZeroVectorGivesZero) {
+  const std::vector<double> a{0.0, 0.0};
+  const std::vector<double> b{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, b), 0.0);
+}
+
+TEST(CosineSimilarity, MismatchedLengthsThrow) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(cosine_similarity(a, b), std::invalid_argument);
+}
+
+TEST(CosineSimilarity, PaperStyleProfilesAreSimilar) {
+  // Two bimodal propagation profiles like Figure 1a vs 1c.
+  const std::vector<double> small{0.77, 0.002, 0.003, 0.001, 0.0, 0.002, 0.0, 0.22};
+  const std::vector<double> grouped{0.75, 0.004, 0.002, 0.002, 0.001, 0.001, 0.01, 0.23};
+  EXPECT_GT(cosine_similarity(small, grouped), 0.99);
+}
+
+TEST(WilsonInterval, ZeroTrialsIsDegenerate) {
+  const auto w = wilson_interval(0, 0);
+  EXPECT_EQ(w.lo, 0.0);
+  EXPECT_EQ(w.hi, 1.0);
+}
+
+TEST(WilsonInterval, ContainsPointEstimate) {
+  for (std::size_t successes : {0u, 10u, 50u, 99u, 100u}) {
+    const auto w = wilson_interval(successes, 100);
+    EXPECT_LE(w.lo, w.center + 1e-12);
+    EXPECT_GE(w.hi, w.center - 1e-12);
+    EXPECT_GE(w.lo, 0.0);
+    EXPECT_LE(w.hi, 1.0);
+  }
+}
+
+TEST(WilsonInterval, ShrinksWithMoreTrials) {
+  const auto small = wilson_interval(5, 10);
+  const auto large = wilson_interval(500, 1000);
+  EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+}
+
+TEST(Normalize, SumsToOne) {
+  const std::vector<std::size_t> counts{1, 2, 3, 4};
+  const auto probs = normalize(counts);
+  double sum = 0.0;
+  for (double p : probs) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(probs[3], 0.4);
+}
+
+TEST(Normalize, AllZeroStaysZero) {
+  const std::vector<std::size_t> counts{0, 0};
+  const auto probs = normalize(counts);
+  EXPECT_EQ(probs[0], 0.0);
+  EXPECT_EQ(probs[1], 0.0);
+}
+
+TEST(GroupSum, PreservesTotalMass) {
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8};
+  const auto grouped = group_sum(xs, 4);
+  ASSERT_EQ(grouped.size(), 4u);
+  EXPECT_DOUBLE_EQ(grouped[0], 3.0);
+  EXPECT_DOUBLE_EQ(grouped[3], 15.0);
+}
+
+TEST(GroupSum, IdentityWhenGroupsEqualSize) {
+  const std::vector<double> xs{1, 2, 3};
+  const auto grouped = group_sum(xs, 3);
+  EXPECT_EQ(grouped, xs);
+}
+
+TEST(GroupSum, BadGroupCountThrows) {
+  const std::vector<double> xs{1, 2, 3};
+  EXPECT_THROW(group_sum(xs, 2), std::invalid_argument);
+  EXPECT_THROW(group_sum(xs, 0), std::invalid_argument);
+}
+
+/// Property: grouping a 64-wide profile into 8 preserves mass for every
+/// split that divides evenly.
+class GroupSumProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GroupSumProperty, MassPreservedAcrossSplits) {
+  const std::size_t groups = GetParam();
+  std::vector<double> xs(64);
+  double total = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = static_cast<double>((i * 37 + 11) % 101) / 100.0;
+    total += xs[i];
+  }
+  const auto grouped = group_sum(xs, groups);
+  double grouped_total = 0.0;
+  for (double g : grouped) grouped_total += g;
+  EXPECT_NEAR(grouped_total, total, 1e-9);
+  EXPECT_EQ(grouped.size(), groups);
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, GroupSumProperty,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace resilience::util

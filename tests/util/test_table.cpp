@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace resilience::util {
+namespace {
+
+TEST(TablePrinter, RendersHeaderAndRows) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("| alpha"), std::string::npos);
+  EXPECT_NE(s.find("| 22"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TablePrinter, PadsShortRows) {
+  TablePrinter t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NE(t.str().find("| x"), std::string::npos);
+}
+
+TEST(TablePrinter, RejectsWideRows) {
+  TablePrinter t({"a"});
+  EXPECT_THROW(t.add_row({"x", "y"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, RejectsEmptyHeader) {
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(TablePrinter, FormatsNumbers) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::pct(0.123, 1), "12.3%");
+  EXPECT_EQ(TablePrinter::pct(1.0, 0), "100%");
+}
+
+TEST(CsvWriter, WritesAndEscapes) {
+  const std::string path = ::testing::TempDir() + "/resilience_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.write_row({"plain", "with,comma", "with\"quote"});
+    csv.write_row({"second"});
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "plain,\"with,comma\",\"with\"\"quote\"");
+  EXPECT_EQ(line2, "second");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, BadPathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace resilience::util

@@ -1,0 +1,246 @@
+// resilience — command-line front end to the library.
+//
+//   resilience list
+//       Show the built-in benchmarks and their input problems.
+//   resilience campaign --app CG [--ranks 8] [--trials 400] [--errors 1]
+//       [--pattern single|double|burst] [--region all|common|unique]
+//       [--save campaign.json] [--seed N]
+//       Run one fault-injection deployment and print its result.
+//   resilience predict --app CG [--small 8] [--large 64] [--trials 400]
+//       [--no-measure] [--ci resamples] [--report out.md] [--seed N]
+//       Run the paper's methodology: predict the large scale from serial +
+//       small-scale campaigns (optionally validating by measurement).
+//   resilience propagation --app CG [--ranks 8] [--trials 400] [--seed N]
+//       Profile error propagation across ranks.
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/bootstrap.hpp"
+#include "core/report.hpp"
+#include "harness/serialize.hpp"
+#include "core/study.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace resilience;
+
+/// Minimal --key value parser; unknown keys are an error.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        throw std::invalid_argument("unexpected argument: " + key);
+      }
+      key = key.substr(2);
+      if (key == "no-measure") {
+        values_[key] = "1";
+        continue;
+      }
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("missing value for --" + key);
+      }
+      values_[key] = argv[++i];
+    }
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) {
+    consumed_.insert(key);
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] long get_int(const std::string& key, long fallback) {
+    const std::string raw = get(key, "");
+    return raw.empty() ? fallback : std::stol(raw);
+  }
+
+  void check_consumed() const {
+    for (const auto& [key, value] : values_) {
+      if (consumed_.find(key) == consumed_.end()) {
+        throw std::invalid_argument("unknown option --" + key);
+      }
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> consumed_;
+};
+
+fsefi::FaultPattern parse_pattern(const std::string& name) {
+  if (name == "single") return fsefi::FaultPattern::SingleBit;
+  if (name == "double") return fsefi::FaultPattern::DoubleBit;
+  if (name == "burst") return fsefi::FaultPattern::Burst4;
+  throw std::invalid_argument("unknown pattern: " + name);
+}
+
+fsefi::RegionMask parse_region(const std::string& name) {
+  if (name == "all") return fsefi::RegionMask::All;
+  if (name == "common") return fsefi::RegionMask::Common;
+  if (name == "unique") return fsefi::RegionMask::ParallelUnique;
+  throw std::invalid_argument("unknown region: " + name);
+}
+
+int cmd_list() {
+  util::TablePrinter table({"name", "input problem", "notes"});
+  table.add_row({"CG", "S (also B)", "sparse eigenvalue, power + CG solves"});
+  table.add_row({"FT", "S (also B)", "2D FFT with alltoall transpose"});
+  table.add_row({"MG", "S", "2D multigrid V-cycles"});
+  table.add_row({"LU", "W", "SSOR with pipelined wavefronts"});
+  table.add_row({"MiniFE", "S (also B)", "FE assembly + CG solve"});
+  table.add_row({"PENNANT", "leblanc", "1D Lagrangian shock hydro"});
+  table.print();
+  return 0;
+}
+
+int cmd_campaign(Args& args) {
+  const auto app = apps::make_app(apps::parse_app_id(args.get("app", "CG")),
+                                  args.get("class", ""));
+  harness::DeploymentConfig dep;
+  dep.nranks = static_cast<int>(args.get_int("ranks", 8));
+  dep.trials = static_cast<std::size_t>(args.get_int("trials", 400));
+  dep.errors_per_test = static_cast<int>(args.get_int("errors", 1));
+  dep.pattern = parse_pattern(args.get("pattern", "single"));
+  dep.regions = parse_region(args.get("region", "all"));
+  dep.seed = static_cast<std::uint64_t>(args.get_int("seed", 20180813));
+  const std::string save_path = args.get("save", "");
+  args.check_consumed();
+
+  const auto campaign = harness::CampaignRunner::run(*app, dep);
+  if (!save_path.empty()) {
+    harness::save_campaign(save_path, campaign);
+    std::cout << "campaign saved to " << save_path << "\n";
+  }
+  std::cout << app->label() << " on " << dep.nranks << " ranks, "
+            << dep.trials << " tests, " << dep.errors_per_test
+            << " error(s)/test, pattern " << to_string(dep.pattern) << "\n\n";
+  util::TablePrinter table({"outcome", "tests", "rate"});
+  table.add_row({"Success", std::to_string(campaign.overall.success),
+                 util::TablePrinter::pct(campaign.overall.success_rate())});
+  table.add_row({"SDC", std::to_string(campaign.overall.sdc),
+                 util::TablePrinter::pct(campaign.overall.sdc_rate())});
+  table.add_row({"Failure", std::to_string(campaign.overall.failure),
+                 util::TablePrinter::pct(campaign.overall.failure_rate())});
+  table.print();
+  std::cout << "\npropagation r_x:";
+  const auto r = campaign.propagation_probabilities();
+  for (int x = 1; x <= dep.nranks; ++x) {
+    if (r[static_cast<std::size_t>(x - 1)] > 0.0) {
+      std::cout << "  " << x << ":"
+                << util::TablePrinter::pct(r[static_cast<std::size_t>(x - 1)]);
+    }
+  }
+  std::cout << "\nfault-injection time: " << campaign.wall_seconds << " s\n";
+  return 0;
+}
+
+int cmd_predict(Args& args) {
+  const auto app = apps::make_app(apps::parse_app_id(args.get("app", "CG")),
+                                  args.get("class", ""));
+  core::StudyConfig cfg;
+  cfg.small_p = static_cast<int>(args.get_int("small", 8));
+  cfg.large_p = static_cast<int>(args.get_int("large", 64));
+  cfg.trials = static_cast<std::size_t>(args.get_int("trials", 400));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 20180813));
+  cfg.measure_large = args.get("no-measure", "").empty();
+  const std::string report_path = args.get("report", "");
+  const long ci_resamples = args.get_int("ci", 0);
+  args.check_consumed();
+
+  const auto study = core::run_study(*app, cfg);
+  if (!report_path.empty()) {
+    core::write_report(report_path, app->label(), study);
+    std::cout << "report written to " << report_path << "\n";
+  }
+  std::cout << app->label() << ": predicting " << cfg.large_p
+            << " ranks from serial + " << cfg.small_p << " ranks\n\n";
+  util::TablePrinter table({"", "success", "SDC", "failure"});
+  table.add_row({"predicted",
+                 util::TablePrinter::pct(study.prediction.combined.success),
+                 util::TablePrinter::pct(study.prediction.combined.sdc),
+                 util::TablePrinter::pct(study.prediction.combined.failure)});
+  if (study.measured_large) {
+    table.add_row({"measured",
+                   util::TablePrinter::pct(study.measured_large->success_rate()),
+                   util::TablePrinter::pct(study.measured_large->sdc_rate()),
+                   util::TablePrinter::pct(study.measured_large->failure_rate())});
+  }
+  table.print();
+  std::cout << "\nfine-tuned: " << (study.prediction.fine_tuned ? "yes" : "no")
+            << "; parallel-unique fraction: "
+            << util::TablePrinter::pct(study.prob_unique, 2) << "\n";
+  if (ci_resamples > 0) {
+    // Resampled over the common-computation model inputs (sweep + small
+    // scale); the unique term contributes little to the variance.
+    core::BootstrapOptions bopts;
+    bopts.resamples = static_cast<std::size_t>(ci_resamples);
+    const auto interval = core::bootstrap_prediction(
+        study.sweep, study.small, core::PredictorOptions{}, cfg.large_p,
+        bopts);
+    std::cout << "bootstrap 95% CI on predicted success (" << ci_resamples
+              << " resamples): [" << util::TablePrinter::pct(interval.lo)
+              << ", " << util::TablePrinter::pct(interval.hi) << "]\n";
+  }
+  if (study.measured_large) {
+    std::cout << "success prediction error: "
+              << util::TablePrinter::pct(study.success_error()) << "\n";
+  }
+  return 0;
+}
+
+int cmd_propagation(Args& args) {
+  const auto app = apps::make_app(apps::parse_app_id(args.get("app", "CG")),
+                                  args.get("class", ""));
+  harness::DeploymentConfig dep;
+  dep.nranks = static_cast<int>(args.get_int("ranks", 8));
+  dep.trials = static_cast<std::size_t>(args.get_int("trials", 400));
+  dep.seed = static_cast<std::uint64_t>(args.get_int("seed", 20180813));
+  args.check_consumed();
+
+  const auto campaign = harness::CampaignRunner::run(*app, dep);
+  std::cout << app->label() << " error propagation at " << dep.nranks
+            << " ranks\n\n";
+  util::TablePrinter table({"ranks contaminated", "tests", "r_x",
+                            "conditional success"});
+  const auto r = campaign.propagation_probabilities();
+  for (int x = 1; x <= dep.nranks; ++x) {
+    const auto& cond = campaign.by_contamination[static_cast<std::size_t>(x)];
+    if (cond.trials == 0) continue;
+    table.add_row({std::to_string(x), std::to_string(cond.trials),
+                   util::TablePrinter::pct(r[static_cast<std::size_t>(x - 1)]),
+                   util::TablePrinter::pct(cond.success_rate())});
+  }
+  table.print();
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: resilience <list|campaign|predict|propagation> "
+               "[options]\n(see the header of tools/resilience_cli.cpp)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    Args args(argc, argv, 2);
+    if (command == "list") return cmd_list();
+    if (command == "campaign") return cmd_campaign(args);
+    if (command == "predict") return cmd_predict(args);
+    if (command == "propagation") return cmd_propagation(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
