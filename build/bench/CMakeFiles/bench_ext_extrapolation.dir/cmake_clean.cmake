@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_extrapolation.dir/bench_ext_extrapolation.cpp.o"
+  "CMakeFiles/bench_ext_extrapolation.dir/bench_ext_extrapolation.cpp.o.d"
+  "bench_ext_extrapolation"
+  "bench_ext_extrapolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_extrapolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig6_predict64_s8.
+# This may be replaced when dependencies are built.

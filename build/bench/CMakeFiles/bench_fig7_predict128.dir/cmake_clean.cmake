@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_predict128.dir/bench_fig7_predict128.cpp.o"
+  "CMakeFiles/bench_fig7_predict128.dir/bench_fig7_predict128.cpp.o.d"
+  "bench_fig7_predict128"
+  "bench_fig7_predict128.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_predict128.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_unique.dir/bench_table1_unique.cpp.o"
+  "CMakeFiles/bench_table1_unique.dir/bench_table1_unique.cpp.o.d"
+  "bench_table1_unique"
+  "bench_table1_unique.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_unique.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_cosine.cpp" "bench/CMakeFiles/bench_table2_cosine.dir/bench_table2_cosine.cpp.o" "gcc" "bench/CMakeFiles/bench_table2_cosine.dir/bench_table2_cosine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/resilience_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/resilience_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/resilience_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsefi/CMakeFiles/resilience_fsefi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/resilience_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/resilience_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

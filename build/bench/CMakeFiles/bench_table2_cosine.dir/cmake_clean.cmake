@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_cosine.dir/bench_table2_cosine.cpp.o"
+  "CMakeFiles/bench_table2_cosine.dir/bench_table2_cosine.cpp.o.d"
+  "bench_table2_cosine"
+  "bench_table2_cosine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cosine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

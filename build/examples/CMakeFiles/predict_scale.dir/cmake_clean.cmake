@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_scale.dir/predict_scale.cpp.o"
+  "CMakeFiles/predict_scale.dir/predict_scale.cpp.o.d"
+  "predict_scale"
+  "predict_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/propagation_study.dir/propagation_study.cpp.o"
+  "CMakeFiles/propagation_study.dir/propagation_study.cpp.o.d"
+  "propagation_study"
+  "propagation_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/propagation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

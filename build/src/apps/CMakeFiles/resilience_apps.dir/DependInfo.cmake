@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cg.cpp" "src/apps/CMakeFiles/resilience_apps.dir/cg.cpp.o" "gcc" "src/apps/CMakeFiles/resilience_apps.dir/cg.cpp.o.d"
+  "/root/repo/src/apps/fft.cpp" "src/apps/CMakeFiles/resilience_apps.dir/fft.cpp.o" "gcc" "src/apps/CMakeFiles/resilience_apps.dir/fft.cpp.o.d"
+  "/root/repo/src/apps/ft.cpp" "src/apps/CMakeFiles/resilience_apps.dir/ft.cpp.o" "gcc" "src/apps/CMakeFiles/resilience_apps.dir/ft.cpp.o.d"
+  "/root/repo/src/apps/kernels.cpp" "src/apps/CMakeFiles/resilience_apps.dir/kernels.cpp.o" "gcc" "src/apps/CMakeFiles/resilience_apps.dir/kernels.cpp.o.d"
+  "/root/repo/src/apps/lu.cpp" "src/apps/CMakeFiles/resilience_apps.dir/lu.cpp.o" "gcc" "src/apps/CMakeFiles/resilience_apps.dir/lu.cpp.o.d"
+  "/root/repo/src/apps/mg.cpp" "src/apps/CMakeFiles/resilience_apps.dir/mg.cpp.o" "gcc" "src/apps/CMakeFiles/resilience_apps.dir/mg.cpp.o.d"
+  "/root/repo/src/apps/minife.cpp" "src/apps/CMakeFiles/resilience_apps.dir/minife.cpp.o" "gcc" "src/apps/CMakeFiles/resilience_apps.dir/minife.cpp.o.d"
+  "/root/repo/src/apps/pennant.cpp" "src/apps/CMakeFiles/resilience_apps.dir/pennant.cpp.o" "gcc" "src/apps/CMakeFiles/resilience_apps.dir/pennant.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/resilience_apps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/resilience_apps.dir/registry.cpp.o.d"
+  "/root/repo/src/apps/sparse.cpp" "src/apps/CMakeFiles/resilience_apps.dir/sparse.cpp.o" "gcc" "src/apps/CMakeFiles/resilience_apps.dir/sparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsefi/CMakeFiles/resilience_fsefi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/resilience_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/resilience_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

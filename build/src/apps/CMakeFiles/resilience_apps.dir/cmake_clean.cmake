@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_apps.dir/cg.cpp.o"
+  "CMakeFiles/resilience_apps.dir/cg.cpp.o.d"
+  "CMakeFiles/resilience_apps.dir/fft.cpp.o"
+  "CMakeFiles/resilience_apps.dir/fft.cpp.o.d"
+  "CMakeFiles/resilience_apps.dir/ft.cpp.o"
+  "CMakeFiles/resilience_apps.dir/ft.cpp.o.d"
+  "CMakeFiles/resilience_apps.dir/kernels.cpp.o"
+  "CMakeFiles/resilience_apps.dir/kernels.cpp.o.d"
+  "CMakeFiles/resilience_apps.dir/lu.cpp.o"
+  "CMakeFiles/resilience_apps.dir/lu.cpp.o.d"
+  "CMakeFiles/resilience_apps.dir/mg.cpp.o"
+  "CMakeFiles/resilience_apps.dir/mg.cpp.o.d"
+  "CMakeFiles/resilience_apps.dir/minife.cpp.o"
+  "CMakeFiles/resilience_apps.dir/minife.cpp.o.d"
+  "CMakeFiles/resilience_apps.dir/pennant.cpp.o"
+  "CMakeFiles/resilience_apps.dir/pennant.cpp.o.d"
+  "CMakeFiles/resilience_apps.dir/registry.cpp.o"
+  "CMakeFiles/resilience_apps.dir/registry.cpp.o.d"
+  "CMakeFiles/resilience_apps.dir/sparse.cpp.o"
+  "CMakeFiles/resilience_apps.dir/sparse.cpp.o.d"
+  "libresilience_apps.a"
+  "libresilience_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

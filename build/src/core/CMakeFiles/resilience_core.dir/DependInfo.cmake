@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bootstrap.cpp" "src/core/CMakeFiles/resilience_core.dir/bootstrap.cpp.o" "gcc" "src/core/CMakeFiles/resilience_core.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/resilience_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/resilience_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/resilience_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/resilience_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/similarity.cpp" "src/core/CMakeFiles/resilience_core.dir/similarity.cpp.o" "gcc" "src/core/CMakeFiles/resilience_core.dir/similarity.cpp.o.d"
+  "/root/repo/src/core/study.cpp" "src/core/CMakeFiles/resilience_core.dir/study.cpp.o" "gcc" "src/core/CMakeFiles/resilience_core.dir/study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/resilience_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/resilience_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/resilience_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsefi/CMakeFiles/resilience_fsefi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/resilience_simmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_core.dir/bootstrap.cpp.o"
+  "CMakeFiles/resilience_core.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/resilience_core.dir/model.cpp.o"
+  "CMakeFiles/resilience_core.dir/model.cpp.o.d"
+  "CMakeFiles/resilience_core.dir/report.cpp.o"
+  "CMakeFiles/resilience_core.dir/report.cpp.o.d"
+  "CMakeFiles/resilience_core.dir/similarity.cpp.o"
+  "CMakeFiles/resilience_core.dir/similarity.cpp.o.d"
+  "CMakeFiles/resilience_core.dir/study.cpp.o"
+  "CMakeFiles/resilience_core.dir/study.cpp.o.d"
+  "libresilience_core.a"
+  "libresilience_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_fsefi.dir/fault_context.cpp.o"
+  "CMakeFiles/resilience_fsefi.dir/fault_context.cpp.o.d"
+  "libresilience_fsefi.a"
+  "libresilience_fsefi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_fsefi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

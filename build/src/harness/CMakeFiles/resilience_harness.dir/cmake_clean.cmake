@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_harness.dir/campaign.cpp.o"
+  "CMakeFiles/resilience_harness.dir/campaign.cpp.o.d"
+  "CMakeFiles/resilience_harness.dir/runner.cpp.o"
+  "CMakeFiles/resilience_harness.dir/runner.cpp.o.d"
+  "CMakeFiles/resilience_harness.dir/serialize.cpp.o"
+  "CMakeFiles/resilience_harness.dir/serialize.cpp.o.d"
+  "libresilience_harness.a"
+  "libresilience_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libresilience_harness.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_simmpi.dir/comm.cpp.o"
+  "CMakeFiles/resilience_simmpi.dir/comm.cpp.o.d"
+  "CMakeFiles/resilience_simmpi.dir/runtime.cpp.o"
+  "CMakeFiles/resilience_simmpi.dir/runtime.cpp.o.d"
+  "CMakeFiles/resilience_simmpi.dir/topology.cpp.o"
+  "CMakeFiles/resilience_simmpi.dir/topology.cpp.o.d"
+  "libresilience_simmpi.a"
+  "libresilience_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_util.dir/env.cpp.o"
+  "CMakeFiles/resilience_util.dir/env.cpp.o.d"
+  "CMakeFiles/resilience_util.dir/json.cpp.o"
+  "CMakeFiles/resilience_util.dir/json.cpp.o.d"
+  "CMakeFiles/resilience_util.dir/rng.cpp.o"
+  "CMakeFiles/resilience_util.dir/rng.cpp.o.d"
+  "CMakeFiles/resilience_util.dir/stats.cpp.o"
+  "CMakeFiles/resilience_util.dir/stats.cpp.o.d"
+  "CMakeFiles/resilience_util.dir/table.cpp.o"
+  "CMakeFiles/resilience_util.dir/table.cpp.o.d"
+  "libresilience_util.a"
+  "libresilience_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

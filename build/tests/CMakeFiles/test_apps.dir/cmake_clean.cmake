@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps.dir/apps/test_apps_common.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_apps_common.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_apps_specific.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_apps_specific.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_cg2d.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_cg2d.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_fft.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_fft.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_kernels.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_kernels.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_sparse.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_sparse.cpp.o.d"
+  "test_apps"
+  "test_apps.pdb"
+  "test_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_accuracy.cpp" "tests/CMakeFiles/test_core.dir/core/test_accuracy.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_accuracy.cpp.o.d"
+  "/root/repo/tests/core/test_bootstrap.cpp" "tests/CMakeFiles/test_core.dir/core/test_bootstrap.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_bootstrap.cpp.o.d"
+  "/root/repo/tests/core/test_model.cpp" "tests/CMakeFiles/test_core.dir/core/test_model.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_model.cpp.o.d"
+  "/root/repo/tests/core/test_model_properties.cpp" "tests/CMakeFiles/test_core.dir/core/test_model_properties.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_model_properties.cpp.o.d"
+  "/root/repo/tests/core/test_report.cpp" "tests/CMakeFiles/test_core.dir/core/test_report.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_report.cpp.o.d"
+  "/root/repo/tests/core/test_similarity.cpp" "tests/CMakeFiles/test_core.dir/core/test_similarity.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_similarity.cpp.o.d"
+  "/root/repo/tests/core/test_study.cpp" "tests/CMakeFiles/test_core.dir/core/test_study.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/resilience_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/resilience_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/resilience_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsefi/CMakeFiles/resilience_fsefi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/resilience_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/resilience_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

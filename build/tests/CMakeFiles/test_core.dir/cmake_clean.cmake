@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_accuracy.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_accuracy.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_bootstrap.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_bootstrap.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_model.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_model.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_model_properties.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_model_properties.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_report.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_report.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_similarity.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_similarity.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_study.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_study.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fsefi.dir/fsefi/test_context.cpp.o"
+  "CMakeFiles/test_fsefi.dir/fsefi/test_context.cpp.o.d"
+  "CMakeFiles/test_fsefi.dir/fsefi/test_patterns.cpp.o"
+  "CMakeFiles/test_fsefi.dir/fsefi/test_patterns.cpp.o.d"
+  "CMakeFiles/test_fsefi.dir/fsefi/test_real.cpp.o"
+  "CMakeFiles/test_fsefi.dir/fsefi/test_real.cpp.o.d"
+  "CMakeFiles/test_fsefi.dir/fsefi/test_transport.cpp.o"
+  "CMakeFiles/test_fsefi.dir/fsefi/test_transport.cpp.o.d"
+  "test_fsefi"
+  "test_fsefi.pdb"
+  "test_fsefi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fsefi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

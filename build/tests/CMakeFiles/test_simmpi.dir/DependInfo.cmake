@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simmpi/test_collectives.cpp" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_collectives.cpp.o" "gcc" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_collectives.cpp.o.d"
+  "/root/repo/tests/simmpi/test_extensions.cpp" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_extensions.cpp.o.d"
+  "/root/repo/tests/simmpi/test_mailbox.cpp" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_mailbox.cpp.o" "gcc" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_mailbox.cpp.o.d"
+  "/root/repo/tests/simmpi/test_p2p.cpp" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_p2p.cpp.o" "gcc" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_p2p.cpp.o.d"
+  "/root/repo/tests/simmpi/test_request_edge.cpp" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_request_edge.cpp.o" "gcc" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_request_edge.cpp.o.d"
+  "/root/repo/tests/simmpi/test_runtime.cpp" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_runtime.cpp.o.d"
+  "/root/repo/tests/simmpi/test_topology.cpp" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_topology.cpp.o" "gcc" "tests/CMakeFiles/test_simmpi.dir/simmpi/test_topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/resilience_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/resilience_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/resilience_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsefi/CMakeFiles/resilience_fsefi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/resilience_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/resilience_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simmpi.dir/simmpi/test_collectives.cpp.o"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_collectives.cpp.o.d"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_extensions.cpp.o"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_extensions.cpp.o.d"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_mailbox.cpp.o"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_mailbox.cpp.o.d"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_p2p.cpp.o"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_p2p.cpp.o.d"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_request_edge.cpp.o"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_request_edge.cpp.o.d"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_runtime.cpp.o"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_runtime.cpp.o.d"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_topology.cpp.o"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_topology.cpp.o.d"
+  "test_simmpi"
+  "test_simmpi.pdb"
+  "test_simmpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
