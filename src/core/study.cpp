@@ -1,7 +1,13 @@
 #include "core/study.hpp"
 
+#include <exception>
+#include <functional>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
+#include "harness/executor.hpp"
+#include "harness/golden_cache.hpp"
 #include "util/rng.hpp"
 
 namespace resilience::core {
@@ -15,6 +21,34 @@ harness::DeploymentConfig base_deployment(const StudyConfig& cfg,
   dep.seed = util::derive_seed(cfg.seed, stream);
   dep.deadlock_timeout = cfg.deadlock_timeout;
   return dep;
+}
+
+/// Run independent study phases, one thread each, their campaigns
+/// interleaving inside the shared executor. Phase threads only wait on
+/// their own batches (they are not pool workers), so nesting is safe.
+/// The lowest-index exception is rethrown after all phases finished —
+/// the same error the serial order would surface first.
+void run_phases(std::vector<std::function<void()>>& phases, bool overlap) {
+  if (!overlap) {
+    for (auto& phase : phases) phase();
+    return;
+  }
+  std::vector<std::exception_ptr> errors(phases.size());
+  std::vector<std::thread> threads;
+  threads.reserve(phases.size());
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    threads.emplace_back([&phases, &errors, i] {
+      try {
+        phases[i]();
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
 }
 
 }  // namespace
@@ -32,43 +66,81 @@ StudyResult run_study(const apps::App& app, const StudyConfig& cfg) {
   StudyResult out;
   out.config = cfg;
 
-  // ---- serial sweeps: FI_ser_x at the paper's sample points --------------
+  // One executor (global rank-concurrency budget) and one golden cache
+  // across every campaign of the study: no deployment is profiled twice,
+  // and all phases' trials share the hardware fairly.
+  harness::Executor executor(cfg.max_workers);
+  harness::GoldenCache golden_cache;
+  const harness::CampaignContext ctx{&executor, &golden_cache};
+
   out.sweep.large_p = cfg.large_p;
   out.sweep.sample_x = SerialSweep::sample_points(cfg.large_p, cfg.small_p);
+  out.sweep.results.resize(out.sweep.sample_x.size());
+  std::vector<double> sweep_seconds(out.sweep.sample_x.size(), 0.0);
+  std::vector<harness::CampaignResult> small_campaign(1);
+
+  // All serial sweep points, the small-scale campaign, the large-scale
+  // fault-free profile, and the optional measured large-scale campaign
+  // are mutually independent — they overlap through the executor.
+  std::vector<std::function<void()>> phases;
+
+  // ---- serial sweeps: FI_ser_x at the paper's sample points --------------
   for (std::size_t i = 0; i < out.sweep.sample_x.size(); ++i) {
-    harness::DeploymentConfig dep = base_deployment(cfg, 1000 + i);
-    dep.nranks = 1;
-    dep.errors_per_test = out.sweep.sample_x[i];
-    dep.regions = fsefi::RegionMask::Common;  // errors go into the common
-                                              // computation (Section 3.3)
-    const auto campaign = harness::CampaignRunner::run(app, dep);
-    out.serial_injection_seconds += campaign.wall_seconds;
-    out.sweep.results.push_back(campaign.overall);
+    phases.push_back([&, i] {
+      harness::DeploymentConfig dep = base_deployment(cfg, 1000 + i);
+      dep.nranks = 1;
+      dep.errors_per_test = out.sweep.sample_x[i];
+      dep.regions = fsefi::RegionMask::Common;  // errors go into the common
+                                                // computation (Section 3.3)
+      const auto campaign = harness::CampaignRunner::run(app, dep, ctx);
+      sweep_seconds[i] = campaign.wall_seconds;
+      out.sweep.results[i] = campaign.overall;
+    });
   }
 
   // ---- small-scale campaign: propagation + conditional results -----------
-  {
+  phases.push_back([&] {
     harness::DeploymentConfig dep = base_deployment(cfg, 2000);
     dep.nranks = cfg.small_p;
-    const auto campaign = harness::CampaignRunner::run(app, dep);
-    out.small_injection_seconds = campaign.wall_seconds;
-    out.small = SmallScaleObservation::from_campaign(campaign);
+    small_campaign[0] = harness::CampaignRunner::run(app, dep, ctx);
+  });
+
+  // ---- large-scale fault-free profile (for prob2, Eq. 1) -----------------
+  // The paper assumes the large scale's time split is known/predictable;
+  // one fault-free profile supplies it. The cache keeps it for the
+  // measured campaign too.
+  phases.push_back([&] {
+    out.prob_unique =
+        golden_cache
+            .get_or_profile(app, cfg.large_p, cfg.deadlock_timeout, &executor)
+            ->unique_fraction();
+  });
+
+  // ---- optional measured large-scale campaign ----------------------------
+  if (cfg.measure_large) {
+    phases.push_back([&] {
+      harness::DeploymentConfig dep = base_deployment(cfg, 4000);
+      dep.nranks = cfg.large_p;
+      const auto campaign = harness::CampaignRunner::run(app, dep, ctx);
+      out.large_injection_seconds = campaign.wall_seconds;
+      out.measured_large = campaign.overall;
+      out.measured_propagation = campaign.propagation_probabilities();
+    });
   }
 
+  run_phases(phases, /*overlap=*/executor.workers() > 1);
+
+  for (double s : sweep_seconds) out.serial_injection_seconds += s;
+  out.small_injection_seconds = small_campaign[0].wall_seconds;
+  out.small = SmallScaleObservation::from_campaign(small_campaign[0]);
+
   // ---- parallel-unique term (Eq. 1) --------------------------------------
-  // prob2 comes from one fault-free profile of the large scale (the paper
-  // assumes the large scale's time split is known/predictable).
   PredictorOptions popts = cfg.predictor;
-  {
-    const auto golden_large =
-        harness::profile_app(app, cfg.large_p, cfg.deadlock_timeout);
-    out.prob_unique = golden_large.unique_fraction();
-  }
   if (out.prob_unique > cfg.unique_fraction_threshold) {
     harness::DeploymentConfig dep = base_deployment(cfg, 3000);
     dep.nranks = cfg.small_p;
     dep.regions = fsefi::RegionMask::ParallelUnique;
-    const auto campaign = harness::CampaignRunner::run(app, dep);
+    const auto campaign = harness::CampaignRunner::run(app, dep, ctx);
     out.small_injection_seconds += campaign.wall_seconds;
     popts.prob_unique = out.prob_unique;
     popts.unique_result = campaign.overall;
@@ -77,16 +149,6 @@ StudyResult run_study(const apps::App& app, const StudyConfig& cfg) {
   // ---- predict ------------------------------------------------------------
   const ResiliencePredictor predictor(out.sweep, out.small, popts);
   out.prediction = predictor.predict(cfg.large_p);
-
-  // ---- optional measured large-scale campaign ----------------------------
-  if (cfg.measure_large) {
-    harness::DeploymentConfig dep = base_deployment(cfg, 4000);
-    dep.nranks = cfg.large_p;
-    const auto campaign = harness::CampaignRunner::run(app, dep);
-    out.large_injection_seconds = campaign.wall_seconds;
-    out.measured_large = campaign.overall;
-    out.measured_propagation = campaign.propagation_probabilities();
-  }
   return out;
 }
 

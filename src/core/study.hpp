@@ -23,6 +23,10 @@ struct StudyConfig {
   double unique_fraction_threshold = 0.02;
   PredictorOptions predictor;
   std::chrono::milliseconds deadlock_timeout{10'000};
+  /// Worker count of the campaign executor shared by all study phases
+  /// (0 = auto, 1 = fully serial). Execution policy only: study results
+  /// are bit-identical for every value.
+  int max_workers = 0;
 };
 
 struct StudyResult {
@@ -37,7 +41,8 @@ struct StudyResult {
   std::optional<harness::FaultInjectionResult> measured_large;
   std::optional<std::vector<double>> measured_propagation;  ///< large r_x
 
-  /// Wall-clock of the fault-injection phases (paper Figure 8's cost axis).
+  /// Serial-equivalent cost of the fault-injection phases (paper Figure
+  /// 8's cost axis); summed across workers when phases ran in parallel.
   double serial_injection_seconds = 0.0;
   double small_injection_seconds = 0.0;
   double large_injection_seconds = 0.0;

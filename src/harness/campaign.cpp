@@ -3,8 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
+#include "harness/executor.hpp"
+#include "harness/golden_cache.hpp"
 #include "util/rng.hpp"
 
 namespace resilience::harness {
@@ -141,12 +146,23 @@ std::vector<double> CampaignResult::propagation_probabilities() const {
 
 CampaignResult CampaignRunner::run(const apps::App& app,
                                    const DeploymentConfig& cfg) {
+  return run(app, cfg, CampaignContext{});
+}
+
+CampaignResult CampaignRunner::run(const apps::App& app,
+                                   const DeploymentConfig& cfg,
+                                   const CampaignContext& context) {
   if (cfg.errors_per_test < 1) {
     throw std::invalid_argument("errors_per_test must be >= 1");
   }
   CampaignResult result;
   result.config = cfg;
-  result.golden = profile_app(app, cfg.nranks, cfg.deadlock_timeout);
+  if (context.golden_cache != nullptr) {
+    result.golden = *context.golden_cache->get_or_profile(
+        app, cfg.nranks, cfg.deadlock_timeout, context.executor);
+  } else {
+    result.golden = profile_app(app, cfg.nranks, cfg.deadlock_timeout);
+  }
 
   std::vector<std::uint64_t> rank_ops;
   rank_ops.reserve(result.golden.profiles.size());
@@ -173,32 +189,88 @@ CampaignResult CampaignRunner::run(const apps::App& app,
   result.by_contamination.assign(static_cast<std::size_t>(cfg.nranks) + 1,
                                  FaultInjectionResult{});
 
-  const auto start = std::chrono::steady_clock::now();
-  for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
+  // One trial, seeded from its index: the unit of work both execution
+  // paths share, which is what keeps them bit-identical.
+  struct TrialOutcome {
+    Outcome outcome = Outcome::Failure;
+    int contaminated = -1;
+  };
+  auto run_trial = [&](std::size_t trial) -> TrialOutcome {
     util::Xoshiro256 rng(util::derive_seed(cfg.seed, trial));
     auto [target, plan] =
         draw_plan(cfg, result.golden, rank_ops, total_ops, rng);
-
     std::vector<fsefi::InjectionPlan> plans(
         static_cast<std::size_t>(cfg.nranks));
     plans[static_cast<std::size_t>(target)] = std::move(plan);
-
     const RunOutput out = run_app_once(app, cfg.nranks, plans, run_opts);
-    const Outcome outcome =
-        classify(out, result.golden.signature, app.checker_tolerance());
+    return {classify(out, result.golden.signature, app.checker_tolerance()),
+            out.contaminated_ranks()};
+  };
 
-    result.overall.add(outcome);
-    const int contaminated = out.contaminated_ranks();
-    if (contaminated >= 0 &&
-        contaminated < static_cast<int>(result.contamination_hist.size())) {
-      result.contamination_hist[static_cast<std::size_t>(contaminated)] += 1;
-      result.by_contamination[static_cast<std::size_t>(contaminated)].add(
-          outcome);
+  std::vector<TrialOutcome> outcomes(cfg.trials);
+
+  Executor* executor = context.executor;
+  std::unique_ptr<Executor> local_executor;
+  if (executor == nullptr && cfg.trials > 1) {
+    const int workers = Executor::resolve_workers(cfg.max_workers);
+    if (workers > 1) {
+      local_executor = std::make_unique<Executor>(workers);
+      executor = local_executor.get();
     }
   }
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+
+  if (executor == nullptr) {
+    // Inline path (max_workers == 1): no pool, no extra threads.
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
+      outcomes[trial] = run_trial(trial);
+    }
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+  } else {
+    // Contiguous chunks, several per worker: large enough to amortise
+    // queueing, small enough that the tail stays balanced.
+    const std::size_t chunk_target =
+        static_cast<std::size_t>(executor->workers()) * 4;
+    const std::size_t nchunks = std::min(cfg.trials, std::max<std::size_t>(
+                                                         chunk_target, 1));
+    const std::size_t chunk = (cfg.trials + nchunks - 1) / nchunks;
+    std::vector<double> chunk_seconds(nchunks, 0.0);
+    std::vector<Executor::Task> tasks;
+    tasks.reserve(nchunks);
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      const std::size_t lo = c * chunk;
+      const std::size_t hi = std::min(lo + chunk, cfg.trials);
+      if (lo >= hi) break;
+      tasks.push_back({cfg.nranks, [&, c, lo, hi] {
+                         const auto start = std::chrono::steady_clock::now();
+                         for (std::size_t trial = lo; trial < hi; ++trial) {
+                           outcomes[trial] = run_trial(trial);
+                         }
+                         chunk_seconds[c] =
+                             std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+                       }});
+    }
+    executor->run(std::move(tasks));
+    // Serial-equivalent injection time: execution spans summed across
+    // workers, in chunk order so the sum itself is reproducible.
+    for (double s : chunk_seconds) result.wall_seconds += s;
+  }
+
+  // Merge in trial order — the parallel path stays bit-identical to the
+  // serial one no matter how chunks were scheduled.
+  for (const TrialOutcome& t : outcomes) {
+    result.overall.add(t.outcome);
+    if (t.contaminated >= 0 &&
+        t.contaminated < static_cast<int>(result.contamination_hist.size())) {
+      result.contamination_hist[static_cast<std::size_t>(t.contaminated)] += 1;
+      result.by_contamination[static_cast<std::size_t>(t.contaminated)].add(
+          t.outcome);
+    }
+  }
   return result;
 }
 

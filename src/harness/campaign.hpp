@@ -47,6 +47,13 @@ struct DeploymentConfig {
   double hang_budget_factor = 8.0;
   std::uint64_t hang_budget_slack = 1u << 16;
   std::chrono::milliseconds deadlock_timeout{10'000};
+  /// Campaign-executor worker count. 0 = auto (RESILIENCE_THREADS env or
+  /// hardware concurrency); 1 = the serial inline path. Execution policy
+  /// only: results are bit-identical for every value (trials have
+  /// independent per-trial seed streams and merge in trial order), so this
+  /// is not part of the deployment's identity — serialization and
+  /// merge_campaigns ignore it.
+  int max_workers = 0;
 };
 
 /// Everything a campaign produced.
@@ -61,8 +68,10 @@ struct CampaignResult {
   std::vector<FaultInjectionResult> by_contamination;
   /// The golden (fault-free) pre-pass of this deployment.
   GoldenRun golden;
-  /// Wall-clock spent running injected trials (the paper's "fault
-  /// injection time"; excludes the golden pre-pass).
+  /// Time spent running injected trials (the paper's "fault injection
+  /// time"; excludes the golden pre-pass). Summed across workers when the
+  /// campaign ran in parallel, i.e. the serial-equivalent cost — the
+  /// wall-clock of the serial path, and comparable across worker counts.
   double wall_seconds = 0.0;
 
   /// r_x (paper Eq. 3): probability that an injected error contaminates
@@ -71,8 +80,23 @@ struct CampaignResult {
   [[nodiscard]] std::vector<double> propagation_probabilities() const;
 };
 
+class Executor;
+class GoldenCache;
+
+/// Shared infrastructure a campaign may run on. Both members are
+/// optional: a null executor makes the campaign schedule trials by
+/// itself (per config.max_workers), a null cache makes it profile its
+/// own golden run. run_study wires one executor + one cache through all
+/// of its campaigns so phases share a rank-concurrency budget and no
+/// deployment is profiled twice.
+struct CampaignContext {
+  Executor* executor = nullptr;
+  GoldenCache* golden_cache = nullptr;
+};
+
 /// Runs fault-injection campaigns. Stateless apart from configuration;
-/// each call is deterministic in (app, config.seed).
+/// each call is deterministic in (app, config.seed) — independent of
+/// worker count and of any shared context.
 class CampaignRunner {
  public:
   /// Execute `config.trials` fault-injection tests. Throws
@@ -80,6 +104,11 @@ class CampaignRunner {
   /// (no operations match the filters) or the golden run fails.
   static CampaignResult run(const apps::App& app,
                             const DeploymentConfig& config);
+
+  /// Same, on shared infrastructure (see CampaignContext).
+  static CampaignResult run(const apps::App& app,
+                            const DeploymentConfig& config,
+                            const CampaignContext& context);
 
   /// Classify one run output against the golden signature (exposed for
   /// tests and for custom drivers).

@@ -1,0 +1,93 @@
+// Weighted-admission thread pool for fault-injection campaigns.
+//
+// A campaign is hundreds of independent trials, but each trial of an
+// n-rank deployment spawns n simmpi rank threads while it runs. Admitting
+// trials by *count* would oversubscribe the machine (8 concurrent 8-rank
+// trials = 64 runnable threads on an 8-core host), so the executor admits
+// queued tasks by their *rank weight* instead: the sum of in-flight
+// weights never exceeds the budget (== worker count). A serial sweep
+// saturates every core with weight-1 trials while an 8-rank campaign on 8
+// cores runs one trial at a time — both at full hardware utilisation.
+//
+// Determinism contract: the executor only decides *when* a task runs,
+// never what it computes. Campaign code keeps results bit-identical to
+// serial execution by giving every trial its own seeded RNG stream and
+// merging per-trial outcomes in trial order (see CampaignRunner::run).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace resilience::harness {
+
+class Executor {
+ public:
+  struct Task {
+    /// Rank threads the task occupies while running; clamped to
+    /// [1, budget] at submission so oversized deployments still run
+    /// (alone) rather than starve.
+    int weight = 1;
+    std::function<void()> fn;
+  };
+
+  /// max_workers <= 0 resolves via resolve_workers(). A 1-worker executor
+  /// spawns no threads; run() then executes batches inline on the caller.
+  explicit Executor(int max_workers = 0);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Worker count; also the rank-concurrency budget.
+  [[nodiscard]] int workers() const noexcept { return workers_; }
+
+  /// Run every task to completion and return. Tasks are admitted in FIFO
+  /// order as their weight fits the remaining budget. Safe to call from
+  /// several threads at once — concurrent batches interleave in the one
+  /// queue under the one budget (how run_study overlaps its phases).
+  /// Called from inside one of this pool's workers (or any Executor's
+  /// worker), the batch runs inline on the caller instead, so nested
+  /// submission cannot deadlock the pool.
+  /// If tasks threw, the lowest-index exception is rethrown after all
+  /// tasks of the batch finished.
+  void run(std::vector<Task> tasks);
+
+  /// Effective worker count: `requested` if > 0, else the
+  /// RESILIENCE_THREADS environment variable if set, else
+  /// std::thread::hardware_concurrency() (1 if unknown).
+  static int resolve_workers(int requested) noexcept;
+
+ private:
+  /// Completion state of one run() call; lives on the caller's stack.
+  struct Batch {
+    std::size_t pending = 0;
+    std::size_t error_index = 0;
+    std::exception_ptr error;
+    std::condition_variable done;
+  };
+  struct Queued {
+    Batch* batch;
+    std::size_t index;
+    int weight;
+    std::function<void()> fn;
+  };
+
+  void worker_main();
+  static void run_inline(std::vector<Task>& tasks);
+
+  int workers_ = 1;
+  std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<Queued> queue_;
+  int available_ = 0;  ///< unclaimed budget units, in [0, workers_]
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace resilience::harness

@@ -1,0 +1,61 @@
+#include "harness/golden_cache.hpp"
+
+#include "harness/executor.hpp"
+
+namespace resilience::harness {
+
+std::shared_ptr<const GoldenRun> GoldenCache::get_or_profile(
+    const apps::App& app, int nranks,
+    std::chrono::milliseconds deadlock_timeout, Executor* executor) {
+  const Key key{app.label(), nranks};
+  std::promise<std::shared_ptr<const GoldenRun>> promise;
+  Future future;
+  bool leader = false;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      future = it->second;
+      ++hits_;
+    } else {
+      leader = true;
+      future = promise.get_future().share();
+      entries_.emplace(key, future);
+      ++misses_;
+    }
+  }
+  if (leader) {
+    try {
+      std::shared_ptr<const GoldenRun> golden;
+      auto profile = [&] {
+        golden = std::make_shared<const GoldenRun>(
+            profile_app(app, nranks, deadlock_timeout));
+      };
+      if (executor != nullptr) {
+        std::vector<Executor::Task> task;
+        task.push_back({nranks, profile});
+        executor->run(std::move(task));
+      } else {
+        profile();
+      }
+      promise.set_value(std::move(golden));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+      std::lock_guard lock(mu_);
+      entries_.erase(key);
+    }
+  }
+  return future.get();
+}
+
+std::size_t GoldenCache::hits() const {
+  std::lock_guard lock(mu_);
+  return hits_;
+}
+
+std::size_t GoldenCache::misses() const {
+  std::lock_guard lock(mu_);
+  return misses_;
+}
+
+}  // namespace resilience::harness

@@ -1,0 +1,55 @@
+// Memoized golden (fault-free) runs, keyed by (app label, nranks).
+//
+// A study profiles the same deployment repeatedly — every serial sweep
+// point re-profiles nranks=1, and the small-scale, parallel-unique and
+// measured-large campaigns each re-profile their own scale. Profiling is
+// deterministic in (app, nranks), so one golden run per key serves every
+// campaign of the study. The cache is single-flight: concurrent requests
+// for one key block on a single profiling run instead of duplicating it.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "harness/runner.hpp"
+
+namespace resilience::harness {
+
+class Executor;
+
+class GoldenCache {
+ public:
+  /// Return the golden run of (app.label(), nranks), profiling it on a
+  /// miss. With a non-null `executor` the profiling run is admitted
+  /// through it with weight nranks, so golden runs obey the same
+  /// rank-concurrency budget as campaign trials. Profiling errors
+  /// propagate to every waiter of the key; the failed entry is evicted so
+  /// a later call can retry.
+  std::shared_ptr<const GoldenRun> get_or_profile(
+      const apps::App& app, int nranks,
+      std::chrono::milliseconds deadlock_timeout =
+          std::chrono::milliseconds{10'000},
+      Executor* executor = nullptr);
+
+  /// Requests served from an existing (possibly in-flight) entry.
+  [[nodiscard]] std::size_t hits() const;
+  /// Requests that had to profile.
+  [[nodiscard]] std::size_t misses() const;
+
+ private:
+  using Key = std::pair<std::string, int>;
+  using Future = std::shared_future<std::shared_ptr<const GoldenRun>>;
+
+  mutable std::mutex mu_;
+  std::map<Key, Future> entries_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace resilience::harness

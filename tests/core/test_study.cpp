@@ -40,6 +40,35 @@ TEST(Study, DeterministicInSeed) {
   EXPECT_EQ(a.measured_success(), b.measured_success());
 }
 
+TEST(Study, ParallelStudyBitIdenticalToSerial) {
+  // Overlapped phases + parallel trials + the golden cache must not
+  // change a single number of the study.
+  const auto app = apps::make_app(apps::AppId::LU);
+  StudyConfig cfg;
+  cfg.small_p = 2;
+  cfg.large_p = 8;
+  cfg.trials = 20;
+  cfg.seed = 31337;
+  cfg.max_workers = 1;
+  const auto serial = run_study(*app, cfg);
+  cfg.max_workers = 8;
+  const auto parallel = run_study(*app, cfg);
+  EXPECT_EQ(parallel.predicted_success(), serial.predicted_success());
+  EXPECT_EQ(parallel.prediction.combined.sdc, serial.prediction.combined.sdc);
+  EXPECT_EQ(parallel.prob_unique, serial.prob_unique);
+  ASSERT_EQ(parallel.sweep.results.size(), serial.sweep.results.size());
+  for (std::size_t i = 0; i < serial.sweep.results.size(); ++i) {
+    EXPECT_EQ(parallel.sweep.results[i].success,
+              serial.sweep.results[i].success)
+        << "sweep point " << i;
+  }
+  EXPECT_EQ(parallel.small.overall.success, serial.small.overall.success);
+  EXPECT_EQ(parallel.small.propagation.r, serial.small.propagation.r);
+  ASSERT_TRUE(parallel.measured_large && serial.measured_large);
+  EXPECT_EQ(parallel.measured_large->success, serial.measured_large->success);
+  EXPECT_EQ(parallel.measured_large->failure, serial.measured_large->failure);
+}
+
 TEST(Study, MeasureLargeCanBeSkipped) {
   const auto app = apps::make_app(apps::AppId::LU);
   StudyConfig cfg;

@@ -1,0 +1,143 @@
+#include "harness/executor.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace resilience::harness {
+namespace {
+
+std::vector<Executor::Task> weighted_tasks(int count, int weight,
+                                           const std::function<void()>& fn) {
+  std::vector<Executor::Task> tasks;
+  tasks.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) tasks.push_back({weight, fn});
+  return tasks;
+}
+
+TEST(Executor, RunsEveryTask) {
+  Executor ex(4);
+  std::atomic<int> count{0};
+  ex.run(weighted_tasks(100, 1, [&] { ++count; }));
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(Executor, FewerTasksThanWorkers) {
+  Executor ex(8);
+  std::atomic<int> count{0};
+  ex.run(weighted_tasks(3, 1, [&] { ++count; }));
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(Executor, SingleWorkerRunsInlineOnCaller) {
+  Executor ex(1);
+  EXPECT_EQ(ex.workers(), 1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran;
+  std::vector<Executor::Task> tasks;
+  for (int i = 0; i < 4; ++i) {
+    tasks.push_back({1, [&] { ran.push_back(std::this_thread::get_id()); }});
+  }
+  ex.run(std::move(tasks));
+  ASSERT_EQ(ran.size(), 4u);
+  for (const auto id : ran) EXPECT_EQ(id, caller);
+}
+
+TEST(Executor, WeightAdmissionNeverExceedsBudget) {
+  constexpr int kBudget = 4;
+  constexpr int kWeight = 3;
+  Executor ex(kBudget);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> peak{0};
+  ex.run(weighted_tasks(24, kWeight, [&] {
+    const int now = in_flight.fetch_add(kWeight) + kWeight;
+    int prev = peak.load();
+    while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    in_flight.fetch_sub(kWeight);
+  }));
+  EXPECT_LE(peak.load(), kBudget);
+  EXPECT_GE(peak.load(), kWeight);  // something actually ran
+}
+
+TEST(Executor, OversizedWeightIsClampedAndRuns) {
+  Executor ex(2);
+  std::atomic<int> count{0};
+  // Weight 64 on a budget of 2 must still execute (clamped, serialized).
+  ex.run(weighted_tasks(5, 64, [&] { ++count; }));
+  EXPECT_EQ(count.load(), 5);
+}
+
+TEST(Executor, MixedWeightsAllComplete) {
+  Executor ex(4);
+  std::atomic<int> sum{0};
+  std::vector<Executor::Task> tasks;
+  for (int i = 0; i < 40; ++i) {
+    tasks.push_back({1 + i % 5, [&, i] { sum += i; }});
+  }
+  ex.run(std::move(tasks));
+  EXPECT_EQ(sum.load(), 39 * 40 / 2);
+}
+
+TEST(Executor, RethrowsLowestIndexException) {
+  Executor ex(4);
+  std::atomic<int> completed{0};
+  std::vector<Executor::Task> tasks;
+  for (int i = 0; i < 16; ++i) {
+    tasks.push_back({1, [&, i] {
+                       if (i == 3 || i == 11) {
+                         throw std::runtime_error("task " + std::to_string(i));
+                       }
+                       ++completed;
+                     }});
+  }
+  try {
+    ex.run(std::move(tasks));
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 3");
+  }
+  // The batch still drained: every non-throwing task ran.
+  EXPECT_EQ(completed.load(), 14);
+}
+
+TEST(Executor, NestedRunFromWorkerExecutesInline) {
+  Executor ex(2);
+  std::atomic<int> inner{0};
+  // Both outer tasks occupy the whole pool, then submit nested batches;
+  // without the inline fallback this deadlocks.
+  ex.run(weighted_tasks(2, 1, [&] {
+    ex.run(weighted_tasks(8, 1, [&] { ++inner; }));
+  }));
+  EXPECT_EQ(inner.load(), 16);
+}
+
+TEST(Executor, ConcurrentBatchesShareThePool) {
+  Executor ex(4);
+  std::atomic<int> count{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 3; ++c) {
+    callers.emplace_back(
+        [&] { ex.run(weighted_tasks(20, 2, [&] { ++count; })); });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(count.load(), 60);
+}
+
+TEST(Executor, ResolveWorkersPrecedence) {
+  EXPECT_EQ(Executor::resolve_workers(3), 3);
+  ::setenv("RESILIENCE_THREADS", "5", 1);
+  EXPECT_EQ(Executor::resolve_workers(0), 5);
+  EXPECT_EQ(Executor::resolve_workers(2), 2);  // explicit beats env
+  ::unsetenv("RESILIENCE_THREADS");
+  EXPECT_GE(Executor::resolve_workers(0), 1);
+}
+
+}  // namespace
+}  // namespace resilience::harness

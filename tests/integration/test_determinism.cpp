@@ -70,6 +70,74 @@ TEST(Determinism, InjectedRunReplaysExactly) {
       CampaignRunner::classify(b, golden.signature, app->checker_tolerance()));
 }
 
+// The parallel campaign executor's determinism contract: for the same
+// seed, any worker count produces the same CampaignResult bit for bit —
+// overall counts, contamination histogram, and the per-contamination
+// splits. Exercised across two apps, a serial deployment and a
+// small-parallel one (rank-weighted admission path).
+TEST(Determinism, ParallelCampaignBitIdenticalToSerial) {
+  struct Case {
+    apps::AppId id;
+    int nranks;
+  };
+  for (const Case c : {Case{apps::AppId::LU, 1}, Case{apps::AppId::LU, 4},
+                       Case{apps::AppId::MG, 1}, Case{apps::AppId::MG, 4}}) {
+    const auto app = apps::make_app(c.id);
+    DeploymentConfig cfg;
+    cfg.nranks = c.nranks;
+    cfg.trials = 40;
+    cfg.seed = 20180813;
+    if (c.nranks == 1) cfg.regions = fsefi::RegionMask::Common;
+
+    cfg.max_workers = 1;
+    const auto serial = CampaignRunner::run(*app, cfg);
+    for (const int workers : {3, 8}) {
+      cfg.max_workers = workers;
+      const auto parallel = CampaignRunner::run(*app, cfg);
+      const auto label =
+          app->label() + " @" + std::to_string(c.nranks) + " ranks, " +
+          std::to_string(workers) + " workers";
+      EXPECT_EQ(parallel.overall.trials, serial.overall.trials) << label;
+      EXPECT_EQ(parallel.overall.success, serial.overall.success) << label;
+      EXPECT_EQ(parallel.overall.sdc, serial.overall.sdc) << label;
+      EXPECT_EQ(parallel.overall.failure, serial.overall.failure) << label;
+      EXPECT_EQ(parallel.contamination_hist, serial.contamination_hist)
+          << label;
+      ASSERT_EQ(parallel.by_contamination.size(),
+                serial.by_contamination.size())
+          << label;
+      for (std::size_t x = 0; x < serial.by_contamination.size(); ++x) {
+        EXPECT_EQ(parallel.by_contamination[x].trials,
+                  serial.by_contamination[x].trials)
+            << label << " x=" << x;
+        EXPECT_EQ(parallel.by_contamination[x].success,
+                  serial.by_contamination[x].success)
+            << label << " x=" << x;
+        EXPECT_EQ(parallel.by_contamination[x].sdc,
+                  serial.by_contamination[x].sdc)
+            << label << " x=" << x;
+      }
+      EXPECT_EQ(parallel.golden.signature, serial.golden.signature) << label;
+    }
+  }
+}
+
+TEST(Determinism, ParallelCampaignWithFewerTrialsThanWorkers) {
+  const auto app = apps::make_app(apps::AppId::LU);
+  DeploymentConfig cfg;
+  cfg.nranks = 2;
+  cfg.trials = 3;  // fewer than the worker count
+  cfg.seed = 99;
+  cfg.max_workers = 1;
+  const auto serial = CampaignRunner::run(*app, cfg);
+  cfg.max_workers = 8;
+  const auto parallel = CampaignRunner::run(*app, cfg);
+  EXPECT_EQ(parallel.overall.success, serial.overall.success);
+  EXPECT_EQ(parallel.overall.sdc, serial.overall.sdc);
+  EXPECT_EQ(parallel.overall.failure, serial.overall.failure);
+  EXPECT_EQ(parallel.contamination_hist, serial.contamination_hist);
+}
+
 TEST(Determinism, Cg2dStableUnderThreadScheduling) {
   // The 2D decomposition adds split communicators, transpose exchanges
   // and merge traffic; repeat runs must still agree bit for bit.

@@ -4,14 +4,20 @@
 //       Show the built-in benchmarks and their input problems.
 //   resilience campaign --app CG [--ranks 8] [--trials 400] [--errors 1]
 //       [--pattern single|double|burst] [--region all|common|unique]
-//       [--save campaign.json] [--seed N]
+//       [--save campaign.json] [--seed N] [--jobs N]
 //       Run one fault-injection deployment and print its result.
 //   resilience predict --app CG [--small 8] [--large 64] [--trials 400]
 //       [--no-measure] [--ci resamples] [--report out.md] [--seed N]
+//       [--jobs N]
 //       Run the paper's methodology: predict the large scale from serial +
 //       small-scale campaigns (optionally validating by measurement).
 //   resilience propagation --app CG [--ranks 8] [--trials 400] [--seed N]
+//       [--jobs N]
 //       Profile error propagation across ranks.
+//
+// --jobs sets the campaign executor's worker count (0 = auto: the
+// RESILIENCE_THREADS env var, else hardware concurrency; 1 = serial).
+// Results are bit-identical for every value.
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -110,6 +116,7 @@ int cmd_campaign(Args& args) {
   dep.pattern = parse_pattern(args.get("pattern", "single"));
   dep.regions = parse_region(args.get("region", "all"));
   dep.seed = static_cast<std::uint64_t>(args.get_int("seed", 20180813));
+  dep.max_workers = static_cast<int>(args.get_int("jobs", 0));
   const std::string save_path = args.get("save", "");
   args.check_consumed();
 
@@ -150,6 +157,7 @@ int cmd_predict(Args& args) {
   cfg.trials = static_cast<std::size_t>(args.get_int("trials", 400));
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 20180813));
   cfg.measure_large = args.get("no-measure", "").empty();
+  cfg.max_workers = static_cast<int>(args.get_int("jobs", 0));
   const std::string report_path = args.get("report", "");
   const long ci_resamples = args.get_int("ci", 0);
   args.check_consumed();
@@ -202,6 +210,7 @@ int cmd_propagation(Args& args) {
   dep.nranks = static_cast<int>(args.get_int("ranks", 8));
   dep.trials = static_cast<std::size_t>(args.get_int("trials", 400));
   dep.seed = static_cast<std::uint64_t>(args.get_int("seed", 20180813));
+  dep.max_workers = static_cast<int>(args.get_int("jobs", 0));
   args.check_consumed();
 
   const auto campaign = harness::CampaignRunner::run(*app, dep);
