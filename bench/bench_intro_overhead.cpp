@@ -7,10 +7,12 @@
 // serial; fault-injection time +58%; plain execution time differs by 15%.
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 
 #include "bench_common.hpp"
 #include "harness/campaign.hpp"
 #include "harness/executor.hpp"
+#include "util/json.hpp"
 
 namespace {
 
@@ -40,6 +42,7 @@ int main() {
 
   util::TablePrinter table({"deployment", "dynamic FP ops", "vs serial",
                             "messages/run", "FI wall time", "vs serial"});
+  util::JsonArray deployments;
   double serial_ops = 0.0, serial_time = 0.0;
   for (int ranks : {1, 4, 8}) {
     harness::DeploymentConfig dep;
@@ -66,12 +69,24 @@ int main() {
          ranks == 1
              ? "-"
              : "+" + bench::pct(campaign.wall_seconds / serial_time - 1.0)});
+    util::JsonObject dep_json;
+    dep_json["nranks"] = util::Json(ranks);
+    dep_json["dynamic_fp_ops"] = util::Json(total_ops);
+    dep_json["messages_per_run"] = util::Json(probe.runtime.messages_sent);
+    dep_json["bytes_per_run"] = util::Json(probe.runtime.bytes_sent);
+    dep_json["buffer_allocs_per_run"] =
+        util::Json(probe.runtime.buffer_allocs);
+    dep_json["buffer_reuses_per_run"] =
+        util::Json(probe.runtime.buffer_reuses);
+    dep_json["fi_wall_seconds"] = util::Json(campaign.wall_seconds);
+    deployments.push_back(util::Json(std::move(dep_json)));
   }
   table.print();
 
   // Campaign-executor speedup: the same deployment on 1 worker vs the
   // auto worker count (RESILIENCE_THREADS / hardware concurrency).
   // Results are bit-identical; only the wall clock moves.
+  util::JsonObject executor_json;
   {
     harness::DeploymentConfig dep;
     dep.nranks = 4;
@@ -88,6 +103,25 @@ int main() {
               << workers << " workers — "
               << bench::fmt(serial_wall / parallel_wall, 1)
               << "x speedup, bit-identical results.\n";
+    executor_json["trials"] = util::Json(dep.trials);
+    executor_json["serial_wall_seconds"] = util::Json(serial_wall);
+    executor_json["parallel_wall_seconds"] = util::Json(parallel_wall);
+    executor_json["workers"] = util::Json(workers);
+    executor_json["speedup"] = util::Json(serial_wall / parallel_wall);
+  }
+
+  // Machine-readable mirror of the numbers above, merged into
+  // BENCH_substrate.json by tools/merge_bench.py.
+  {
+    util::JsonObject root;
+    root["bench"] = util::Json("intro_overhead");
+    root["app"] = util::Json(app->label());
+    root["trials"] = util::Json(cfg.trials);
+    root["seed"] = util::Json(cfg.seed);
+    root["deployments"] = util::Json(std::move(deployments));
+    root["executor"] = util::Json(std::move(executor_json));
+    std::ofstream out("BENCH_intro_overhead.json");
+    out << util::Json(std::move(root)).dump(2) << "\n";
   }
 
   std::cout

@@ -4,10 +4,14 @@
 // that determine how long a fault-injection campaign takes.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "fsefi/real.hpp"
 #include "fsefi/transport.hpp"
+#include "simmpi/rank_team.hpp"
+#include "simmpi/rendezvous.hpp"
 #include "simmpi/runtime.hpp"
 
 namespace {
@@ -16,6 +20,7 @@ using resilience::fsefi::ContextGuard;
 using resilience::fsefi::FaultContext;
 using resilience::fsefi::Real;
 using resilience::simmpi::Comm;
+using resilience::simmpi::RankTeamPool;
 using resilience::simmpi::Runtime;
 
 void BM_DoubleAxpy(benchmark::State& state) {
@@ -69,8 +74,14 @@ void BM_RealAxpyArmedPlan(benchmark::State& state) {
 }
 BENCHMARK(BM_RealAxpyArmedPlan);
 
+// Per-trial job launch latency on the pooled rank teams (the production
+// path). Compare against BM_JobSpawnJoinUnpooled at the same rank count:
+// the ISSUE's acceptance bar is >= 2x at nranks >= 8, computed by
+// tools/merge_bench.py as launch_speedup in BENCH_substrate.json.
 void BM_JobSpawnJoin(benchmark::State& state) {
   const int ranks = static_cast<int>(state.range(0));
+  RankTeamPool::set_enabled(true);
+  RankTeamPool::instance().prewarm(ranks, 1);
   for (auto _ : state) {
     const auto result = Runtime::run(ranks, [](Comm&) {});
     benchmark::DoNotOptimize(result.ok);
@@ -78,28 +89,52 @@ void BM_JobSpawnJoin(benchmark::State& state) {
 }
 BENCHMARK(BM_JobSpawnJoin)->Arg(2)->Arg(8)->Arg(32)->Arg(64);
 
+/// The seed behavior: spawn and join nranks fresh std::threads per job.
+void BM_JobSpawnJoinUnpooled(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  RankTeamPool::set_enabled(false);
+  for (auto _ : state) {
+    const auto result = Runtime::run(ranks, [](Comm&) {});
+    benchmark::DoNotOptimize(result.ok);
+  }
+  RankTeamPool::set_enabled(true);
+}
+BENCHMARK(BM_JobSpawnJoinUnpooled)->Arg(2)->Arg(8)->Arg(32)->Arg(64);
+
 void BM_PingPong(benchmark::State& state) {
   const std::size_t bytes = static_cast<std::size_t>(state.range(0));
   const std::size_t count = bytes / sizeof(double);
+  std::uint64_t allocs = 0;
+  std::uint64_t messages = 0;
   for (auto _ : state) {
-    Runtime::run(2, [count](Comm& comm) {
+    const auto result = Runtime::run(2, [count](Comm& comm) {
       std::vector<double> buf(count, 1.0);
-      if (comm.rank() == 0) {
-        comm.send(1, 0, std::span<const double>(buf));
-        comm.recv(1, 1, std::span<double>(buf));
-      } else {
-        comm.recv(0, 0, std::span<double>(buf));
-        comm.send(0, 1, std::span<const double>(buf));
+      for (int round = 0; round < 16; ++round) {
+        if (comm.rank() == 0) {
+          comm.send(1, 0, std::span<const double>(buf));
+          comm.recv(1, 1, std::span<double>(buf));
+        } else {
+          comm.recv(0, 0, std::span<double>(buf));
+          comm.send(0, 1, std::span<const double>(buf));
+        }
       }
     });
+    allocs += result.buffer_allocs;
+    messages += result.messages_sent;
   }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 32 *
                           static_cast<std::int64_t>(bytes));
+  // The envelope-pool acceptance metric: payload allocations per message
+  // (the seed allocated 1.0; the freelist drives it toward 1/messages).
+  state.counters["allocs_per_msg"] =
+      benchmark::Counter(static_cast<double>(allocs) /
+                         static_cast<double>(messages ? messages : 1));
 }
 BENCHMARK(BM_PingPong)->Arg(64)->Arg(4096)->Arg(65536);
 
 void BM_AllreduceRound(benchmark::State& state) {
   const int ranks = static_cast<int>(state.range(0));
+  resilience::simmpi::detail::set_fast_collectives_enabled(true);
   for (auto _ : state) {
     Runtime::run(ranks, [](Comm& comm) {
       double acc = 0.0;
@@ -113,6 +148,48 @@ void BM_AllreduceRound(benchmark::State& state) {
 }
 BENCHMARK(BM_AllreduceRound)->Arg(4)->Arg(8)->Arg(16)->Arg(64);
 
+/// The seed behavior: the same collective decomposed into mailbox p2p
+/// messages (RESILIENCE_FAST_COLLECTIVES=0).
+void BM_AllreduceRoundMailbox(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  resilience::simmpi::detail::set_fast_collectives_enabled(false);
+  for (auto _ : state) {
+    Runtime::run(ranks, [](Comm& comm) {
+      double acc = 0.0;
+      for (int round = 0; round < 16; ++round) {
+        acc += comm.allreduce_value(1.0 + comm.rank());
+      }
+      benchmark::DoNotOptimize(acc);
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+  resilience::simmpi::detail::set_fast_collectives_enabled(true);
+}
+BENCHMARK(BM_AllreduceRoundMailbox)->Arg(4)->Arg(8)->Arg(16)->Arg(64);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): default the JSON dump to
+// BENCH_micro_substrate.json (tools/merge_bench.py folds it into
+// BENCH_substrate.json) while keeping every --benchmark_* flag working.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_micro_substrate.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

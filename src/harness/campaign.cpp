@@ -10,6 +10,7 @@
 
 #include "harness/executor.hpp"
 #include "harness/golden_cache.hpp"
+#include "simmpi/rank_team.hpp"
 #include "util/rng.hpp"
 
 namespace resilience::harness {
@@ -217,6 +218,15 @@ CampaignResult CampaignRunner::run(const apps::App& app,
       local_executor = std::make_unique<Executor>(workers);
       executor = local_executor.get();
     }
+  }
+
+  if (executor != nullptr && cfg.nranks > 1 &&
+      simmpi::RankTeamPool::enabled()) {
+    // Pay the rank-team thread spawns before the timed trial loop: each
+    // concurrently running trial checks out its own team of this width.
+    const int concurrent =
+        std::max(1, executor->workers() / std::max(1, cfg.nranks));
+    simmpi::RankTeamPool::instance().prewarm(cfg.nranks, concurrent);
   }
 
   if (executor == nullptr) {

@@ -1,8 +1,49 @@
 #include "simmpi/comm.hpp"
 
+#include <cstdlib>
+#include <cstring>
+
 namespace resilience::simmpi {
 
+namespace detail {
+namespace {
+
+// -1 = follow the environment, 0 = forced off, 1 = forced on.
+std::atomic<int> g_fast_collectives_override{-1};
+
+bool fast_collectives_env_default() {
+  const char* value = std::getenv("RESILIENCE_FAST_COLLECTIVES");
+  return value == nullptr || std::strcmp(value, "0") != 0;
+}
+
+}  // namespace
+
+bool fast_collectives_enabled() noexcept {
+  const int forced = g_fast_collectives_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  static const bool from_env = fast_collectives_env_default();
+  return from_env;
+}
+
+void set_fast_collectives_enabled(bool enabled) noexcept {
+  g_fast_collectives_override.store(enabled ? 1 : 0,
+                                    std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
 void Comm::barrier() {
+  if (size_ > 1 && detail::fast_collectives_enabled()) {
+    // Rendezvous fast path: one shared counter instead of 2(size-1)
+    // mailbox messages. The tag sequence still advances and the stats
+    // still record the logical notify/release decomposition, so the two
+    // paths are indistinguishable to campaign results.
+    next_collective_tag(6);
+    const int logical_sends = rank_ == 0 ? size_ - 1 : 1;
+    for (int i = 0; i < logical_sends; ++i) record_logical_send(1);
+    rendezvous().barrier();
+    return;
+  }
   // Linear notify/release through rank 0. Two message waves; abort-safe
   // because it reuses the ordinary mailbox machinery.
   const int tag = next_collective_tag(6);

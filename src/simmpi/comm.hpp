@@ -33,6 +33,7 @@
 
 #include "simmpi/errors.hpp"
 #include "simmpi/mailbox.hpp"
+#include "simmpi/rendezvous.hpp"
 #include "simmpi/request.hpp"
 #include "simmpi/transport_traits.hpp"
 
@@ -42,7 +43,8 @@ namespace detail {
 
 /// Shared state of one running job; owned by Runtime::run.
 struct JobState {
-  explicit JobState(int nranks, std::chrono::milliseconds timeout) {
+  explicit JobState(int nranks, std::chrono::milliseconds deadlock_timeout)
+      : timeout(deadlock_timeout) {
     mailboxes.reserve(static_cast<std::size_t>(nranks));
     for (int r = 0; r < nranks; ++r) {
       mailboxes.push_back(std::make_unique<Mailbox>(&abort, timeout));
@@ -51,11 +53,26 @@ struct JobState {
 
   void trigger_abort() {
     abort.trigger();
+    hub.interrupt_all();
     for (auto& box : mailboxes) box->interrupt();
   }
 
+  /// Aggregate envelope-pool statistics across every rank's mailbox.
+  [[nodiscard]] BufferPool::Stats pool_stats() const {
+    BufferPool::Stats total;
+    for (const auto& box : mailboxes) {
+      const BufferPool::Stats s = box->pool_stats();
+      total.allocs += s.allocs;
+      total.reuses += s.reuses;
+    }
+    return total;
+  }
+
   AbortToken abort;
+  std::chrono::milliseconds timeout;
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
+  /// Rendezvous groups for the collective fast path, keyed by comm salt.
+  CollectiveHub hub;
   /// Transport statistics for the whole job (all communicators).
   std::atomic<std::uint64_t> messages_sent{0};
   std::atomic<std::uint64_t> bytes_sent{0};
@@ -149,8 +166,10 @@ class Comm {
                        std::to_string(out.size_bytes()) + " bytes");
     }
     if (!out.empty()) std::memcpy(out.data(), env.bytes.data(), out.size_bytes());
+    const int source_rank = local_rank_of(env.source);
+    my_mailbox().recycle(std::move(env));
     TransportTraits<T>::on_receive(std::span<const T>(out.data(), out.size()));
-    return local_rank_of(env.source);
+    return source_rank;
   }
 
   template <Transportable T>
@@ -209,9 +228,17 @@ class Comm {
   void barrier();
 
   /// Broadcast `buf` from `root` to all ranks over a binomial tree.
+  /// Data moves through the shared-memory rendezvous (children read the
+  /// parent's buffer in place) unless the fast path is disabled, in which
+  /// case every tree edge is a mailbox message. Both paths walk the same
+  /// tree, so results and transport stats are identical.
   template <Transportable T>
   void bcast(std::span<T> buf, int root) {
     check_peer(root, "bcast");
+    if (size_ > 1 && detail::fast_collectives_enabled()) {
+      bcast_rendezvous(buf, root);
+      return;
+    }
     const int tag = next_collective_tag(0);
     // Renumber so the root is virtual rank 0, then walk the binomial tree.
     const int vrank = (rank_ - root + size_) % size_;
@@ -242,6 +269,10 @@ class Comm {
     check_peer(root, "reduce");
     if (in.size() != out.size() && rank_ == root) {
       throw UsageError("reduce: in/out size mismatch on root");
+    }
+    if (size_ > 1 && detail::fast_collectives_enabled()) {
+      reduce_rendezvous(in, out, root, op);
+      return;
     }
     const int tag = next_collective_tag(1);
     const int vrank = (rank_ - root + size_) % size_;
@@ -515,7 +546,113 @@ class Comm {
     if (!out.empty()) {
       std::memcpy(out.data(), env.bytes.data(), out.size_bytes());
     }
+    my_mailbox().recycle(std::move(env));
     TransportTraits<T>::on_receive(std::span<const T>(out.data(), out.size()));
+  }
+
+  // ---- collective fast path -------------------------------------------------
+  //
+  // The rendezvous implementations below mirror the mailbox tree walks
+  // exactly — same virtual-rank numbering, same child order, same combine
+  // order under the same LibraryGuard, same on_receive payloads on the
+  // same rank — but synchronize through shared memory and read payloads
+  // in place instead of enqueueing envelopes. Transport stats record the
+  // *logical* tree messages so either path reports identical counts.
+
+  /// This communicator's rendezvous group (created on first use).
+  [[nodiscard]] detail::GroupRendezvous& rendezvous() {
+    if (rv_ == nullptr) {
+      rv_ = &job_->hub.get(salt_, size_, &job_->abort, job_->timeout);
+    }
+    return *rv_;
+  }
+
+  /// Count one logical tree message that the fast path did not physically
+  /// enqueue, keeping messages_sent/bytes_sent path-independent.
+  void record_logical_send(std::size_t bytes) noexcept {
+    job_->messages_sent.fetch_add(1, std::memory_order_relaxed);
+    job_->bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  /// The epoch of the collective op about to run. Consumes the same SPMD
+  /// sequence number that the mailbox path folds into its wire tags, so
+  /// mixed fast/mailbox collective sequences stay aligned and every op
+  /// gets a unique, monotonically increasing epoch per communicator.
+  std::uint64_t next_collective_epoch(int slot) noexcept {
+    const auto epoch = static_cast<std::uint64_t>(collective_seq_) + 1;
+    next_collective_tag(slot);
+    return epoch;
+  }
+
+  template <Transportable T>
+  void bcast_rendezvous(std::span<T> buf, int root) {
+    if (job_->abort.triggered()) throw AbortError();
+    const std::uint64_t epoch = next_collective_epoch(0);
+    detail::GroupRendezvous& rv = rendezvous();
+    const int vrank = (rank_ - root + size_) % size_;
+    if (vrank != 0) {
+      const int parent = ((vrank - 1) / 2 + root) % size_;
+      const auto bytes = rv.await_publish(parent, epoch);
+      if (bytes.size() != buf.size_bytes()) {
+        throw UsageError("collective: message size mismatch");
+      }
+      if (!buf.empty()) std::memcpy(buf.data(), bytes.data(), bytes.size());
+      TransportTraits<T>::on_receive(
+          std::span<const T>(buf.data(), buf.size()));
+      rv.ack(parent);
+    }
+    int readers = 0;
+    for (int child_v : {2 * vrank + 1, 2 * vrank + 2}) {
+      if (child_v < size_) {
+        ++readers;
+        record_logical_send(buf.size_bytes());
+      }
+    }
+    if (readers > 0) {
+      rv.publish(rank_, buf.data(), buf.size_bytes(), readers, epoch);
+      rv.await_acks(rank_);
+    }
+  }
+
+  template <Transportable T, typename Op>
+  void reduce_rendezvous(std::span<const T> in, std::span<T> out, int root,
+                         Op op) {
+    if (job_->abort.triggered()) throw AbortError();
+    const std::uint64_t epoch = next_collective_epoch(1);
+    detail::GroupRendezvous& rv = rendezvous();
+    const int vrank = (rank_ - root + size_) % size_;
+    std::vector<T> acc(in.begin(), in.end());
+    // Gather children's partial results (left child first: fixed order).
+    for (int child_v : {2 * vrank + 1, 2 * vrank + 2}) {
+      if (child_v < size_) {
+        const int child = (child_v + root) % size_;
+        const auto bytes = rv.await_publish(child, epoch);
+        if (bytes.size() != in.size_bytes()) {
+          throw UsageError("collective: message size mismatch");
+        }
+        // The published bytes are the child's live T accumulator;
+        // combine from it in place — no copy, no envelope.
+        const std::span<const T> child_vals(
+            reinterpret_cast<const T*>(bytes.data()), bytes.size() / sizeof(T));
+        TransportTraits<T>::on_receive(child_vals);
+        {
+          // Combine as library code: not application computation.
+          [[maybe_unused]] typename TransportTraits<T>::LibraryGuard guard{};
+          for (std::size_t i = 0; i < acc.size(); ++i) {
+            acc[i] = op(acc[i], child_vals[i]);
+          }
+        }
+        rv.ack(child);
+      }
+    }
+    if (vrank == 0) {
+      std::copy(acc.begin(), acc.end(), out.begin());
+    } else {
+      record_logical_send(acc.size() * sizeof(T));
+      rv.publish(rank_, acc.data(), acc.size() * sizeof(T), /*readers=*/1,
+                 epoch);
+      rv.await_acks(rank_);
+    }
   }
 
   /// Local rank -> world rank.
@@ -593,18 +730,21 @@ class Comm {
 
   template <Transportable T>
   void post(int dest, int wire_tag, std::span<const T> values) {
+    Mailbox& dest_box =
+        *job_->mailboxes[static_cast<std::size_t>(translate(dest))];
     Envelope env;
     env.source = translate(rank_);
     env.tag = wire_tag;
-    env.bytes.resize(values.size_bytes());
+    // Recycle payload capacity from envelopes the destination already
+    // consumed; steady-state traffic allocates nothing.
+    env.bytes = dest_box.acquire_buffer(values.size_bytes());
     if (!values.empty()) {
       std::memcpy(env.bytes.data(), values.data(), values.size_bytes());
     }
     if (job_->abort.triggered()) throw AbortError();
     job_->messages_sent.fetch_add(1, std::memory_order_relaxed);
     job_->bytes_sent.fetch_add(values.size_bytes(), std::memory_order_relaxed);
-    job_->mailboxes[static_cast<std::size_t>(translate(dest))]->push(
-        std::move(env));
+    dest_box.push(std::move(env));
   }
 
   detail::JobState* job_;
@@ -612,6 +752,7 @@ class Comm {
   int size_;
   int salt_ = 0;
   std::vector<int> group_;  ///< local -> world rank map; empty on the world
+  detail::GroupRendezvous* rv_ = nullptr;  ///< cached hub lookup
   int collective_seq_ = 0;
   int split_seq_ = 0;
 };

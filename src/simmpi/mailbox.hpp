@@ -4,6 +4,15 @@
 // messages); receives block until a matching envelope arrives, the job is
 // aborted, or the deadlock timeout expires. Matching is FIFO per
 // (source, tag) pair, which is exactly MPI's non-overtaking guarantee.
+//
+// Matching is indexed: envelopes are stored in per-(source, tag)
+// sub-queues keyed by the wire pair, so the common exact-match receive is
+// a hash lookup instead of a scan of every queued message. Wildcard
+// receives (kAnySource / kAnyTag) scan the sub-queue fronts and take the
+// envelope with the smallest arrival stamp — identical to what the old
+// arrival-ordered linear scan returned, at a cost proportional to the
+// number of *distinct* live (source, tag) pairs, not the number of
+// queued messages.
 #pragma once
 
 #include <atomic>
@@ -13,9 +22,11 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "simmpi/errors.hpp"
+#include "simmpi/pool.hpp"
 
 namespace resilience::simmpi {
 
@@ -55,7 +66,10 @@ class Mailbox {
   void push(Envelope env) {
     {
       std::lock_guard lock(mu_);
-      queue_.push_back(std::move(env));
+      auto& queue = queues_[key_of(env.source, env.tag)];
+      queue.push_back(Stamped{next_stamp_++, std::move(env)});
+      ++pending_;
+      ++arrivals_;
     }
     cv_.notify_all();
   }
@@ -65,18 +79,35 @@ class Mailbox {
 
   /// Dequeue the first envelope matching (source, tag), blocking as needed.
   /// Throws AbortError if the job aborts while waiting and DeadlockError if
-  /// the timeout elapses with no match.
+  /// the deadlock timeout elapses with *no traffic at all*: every arrival
+  /// restarts the clock, so a receive waiting behind a long stream of
+  /// healthy non-matching (or slowly-drained) traffic is not declared a
+  /// deadlock just because the stream outlasts one timeout period.
   Envelope pop_matching(int source, int tag) {
     std::unique_lock lock(mu_);
-    const auto deadline = std::chrono::steady_clock::now() + timeout_;
+    std::uint64_t seen_arrivals = arrivals_;
+    auto deadline = std::chrono::steady_clock::now() + timeout_;
     for (;;) {
       if (abort_->triggered()) throw AbortError();
-      if (auto it = find_match(source, tag); it != queue_.end()) {
-        Envelope env = std::move(*it);
-        queue_.erase(it);
+      if (SubQueue* queue = find_match(source, tag); queue != nullptr) {
+        Envelope env = std::move(queue->front().env);
+        queue->pop_front();
+        --pending_;
+        if (queue->empty()) {
+          // One-shot keys (every collective op salts a fresh tag) would
+          // otherwise grow the index without bound.
+          queues_.erase(key_of(env.source, env.tag));
+        }
         return env;
       }
-      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      if (arrivals_ != seen_arrivals) {
+        // Progress: traffic arrived while we waited. Reset the clock so
+        // only genuine silence counts toward the deadlock verdict.
+        seen_arrivals = arrivals_;
+        deadline = std::chrono::steady_clock::now() + timeout_;
+      }
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+          arrivals_ == seen_arrivals) {
         if (abort_->triggered()) throw AbortError();
         throw DeadlockError("receive timed out: likely deadlock or hang");
       }
@@ -86,30 +117,90 @@ class Mailbox {
   /// Non-blocking probe: true if a matching envelope is queued.
   [[nodiscard]] bool probe(int source, int tag) {
     std::lock_guard lock(mu_);
-    return find_match(source, tag) != queue_.end();
+    return find_match(source, tag) != nullptr;
   }
 
   /// Number of queued envelopes (any source/tag).
   [[nodiscard]] std::size_t pending() {
     std::lock_guard lock(mu_);
-    return queue_.size();
+    return pending_;
+  }
+
+  // ---- payload buffer pool --------------------------------------------------
+
+  /// A payload buffer of `bytes` size for a message addressed to this
+  /// mailbox, recycled from previously consumed envelopes when possible.
+  [[nodiscard]] std::vector<std::byte> acquire_buffer(std::size_t bytes) {
+    std::lock_guard lock(mu_);
+    return pool_.get(bytes);
+  }
+
+  /// Return a consumed envelope's payload capacity to this mailbox's pool.
+  void recycle(Envelope&& env) {
+    std::lock_guard lock(mu_);
+    pool_.put(std::move(env.bytes));
+  }
+
+  [[nodiscard]] BufferPool::Stats pool_stats() {
+    std::lock_guard lock(mu_);
+    return pool_.stats();
   }
 
  private:
-  std::deque<Envelope>::iterator find_match(int source, int tag) {
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      const bool src_ok = (source == kAnySource) || (it->source == source);
-      const bool tag_ok = (tag == kAnyTag) || (it->tag == tag);
-      if (src_ok && tag_ok) return it;
+  struct Stamped {
+    std::uint64_t stamp;  ///< global arrival order across all sub-queues
+    Envelope env;
+  };
+  using SubQueue = std::deque<Stamped>;
+
+  /// Wire sources are world ranks (>= 0) and wire tags are non-negative
+  /// 31-bit values, so the pair packs into one index key.
+  static std::uint64_t key_of(int source, int tag) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(source))
+            << 32) |
+           static_cast<std::uint32_t>(tag);
+  }
+  static int key_source(std::uint64_t key) noexcept {
+    return static_cast<int>(key >> 32);
+  }
+  static int key_tag(std::uint64_t key) noexcept {
+    return static_cast<int>(key & 0xffffffffu);
+  }
+
+  /// The sub-queue whose front is the earliest-arrived matching envelope,
+  /// or nullptr. Exact (source, tag) pairs are one hash lookup; wildcards
+  /// scan the live sub-queue fronts for the smallest arrival stamp, which
+  /// preserves the arrival-order semantics of the old linear scan.
+  SubQueue* find_match(int source, int tag) {
+    if (source != kAnySource && tag != kAnyTag) {
+      const auto it = queues_.find(key_of(source, tag));
+      return it == queues_.end() ? nullptr : &it->second;
     }
-    return queue_.end();
+    SubQueue* best = nullptr;
+    std::uint64_t best_stamp = 0;
+    for (auto& [key, queue] : queues_) {
+      const bool src_ok = source == kAnySource || key_source(key) == source;
+      const bool tag_ok = tag == kAnyTag || key_tag(key) == tag;
+      if (!src_ok || !tag_ok) continue;
+      const std::uint64_t stamp = queue.front().stamp;
+      if (best == nullptr || stamp < best_stamp) {
+        best = &queue;
+        best_stamp = stamp;
+      }
+    }
+    return best;
   }
 
   AbortToken* abort_;
   std::chrono::milliseconds timeout_;
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<Envelope> queue_;
+  /// (source, tag) -> FIFO of envelopes; empty sub-queues are erased.
+  std::unordered_map<std::uint64_t, SubQueue> queues_;
+  std::uint64_t next_stamp_ = 0;
+  std::uint64_t arrivals_ = 0;  ///< pushes ever seen; progress signal
+  std::size_t pending_ = 0;
+  BufferPool pool_;
 };
 
 }  // namespace resilience::simmpi

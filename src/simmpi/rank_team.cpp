@@ -1,0 +1,161 @@
+#include "simmpi/rank_team.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace resilience::simmpi {
+
+RankTeam::RankTeam(int width) : width_(width) {
+  threads_.reserve(static_cast<std::size_t>(width));
+  for (int rank = 0; rank < width; ++rank) {
+    threads_.emplace_back([this, rank] { thread_main(rank); });
+  }
+}
+
+RankTeam::~RankTeam() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void RankTeam::dispatch(JobFn job, void* ctx) {
+  std::unique_lock lock(mu_);
+  job_ = job;
+  job_ctx_ = ctx;
+  remaining_ = width_;
+  ++epoch_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+  job_ctx_ = nullptr;
+}
+
+void RankTeam::thread_main(int rank) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    JobFn job = nullptr;
+    void* ctx = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      job = job_;
+      ctx = job_ctx_;
+    }
+    job(ctx, rank);
+    bool last = false;
+    {
+      std::lock_guard lock(mu_);
+      last = --remaining_ == 0;
+    }
+    if (last) done_cv_.notify_one();
+  }
+}
+
+RankTeamPool& RankTeamPool::instance() {
+  // Leaked on purpose: parked team threads may still exist at process
+  // exit, and destroying the pool under static teardown would race them.
+  static RankTeamPool* pool = new RankTeamPool();
+  return *pool;
+}
+
+RankTeamPool::Lease RankTeamPool::acquire(int width) {
+  {
+    std::lock_guard lock(mu_);
+    ++checkouts_;
+    auto it = idle_.find(width);
+    if (it != idle_.end() && !it->second.empty()) {
+      std::unique_ptr<RankTeam> team = std::move(it->second.back());
+      it->second.pop_back();
+      return Lease(this, std::move(team));
+    }
+    ++teams_created_;
+  }
+  // Spawn outside the lock: thread creation is the slow path.
+  return Lease(this, std::make_unique<RankTeam>(width));
+}
+
+void RankTeamPool::prewarm(int width, int teams) {
+  std::size_t have = 0;
+  {
+    std::lock_guard lock(mu_);
+    have = idle_[width].size();
+  }
+  std::vector<std::unique_ptr<RankTeam>> fresh;
+  for (std::size_t i = have; i < static_cast<std::size_t>(teams); ++i) {
+    fresh.push_back(std::make_unique<RankTeam>(width));
+  }
+  if (fresh.empty()) return;
+  std::lock_guard lock(mu_);
+  teams_created_ += fresh.size();
+  auto& bucket = idle_[width];
+  for (auto& team : fresh) {
+    if (bucket.size() < kMaxIdlePerWidth) bucket.push_back(std::move(team));
+  }
+}
+
+void RankTeamPool::clear() {
+  std::unordered_map<int, std::vector<std::unique_ptr<RankTeam>>> doomed;
+  {
+    std::lock_guard lock(mu_);
+    doomed.swap(idle_);
+  }
+  // Teams join their threads here, outside the pool lock.
+}
+
+std::uint64_t RankTeamPool::teams_created() const noexcept {
+  return teams_created_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t RankTeamPool::checkouts() const noexcept {
+  return checkouts_.load(std::memory_order_relaxed);
+}
+
+std::size_t RankTeamPool::idle_teams() {
+  std::lock_guard lock(mu_);
+  std::size_t total = 0;
+  for (const auto& [width, bucket] : idle_) total += bucket.size();
+  return total;
+}
+
+namespace {
+
+// -1 = follow the environment, 0 = forced off, 1 = forced on.
+std::atomic<int> g_team_pool_override{-1};
+
+bool team_pool_env_default() {
+  const char* value = std::getenv("RESILIENCE_TEAM_POOL");
+  return value == nullptr || std::strcmp(value, "0") != 0;
+}
+
+}  // namespace
+
+bool RankTeamPool::enabled() noexcept {
+  const int forced = g_team_pool_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  static const bool from_env = team_pool_env_default();
+  return from_env;
+}
+
+void RankTeamPool::set_enabled(bool enabled) noexcept {
+  g_team_pool_override.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+void RankTeamPool::release(std::unique_ptr<RankTeam> team) {
+  {
+    std::lock_guard lock(mu_);
+    auto& bucket = idle_[team->width()];
+    if (bucket.size() < kMaxIdlePerWidth) {
+      bucket.push_back(std::move(team));
+      return;
+    }
+  }
+  // Bucket full: the team destructs (and joins its threads) here.
+}
+
+}  // namespace resilience::simmpi

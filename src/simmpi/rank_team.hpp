@@ -1,0 +1,134 @@
+// Persistent rank teams: parked OS threads reused across simmpi jobs.
+//
+// A fault-injection campaign is thousands of short jobs at one width, and
+// the seed runtime paid nranks thread spawns + joins for every one of
+// them. A RankTeam keeps `width` threads parked on a condition variable
+// between jobs and re-dispatches them with one epoch bump, so a campaign
+// of N trials costs O(distinct widths) thread creations instead of
+// O(N * nranks). The RankTeamPool checks teams out keyed by width: the
+// campaign executor can run several trials of one deployment concurrently
+// and each checkout gets its own team, returned to the pool when the
+// trial ends.
+//
+// Determinism: a team only decides *where* rank bodies run, never what
+// they compute. Per-rank state (the fault injector's thread-local
+// context) is installed by Runtime's on_rank_start hook at the start of
+// every job and cleared by on_rank_exit, so thread reuse across jobs is
+// invisible to the ranks.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+namespace resilience::simmpi {
+
+/// A fixed-width set of parked threads that can run one job at a time.
+class RankTeam {
+ public:
+  /// Spawns `width` threads; they park until the first run().
+  explicit RankTeam(int width);
+  /// Wakes and joins every thread. The team must be idle.
+  ~RankTeam();
+
+  RankTeam(const RankTeam&) = delete;
+  RankTeam& operator=(const RankTeam&) = delete;
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+
+  /// Run `fn(rank)` for every rank in [0, width) on the team's threads
+  /// and block until all of them returned. `fn` must not throw (the
+  /// runtime's rank wrapper catches everything); an escaping exception
+  /// terminates, exactly as it would on a freshly spawned thread.
+  template <typename Fn>
+  void run(Fn&& fn) {
+    using Body = std::remove_reference_t<Fn>;
+    dispatch(
+        [](void* ctx, int rank) { (*static_cast<Body*>(ctx))(rank); },
+        &fn);
+  }
+
+ private:
+  using JobFn = void (*)(void* ctx, int rank);
+
+  void dispatch(JobFn job, void* ctx);
+  void thread_main(int rank);
+
+  const int width_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< threads park here between jobs
+  std::condition_variable done_cv_;  ///< dispatch() parks here until done
+  JobFn job_ = nullptr;
+  void* job_ctx_ = nullptr;
+  std::uint64_t epoch_ = 0;  ///< bumped once per dispatched job
+  int remaining_ = 0;        ///< ranks still running the current job
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Process-wide cache of idle RankTeams keyed by width.
+class RankTeamPool {
+ public:
+  /// Moves a checked-out team back into the pool on destruction.
+  class Lease {
+   public:
+    Lease(RankTeamPool* pool, std::unique_ptr<RankTeam> team)
+        : pool_(pool), team_(std::move(team)) {}
+    ~Lease() {
+      if (team_ != nullptr) pool_->release(std::move(team_));
+    }
+    Lease(Lease&&) = default;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    [[nodiscard]] RankTeam& team() noexcept { return *team_; }
+
+   private:
+    RankTeamPool* pool_;
+    std::unique_ptr<RankTeam> team_;
+  };
+
+  static RankTeamPool& instance();
+
+  /// Check out an idle team of `width`, creating one on a pool miss.
+  [[nodiscard]] Lease acquire(int width);
+
+  /// Ensure at least `teams` idle teams of `width` exist (campaign
+  /// warm-up: pays the thread spawns before the timed trial loop).
+  void prewarm(int width, int teams);
+
+  /// Join and drop every idle team (tests; checked-out teams are
+  /// unaffected and return to an empty pool).
+  void clear();
+
+  // Reuse telemetry.
+  [[nodiscard]] std::uint64_t teams_created() const noexcept;
+  [[nodiscard]] std::uint64_t checkouts() const noexcept;
+  [[nodiscard]] std::size_t idle_teams();
+
+  /// Whether Runtime::run uses pooled teams (default) or spawn-and-join.
+  /// The RESILIENCE_TEAM_POOL env var ("0" disables) sets the default;
+  /// tests and benches may force it per process.
+  [[nodiscard]] static bool enabled() noexcept;
+  static void set_enabled(bool enabled) noexcept;
+
+ private:
+  void release(std::unique_ptr<RankTeam> team);
+
+  /// Idle teams kept per width; beyond this a returned team just joins.
+  static constexpr std::size_t kMaxIdlePerWidth = 32;
+
+  std::mutex mu_;
+  std::unordered_map<int, std::vector<std::unique_ptr<RankTeam>>> idle_;
+  std::atomic<std::uint64_t> teams_created_{0};
+  std::atomic<std::uint64_t> checkouts_{0};
+};
+
+}  // namespace resilience::simmpi

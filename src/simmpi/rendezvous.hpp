@@ -1,0 +1,203 @@
+// Same-process rendezvous fast path for synchronizing collectives.
+//
+// The seed runtime decomposed barrier/reduce/allreduce/bcast into mailbox
+// point-to-point messages: every hop allocated an envelope, copied the
+// payload twice, and took the destination mailbox lock. But all ranks of
+// a job live in one process, so the data never needs to travel — a
+// publishing rank can expose its buffer and let the logical receivers
+// read it in place (zero-copy), with a sense-reversing epoch per slot
+// providing the synchronization.
+//
+// The *logical* collective algorithm is unchanged: data still flows along
+// the same binomial tree, combines still happen on the same rank in the
+// same order, TransportTraits::on_receive still fires on the receiving
+// rank for exactly the payloads the p2p decomposition would have
+// delivered, and transport statistics still count the logical message
+// decomposition. Campaign results and golden profiles are therefore
+// bit-identical to the mailbox path (enforced by tests; the mailbox path
+// remains selectable via RESILIENCE_FAST_COLLECTIVES=0).
+//
+// Epochs: every collective operation consumes one SPMD sequence number
+// per communicator (the same counter that salts collective wire tags), so
+// all members agree on the epoch of each operation without coordination.
+// A publisher stamps its slot with the operation's epoch; readers wait
+// for the stamp, consume in place, then acknowledge; the publisher waits
+// for all acknowledgements before its buffer may die. Monotonic epochs
+// are the generalized sense-reversing flag: a slot is "full for epoch e"
+// exactly while stamp == e, and stale stamps from earlier operations can
+// never satisfy a later wait.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "simmpi/errors.hpp"
+#include "simmpi/mailbox.hpp"
+
+namespace resilience::simmpi::detail {
+
+/// Rendezvous state of one communicator (world or split group); slots are
+/// indexed by communicator-local rank.
+class GroupRendezvous {
+ public:
+  GroupRendezvous(int size, const AbortToken* abort,
+                  std::chrono::milliseconds timeout)
+      : size_(size),
+        abort_(abort),
+        timeout_(timeout),
+        slots_(static_cast<std::size_t>(size)) {}
+
+  GroupRendezvous(const GroupRendezvous&) = delete;
+  GroupRendezvous& operator=(const GroupRendezvous&) = delete;
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+
+  /// Expose `rank`'s buffer for `readers` consumers under `epoch`. The
+  /// buffer must stay alive until await_acks(rank) returns.
+  void publish(int rank, const void* data, std::size_t len, int readers,
+               std::uint64_t epoch) {
+    Slot& slot = slots_[static_cast<std::size_t>(rank)];
+    {
+      std::lock_guard lock(mu_);
+      slot.data = static_cast<const std::byte*>(data);
+      slot.len = len;
+      slot.acks_remaining = readers;
+      slot.epoch = epoch;
+    }
+    slot.cv.notify_all();
+  }
+
+  /// Wait for `publisher`'s buffer of `epoch`; read it in place, then
+  /// call ack(). Throws AbortError / DeadlockError like a blocked receive.
+  [[nodiscard]] std::span<const std::byte> await_publish(int publisher,
+                                                         std::uint64_t epoch) {
+    std::unique_lock lock(mu_);
+    Slot& slot = slots_[static_cast<std::size_t>(publisher)];
+    wait_or_die(lock, slot.cv, [&] { return slot.epoch >= epoch; });
+    return {slot.data, slot.len};
+  }
+
+  /// Release `publisher`'s buffer after reading it.
+  void ack(int publisher) {
+    Slot& slot = slots_[static_cast<std::size_t>(publisher)];
+    bool done = false;
+    {
+      std::lock_guard lock(mu_);
+      done = --slot.acks_remaining == 0;
+    }
+    if (done) slot.cv.notify_all();
+  }
+
+  /// Block until every reader of `rank`'s current publication acked.
+  void await_acks(int rank) {
+    std::unique_lock lock(mu_);
+    Slot& slot = slots_[static_cast<std::size_t>(rank)];
+    wait_or_die(lock, slot.cv, [&] { return slot.acks_remaining == 0; });
+  }
+
+  /// Sense-reversing barrier across all members (central counter; the
+  /// phase counter is the generalized sense flag).
+  void barrier() {
+    std::unique_lock lock(mu_);
+    if (abort_->triggered()) throw AbortError();
+    const std::uint64_t phase = barrier_phase_;
+    if (++barrier_arrived_ == size_) {
+      barrier_arrived_ = 0;
+      ++barrier_phase_;
+      lock.unlock();
+      barrier_cv_.notify_all();
+      return;
+    }
+    wait_or_die(lock, barrier_cv_, [&] { return barrier_phase_ != phase; });
+  }
+
+  /// Wake every parked member so it can observe an abort.
+  void interrupt() {
+    for (Slot& slot : slots_) slot.cv.notify_all();
+    barrier_cv_.notify_all();
+  }
+
+ private:
+  // Each slot carries its own condition variable so a publish or ack
+  // wakes only the ranks actually waiting on that slot. A single shared
+  // condvar would turn every tree edge into a group-wide thundering herd:
+  // O(size) spurious wakeups per event, O(size^2) per collective, which
+  // dominates wall time once ranks outnumber cores.
+  struct Slot {
+    const std::byte* data = nullptr;
+    std::size_t len = 0;
+    std::uint64_t epoch = 0;  ///< 0 = never published (epochs start at 1)
+    int acks_remaining = 0;
+    std::condition_variable cv;
+  };
+
+  /// Wait on `cv` for `pred` with the same priority order as
+  /// Mailbox::pop_matching: abort beats a satisfied predicate, timeout
+  /// means deadlock.
+  template <typename Pred>
+  void wait_or_die(std::unique_lock<std::mutex>& lock,
+                   std::condition_variable& cv, Pred pred) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout_;
+    for (;;) {
+      if (abort_->triggered()) throw AbortError();
+      if (pred()) return;
+      if (cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+        if (abort_->triggered()) throw AbortError();
+        if (pred()) return;
+        throw DeadlockError(
+            "collective rendezvous timed out: likely deadlock or hang");
+      }
+    }
+  }
+
+  const int size_;
+  const AbortToken* abort_;
+  const std::chrono::milliseconds timeout_;
+  std::mutex mu_;
+  std::vector<Slot> slots_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+  std::uint64_t barrier_phase_ = 0;
+};
+
+/// Lazily-created rendezvous groups of one job, keyed by communicator
+/// salt (0 = world; split() assigns every sub-communicator a distinct
+/// salt, so the key identifies the member set exactly).
+class CollectiveHub {
+ public:
+  GroupRendezvous& get(int salt, int size, const AbortToken* abort,
+                       std::chrono::milliseconds timeout) {
+    std::lock_guard lock(mu_);
+    auto& group = groups_[salt];
+    if (group == nullptr) {
+      group = std::make_unique<GroupRendezvous>(size, abort, timeout);
+    }
+    return *group;
+  }
+
+  /// Wake every parked member of every group (abort teardown).
+  void interrupt_all() {
+    std::lock_guard lock(mu_);
+    for (auto& [salt, group] : groups_) group->interrupt();
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<int, std::unique_ptr<GroupRendezvous>> groups_;
+};
+
+/// Whether collectives use the rendezvous fast path (default) or the
+/// mailbox p2p decomposition. Overridable for differential testing; the
+/// RESILIENCE_FAST_COLLECTIVES env var ("0" disables) sets the default.
+[[nodiscard]] bool fast_collectives_enabled() noexcept;
+/// Force the fast path on/off for this process (tests and benches).
+void set_fast_collectives_enabled(bool enabled) noexcept;
+
+}  // namespace resilience::simmpi::detail

@@ -53,6 +53,7 @@ class Request {
     Envelope env = mailbox_->pop_matching(source_, tag_);
     const int actual_source = env.source;
     complete(env);
+    mailbox_->recycle(std::move(env));
     return actual_source;
   }
 

@@ -5,6 +5,8 @@
 #include <thread>
 #include <vector>
 
+#include "simmpi/rank_team.hpp"
+
 namespace resilience::simmpi {
 
 RunResult Runtime::run(int nranks, const std::function<void(Comm&)>& body,
@@ -55,6 +57,14 @@ RunResult Runtime::run(int nranks, const std::function<void(Comm&)>& body,
     // injector's thread-local context installed by the caller stays valid
     // and serial campaigns are cheap.
     rank_main(0);
+  } else if (RankTeamPool::enabled()) {
+    // Check a parked team of this width out of the process-wide pool;
+    // repeated jobs at one width reuse threads instead of respawning
+    // them. The on_rank_start/on_rank_exit hooks run inside rank_main,
+    // so per-rank thread-local state is re-installed every job and team
+    // reuse is invisible to the ranks.
+    RankTeamPool::Lease lease = RankTeamPool::instance().acquire(nranks);
+    lease.team().run(rank_main);
   } else {
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(nranks));
@@ -65,6 +75,9 @@ RunResult Runtime::run(int nranks, const std::function<void(Comm&)>& body,
   }
   result.messages_sent = job.messages_sent.load(std::memory_order_relaxed);
   result.bytes_sent = job.bytes_sent.load(std::memory_order_relaxed);
+  const BufferPool::Stats pool = job.pool_stats();
+  result.buffer_allocs = pool.allocs;
+  result.buffer_reuses = pool.reuses;
   return result;
 }
 

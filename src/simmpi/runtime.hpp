@@ -1,9 +1,11 @@
 // Job launcher for the simulated MPI runtime.
 //
-// Runtime::run spawns one OS thread per rank, hands each a Comm, and
-// reports how the job ended: clean completion, abort (a rank threw), or
-// deadlock/hang. The campaign harness maps abnormal endings onto the
-// paper's "Failure" fault-injection outcome.
+// Runtime::run executes `body` once per rank — on a pooled RankTeam by
+// default, or on freshly spawned std::threads when the pool is disabled
+// (RESILIENCE_TEAM_POOL=0) — hands each rank a Comm, and reports how the
+// job ended: clean completion, abort (a rank threw), or deadlock/hang.
+// The campaign harness maps abnormal endings onto the paper's "Failure"
+// fault-injection outcome.
 #pragma once
 
 #include <chrono>
@@ -32,9 +34,15 @@ struct RunResult {
   int failed_rank = -1;     ///< rank whose exception triggered the abort
   std::string error;        ///< what() of the first exception
   /// Transport statistics over the whole job: point-to-point messages and
-  /// the messages collectives decompose into.
+  /// the messages collectives decompose into. Collectives taking the
+  /// rendezvous fast path still report their logical decomposition, so
+  /// these counts are independent of which transport ran the job.
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
+  /// Envelope-pool statistics: payload buffers freshly heap-allocated vs
+  /// recycled from the per-mailbox freelists.
+  std::uint64_t buffer_allocs = 0;
+  std::uint64_t buffer_reuses = 0;
 
   [[nodiscard]] bool failed() const noexcept { return !ok; }
 };

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include "harness/campaign.hpp"
+#include "simmpi/rank_team.hpp"
+#include "simmpi/rendezvous.hpp"
 
 namespace resilience {
 namespace {
@@ -120,6 +122,48 @@ TEST(Determinism, ParallelCampaignBitIdenticalToSerial) {
       EXPECT_EQ(parallel.golden.signature, serial.golden.signature) << label;
     }
   }
+}
+
+// The simmpi fast path's determinism contract: a campaign run on pooled
+// rank teams with rendezvous collectives is bit-identical to one run on
+// freshly spawned threads with mailbox collectives, across worker counts
+// (team reuse included — the parallel run revisits pooled teams many
+// times). The toggles default on, so the "fast" legs also guard the
+// production configuration.
+TEST(Determinism, PooledFastPathCampaignBitIdenticalToBaseline) {
+  const auto app = apps::make_app(apps::AppId::CG);
+  DeploymentConfig cfg;
+  cfg.nranks = 8;
+  cfg.trials = 30;
+  cfg.seed = 20180813;
+
+  struct Leg {
+    bool fast;
+    std::size_t workers;
+  };
+  harness::CampaignResult baseline;
+  bool have_baseline = false;
+  for (const Leg leg : {Leg{false, 1}, Leg{false, 8}, Leg{true, 1},
+                        Leg{true, 8}, Leg{true, 8}}) {
+    simmpi::detail::set_fast_collectives_enabled(leg.fast);
+    simmpi::RankTeamPool::set_enabled(leg.fast);
+    cfg.max_workers = leg.workers;
+    const auto got = CampaignRunner::run(*app, cfg);
+    if (!have_baseline) {
+      baseline = got;
+      have_baseline = true;
+      continue;
+    }
+    const std::string label = std::string(leg.fast ? "fast" : "slow") + " @" +
+                              std::to_string(leg.workers) + " workers";
+    EXPECT_EQ(got.overall.success, baseline.overall.success) << label;
+    EXPECT_EQ(got.overall.sdc, baseline.overall.sdc) << label;
+    EXPECT_EQ(got.overall.failure, baseline.overall.failure) << label;
+    EXPECT_EQ(got.contamination_hist, baseline.contamination_hist) << label;
+    EXPECT_EQ(got.golden.signature, baseline.golden.signature) << label;
+  }
+  simmpi::detail::set_fast_collectives_enabled(true);
+  simmpi::RankTeamPool::set_enabled(true);
 }
 
 TEST(Determinism, ParallelCampaignWithFewerTrialsThanWorkers) {

@@ -1,0 +1,188 @@
+// Failure-delivery and equivalence tests for the collective rendezvous
+// fast path and the envelope pool.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+#include "simmpi/rendezvous.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace resilience::simmpi {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+/// Run `body` with the rendezvous fast path forced on, restoring the
+/// default afterwards.
+RunResult run_fast(int nranks, const std::function<void(Comm&)>& body,
+                   milliseconds timeout = milliseconds(10'000)) {
+  detail::set_fast_collectives_enabled(true);
+  RunOptions opts;
+  opts.deadlock_timeout = timeout;
+  return Runtime::run(nranks, body, opts);
+}
+
+TEST(FastPath, AbortMidAllreduceWakesParkedPeers) {
+  // A rank that throws while its peers are parked inside the rendezvous
+  // tree must wake them promptly — well before the deadlock timeout —
+  // or an abort would cost a full timeout period per campaign trial.
+  const auto start = steady_clock::now();
+  const auto result = run_fast(
+      4,
+      [](Comm& comm) {
+        if (comm.rank() == 2) throw std::runtime_error("injected failure");
+        double v = 1.0;
+        double out = 0.0;
+        comm.allreduce(std::span<const double>(&v, 1),
+                       std::span<double>(&out, 1));
+      },
+      milliseconds(5000));
+  const auto elapsed = steady_clock::now() - start;
+  EXPECT_TRUE(result.aborted);
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_EQ(result.failed_rank, 2);
+  EXPECT_EQ(result.error, "injected failure");
+  EXPECT_LT(elapsed, milliseconds(2500));  // peers woke, not timed out
+}
+
+TEST(FastPath, AbortMidBarrierWakesParkedPeers) {
+  const auto start = steady_clock::now();
+  const auto result = run_fast(
+      8,
+      [](Comm& comm) {
+        if (comm.rank() == 7) throw std::runtime_error("boom");
+        comm.barrier();
+      },
+      milliseconds(5000));
+  EXPECT_TRUE(result.aborted);
+  EXPECT_EQ(result.failed_rank, 7);
+  EXPECT_LT(steady_clock::now() - start, milliseconds(2500));
+}
+
+TEST(FastPath, MissingRankDeadlocksInsteadOfHangingForever) {
+  // One rank never joins the collective: the parked peers must time out
+  // with the deadlock verdict, exactly like a blocked mailbox receive.
+  const auto result = run_fast(
+      2,
+      [](Comm& comm) {
+        if (comm.rank() == 0) comm.barrier();  // rank 1 never arrives
+      },
+      milliseconds(200));
+  EXPECT_TRUE(result.deadlocked);
+  EXPECT_EQ(result.failed_rank, 0);
+}
+
+TEST(FastPath, CollectiveSizeMismatchAbortsJob) {
+  const auto result = run_fast(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.bcast_value(1.0, 0);
+    } else {
+      std::vector<double> buf(3);  // wrong size for the published payload
+      comm.bcast(std::span<double>(buf), 0);
+    }
+  });
+  EXPECT_TRUE(result.aborted);
+  EXPECT_EQ(result.failed_rank, 1);
+}
+
+TEST(FastPath, ResultsAndStatsMatchMailboxPath) {
+  // Differential run of a mixed collective sequence: both transports must
+  // produce bit-identical values and identical logical transport stats.
+  const auto body = [](std::vector<double>* out) {
+    return [out](Comm& comm) {
+      std::vector<double> v(4, 0.25 * (comm.rank() + 1));
+      std::vector<double> sum(4);
+      comm.allreduce(std::span<const double>(v), std::span<double>(sum));
+      comm.barrier();
+      double top = comm.rank() == 1 ? sum[0] * 3 : 0.0;
+      comm.bcast(std::span<double>(&top, 1), 1);
+      std::vector<double> reduced(comm.rank() == 0 ? 4 : 0);
+      comm.reduce(std::span<const double>(sum), std::span<double>(reduced),
+                  0, Prod{});
+      if (comm.rank() == 0) {
+        *out = reduced;
+        out->push_back(top);
+      }
+    };
+  };
+
+  std::vector<double> fast_out;
+  detail::set_fast_collectives_enabled(true);
+  const auto fast = Runtime::run(6, body(&fast_out));
+  std::vector<double> slow_out;
+  detail::set_fast_collectives_enabled(false);
+  const auto slow = Runtime::run(6, body(&slow_out));
+  detail::set_fast_collectives_enabled(true);
+
+  EXPECT_TRUE(fast.ok);
+  EXPECT_TRUE(slow.ok);
+  EXPECT_EQ(fast_out, slow_out);  // bit-identical values
+  EXPECT_EQ(fast.messages_sent, slow.messages_sent);
+  EXPECT_EQ(fast.bytes_sent, slow.bytes_sent);
+}
+
+TEST(FastPath, SplitCommunicatorsUseDistinctRendezvousGroups) {
+  const auto result = run_fast(8, [](Comm& comm) {
+    Comm row = comm.split(comm.rank() / 4, comm.rank() % 4);
+    const int row_sum = row.allreduce_value(1);
+    EXPECT_EQ(row_sum, 4);
+    row.barrier();
+    const int world_sum = comm.allreduce_value(1);
+    EXPECT_EQ(world_sum, 8);
+  });
+  EXPECT_TRUE(result.ok);
+}
+
+TEST(EnvelopePool, SteadyTrafficRecyclesBuffers) {
+  const auto result = Runtime::run(2, [](Comm& comm) {
+    double v = comm.rank();
+    for (int round = 0; round < 50; ++round) {
+      if (comm.rank() == 0) {
+        comm.send_value(1, 0, v);
+        v = comm.recv_value<double>(1, 1);
+      } else {
+        v = comm.recv_value<double>(0, 0);
+        comm.send_value(0, 1, v + 1);
+      }
+    }
+  });
+  EXPECT_TRUE(result.ok);
+  // 100 point-to-point messages in two buffers: everything past the first
+  // envelope per mailbox reuses pooled capacity.
+  EXPECT_EQ(result.messages_sent, 100u);
+  EXPECT_LE(result.buffer_allocs, 4u);
+  EXPECT_GE(result.buffer_reuses, 96u);
+}
+
+TEST(EnvelopePool, ReusesBuffersAfterAbortedJob) {
+  // A job that aborts leaves envelopes queued and buffers checked out;
+  // the next job must still pool cleanly (fresh JobState, fresh pools)
+  // and the aborted job's stats must still be reported.
+  const auto aborted = Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 8; ++i) comm.send_value(1, 0, i);
+      throw std::runtime_error("die with traffic in flight");
+    }
+    comm.recv_value<int>(0, 0);
+    comm.recv_value<int>(0, 0);
+    // Park until the abort wakes us.
+    EXPECT_THROW(comm.recv_value<int>(0, 1), AbortError);
+    throw AbortError();
+  });
+  EXPECT_TRUE(aborted.aborted);
+  EXPECT_EQ(aborted.failed_rank, 0);
+  EXPECT_GE(aborted.buffer_allocs, 1u);
+
+  const auto clean = Runtime::run(2, [](Comm& comm) {
+    for (int round = 0; round < 10; ++round) {
+      const double sum = comm.allreduce_value(1.0);
+      EXPECT_DOUBLE_EQ(sum, 2.0);
+    }
+  });
+  EXPECT_TRUE(clean.ok);
+}
+
+}  // namespace
+}  // namespace resilience::simmpi

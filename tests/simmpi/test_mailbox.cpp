@@ -105,5 +105,74 @@ TEST(Mailbox, AbortedBoxThrowsImmediately) {
   EXPECT_THROW(box.pop_matching(kAnySource, kAnyTag), AbortError);
 }
 
+TEST(Mailbox, WildcardTakesEarliestArrivalAcrossSubQueues) {
+  // Matching is indexed by (source, tag); a wildcard receive must still
+  // see global arrival order, not per-sub-queue order.
+  AbortToken abort;
+  Mailbox box(&abort, std::chrono::milliseconds(1000));
+  box.push(make_envelope(2, 20));
+  box.push(make_envelope(1, 10));
+  box.push(make_envelope(2, 20));
+  EXPECT_EQ(box.pop_matching(kAnySource, kAnyTag).source, 2);
+  EXPECT_EQ(box.pop_matching(kAnySource, kAnyTag).source, 1);
+  EXPECT_EQ(box.pop_matching(kAnySource, kAnyTag).source, 2);
+}
+
+TEST(Mailbox, WildcardSourceWithExactTag) {
+  AbortToken abort;
+  Mailbox box(&abort, std::chrono::milliseconds(1000));
+  box.push(make_envelope(5, 7));
+  box.push(make_envelope(3, 9));
+  box.push(make_envelope(4, 7));
+  EXPECT_EQ(box.pop_matching(kAnySource, 7).source, 5);
+  EXPECT_EQ(box.pop_matching(kAnySource, 7).source, 4);
+  EXPECT_EQ(box.pop_matching(3, kAnyTag).tag, 9);
+}
+
+TEST(Mailbox, HealthyTrafficDoesNotTriggerDeadlock) {
+  // A receive waiting behind a slow stream of non-matching messages must
+  // not be declared a deadlock just because the stream outlasts one
+  // timeout period: every arrival resets the deadline.
+  AbortToken abort;
+  Mailbox box(&abort, std::chrono::milliseconds(150));
+  std::thread producer([&box] {
+    for (int i = 0; i < 10; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(40));
+      box.push(make_envelope(0, 1));  // non-matching traffic
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    box.push(make_envelope(0, 2));  // the match, ~480ms after entry
+  });
+  // Total wait (~480ms) is far beyond the 150ms timeout; only silence
+  // longer than the timeout may count.
+  EXPECT_EQ(box.pop_matching(0, 2).tag, 2);
+  producer.join();
+}
+
+TEST(Mailbox, SilenceAfterTrafficStillDeadlocks) {
+  AbortToken abort;
+  Mailbox box(&abort, std::chrono::milliseconds(50));
+  box.push(make_envelope(0, 1));
+  EXPECT_THROW(box.pop_matching(0, 2), DeadlockError);
+}
+
+TEST(Mailbox, BufferPoolRecyclesCapacity) {
+  AbortToken abort;
+  Mailbox box(&abort, std::chrono::milliseconds(1000));
+  Envelope env;
+  env.source = 0;
+  env.tag = 0;
+  env.bytes = box.acquire_buffer(64);
+  EXPECT_EQ(env.bytes.size(), 64u);
+  box.push(std::move(env));
+  box.recycle(box.pop_matching(0, 0));
+  // Second acquisition must come from the freelist, even at another size.
+  const auto buf = box.acquire_buffer(32);
+  EXPECT_EQ(buf.size(), 32u);
+  const auto stats = box.pool_stats();
+  EXPECT_EQ(stats.allocs, 1u);
+  EXPECT_EQ(stats.reuses, 1u);
+}
+
 }  // namespace
 }  // namespace resilience::simmpi

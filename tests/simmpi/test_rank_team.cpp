@@ -1,0 +1,137 @@
+// Unit tests of the persistent rank-team pool that backs Runtime::run.
+#include "simmpi/rank_team.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "simmpi/runtime.hpp"
+
+namespace resilience::simmpi {
+namespace {
+
+TEST(RankTeam, RunsEveryRankExactlyOnce) {
+  RankTeam team(8);
+  std::vector<std::atomic<int>> hits(8);
+  team.run([&](int rank) { hits[static_cast<std::size_t>(rank)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(RankTeam, ReusesThreadsAcrossJobs) {
+  RankTeam team(4);
+  std::mutex mu;
+  std::set<std::thread::id> first_job;
+  std::set<std::thread::id> second_job;
+  team.run([&](int) {
+    std::lock_guard lock(mu);
+    first_job.insert(std::this_thread::get_id());
+  });
+  team.run([&](int) {
+    std::lock_guard lock(mu);
+    second_job.insert(std::this_thread::get_id());
+  });
+  EXPECT_EQ(first_job.size(), 4u);
+  EXPECT_EQ(second_job, first_job);  // parked threads, not fresh spawns
+}
+
+TEST(RankTeam, ManySequentialJobsComplete) {
+  RankTeam team(3);
+  std::atomic<int> total{0};
+  for (int job = 0; job < 200; ++job) {
+    team.run([&](int rank) { total += rank + 1; });
+  }
+  EXPECT_EQ(total.load(), 200 * (1 + 2 + 3));
+}
+
+TEST(RankTeamPool, LeaseReturnsTeamForReuse) {
+  auto& pool = RankTeamPool::instance();
+  pool.clear();
+  const auto created_before = pool.teams_created();
+  for (int i = 0; i < 5; ++i) {
+    RankTeamPool::Lease lease = pool.acquire(6);
+    std::atomic<int> hits{0};
+    lease.team().run([&](int) { hits++; });
+    EXPECT_EQ(hits.load(), 6);
+  }
+  // Sequential checkouts reuse one cached team: threads are spawned for
+  // the first job only.
+  EXPECT_EQ(pool.teams_created() - created_before, 1u);
+  pool.clear();
+}
+
+TEST(RankTeamPool, ConcurrentCheckoutsGetDistinctTeams) {
+  auto& pool = RankTeamPool::instance();
+  pool.clear();
+  RankTeamPool::Lease a = pool.acquire(2);
+  RankTeamPool::Lease b = pool.acquire(2);
+  std::atomic<int> hits{0};
+  a.team().run([&](int) { hits++; });
+  b.team().run([&](int) { hits++; });
+  EXPECT_NE(&a.team(), &b.team());
+  EXPECT_EQ(hits.load(), 4);
+  pool.clear();
+}
+
+TEST(RankTeamPool, PrewarmStocksIdleTeams) {
+  auto& pool = RankTeamPool::instance();
+  pool.clear();
+  pool.prewarm(4, 3);
+  EXPECT_GE(pool.idle_teams(), 3u);
+  const auto created = pool.teams_created();
+  { RankTeamPool::Lease lease = pool.acquire(4); }
+  EXPECT_EQ(pool.teams_created(), created);  // served from the warm stock
+  pool.clear();
+}
+
+TEST(RankTeamPool, RuntimeJobsShareOnePooledTeam) {
+  RankTeamPool::set_enabled(true);
+  auto& pool = RankTeamPool::instance();
+  pool.clear();
+  const auto created_before = pool.teams_created();
+  for (int job = 0; job < 20; ++job) {
+    const auto result = Runtime::run(5, [](Comm& comm) {
+      const double sum = comm.allreduce_value(1.0);
+      EXPECT_DOUBLE_EQ(sum, 5.0);
+    });
+    EXPECT_TRUE(result.ok);
+  }
+  EXPECT_EQ(pool.teams_created() - created_before, 1u);
+  pool.clear();
+}
+
+TEST(RankTeamPool, DisabledFallsBackToSpawnedThreads) {
+  RankTeamPool::set_enabled(false);
+  const auto checkouts_before = RankTeamPool::instance().checkouts();
+  const auto result = Runtime::run(3, [](Comm& comm) {
+    EXPECT_EQ(comm.allreduce_value(comm.rank(), Max{}), 2);
+  });
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(RankTeamPool::instance().checkouts(), checkouts_before);
+  RankTeamPool::set_enabled(true);
+}
+
+TEST(RankTeamPool, HooksRunEveryJobOnPooledThreads) {
+  // Thread reuse must be invisible to the fault injector: the per-rank
+  // hooks fire on every job, not just the one that spawned the threads.
+  RankTeamPool::set_enabled(true);
+  RankTeamPool::instance().clear();
+  std::atomic<int> starts{0};
+  std::atomic<int> exits{0};
+  RunOptions options;
+  options.on_rank_start = [&](int) { starts++; };
+  options.on_rank_exit = [&](int) { exits++; };
+  for (int job = 0; job < 3; ++job) {
+    const auto result =
+        Runtime::run(4, [](Comm& comm) { comm.barrier(); }, options);
+    EXPECT_TRUE(result.ok);
+  }
+  EXPECT_EQ(starts.load(), 12);
+  EXPECT_EQ(exits.load(), 12);
+  RankTeamPool::instance().clear();
+}
+
+}  // namespace
+}  // namespace resilience::simmpi

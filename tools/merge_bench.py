@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Merge per-binary benchmark dumps into one BENCH_substrate.json.
+
+Inputs (produced in the working directory by the bench binaries):
+  BENCH_micro_substrate.json   google-benchmark JSON from bench_micro_substrate
+  BENCH_intro_overhead.json    campaign-level JSON from bench_intro_overhead
+
+Output:
+  BENCH_substrate.json         one machine-readable record of the repo's
+                               substrate performance, including the derived
+                               headline metrics:
+                                 - launch_speedup.<n>: pooled vs unpooled
+                                   per-trial job launch latency (the PR's
+                                   acceptance bar is >= 2x at nranks >= 8)
+                                 - collective_speedup.<n>: rendezvous vs
+                                   mailbox allreduce latency
+                                 - allocs_per_msg.<bytes>: envelope-pool
+                                   payload allocations per message
+
+Usage: tools/merge_bench.py [--dir DIR] [--out BENCH_substrate.json]
+Missing inputs are skipped with a warning so partial runs still merge.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load(path: pathlib.Path):
+    if not path.is_file():
+        print(f"merge_bench: skipping missing {path}", file=sys.stderr)
+        return None
+    with path.open() as f:
+        return json.load(f)
+
+
+def real_time(benchmarks, name):
+    """Mean real_time in ns of the named google-benchmark entry."""
+    for b in benchmarks:
+        if b.get("name") == name and b.get("run_type", "iteration") == "iteration":
+            return float(b["real_time"])
+    return None
+
+
+def derive_micro_metrics(micro):
+    """Headline ratios from the micro-substrate google-benchmark dump."""
+    benchmarks = micro.get("benchmarks", [])
+    metrics = {"launch_speedup": {}, "collective_speedup": {},
+               "allocs_per_msg": {}}
+    for ranks in (2, 8, 32, 64):
+        pooled = real_time(benchmarks, f"BM_JobSpawnJoin/{ranks}")
+        unpooled = real_time(benchmarks, f"BM_JobSpawnJoinUnpooled/{ranks}")
+        if pooled and unpooled:
+            metrics["launch_speedup"][str(ranks)] = unpooled / pooled
+    for ranks in (4, 8, 16, 64):
+        fast = real_time(benchmarks, f"BM_AllreduceRound/{ranks}")
+        mailbox = real_time(benchmarks, f"BM_AllreduceRoundMailbox/{ranks}")
+        if fast and mailbox:
+            metrics["collective_speedup"][str(ranks)] = mailbox / fast
+    for b in benchmarks:
+        if b.get("name", "").startswith("BM_PingPong/") and "allocs_per_msg" in b:
+            size = b["name"].split("/", 1)[1]
+            metrics["allocs_per_msg"][size] = float(b["allocs_per_msg"])
+    return metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dir", default=".",
+                        help="directory holding the input dumps")
+    parser.add_argument("--out", default="BENCH_substrate.json")
+    args = parser.parse_args()
+    base = pathlib.Path(args.dir)
+
+    merged = {"schema": "resilience-bench-substrate/1"}
+    micro = load(base / "BENCH_micro_substrate.json")
+    if micro is not None:
+        merged["micro_substrate"] = micro
+        merged["metrics"] = derive_micro_metrics(micro)
+        context = micro.get("context", {})
+        merged["host"] = {k: context[k] for k in
+                          ("host_name", "num_cpus", "mhz_per_cpu",
+                           "library_build_type") if k in context}
+    intro = load(base / "BENCH_intro_overhead.json")
+    if intro is not None:
+        merged["intro_overhead"] = intro
+
+    out_path = base / args.out
+    with out_path.open("w") as f:
+        json.dump(merged, f, indent=2)
+        f.write("\n")
+    print(f"merge_bench: wrote {out_path}")
+
+    speedups = merged.get("metrics", {}).get("launch_speedup", {})
+    for ranks, ratio in sorted(speedups.items(), key=lambda kv: int(kv[0])):
+        print(f"  job launch speedup @{ranks} ranks: {ratio:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
