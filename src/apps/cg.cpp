@@ -1,5 +1,6 @@
 #include "apps/cg.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -9,36 +10,37 @@ namespace resilience::apps {
 
 namespace {
 
-/// Local rows of the sparse matvec q = A * x_full.
+/// Local rows of the sparse matvec q = A * x_full, on the blocked
+/// row-gather kernel.
 void local_spmv(const SparseMatrix& a, const simmpi::BlockRange& rows,
                 std::span<const Real> x_full, std::span<Real> q) {
   for (std::int64_t i = rows.lo; i < rows.hi; ++i) {
-    const auto cols = a.row_cols(i);
-    const auto vals = a.row_vals(i);
-    Real acc = 0.0;
-    for (std::size_t k = 0; k < cols.size(); ++k) {
-      acc += Real(vals[k]) * x_full[static_cast<std::size_t>(cols[k])];
-    }
-    q[static_cast<std::size_t>(i - rows.lo)] = acc;
+    q[static_cast<std::size_t>(i - rows.lo)] =
+        sparse_row_dot(a.row_vals(i), a.row_cols(i), x_full);
   }
 }
 
 /// Partial matvec of one 2D block: rows in `rows`, columns restricted to
-/// `cols` with x given as that column segment.
+/// `cols` with x given as that column segment. CSR columns are sorted, so
+/// the restriction is the contiguous subrange [cols.lo, cols.hi) found by
+/// binary search — the dynamic-op stream (ops for matching entries, in
+/// column order) is exactly the one the per-entry `contains` filter made.
 void block_spmv(const SparseMatrix& a, const simmpi::BlockRange& rows,
                 const simmpi::BlockRange& cols, std::span<const Real> x_seg,
                 std::span<Real> w) {
   for (std::int64_t i = rows.lo; i < rows.hi; ++i) {
     const auto col_idx = a.row_cols(i);
     const auto vals = a.row_vals(i);
-    Real acc = 0.0;
-    for (std::size_t k = 0; k < col_idx.size(); ++k) {
-      if (cols.contains(col_idx[k])) {
-        acc += Real(vals[k]) *
-               x_seg[static_cast<std::size_t>(col_idx[k] - cols.lo)];
-      }
-    }
-    w[static_cast<std::size_t>(i - rows.lo)] = acc;
+    const auto* begin =
+        std::lower_bound(col_idx.data(), col_idx.data() + col_idx.size(),
+                         cols.lo);
+    const auto* end = std::lower_bound(
+        begin, col_idx.data() + col_idx.size(), cols.hi);
+    const auto first = static_cast<std::size_t>(begin - col_idx.data());
+    const auto count = static_cast<std::size_t>(end - begin);
+    w[static_cast<std::size_t>(i - rows.lo)] =
+        sparse_row_dot(vals.subspan(first, count),
+                       col_idx.subspan(first, count), x_seg, cols.lo);
   }
 }
 

@@ -3,9 +3,23 @@
 // allgather with padding for uneven partitions, and halo exchange between
 // neighbouring ranks of a 1D decomposition.
 //
-// All arithmetic runs on fsefi::Real so it is counted and injectable.
+// All arithmetic runs on fsefi::Real so it is counted and injectable —
+// but not one Real operator at a time. The element-wise kernels here are
+// *blocked*: they ask the installed FaultContext how many upcoming
+// dynamic ops are guaranteed event-free (FaultContext::quiet_ops), run
+// that window as raw double arithmetic on the primary and shadow values
+// in the exact same operation order, and account the whole block at once
+// (FaultContext::on_block). Only the sub-window containing an event —
+// an injection becoming due or the hang budget expiring — drops to
+// per-operation instrumented Real arithmetic. Observables (op profiles,
+// filtered indices, injection traces, contamination) are bit-identical
+// to the per-op path: windows never contain an event, summation order is
+// preserved exactly, and a window whose inputs carry any primary/shadow
+// divergence while the rank is not yet contaminated falls back to the
+// per-op path so first-contamination tracking fires at the same op.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -20,6 +34,19 @@ using fsefi::Real;
 
 /// Local dot product of two equal-length spans.
 Real local_dot(std::span<const Real> a, std::span<const Real> b);
+
+/// Row-gather dot product of a CSR-style row against a plain-double value
+/// array: sum_k Real(vals[k]) * x[cols[k] - col_offset]. The blocked
+/// equivalent of the mini-apps' sparse matvec inner loop.
+Real sparse_row_dot(std::span<const double> vals,
+                    std::span<const std::int64_t> cols,
+                    std::span<const Real> x, std::int64_t col_offset = 0);
+
+/// Same, for instrumented (Real-valued) matrix entries:
+/// sum_k vals[k] * x[cols[k] - col_offset].
+Real gather_dot(std::span<const Real> vals,
+                std::span<const std::int64_t> cols, std::span<const Real> x,
+                std::int64_t col_offset = 0);
 
 /// Global dot product over a partitioned vector: local dot + allreduce.
 Real global_dot(simmpi::Comm& comm, std::span<const Real> a,

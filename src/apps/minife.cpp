@@ -179,14 +179,28 @@ AppResult MiniFeApp::run(simmpi::Comm& comm) const {
   }
   std::vector<Real> r(b), d(b), q(local_rows);
 
+  // Flatten the assembled per-row maps into CSR-style arrays (pure copies,
+  // no FP operations) so the solve's matvec runs on the blocked
+  // row-gather kernel instead of chasing map nodes per entry.
+  std::vector<std::size_t> row_ptr(local_rows + 1, 0);
+  std::vector<std::int64_t> col_idx;
+  std::vector<Real> mat_vals;
+  for (std::size_t i = 0; i < local_rows; ++i) {
+    for (const auto& [col, val] : rows[i]) {
+      col_idx.push_back(col);
+      mat_vals.push_back(val);
+    }
+    row_ptr[i + 1] = col_idx.size();
+  }
+
   auto matvec = [&](std::span<const Real> in_local, std::span<Real> out) {
     const std::vector<Real> full = allgather_blocks(comm, in_local, n_nodes);
     for (std::size_t i = 0; i < local_rows; ++i) {
-      Real acc = 0.0;
-      for (const auto& [col, val] : rows[i]) {
-        acc += val * full[static_cast<std::size_t>(col)];
-      }
-      out[i] = acc;
+      const std::size_t first = row_ptr[i];
+      const std::size_t count = row_ptr[i + 1] - first;
+      out[i] = gather_dot(std::span<const Real>(mat_vals).subspan(first, count),
+                          std::span<const std::int64_t>(col_idx).subspan(first, count),
+                          full);
     }
   };
 

@@ -1,13 +1,35 @@
 #include "fsefi/fault_context.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <cstdlib>
+#include <cstring>
 
 namespace resilience::fsefi {
 
 namespace {
-thread_local FaultContext* tl_context = nullptr;
+
+// -1 = follow the environment, 0 = forced off, 1 = forced on.
+std::atomic<int> g_fast_real_override{-1};
+
+bool fast_real_env_default() {
+  const char* value = std::getenv("RESILIENCE_FAST_REAL");
+  return value == nullptr || std::strcmp(value, "0") != 0;
+}
+
 }  // namespace
+
+bool fast_real_enabled() noexcept {
+  const int forced = g_fast_real_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  static const bool from_env = fast_real_env_default();
+  return from_env;
+}
+
+void set_fast_real_enabled(bool enabled) noexcept {
+  g_fast_real_override.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
 
 double flip_bit(double value, int bit) noexcept {
   const int clamped = std::clamp(bit, 0, 63);
@@ -35,10 +57,6 @@ const char* to_string(FaultPattern pattern) noexcept {
   return "?";
 }
 
-FaultContext* current_context() noexcept { return tl_context; }
-
-void install_context(FaultContext* ctx) noexcept { tl_context = ctx; }
-
 void FaultContext::arm(InjectionPlan plan) {
   reset();
   if (!std::is_sorted(plan.points.begin(), plan.points.end(),
@@ -47,8 +65,13 @@ void FaultContext::arm(InjectionPlan plan) {
                       })) {
     throw std::invalid_argument("InjectionPlan points must be sorted");
   }
+  // Pre-size the trace so the first flip never reallocates inside the
+  // instrumented hot path.
+  events_.reserve(plan.points.size());
   plan_ = std::move(plan);
   armed_ = true;
+  filter_word_ = filter_word(plan_.kinds, plan_.regions);
+  recompute_countdown();
 }
 
 void FaultContext::reset() {
@@ -61,7 +84,84 @@ void FaultContext::reset() {
   events_.clear();
   contaminated_ = false;
   first_contamination_op_ = 0;
-  region_ = Region::Common;
+  set_region(Region::Common);
+  state_ = fast_real_enabled() ? HotState::FastIdle : HotState::Reference;
+  filter_word_ = 0;
+  filtered_bias_ = 0;
+  recompute_countdown();
+}
+
+void FaultContext::recompute_countdown() noexcept {
+  if (state_ != HotState::Reference) {
+    const bool idle = op_budget_ == 0 && next_point_ >= plan_.points.size();
+    state_ = idle ? HotState::FastIdle : HotState::FastLive;
+  }
+  std::uint64_t countdown = kIdleCountdown;
+  if (op_budget_ != 0) {
+    // The guard throws during the op that makes the op total exceed the
+    // budget; if it is already exceeded (budget lowered mid-run), the very
+    // next op must throw.
+    const std::uint64_t total = ops_total();
+    countdown = total >= op_budget_ ? 1 : op_budget_ - total + 1;
+  }
+  if (next_point_ < plan_.points.size()) {
+    // The next injection fires during the op whose pre-op filtered index
+    // equals op_index. The filtered stream advances at most one per op,
+    // so this many ops must pass first — a lower bound that on_event
+    // re-tightens whenever it elapses early.
+    const std::uint64_t to_injection =
+        plan_.points[next_point_].op_index - filtered_ops() + 1;
+    countdown = to_injection < countdown ? to_injection : countdown;
+  }
+  countdown_ = countdown;
+}
+
+void FaultContext::on_event(OpKind kind, double& a, double& b) {
+  if (op_budget_ != 0 && ops_total() > op_budget_) {
+    // The reference path throws before filter accounting: if this op
+    // matched, the derived filtered count must exclude it. Leave a live
+    // countdown so catch-and-continue keeps throwing.
+    filtered_bias_ += (filter_word_ >> filter_bit(region_, kind)) & 1u;
+    countdown_ = 1;
+    throw HangBudgetExceeded();
+  }
+  if (((filter_word_ >> filter_bit(region_, kind)) & 1u) != 0) {
+    const std::uint64_t idx = filtered_ops() - 1;  // this op's filtered index
+    while (next_point_ < plan_.points.size() &&
+           plan_.points[next_point_].op_index == idx) {
+      const InjectionPoint& pt = plan_.points[next_point_];
+      double& target = (pt.operand == 0) ? a : b;
+      const double before = target;
+      target = flip_bits(target, pt.bit, pt.width);
+      events_.push_back({ops_total(), idx, kind, region_, pt.operand, pt.bit,
+                         pt.width, before, target});
+      ++next_point_;
+      mark_contaminated();
+    }
+  }
+  recompute_countdown();
+}
+
+void FaultContext::reference_on_op(OpKind kind, double& a, double& b) {
+  ++ops_total_;
+  if (op_budget_ != 0 && ops_total_ > op_budget_) {
+    throw HangBudgetExceeded();
+  }
+  if (armed_ && contains(plan_.kinds, kind) &&
+      contains(plan_.regions, region_)) {
+    const std::uint64_t idx = filtered_ops_++;
+    while (next_point_ < plan_.points.size() &&
+           plan_.points[next_point_].op_index == idx) {
+      const InjectionPoint& pt = plan_.points[next_point_];
+      double& target = (pt.operand == 0) ? a : b;
+      const double before = target;
+      target = flip_bits(target, pt.bit, pt.width);
+      events_.push_back({ops_total_, idx, kind, region_, pt.operand, pt.bit,
+                         pt.width, before, target});
+      ++next_point_;
+      mark_contaminated();
+    }
+  }
 }
 
 }  // namespace resilience::fsefi

@@ -18,6 +18,29 @@
 // flip whose contribution is rounded away in a long accumulation stops
 // propagating — which is why most injections in CG contaminate only one
 // MPI process (Figure 1a).
+//
+// Hot-path design (DESIGN.md §8): a fault-free operation must cost about
+// as much as the plain double op plus two counter increments. Two
+// mechanisms deliver that:
+//
+//  1. A *countdown dispatcher*: arm()/reset()/set_op_budget() precompute
+//     the packed (region x kind) filter word and a conservative distance,
+//     in dynamic ops, to the next *event* — the next injection point
+//     becoming due in the filtered stream, or the hang budget running
+//     out. The per-op path is then counter bumps, one branch-free
+//     filtered-stream increment, and a single predictable decrement; all
+//     plan matching, bit flipping, budget throwing, and countdown
+//     recomputation live in the cold out-of-line on_event().
+//  2. A *blocked counting API* (quiet_ops() + on_block()): kernels ask
+//     how many upcoming ops are guaranteed event-free, run that window as
+//     raw double arithmetic in the exact same operation order, and
+//     account the whole block with two bulk adds.
+//
+// The pre-countdown logic is kept alive, bit-identical, as the reference
+// path: RESILIENCE_FAST_REAL=0 (or set_fast_real_enabled(false) before
+// the context is reset/armed) routes every op through it, and the
+// differential tests assert that profiles, filtered indices, injection
+// traces, and campaign results match the fast path exactly.
 #pragma once
 
 #include <bit>
@@ -46,6 +69,13 @@ inline bool values_diverge(double primary, double shadow) noexcept {
          std::bit_cast<std::uint64_t>(shadow);
 }
 
+/// Whether newly reset/armed FaultContexts use the countdown fast path
+/// (default) or the pre-countdown reference implementation. The
+/// RESILIENCE_FAST_REAL env var ("0" disables) sets the default;
+/// set_fast_real_enabled() forces it per process (tests and benches).
+[[nodiscard]] bool fast_real_enabled() noexcept;
+void set_fast_real_enabled(bool enabled) noexcept;
+
 /// Record of one performed injection (for debugging and trace analysis:
 /// F-SEFI similarly maps each injected instruction back to the
 /// application).
@@ -59,6 +89,9 @@ struct InjectionEvent {
   std::uint8_t width = 1;
   double value_before = 0.0;
   double value_after = 0.0;
+
+  friend bool operator==(const InjectionEvent&,
+                         const InjectionEvent&) = default;
 };
 
 class FaultContext {
@@ -78,14 +111,36 @@ class FaultContext {
 
   /// Abort the run (via HangBudgetExceeded) once more than `budget`
   /// instrumented operations execute. 0 disables the guard.
-  void set_op_budget(std::uint64_t budget) noexcept { op_budget_ = budget; }
+  void set_op_budget(std::uint64_t budget) noexcept {
+    op_budget_ = budget;
+    recompute_countdown();
+  }
 
   // ---- observed results ---------------------------------------------------
 
   [[nodiscard]] const OpCountProfile& profile() const noexcept {
     return profile_;
   }
-  [[nodiscard]] std::uint64_t ops_total() const noexcept { return ops_total_; }
+  /// Total dynamic operations so far. The fast path maintains only the
+  /// per-(region, kind) profile cells in its per-op code and derives the
+  /// total on demand — the profile advances in lockstep with the reference
+  /// path's dedicated counter, so the value is bit-identical.
+  [[nodiscard]] std::uint64_t ops_total() const noexcept {
+    return fast() ? profile_.total() : ops_total_;
+  }
+  /// Dynamic operations that matched the armed plan's filters so far (the
+  /// stream injection points index into). 0 when never armed. Derived on
+  /// the fast path: an op advances the filtered stream iff it lands in a
+  /// (region, kind) cell selected by the filters, so the stream length is
+  /// profile_.matching(...) — corrected by filtered_bias_ for ops the
+  /// reference path counts in the profile but not the stream (the
+  /// budget-throw ordering, see on_event).
+  [[nodiscard]] std::uint64_t filtered_ops() const noexcept {
+    if (!fast()) return filtered_ops_;
+    if (!armed_) return 0;
+    return profile_.matching(plan_.kinds, plan_.regions) -
+           static_cast<std::uint64_t>(filtered_bias_);
+  }
   /// Number of planned flips actually performed.
   [[nodiscard]] std::size_t injections_done() const noexcept {
     return next_point_;
@@ -118,28 +173,43 @@ class FaultContext {
   /// computes the op on both the primary and shadow values afterwards.
   /// `b`/`b_shadow` are ignored for unary kinds.
   void on_op(OpKind kind, double& a, double& b) {
-    const auto region_index = static_cast<int>(region_);
-    const auto kind_index = static_cast<int>(kind);
-    ++profile_.counts[region_index][kind_index];
-    ++ops_total_;
-    if (op_budget_ != 0 && ops_total_ > op_budget_) {
-      throw HangBudgetExceeded();
+    // profile_row_ tracks the current region, and `kind` is a constant at
+    // every inlined call site, so the count bump is one increment at a
+    // fixed offset. Everything else — filtered-stream length, op totals —
+    // is derived from the profile when needed.
+    ++profile_row_[static_cast<int>(kind)];
+    if (state_ == HotState::FastIdle) {
+      // No event source (no pending injection, no budget): the whole run
+      // for golden passes, the post-injection tail for campaign trials.
+      return;
     }
-    if (armed_ && contains(plan_.kinds, kind) &&
-        contains(plan_.regions, region_)) {
-      const std::uint64_t idx = filtered_ops_++;
-      while (next_point_ < plan_.points.size() &&
-             plan_.points[next_point_].op_index == idx) {
-        const InjectionPoint& pt = plan_.points[next_point_];
-        double& target = (pt.operand == 0) ? a : b;
-        const double before = target;
-        target = flip_bits(target, pt.bit, pt.width);
-        events_.push_back({ops_total_, idx, kind, region_, pt.operand, pt.bit,
-                           pt.width, before, target});
-        ++next_point_;
-        mark_contaminated();
+    if (state_ == HotState::FastLive) {
+      if (--countdown_ == 0) [[unlikely]] {
+        on_event(kind, a, b);
       }
+      return;
     }
+    reference_on_op(kind, a, b);
+  }
+
+  /// How many of the next `max_ops` dynamic operations are guaranteed to
+  /// be event-free (no injection can become due, no budget exhaustion).
+  /// Blocked kernels run that window as raw arithmetic and account it via
+  /// on_block(). Always 0 on the reference path, which forces kernels
+  /// through the per-op reference implementation.
+  [[nodiscard]] std::uint64_t quiet_ops(std::uint64_t max_ops) const noexcept {
+    if (!fast()) return 0;
+    const std::uint64_t quiet = countdown_ - 1;  // countdown_ >= 1 invariant
+    return max_ops < quiet ? max_ops : quiet;
+  }
+
+  /// Account `n` dynamic operations of one kind in the current region at
+  /// once. Only valid for ops inside a window returned by quiet_ops():
+  /// the caller guarantees no event falls among them, so order within the
+  /// block cannot matter and bulk addition is exact.
+  void on_block(OpKind kind, std::uint64_t n) noexcept {
+    profile_row_[static_cast<int>(kind)] += n;
+    countdown_ -= n;
   }
 
   /// Called with each op's computed result; flags contamination when the
@@ -153,12 +223,47 @@ class FaultContext {
  private:
   friend class RegionScope;
 
+  /// Countdown value meaning "no event armed": far beyond any real run's
+  /// op count, so the slow path is never entered.
+  static constexpr std::uint64_t kIdleCountdown = std::uint64_t{1} << 62;
+
+  /// Per-op dispatch state, one byte so the hot path branches on a single
+  /// load. FastIdle: countdown fast path with nothing armed to fire (no
+  /// pending injection point, no budget). FastLive: countdown running.
+  /// Reference: RESILIENCE_FAST_REAL=0.
+  enum class HotState : std::uint8_t { FastIdle = 0, FastLive = 1,
+                                       Reference = 2 };
+
+  [[nodiscard]] bool fast() const noexcept {
+    return state_ != HotState::Reference;
+  }
+
+  void set_region(Region region) noexcept {
+    region_ = region;
+    profile_row_ = profile_.counts[static_cast<int>(region)];
+  }
+
   void mark_contaminated() noexcept {
     if (!contaminated_) {
       contaminated_ = true;
-      first_contamination_op_ = ops_total_;
+      first_contamination_op_ = ops_total();
     }
   }
+
+  /// Cold path of the countdown dispatcher: fires when the conservative
+  /// event distance elapses. Throws the hang budget, performs any
+  /// injections due at this op, and recomputes the countdown.
+  void on_event(OpKind kind, double& a, double& b);
+
+  /// The pre-countdown per-op implementation (RESILIENCE_FAST_REAL=0):
+  /// op-total bump, budget check, two mask lookups, and a linear point
+  /// match per op. Kept out of line so the fast path stays small enough
+  /// to inline.
+  void reference_on_op(OpKind kind, double& a, double& b);
+
+  /// countdown_ := min distance (in ops, conservative lower bound) to the
+  /// next injection becoming due or the budget running out; >= 1 always.
+  void recompute_countdown() noexcept;
 
   OpCountProfile profile_{};
   std::uint64_t ops_total_ = 0;
@@ -174,14 +279,39 @@ class FaultContext {
   std::uint64_t first_contamination_op_ = 0;
 
   Region region_ = Region::Common;
+
+  // ---- countdown fast path (see file comment) -----------------------------
+  /// Latched from fast_real_enabled() at construction/reset/arm; flips
+  /// between FastIdle and FastLive as event sources appear.
+  HotState state_ = fast_real_enabled() ? HotState::FastIdle
+                                        : HotState::Reference;
+  /// profile_.counts row for region_, kept in sync by set_region() so the
+  /// per-op count bump needs no region indexing.
+  std::uint64_t* profile_row_ = profile_.counts[static_cast<int>(
+      Region::Common)];
+  std::uint32_t filter_word_ = 0;     ///< filter_word(plan.kinds, plan.regions)
+  std::uint64_t countdown_ = kIdleCountdown;
+  /// Filtered ops the derived count includes but the reference stream does
+  /// not: ops that threw the hang budget (the reference throws before
+  /// filter accounting, but the profile cell was already bumped).
+  std::uint64_t filtered_bias_ = 0;
 };
+
+namespace detail {
+/// The per-thread installed context. Inline so every translation unit
+/// reads the thread-local slot directly instead of paying an out-of-line
+/// call per instrumented operation.
+inline thread_local FaultContext* tl_context = nullptr;
+}  // namespace detail
 
 /// The context installed on the calling thread, or nullptr when the thread
 /// is not running under fault injection (ops then execute uninstrumented).
-FaultContext* current_context() noexcept;
+inline FaultContext* current_context() noexcept { return detail::tl_context; }
 
 /// Install `ctx` on the calling thread; pass nullptr to uninstall.
-void install_context(FaultContext* ctx) noexcept;
+inline void install_context(FaultContext* ctx) noexcept {
+  detail::tl_context = ctx;
+}
 
 /// RAII installer for the calling thread.
 class ContextGuard {
@@ -207,11 +337,11 @@ class RegionScope {
       : ctx_(current_context()), previous_(Region::Common) {
     if (ctx_ != nullptr) {
       previous_ = ctx_->region_;
-      ctx_->region_ = region;
+      ctx_->set_region(region);
     }
   }
   ~RegionScope() {
-    if (ctx_ != nullptr) ctx_->region_ = previous_;
+    if (ctx_ != nullptr) ctx_->set_region(previous_);
   }
   RegionScope(const RegionScope&) = delete;
   RegionScope& operator=(const RegionScope&) = delete;

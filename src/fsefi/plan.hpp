@@ -65,6 +65,31 @@ constexpr bool contains(RegionMask mask, Region region) noexcept {
           (1u << static_cast<std::uint8_t>(region))) != 0;
 }
 
+/// Bit position of (region, kind) in a packed filter word. Regions get
+/// 8-bit lanes so the index is a shift-or, not a multiply.
+constexpr int filter_bit(Region region, OpKind kind) noexcept {
+  return (static_cast<int>(region) << 3) | static_cast<int>(kind);
+}
+
+/// Packed (region x kind) eligibility word for an injection plan's
+/// filters: bit filter_bit(r, k) is set iff ops of kind k in region r
+/// belong to the plan's filtered dynamic-op stream. The fault-injection
+/// hot path tests one bit here instead of two mask lookups.
+constexpr std::uint32_t filter_word(KindMask kinds,
+                                    RegionMask regions) noexcept {
+  std::uint32_t word = 0;
+  for (int r = 0; r < kNumRegions; ++r) {
+    for (int k = 0; k < kNumOpKinds; ++k) {
+      if (contains(regions, static_cast<Region>(r)) &&
+          contains(kinds, static_cast<OpKind>(k))) {
+        word |= 1u << filter_bit(static_cast<Region>(r),
+                                 static_cast<OpKind>(k));
+      }
+    }
+  }
+  return word;
+}
+
 /// One fault: at the `op_index`-th dynamic operation matching the plan's
 /// filters (0-based, counted on this rank only), flip `width` adjacent
 /// bits starting at `bit` of operand `operand` (0 = left, 1 = right)
@@ -103,6 +128,9 @@ struct InjectionPlan {
 /// draws injection targets from.
 struct OpCountProfile {
   std::uint64_t counts[kNumRegions][kNumOpKinds] = {};
+
+  friend bool operator==(const OpCountProfile&,
+                         const OpCountProfile&) = default;
 
   [[nodiscard]] std::uint64_t total() const noexcept {
     std::uint64_t sum = 0;

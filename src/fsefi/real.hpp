@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cmath>
+#include <cstdlib>
 #include <type_traits>
 
 #include "fsefi/fault_context.hpp"
@@ -149,9 +150,14 @@ class Real {
       case OpKind::Div:
         return a / b;
       case OpKind::Sqrt:
-        break;  // unary; handled in sqrt()
+        break;  // unary; handled in sqrt(), never dispatched here
     }
-    return 0.0;
+    // A kind this switch does not cover (Sqrt, or a future addition whose
+    // author forgot this function) must fail loudly, not evaluate to 0.0
+    // and silently corrupt every downstream result. Aborting in a
+    // constant-evaluated context is ill-formed, so a compile-time misuse
+    // fails to build instead.
+    std::abort();
   }
 
   double v_ = 0.0;

@@ -56,9 +56,13 @@ RunOutput run_app_once(const apps::App& app, int nranks,
 
   out.profiles.reserve(contexts.size());
   out.contaminated.reserve(contexts.size());
+  out.filtered_ops.reserve(contexts.size());
+  out.injection_events.reserve(contexts.size());
   for (const auto& ctx : contexts) {
     out.profiles.push_back(ctx->profile());
     out.contaminated.push_back(ctx->contaminated());
+    out.filtered_ops.push_back(ctx->filtered_ops());
+    out.injection_events.push_back(ctx->injection_events());
   }
   return out;
 }

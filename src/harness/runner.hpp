@@ -28,6 +28,10 @@ struct RunOutput {
   std::optional<apps::AppResult> result; ///< rank-0 output if the job finished
   std::vector<fsefi::OpCountProfile> profiles;  ///< per rank
   std::vector<bool> contaminated;               ///< per rank
+  /// Per rank: dynamic ops that matched the armed plan's filters (0 for
+  /// counting-only runs), and the trace of performed injections.
+  std::vector<std::uint64_t> filtered_ops;
+  std::vector<std::vector<fsefi::InjectionEvent>> injection_events;
   bool hang = false;  ///< failure was the op-budget (hang) guard
 
   /// Number of ranks whose memory or computation touched corrupted data.
