@@ -9,10 +9,13 @@
 #include <chrono>
 #include <fstream>
 
+#include "apps/ft.hpp"
 #include "bench_common.hpp"
 #include "harness/campaign.hpp"
+#include "harness/checkpoint.hpp"
 #include "harness/executor.hpp"
 #include "util/json.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -110,6 +113,96 @@ int main() {
     executor_json["speedup"] = util::Json(serial_wall / parallel_wall);
   }
 
+  // Golden-checkpoint fast path (DESIGN.md §9): the same single-flip
+  // trials with checkpoint fast-forward + early-exit pruning on vs the
+  // RESILIENCE_CHECKPOINT=0 kill switch. The late mix draws every flip
+  // from the last quarter of the target rank's filtered stream — the
+  // regime where skipping the fault-free prefix pays most — the early
+  // mix from the whole stream. Results are bit-identical either way
+  // (tests/integration/test_checkpoint_diff.cpp); only the wall moves.
+  util::JsonArray checkpoint_json;
+  {
+    harness::set_checkpoint_enabled(true);
+    std::vector<std::unique_ptr<apps::App>> ckpt_apps;
+    ckpt_apps.push_back(apps::make_app(apps::AppId::CG));
+    // FT's stock S class runs a single iteration (no interior boundaries
+    // to checkpoint); a 4-iteration variant represents the sweep apps.
+    ckpt_apps.push_back(std::make_unique<apps::FtApp>(
+        apps::FtApp::Config{.n = 64, .iterations = 4}, "S4"));
+    const int nranks = 4;
+    const std::size_t trials = std::min<std::size_t>(cfg.trials, 200);
+    std::cout << "\nCheckpoint fast path (" << trials
+              << " single-flip trials, " << nranks << " ranks):\n";
+    for (const auto& ckpt_app : ckpt_apps) {
+      const auto golden =
+          harness::profile_app(*ckpt_app, nranks,
+                               std::chrono::milliseconds(10'000),
+                               /*capture_checkpoints=*/true);
+      for (const bool late : {true, false}) {
+        std::vector<std::vector<fsefi::InjectionPlan>> all_plans;
+        all_plans.reserve(trials);
+        util::Xoshiro256 rng(
+            util::derive_seed(cfg.seed, late ? 0x1a7eu : 0xea51u));
+        for (std::size_t t = 0; t < trials; ++t) {
+          std::vector<fsefi::InjectionPlan> plans(
+              static_cast<std::size_t>(nranks));
+          auto& plan = plans[t % static_cast<std::size_t>(nranks)];
+          const std::uint64_t matching =
+              golden.profiles[t % static_cast<std::size_t>(nranks)].matching(
+                  plan.kinds, plan.regions);
+          const std::uint64_t lo = late ? matching - matching / 4 : 0;
+          plan.points = {
+              {.op_index = static_cast<std::uint64_t>(rng.uniform_int(
+                   static_cast<std::int64_t>(lo),
+                   static_cast<std::int64_t>(matching - 1))),
+               .operand = 0,
+               .bit = static_cast<std::uint8_t>(rng.uniform_int(0, 63))}};
+          all_plans.push_back(std::move(plans));
+        }
+        struct Leg {
+          double wall = 0.0;
+          std::size_t restores = 0;
+          std::size_t early_exits = 0;
+        };
+        auto run_leg = [&](bool enabled) {
+          Leg leg;
+          const auto start = std::chrono::steady_clock::now();
+          for (const auto& plans : all_plans) {
+            harness::RunOptions opts;
+            if (enabled) opts.checkpoints = golden.checkpoints.get();
+            const auto out =
+                harness::run_app_once(*ckpt_app, nranks, plans, opts);
+            leg.restores += out.checkpoint_restored ? 1 : 0;
+            leg.early_exits += out.early_exit ? 1 : 0;
+          }
+          leg.wall = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+          return leg;
+        };
+        const Leg off = run_leg(false);
+        const Leg on = run_leg(true);
+        const char* mix = late ? "late" : "uniform";
+        std::cout << "  " << ckpt_app->label() << " " << mix << " mix: "
+                  << bench::fmt(off.wall, 2) << " s off vs "
+                  << bench::fmt(on.wall, 2) << " s on — "
+                  << bench::fmt(off.wall / on.wall, 1) << "x ("
+                  << on.restores << " restores, " << on.early_exits
+                  << " early exits)\n";
+        util::JsonObject leg_json;
+        leg_json["app"] = util::Json(ckpt_app->label());
+        leg_json["mix"] = util::Json(std::string(mix));
+        leg_json["nranks"] = util::Json(nranks);
+        leg_json["trials"] = util::Json(trials);
+        leg_json["off_wall_seconds"] = util::Json(off.wall);
+        leg_json["on_wall_seconds"] = util::Json(on.wall);
+        leg_json["restores"] = util::Json(on.restores);
+        leg_json["early_exits"] = util::Json(on.early_exits);
+        checkpoint_json.push_back(util::Json(std::move(leg_json)));
+      }
+    }
+  }
+
   // Machine-readable mirror of the numbers above, merged into
   // BENCH_substrate.json by tools/merge_bench.py.
   {
@@ -120,6 +213,7 @@ int main() {
     root["seed"] = util::Json(cfg.seed);
     root["deployments"] = util::Json(std::move(deployments));
     root["executor"] = util::Json(std::move(executor_json));
+    root["checkpoint"] = util::Json(std::move(checkpoint_json));
     std::ofstream out("BENCH_intro_overhead.json");
     out << util::Json(std::move(root)).dump(2) << "\n";
   }

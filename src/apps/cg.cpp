@@ -1,10 +1,12 @@
 #include "apps/cg.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
 #include "apps/kernels.hpp"
+#include "apps/trial_control.hpp"
 
 namespace resilience::apps {
 
@@ -116,7 +118,22 @@ AppResult CgApp::run_1d(simmpi::Comm& comm) const {
   Real zeta = 0.0;
   Real rnorm = 0.0;
 
-  for (int outer = 0; outer < config_.outer_iters; ++outer) {
+  // Boundary hook (DESIGN.md §9): the end of an outer iteration is a
+  // global sync point, and x/zeta/rnorm are the live state — z, r, d, q
+  // and rho are fully recomputed at the top of the next iteration.
+  TrialControl* ctl = current_trial_control();
+  auto views = [&] {
+    return std::array<StateView, 3>{StateView::reals(x),
+                                    StateView::real(zeta),
+                                    StateView::real(rnorm)};
+  };
+  int outer = 0;
+  if (ctl != nullptr) {
+    const auto v = views();
+    outer = ctl->begin(v);
+  }
+
+  for (; outer < config_.outer_iters; ++outer) {
     // ---- CG solve of A z = x with a fixed step count (NPB cgitmax) ----
     std::fill(z.begin(), z.end(), Real(0.0));
     r.assign(x.begin(), x.end());
@@ -152,6 +169,11 @@ AppResult CgApp::run_1d(simmpi::Comm& comm) const {
     const Real znorm = global_norm2(comm, z);
     const Real inv = Real(1.0) / znorm;
     for (std::size_t i = 0; i < local_n; ++i) x[i] = z[i] * inv;
+
+    if (ctl != nullptr) {
+      const auto v = views();
+      if (!ctl->boundary(comm, outer, v)) return {};
+    }
   }
 
   AppResult result;
@@ -232,7 +254,21 @@ AppResult CgApp::run_2d(simmpi::Comm& comm) const {
 
   Real zeta = 0.0;
   Real rnorm = 0.0;
-  for (int outer = 0; outer < config_.outer_iters; ++outer) {
+
+  // Same live state as run_1d, over the n/p sub-block partition.
+  TrialControl* ctl = current_trial_control();
+  auto views = [&] {
+    return std::array<StateView, 3>{StateView::reals(x),
+                                    StateView::real(zeta),
+                                    StateView::real(rnorm)};
+  };
+  int outer = 0;
+  if (ctl != nullptr) {
+    const auto v = views();
+    outer = ctl->begin(v);
+  }
+
+  for (; outer < config_.outer_iters; ++outer) {
     std::fill(z.begin(), z.end(), Real(0.0));
     r.assign(x.begin(), x.end());
     d.assign(r.begin(), r.end());
@@ -263,6 +299,11 @@ AppResult CgApp::run_2d(simmpi::Comm& comm) const {
     const Real znorm = global_norm2(comm, z);
     const Real inv = Real(1.0) / znorm;
     for (std::size_t i = 0; i < sub; ++i) x[i] = z[i] * inv;
+
+    if (ctl != nullptr) {
+      const auto v = views();
+      if (!ctl->boundary(comm, outer, v)) return {};
+    }
   }
 
   AppResult result;

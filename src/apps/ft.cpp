@@ -1,10 +1,13 @@
 #include "apps/ft.hpp"
 
+#include <array>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
+#include <type_traits>
 
 #include "apps/kernels.hpp"
+#include "apps/trial_control.hpp"
 #include "util/rng.hpp"
 
 namespace resilience::apps {
@@ -136,7 +139,26 @@ AppResult FtApp::run(simmpi::Comm& comm) const {
   };
 
   RComplex checksum{Real(0.0), Real(0.0)};
-  for (int step = 0; step < config_.iterations; ++step) {
+
+  // Boundary hook (DESIGN.md §9): live state is the field and the running
+  // checksum. RComplex is a pair of Reals, so the field is viewed as a
+  // flat Real span.
+  static_assert(std::is_trivially_copyable_v<RComplex> &&
+                sizeof(RComplex) == 2 * sizeof(Real));
+  TrialControl* ctl = current_trial_control();
+  auto views = [&] {
+    return std::array<StateView, 2>{
+        StateView::reals(
+            {reinterpret_cast<Real*>(u.data()), u.size() * 2}),
+        StateView::reals({reinterpret_cast<Real*>(&checksum), 2})};
+  };
+  int step = 0;
+  if (ctl != nullptr) {
+    const auto v = views();
+    step = ctl->begin(v);
+  }
+
+  for (; step < config_.iterations; ++step) {
     // Forward transform with the evolution factor applied at the transpose.
     fft_all_rows(u, /*inverse=*/false);
     transpose(u, step, /*inverse_factor=*/false, 1.0);
@@ -161,6 +183,11 @@ AppResult FtApp::run(simmpi::Comm& comm) const {
     guard_finite(total.re, "FT checksum");
     guard_finite(total.im, "FT checksum");
     checksum = checksum + total;
+
+    if (ctl != nullptr) {
+      const auto v = views();
+      if (!ctl->boundary(comm, step, v)) return {};
+    }
   }
 
   AppResult result;

@@ -1,8 +1,10 @@
 #include "apps/lu.hpp"
 
+#include <array>
 #include <stdexcept>
 
 #include "apps/kernels.hpp"
+#include "apps/trial_control.hpp"
 #include "util/rng.hpp"
 
 namespace resilience::apps {
@@ -86,7 +88,20 @@ AppResult LuApp::run(simmpi::Comm& comm) const {
     }
   };
 
-  for (int iter = 0; iter < config_.iterations; ++iter) {
+  // Boundary hook (DESIGN.md §9): u is the only live state across
+  // iterations — rhs, z and v are fully recomputed each sweep, and f is
+  // fixed after setup (written with uninstrumented constructors).
+  TrialControl* ctl = current_trial_control();
+  auto views = [&] {
+    return std::array<StateView, 1>{StateView::reals(u)};
+  };
+  int iter = 0;
+  if (ctl != nullptr) {
+    const auto vw = views();
+    iter = ctl->begin(vw);
+  }
+
+  for (; iter < config_.iterations; ++iter) {
     compute_residual(kHaloTag + 2 * iter);
 
     // ---- forward (lower-triangular) sweep: wavefront top -> bottom ----
@@ -133,6 +148,11 @@ AppResult LuApp::run(simmpi::Comm& comm) const {
 
     // ---- apply the SSOR update ----
     for (std::size_t k = 0; k < u.size(); ++k) u[k] += v[k];
+
+    if (ctl != nullptr) {
+      const auto vw = views();
+      if (!ctl->boundary(comm, iter, vw)) return {};
+    }
   }
 
   compute_residual(kHaloTag + 2 * config_.iterations);

@@ -1,9 +1,12 @@
 #include "apps/mg.hpp"
 
 #include <algorithm>
+#include <array>
+#include <optional>
 #include <stdexcept>
 
 #include "apps/kernels.hpp"
+#include "apps/trial_control.hpp"
 #include "util/rng.hpp"
 
 namespace resilience::apps {
@@ -47,13 +50,32 @@ class MgSolver {
     }
   }
 
-  /// Runs the configured V-cycles; returns (residual norm, solution norm).
-  std::pair<Real, Real> solve() {
+  /// Runs the configured V-cycles; returns (residual norm, solution norm),
+  /// or nullopt when the trial controller ended the run early.
+  std::optional<std::pair<Real, Real>> solve() {
     init_rhs();
-    for (int cycle = 0; cycle < cfg_.vcycles; ++cycle) {
+    // Boundary hook (DESIGN.md §9): end of a V-cycle. The finest u is the
+    // only live state — fine.f is fixed after init_rhs (and written with
+    // uninstrumented constructors, so it cannot be corrupted), and every
+    // coarse level's u and f are fully overwritten inside each V-cycle.
+    // The view is rebuilt per call because smooth() swaps u's buffer.
+    TrialControl* ctl = current_trial_control();
+    auto views = [&] {
+      return std::array<StateView, 1>{StateView::reals(levels_.front().u)};
+    };
+    int cycle = 0;
+    if (ctl != nullptr) {
+      const auto v = views();
+      cycle = ctl->begin(v);
+    }
+    for (; cycle < cfg_.vcycles; ++cycle) {
       vcycle(0);
       const Real rnorm = finest_residual_norm();
       guard_finite(rnorm, "MG residual norm");
+      if (ctl != nullptr) {
+        const auto v = views();
+        if (!ctl->boundary(comm_, cycle, v)) return std::nullopt;
+      }
     }
     Level& fine = levels_.front();
     const Real rnorm = finest_residual_norm();
@@ -61,7 +83,7 @@ class MgSolver {
         fine.distributed
             ? global_norm2(comm_, fine.u)
             : sqrt(local_dot(fine.u, fine.u));
-    return {rnorm, unorm};
+    return {{rnorm, unorm}};
   }
 
  private:
@@ -320,10 +342,11 @@ MgApp::MgApp(Config config, std::string size_class)
 
 AppResult MgApp::run(simmpi::Comm& comm) const {
   MgSolver solver(config_, comm);
-  const auto [rnorm, unorm] = solver.solve();
+  const auto norms = solver.solve();
+  if (!norms.has_value()) return {};  // early exit: harness synthesizes
   AppResult result;
   result.iterations = config_.vcycles;
-  result.signature = {rnorm.value(), unorm.value()};
+  result.signature = {norms->first.value(), norms->second.value()};
   return result;
 }
 

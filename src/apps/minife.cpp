@@ -1,9 +1,11 @@
 #include "apps/minife.hpp"
 
+#include <array>
 #include <map>
 #include <stdexcept>
 
 #include "apps/kernels.hpp"
+#include "apps/trial_control.hpp"
 #include "util/rng.hpp"
 
 namespace resilience::apps {
@@ -206,7 +208,27 @@ AppResult MiniFeApp::run(simmpi::Comm& comm) const {
 
   Real rho_r = global_dot(comm, r, r);
   Real rnorm = sqrt(rho_r);
-  for (int it = 0; it < config_.cg_iters; ++it) {
+
+  // Boundary hook (DESIGN.md §9): the CG vectors and scalars carried across
+  // iterations, plus the assembled matrix values — assembly computes them
+  // with instrumented ops (and merges remote contributions), so they are
+  // corruptible state even though the solve only reads them. q is fully
+  // overwritten by the matvec each iteration and b is written with
+  // uninstrumented constructors; neither is live.
+  TrialControl* ctl = current_trial_control();
+  auto views = [&] {
+    return std::array<StateView, 6>{
+        StateView::reals(x),      StateView::reals(r),
+        StateView::reals(d),      StateView::real(rho_r),
+        StateView::real(rnorm),   StateView::reals(mat_vals)};
+  };
+  int it = 0;
+  if (ctl != nullptr) {
+    const auto vw = views();
+    it = ctl->begin(vw);
+  }
+
+  for (; it < config_.cg_iters; ++it) {
     matvec(d, q);
     const Real alpha = rho_r / global_dot(comm, d, q);
     axpy(alpha, d, x);
@@ -217,6 +239,11 @@ AppResult MiniFeApp::run(simmpi::Comm& comm) const {
     const Real beta = rho_new / rho_r;
     rho_r = rho_new;
     xpby(r, beta, d);
+
+    if (ctl != nullptr) {
+      const auto vw = views();
+      if (!ctl->boundary(comm, it, vw)) return {};
+    }
   }
 
   const Real xnorm = global_norm2(comm, x);

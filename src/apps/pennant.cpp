@@ -1,8 +1,10 @@
 #include "apps/pennant.hpp"
 
+#include <array>
 #include <stdexcept>
 
 #include "apps/kernels.hpp"
+#include "apps/trial_control.hpp"
 
 namespace resilience::apps {
 
@@ -85,6 +87,24 @@ AppResult PennantApp::run(simmpi::Comm& comm) const {
   double t = 0.0;
   int step = 0;
   std::vector<Real> ptot(static_cast<std::size_t>(nzones));  // P + q
+
+  // Boundary hook (DESIGN.md §9): live state across cycles is the node and
+  // zone fields plus simulation time. qv and ptot are fully recomputed each
+  // cycle; zm is fixed and written with uninstrumented constructors; nm is
+  // fixed too but was *computed* with instrumented ops, so it is corruptible
+  // and must be part of the digest/checkpoint.
+  TrialControl* ctl = current_trial_control();
+  auto views = [&] {
+    return std::array<StateView, 7>{
+        StateView::reals(x),  StateView::reals(v),  StateView::reals(rho),
+        StateView::reals(en), StateView::reals(pr), StateView::reals(nm),
+        StateView::scalar(t)};
+  };
+  if (ctl != nullptr) {
+    const auto vw = views();
+    step = ctl->begin(vw);
+  }
+
   for (; step < cfg.max_steps && t < cfg.t_final * (1.0 - 1e-12); ++step) {
     // Artificial viscosity from the current velocity field (local).
     for (int i = 0; i < nzones; ++i) {
@@ -173,6 +193,11 @@ AppResult PennantApp::run(simmpi::Comm& comm) const {
                                         en[static_cast<std::size_t>(i)];
     }
     t += dt.value();
+
+    if (ctl != nullptr) {
+      const auto vw = views();
+      if (!ctl->boundary(comm, step, vw)) return {};
+    }
   }
 
   if (t < cfg.t_final * (1.0 - 1e-9)) {

@@ -80,6 +80,11 @@ std::string render_report(const std::string& app_label,
     os << "- large-scale validation time (not needed for prediction): "
        << study.large_injection_seconds << " s\n";
   }
+  os << "- golden cache: " << study.golden_cache_hits << " hits, "
+     << study.golden_cache_misses << " misses, " << study.golden_cache_waits
+     << " single-flight waits\n"
+     << "- checkpoint fast path: " << study.checkpoint_restores
+     << " restores, " << study.early_exits << " early exits\n";
   return os.str();
 }
 

@@ -1,5 +1,6 @@
 #include "core/study.hpp"
 
+#include <atomic>
 #include <exception>
 #include <functional>
 #include <stdexcept>
@@ -79,6 +80,15 @@ StudyResult run_study(const apps::App& app, const StudyConfig& cfg) {
   std::vector<double> sweep_seconds(out.sweep.sample_x.size(), 0.0);
   std::vector<harness::CampaignResult> small_campaign(1);
 
+  // Checkpoint fast-path statistics, accumulated across phases (which may
+  // run concurrently, hence the atomics).
+  std::atomic<std::size_t> restores{0};
+  std::atomic<std::size_t> exits{0};
+  auto count_fast_path = [&](const harness::CampaignResult& campaign) {
+    restores.fetch_add(campaign.checkpoint_restores, std::memory_order_relaxed);
+    exits.fetch_add(campaign.early_exits, std::memory_order_relaxed);
+  };
+
   // All serial sweep points, the small-scale campaign, the large-scale
   // fault-free profile, and the optional measured large-scale campaign
   // are mutually independent — they overlap through the executor.
@@ -94,6 +104,7 @@ StudyResult run_study(const apps::App& app, const StudyConfig& cfg) {
                                                 // computation (Section 3.3)
       const auto campaign = harness::CampaignRunner::run(app, dep, ctx);
       sweep_seconds[i] = campaign.wall_seconds;
+      count_fast_path(campaign);
       out.sweep.results[i] = campaign.overall;
     });
   }
@@ -103,6 +114,7 @@ StudyResult run_study(const apps::App& app, const StudyConfig& cfg) {
     harness::DeploymentConfig dep = base_deployment(cfg, 2000);
     dep.nranks = cfg.small_p;
     small_campaign[0] = harness::CampaignRunner::run(app, dep, ctx);
+    count_fast_path(small_campaign[0]);
   });
 
   // ---- large-scale fault-free profile (for prob2, Eq. 1) -----------------
@@ -123,6 +135,7 @@ StudyResult run_study(const apps::App& app, const StudyConfig& cfg) {
       dep.nranks = cfg.large_p;
       const auto campaign = harness::CampaignRunner::run(app, dep, ctx);
       out.large_injection_seconds = campaign.wall_seconds;
+      count_fast_path(campaign);
       out.measured_large = campaign.overall;
       out.measured_propagation = campaign.propagation_probabilities();
     });
@@ -142,9 +155,16 @@ StudyResult run_study(const apps::App& app, const StudyConfig& cfg) {
     dep.regions = fsefi::RegionMask::ParallelUnique;
     const auto campaign = harness::CampaignRunner::run(app, dep, ctx);
     out.small_injection_seconds += campaign.wall_seconds;
+    count_fast_path(campaign);
     popts.prob_unique = out.prob_unique;
     popts.unique_result = campaign.overall;
   }
+
+  out.golden_cache_hits = golden_cache.hits();
+  out.golden_cache_misses = golden_cache.misses();
+  out.golden_cache_waits = golden_cache.waits();
+  out.checkpoint_restores = restores.load(std::memory_order_relaxed);
+  out.early_exits = exits.load(std::memory_order_relaxed);
 
   // ---- predict ------------------------------------------------------------
   const ResiliencePredictor predictor(out.sweep, out.small, popts);

@@ -47,6 +47,15 @@ struct StudyResult {
   double small_injection_seconds = 0.0;
   double large_injection_seconds = 0.0;
 
+  /// Execution statistics of the shared golden cache and the checkpoint
+  /// fast path, summed over every campaign of the study. Cost/diagnostic
+  /// detail only — not part of the modeled results.
+  std::size_t golden_cache_hits = 0;
+  std::size_t golden_cache_misses = 0;
+  std::size_t golden_cache_waits = 0;
+  std::size_t checkpoint_restores = 0;
+  std::size_t early_exits = 0;
+
   [[nodiscard]] double predicted_success() const noexcept {
     return prediction.combined.success;
   }

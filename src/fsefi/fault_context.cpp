@@ -91,6 +91,21 @@ void FaultContext::reset() {
   recompute_countdown();
 }
 
+void FaultContext::fast_forward(const OpCountProfile& target) noexcept {
+  // profile_row_ points into profile_.counts; assigning the values in
+  // place keeps it valid.
+  profile_ = target;
+  if (!fast()) {
+    // The reference path maintains dedicated counters instead of deriving
+    // them from the profile; advance them to the same values the per-op
+    // implementation would have reached.
+    ops_total_ = target.total();
+    filtered_ops_ =
+        armed_ ? target.matching(plan_.kinds, plan_.regions) : 0;
+  }
+  recompute_countdown();
+}
+
 void FaultContext::recompute_countdown() noexcept {
   if (state_ != HotState::Reference) {
     const bool idle = op_budget_ == 0 && next_point_ >= plan_.points.size();

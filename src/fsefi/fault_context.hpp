@@ -212,6 +212,16 @@ class FaultContext {
     countdown_ -= n;
   }
 
+  /// Checkpoint fast-forward (DESIGN.md §9): bulk-adjust the counters to
+  /// `target`, an absolute per-(region, kind) profile recorded at a
+  /// fault-free boundary of the golden run. Because the fault-free prefix
+  /// of a trial is bit-identical to the golden run, jumping the counters
+  /// to the recorded values is indistinguishable from having executed the
+  /// prefix — injection-point matching and the hang-budget guard both key
+  /// off these counts. Valid only before any injection or budget throw
+  /// has occurred on this context.
+  void fast_forward(const OpCountProfile& target) noexcept;
+
   /// Called with each op's computed result; flags contamination when the
   /// corrupted execution diverges from the shadow (fault-free) execution.
   void observe_result(double primary, double shadow) noexcept {

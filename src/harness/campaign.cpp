@@ -184,6 +184,12 @@ CampaignResult CampaignRunner::run(const apps::App& app,
                            cfg.hang_budget_factor *
                            static_cast<double>(result.golden.max_rank_ops)) +
                        cfg.hang_budget_slack;
+  // Trial fast-forward (DESIGN.md §9): hand every trial the boundary
+  // checkpoints the golden pre-pass captured. Null when the kill switch
+  // was off at capture time.
+  if (checkpoint_enabled() && result.golden.checkpoints != nullptr) {
+    run_opts.checkpoints = result.golden.checkpoints.get();
+  }
 
   result.contamination_hist.assign(static_cast<std::size_t>(cfg.nranks) + 1,
                                    0);
@@ -195,6 +201,8 @@ CampaignResult CampaignRunner::run(const apps::App& app,
   struct TrialOutcome {
     Outcome outcome = Outcome::Failure;
     int contaminated = -1;
+    bool restored = false;
+    bool early_exit = false;
   };
   auto run_trial = [&](std::size_t trial) -> TrialOutcome {
     util::Xoshiro256 rng(util::derive_seed(cfg.seed, trial));
@@ -205,7 +213,8 @@ CampaignResult CampaignRunner::run(const apps::App& app,
     plans[static_cast<std::size_t>(target)] = std::move(plan);
     const RunOutput out = run_app_once(app, cfg.nranks, plans, run_opts);
     return {classify(out, result.golden.signature, app.checker_tolerance()),
-            out.contaminated_ranks()};
+            out.contaminated_ranks(), out.checkpoint_restored,
+            out.early_exit};
   };
 
   std::vector<TrialOutcome> outcomes(cfg.trials);
@@ -280,6 +289,8 @@ CampaignResult CampaignRunner::run(const apps::App& app,
       result.by_contamination[static_cast<std::size_t>(t.contaminated)].add(
           t.outcome);
     }
+    result.checkpoint_restores += t.restored ? 1 : 0;
+    result.early_exits += t.early_exit ? 1 : 0;
   }
   return result;
 }

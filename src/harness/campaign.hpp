@@ -73,6 +73,13 @@ struct CampaignResult {
   /// campaign ran in parallel, i.e. the serial-equivalent cost — the
   /// wall-clock of the serial path, and comparable across worker counts.
   double wall_seconds = 0.0;
+  /// Checkpoint fast path (DESIGN.md §9): trials that resumed from a
+  /// stored golden boundary, and trials that terminated early after
+  /// provable reconvergence. Execution statistics only — the classified
+  /// outcomes are bit-identical to a full run either way — so they are
+  /// not part of the serialized campaign schema.
+  std::size_t checkpoint_restores = 0;
+  std::size_t early_exits = 0;
 
   /// r_x (paper Eq. 3): probability that an injected error contaminates
   /// exactly x ranks, for x = 1..nranks. Returned as a vector of size

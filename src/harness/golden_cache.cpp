@@ -17,6 +17,10 @@ std::shared_ptr<const GoldenRun> GoldenCache::get_or_profile(
     if (it != entries_.end()) {
       future = it->second;
       ++hits_;
+      if (future.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        ++waits_;  // still in flight: this request blocks on the leader
+      }
     } else {
       leader = true;
       future = promise.get_future().share();
@@ -56,6 +60,11 @@ std::size_t GoldenCache::hits() const {
 std::size_t GoldenCache::misses() const {
   std::lock_guard lock(mu_);
   return misses_;
+}
+
+std::size_t GoldenCache::waits() const {
+  std::lock_guard lock(mu_);
+  return waits_;
 }
 
 }  // namespace resilience::harness

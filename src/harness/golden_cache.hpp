@@ -41,6 +41,9 @@ class GoldenCache {
   [[nodiscard]] std::size_t hits() const;
   /// Requests that had to profile.
   [[nodiscard]] std::size_t misses() const;
+  /// Hits that found the entry still in flight and had to block on the
+  /// leader's single-flight profiling run.
+  [[nodiscard]] std::size_t waits() const;
 
  private:
   using Key = std::pair<std::string, int>;
@@ -50,6 +53,7 @@ class GoldenCache {
   std::map<Key, Future> entries_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t waits_ = 0;
 };
 
 }  // namespace resilience::harness

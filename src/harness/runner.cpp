@@ -4,7 +4,34 @@
 #include <memory>
 #include <stdexcept>
 
+#include "apps/trial_control.hpp"
+
 namespace resilience::harness {
+
+namespace {
+
+/// a - b, componentwise over the (region, kind) cells.
+fsefi::OpCountProfile profile_delta(const fsefi::OpCountProfile& a,
+                                    const fsefi::OpCountProfile& b) noexcept {
+  fsefi::OpCountProfile d;
+  for (int r = 0; r < fsefi::kNumRegions; ++r) {
+    for (int k = 0; k < fsefi::kNumOpKinds; ++k) {
+      d.counts[r][k] = a.counts[r][k] - b.counts[r][k];
+    }
+  }
+  return d;
+}
+
+void add_profile(fsefi::OpCountProfile& dst,
+                 const fsefi::OpCountProfile& src) noexcept {
+  for (int r = 0; r < fsefi::kNumRegions; ++r) {
+    for (int k = 0; k < fsefi::kNumOpKinds; ++k) {
+      dst.counts[r][k] += src.counts[r][k];
+    }
+  }
+}
+
+}  // namespace
 
 RunOutput run_app_once(const apps::App& app, int nranks,
                        const std::vector<fsefi::InjectionPlan>& plans,
@@ -24,6 +51,39 @@ RunOutput run_app_once(const apps::App& app, int nranks,
     contexts.push_back(std::make_unique<fsefi::FaultContext>());
   }
 
+  // Trial controls (DESIGN.md §9): a golden capture records boundaries; an
+  // armed run with checkpoints gets fast-forward + early exit. The restore
+  // boundary is chosen once, before launch, so every rank resumes at the
+  // same iteration.
+  const bool armed = [&] {
+    for (const auto& plan : plans) {
+      if (!plan.points.empty()) return true;
+    }
+    return false;
+  }();
+  const CheckpointData* ckpt =
+      (options.checkpoints != nullptr && armed) ? options.checkpoints
+                                                : nullptr;
+  const BoundaryRecord* resume =
+      ckpt != nullptr ? select_resume(*ckpt, plans) : nullptr;
+  std::vector<std::unique_ptr<apps::TrialControl>> controls;
+  std::vector<FastForwardControl*> ff_controls;
+  if (options.capture != nullptr) {
+    options.capture->ranks.assign(static_cast<std::size_t>(nranks), {});
+    for (int r = 0; r < nranks; ++r) {
+      controls.push_back(std::make_unique<CaptureControl>(
+          options.capture->ranks[static_cast<std::size_t>(r)],
+          options.capture->budget));
+    }
+  } else if (ckpt != nullptr) {
+    for (int r = 0; r < nranks; ++r) {
+      auto ctl = std::make_unique<FastForwardControl>(
+          *ckpt, resume, r, plans[static_cast<std::size_t>(r)].points.size());
+      ff_controls.push_back(ctl.get());
+      controls.push_back(std::move(ctl));
+    }
+  }
+
   RunOutput out;
 
   simmpi::RunOptions run_opts;
@@ -37,8 +97,15 @@ RunOutput run_app_once(const apps::App& app, int nranks,
     }
     ctx.set_op_budget(options.op_budget);
     fsefi::install_context(&ctx);
+    if (!controls.empty()) {
+      apps::install_trial_control(
+          controls[static_cast<std::size_t>(rank)].get());
+    }
   };
-  run_opts.on_rank_exit = [&](int) { fsefi::install_context(nullptr); };
+  run_opts.on_rank_exit = [&](int) {
+    apps::install_trial_control(nullptr);
+    fsefi::install_context(nullptr);
+  };
 
   std::optional<apps::AppResult> rank0_result;
   out.runtime = simmpi::Runtime::run(
@@ -64,6 +131,33 @@ RunOutput run_app_once(const apps::App& app, int nranks,
     out.filtered_ops.push_back(ctx->filtered_ops());
     out.injection_events.push_back(ctx->injection_events());
   }
+
+  if (!ff_controls.empty()) {
+    out.checkpoint_restored = resume != nullptr;
+    out.resume_iteration = resume != nullptr ? resume->iter : 0;
+    out.early_exit = out.runtime.ok && ff_controls.front()->early_exit();
+  }
+  if (out.early_exit) {
+    // The run stopped at a boundary where every rank's live state
+    // bit-equals the golden run's: the tail would replay golden exactly.
+    // Synthesize its observables — the per-rank op counts the skipped
+    // tail would have added, and the golden final output.
+    const BoundaryRecord* at = ckpt->find(ff_controls.front()->exit_iter());
+    if (at == nullptr) {
+      throw std::logic_error("early exit at an unrecorded boundary");
+    }
+    for (int r = 0; r < nranks; ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      const fsefi::OpCountProfile tail =
+          profile_delta(ckpt->final_profiles[ri], at->profiles[ri]);
+      add_profile(out.profiles[ri], tail);
+      if (!plans[ri].points.empty()) {
+        out.filtered_ops[ri] +=
+            tail.matching(plans[ri].kinds, plans[ri].regions);
+      }
+    }
+    out.result = apps::AppResult{ckpt->signature, ckpt->iterations};
+  }
   return out;
 }
 
@@ -85,9 +179,15 @@ std::uint64_t GoldenRun::matching_total(fsefi::KindMask kinds,
 }
 
 GoldenRun profile_app(const apps::App& app, int nranks,
-                      std::chrono::milliseconds deadlock_timeout) {
+                      std::chrono::milliseconds deadlock_timeout,
+                      bool capture_checkpoints) {
   RunOptions opts;
   opts.deadlock_timeout = deadlock_timeout;
+  CheckpointCapture capture;
+  if (capture_checkpoints) {
+    capture.budget = checkpoint_budget();
+    opts.capture = &capture;
+  }
   RunOutput out = run_app_once(app, nranks, /*plans=*/{}, opts);
   if (!out.runtime.ok || !out.result.has_value()) {
     throw std::runtime_error("golden run of " + app.label() + " on " +
@@ -99,6 +199,14 @@ GoldenRun profile_app(const apps::App& app, int nranks,
   golden.signature = out.result->signature;
   for (const auto& prof : golden.profiles) {
     golden.max_rank_ops = std::max(golden.max_rank_ops, prof.total());
+  }
+  if (capture_checkpoints) {
+    if (auto data = assemble_checkpoints(std::move(capture))) {
+      data->signature = golden.signature;
+      data->iterations = out.result->iterations;
+      data->final_profiles = golden.profiles;
+      golden.checkpoints = std::move(data);
+    }
   }
   return golden;
 }

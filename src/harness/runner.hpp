@@ -4,14 +4,22 @@
 // on every rank thread (optionally armed with per-rank injection plans),
 // and collects what the fault injector observed: per-rank dynamic
 // operation profiles, per-rank contamination flags, and the rank-0 output.
+//
+// With golden checkpoints supplied (DESIGN.md §9), an armed run also gets
+// a FastForwardControl per rank: the app's boundary hooks let the trial
+// resume from the latest stored checkpoint before its injection and
+// terminate early once every rank reconverges to the golden run, with the
+// observable outputs synthesized to stay bit-identical to a full run.
 #pragma once
 
 #include <chrono>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "apps/app.hpp"
 #include "fsefi/fault_context.hpp"
+#include "harness/checkpoint.hpp"
 #include "simmpi/runtime.hpp"
 
 namespace resilience::harness {
@@ -21,6 +29,13 @@ struct RunOptions {
   std::uint64_t op_budget = 0;
   /// Deadlock timeout of the underlying simmpi job.
   std::chrono::milliseconds deadlock_timeout{10'000};
+  /// Golden capture: when set, every rank records per-boundary op counts,
+  /// state digests, and budgeted full-state snapshots into this sink.
+  CheckpointCapture* capture = nullptr;
+  /// Trial fast-forward: golden checkpoints of this (app, nranks)
+  /// deployment. Armed runs resume at the latest stored boundary before
+  /// their first injection and exit early after reconvergence.
+  const CheckpointData* checkpoints = nullptr;
 };
 
 struct RunOutput {
@@ -33,6 +48,12 @@ struct RunOutput {
   std::vector<std::uint64_t> filtered_ops;
   std::vector<std::vector<fsefi::InjectionEvent>> injection_events;
   bool hang = false;  ///< failure was the op-budget (hang) guard
+  /// Checkpoint fast path: whether the run resumed from a stored golden
+  /// boundary (and at which iteration), and whether it exited early with
+  /// synthesized outputs.
+  bool checkpoint_restored = false;
+  int resume_iteration = 0;
+  bool early_exit = false;
 
   /// Number of ranks whose memory or computation touched corrupted data.
   [[nodiscard]] int contaminated_ranks() const noexcept {
@@ -55,6 +76,10 @@ struct GoldenRun {
   std::vector<fsefi::OpCountProfile> profiles;  ///< per rank
   std::vector<double> signature;                ///< rank-0 output
   std::uint64_t max_rank_ops = 0;
+  /// Boundary checkpoints captured during the pre-pass (null when capture
+  /// was disabled or the app has no boundary hooks). Runtime-only: not
+  /// part of the serialized golden schema.
+  std::shared_ptr<const CheckpointData> checkpoints;
 
   /// Fraction of all dynamic operations spent in the parallel-unique
   /// region (the op-count analogue of the paper's Table 1 time fraction).
@@ -67,8 +92,10 @@ struct GoldenRun {
 
 /// Run the fault-free pre-pass; throws std::runtime_error if the golden
 /// run itself fails (an app/configuration bug, never an injected fault).
+/// `capture_checkpoints` defaults to the process-wide kill switch.
 GoldenRun profile_app(const apps::App& app, int nranks,
                       std::chrono::milliseconds deadlock_timeout =
-                          std::chrono::milliseconds{10'000});
+                          std::chrono::milliseconds{10'000},
+                      bool capture_checkpoints = checkpoint_enabled());
 
 }  // namespace resilience::harness

@@ -1,6 +1,9 @@
 #include "util/env.hpp"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace resilience::util {
 
@@ -9,9 +12,35 @@ std::int64_t env_int(const char* name, std::int64_t fallback,
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
   char* end = nullptr;
+  errno = 0;
   const long long parsed = std::strtoll(raw, &end, 10);
-  if (end == raw || *end != '\0') return fallback;
-  return parsed < min_value ? min_value : parsed;
+  if (end == raw || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr,
+                 "warning: %s: ignoring non-numeric value \"%s\", using "
+                 "default %lld\n",
+                 name, raw, static_cast<long long>(fallback));
+    return fallback;
+  }
+  if (parsed < min_value) {
+    std::fprintf(stderr,
+                 "warning: %s: value %lld is below the minimum %lld, "
+                 "clamping\n",
+                 name, parsed, static_cast<long long>(min_value));
+    return min_value;
+  }
+  return parsed;
+}
+
+bool env_flag(const char* name, bool fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  if (std::strcmp(raw, "0") == 0) return false;
+  if (std::strcmp(raw, "1") == 0) return true;
+  std::fprintf(stderr,
+               "warning: %s: ignoring invalid value \"%s\" (expected 0 or "
+               "1), using default %d\n",
+               name, raw, fallback ? 1 : 0);
+  return fallback;
 }
 
 std::string env_str(const char* name, const std::string& fallback) {

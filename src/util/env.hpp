@@ -11,10 +11,15 @@
 
 namespace resilience::util {
 
-/// Read an integer environment variable; returns `fallback` when unset or
-/// unparsable. Values are clamped to be >= `min_value`.
+/// Read an integer environment variable; returns `fallback` when unset.
+/// Non-numeric values are rejected with a warning on stderr (instead of
+/// silently defaulting); values below `min_value` warn and clamp.
 std::int64_t env_int(const char* name, std::int64_t fallback,
                      std::int64_t min_value = 1);
+
+/// Read a boolean ("0"/"1") environment variable; returns `fallback` when
+/// unset. Anything other than 0 or 1 warns on stderr and falls back.
+bool env_flag(const char* name, bool fallback);
 
 /// Read a string environment variable; returns `fallback` when unset.
 std::string env_str(const char* name, const std::string& fallback);

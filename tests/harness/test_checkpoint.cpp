@@ -1,0 +1,282 @@
+// Unit tests of the golden-checkpoint layer (DESIGN.md §9): state
+// digest/serialize/restore round trips, checkpoint-store lookup and
+// resume selection, capture budget thinning, and FaultContext counter
+// fast-forward parity (including the hang-budget throw at a restored
+// boundary) on both the countdown fast path and the reference path.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+
+#include "apps/app.hpp"
+#include "harness/checkpoint.hpp"
+#include "harness/runner.hpp"
+
+namespace resilience {
+namespace {
+
+using apps::StateView;
+using fsefi::Real;
+
+struct FastRealRestore {
+  ~FastRealRestore() { fsefi::set_fast_real_enabled(true); }
+};
+
+TEST(CheckpointState, SerializeRestoreRoundTrip) {
+  std::vector<Real> xs = {Real(1.5), Real(-2.0), Real(1e-300)};
+  double t = 3.25;
+  const auto views = std::array<StateView, 2>{StateView::reals(xs),
+                                              StateView::scalar(t)};
+  const auto digest0 = harness::digest_views(views);
+  const auto bytes = harness::serialize_views(views);
+  EXPECT_EQ(bytes.size(), xs.size() * sizeof(Real) + sizeof(double));
+
+  xs[1] = Real(7.0);
+  t = 0.0;
+  EXPECT_NE(harness::digest_views(views), digest0);
+
+  harness::restore_views(bytes, views);
+  EXPECT_EQ(harness::digest_views(views), digest0);
+  EXPECT_EQ(xs[1].value(), -2.0);
+  EXPECT_EQ(t, 3.25);
+}
+
+TEST(CheckpointState, DigestDistinguishesOrderAndSign) {
+  std::vector<Real> a = {Real(1.0), Real(2.0)};
+  std::vector<Real> b = {Real(2.0), Real(1.0)};
+  const auto va = std::array<StateView, 1>{StateView::reals(a)};
+  const auto vb = std::array<StateView, 1>{StateView::reals(b)};
+  EXPECT_NE(harness::digest_views(va), harness::digest_views(vb));
+
+  // +0 vs -0 differ bitwise, exactly as the memory-diff taint model does.
+  std::vector<Real> z1 = {Real(0.0)};
+  std::vector<Real> z2 = {Real(-0.0)};
+  const auto vz1 = std::array<StateView, 1>{StateView::reals(z1)};
+  const auto vz2 = std::array<StateView, 1>{StateView::reals(z2)};
+  EXPECT_NE(harness::digest_views(vz1), harness::digest_views(vz2));
+}
+
+TEST(CheckpointState, TaintScanAndShadowPreservingRestore) {
+  std::vector<Real> xs = {Real(1.0), Real(2.0)};
+  const auto views = std::array<StateView, 1>{StateView::reals(xs)};
+  EXPECT_FALSE(harness::views_tainted(views));
+
+  xs[0] = Real::corrupted(5.0, 1.0);
+  EXPECT_TRUE(harness::views_tainted(views));
+
+  // A snapshot keeps primaries *and* shadows, so restoring a tainted
+  // snapshot reproduces the divergence exactly.
+  const auto bytes = harness::serialize_views(views);
+  xs[0] = Real(1.0);
+  EXPECT_FALSE(harness::views_tainted(views));
+  harness::restore_views(bytes, views);
+  EXPECT_TRUE(harness::views_tainted(views));
+  EXPECT_EQ(xs[0].value(), 5.0);
+  EXPECT_EQ(xs[0].shadow(), 1.0);
+}
+
+TEST(CheckpointState, RestoreRejectsShapeMismatch) {
+  std::vector<Real> xs = {Real(1.0), Real(2.0)};
+  const auto views = std::array<StateView, 1>{StateView::reals(xs)};
+  const auto bytes = harness::serialize_views(views);
+  std::vector<Real> smaller = {Real(1.0)};
+  const auto mismatched = std::array<StateView, 1>{StateView::reals(smaller)};
+  EXPECT_THROW(harness::restore_views(bytes, mismatched), std::runtime_error);
+}
+
+harness::CheckpointData three_boundary_store() {
+  // Boundaries after iterations 0, 1, 2; filtered (AddMul/All) counts 10,
+  // 20, 30; full state stored at resume iters 1 and 3 only.
+  harness::CheckpointData data;
+  data.nranks = 1;
+  for (int i = 0; i < 3; ++i) {
+    harness::BoundaryRecord rec;
+    rec.iter = i + 1;
+    fsefi::OpCountProfile prof;
+    prof.counts[0][0] = static_cast<std::uint64_t>(10 * (i + 1));
+    rec.profiles = {prof};
+    rec.digests = {0x1234u + static_cast<std::uint64_t>(i)};
+    if (i != 1) rec.state = {{std::byte{0}}};
+    data.boundaries.push_back(std::move(rec));
+  }
+  return data;
+}
+
+TEST(CheckpointStore, FindByResumeIteration) {
+  const auto data = three_boundary_store();
+  ASSERT_NE(data.find(2), nullptr);
+  EXPECT_EQ(data.find(2)->iter, 2);
+  EXPECT_EQ(data.find(0), nullptr);
+  EXPECT_EQ(data.find(4), nullptr);
+}
+
+TEST(CheckpointStore, SelectResumePicksLatestStoredEligibleBoundary) {
+  const auto data = three_boundary_store();
+  std::vector<fsefi::InjectionPlan> plans(1);
+
+  // Injection at filtered index 25: boundary 3 (30 filtered ops) is past
+  // it, boundary 2 (20) is eligible but unstored, so boundary 1 wins.
+  plans[0].points = {{.op_index = 25, .operand = 0, .bit = 1}};
+  const auto* rec = harness::select_resume(data, plans);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->iter, 1);
+
+  // Injection at 35: every boundary is in the fault-free prefix.
+  plans[0].points[0].op_index = 35;
+  rec = harness::select_resume(data, plans);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->iter, 3);
+
+  // Injection at 5: it fires before the first boundary completes.
+  plans[0].points[0].op_index = 5;
+  EXPECT_EQ(harness::select_resume(data, plans), nullptr);
+
+  // A boundary is eligible only if *every* armed rank clears it.
+  harness::CheckpointData two = three_boundary_store();
+  two.nranks = 2;
+  for (auto& b : two.boundaries) {
+    b.profiles.push_back(b.profiles[0]);
+    b.digests.push_back(b.digests[0]);
+    if (b.stored()) b.state.push_back(b.state[0]);
+  }
+  std::vector<fsefi::InjectionPlan> two_plans(2);
+  two_plans[0].points = {{.op_index = 35, .operand = 0, .bit = 1}};
+  two_plans[1].points = {{.op_index = 12, .operand = 0, .bit = 1}};
+  rec = harness::select_resume(two, two_plans);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->iter, 1);
+}
+
+TEST(CheckpointCaptureTest, BudgetThinningKeepsStridedSubset) {
+  const auto app = apps::make_app(apps::AppId::CG);
+  harness::CheckpointCapture cap;
+  cap.budget = 2;
+  harness::RunOptions opts;
+  opts.capture = &cap;
+  const std::vector<fsefi::InjectionPlan> plans(2);
+  const auto out = harness::run_app_once(*app, 2, plans, opts);
+  ASSERT_TRUE(out.runtime.ok);
+
+  const auto data = harness::assemble_checkpoints(std::move(cap));
+  ASSERT_NE(data, nullptr);
+  ASSERT_FALSE(data->boundaries.empty());
+
+  // Every boundary keeps profiles + digests; at most `budget` keep state,
+  // and the kept resume iterations are multiples of one power-of-two
+  // stride (the deterministic thinning rule).
+  std::size_t stored = 0;
+  int min_stored_iter = 0;
+  for (std::size_t i = 0; i < data->boundaries.size(); ++i) {
+    const auto& rec = data->boundaries[i];
+    EXPECT_EQ(rec.iter, static_cast<int>(i) + 1);
+    EXPECT_EQ(rec.profiles.size(), 2u);
+    EXPECT_EQ(rec.digests.size(), 2u);
+    if (rec.stored()) {
+      ++stored;
+      if (min_stored_iter == 0 || rec.iter < min_stored_iter) {
+        min_stored_iter = rec.iter;
+      }
+    }
+  }
+  EXPECT_GE(stored, 1u);
+  EXPECT_LE(stored, cap.budget);
+  for (const auto& rec : data->boundaries) {
+    if (rec.stored()) EXPECT_EQ(rec.iter % min_stored_iter, 0);
+  }
+
+  // Profiles are the golden run's absolute counts: strictly increasing.
+  for (std::size_t i = 1; i < data->boundaries.size(); ++i) {
+    EXPECT_GT(data->boundaries[i].profiles[0].total(),
+              data->boundaries[i - 1].profiles[0].total());
+  }
+}
+
+TEST(CheckpointCaptureTest, AssembleRejectsDisagreeingRanks) {
+  harness::CheckpointCapture cap;
+  cap.ranks.resize(2);
+  cap.ranks[0].push_back({.iter = 1});
+  cap.ranks[1].push_back({.iter = 2});
+  EXPECT_THROW(harness::assemble_checkpoints(std::move(cap)),
+               std::runtime_error);
+}
+
+/// 2 instrumented ops (Mul + Add) per call, identical on every run.
+Real advance(Real a) { return a * Real(1.0000001) + Real(0.5); }
+
+TEST(FaultContextFastForward, CountersInjectionsAndBudgetMatchFullRun) {
+  FastRealRestore restore;
+  for (const bool fast : {true, false}) {
+    fsefi::set_fast_real_enabled(fast);
+
+    fsefi::InjectionPlan plan;
+    plan.kinds = fsefi::KindMask::All;
+    plan.points = {{.op_index = 150, .operand = 0, .bit = 40}};
+
+    // Golden pass: unarmed, snapshot state + profile at the boundary
+    // after 50 calls (100 ops).
+    fsefi::FaultContext golden;
+    golden.reset();
+    Real g(1.0);
+    {
+      fsefi::ContextGuard guard(&golden);
+      for (int i = 0; i < 50; ++i) g = advance(g);
+    }
+    const Real snapshot = g;
+    const fsefi::OpCountProfile at_boundary = golden.profile();
+    EXPECT_EQ(at_boundary.total(), 100u);
+
+    // Full armed run: 100 calls (200 ops), injection fires at op 150.
+    fsefi::FaultContext full;
+    full.arm(plan);
+    Real a(1.0);
+    {
+      fsefi::ContextGuard guard(&full);
+      for (int i = 0; i < 100; ++i) a = advance(a);
+    }
+    ASSERT_EQ(full.injections_done(), 1u);
+
+    // Fast-forwarded run: restore the snapshot, jump the counters, run
+    // only the remaining 50 calls.
+    fsefi::FaultContext ff;
+    ff.arm(plan);
+    ff.fast_forward(at_boundary);
+    Real b = snapshot;
+    {
+      fsefi::ContextGuard guard(&ff);
+      for (int i = 0; i < 50; ++i) b = advance(b);
+    }
+
+    EXPECT_EQ(ff.ops_total(), full.ops_total()) << "fast=" << fast;
+    EXPECT_EQ(ff.filtered_ops(), full.filtered_ops()) << "fast=" << fast;
+    EXPECT_EQ(ff.profile(), full.profile()) << "fast=" << fast;
+    ASSERT_EQ(ff.injections_done(), 1u) << "fast=" << fast;
+    EXPECT_EQ(ff.injection_events(), full.injection_events())
+        << "fast=" << fast;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(b.value()),
+              std::bit_cast<std::uint64_t>(a.value()))
+        << "fast=" << fast;
+
+    // Hang-budget parity: with a budget between the restored boundary and
+    // the end, both runs throw at the same absolute op count.
+    auto run_budget = [&](bool forwarded) {
+      fsefi::FaultContext ctx;
+      ctx.arm(plan);
+      if (forwarded) ctx.fast_forward(at_boundary);
+      ctx.set_op_budget(160);
+      Real v = forwarded ? snapshot : Real(1.0);
+      std::uint64_t at_throw = 0;
+      fsefi::ContextGuard guard(&ctx);
+      try {
+        for (int i = 0; i < 100; ++i) v = advance(v);
+        ADD_FAILURE() << "budget did not throw (fast=" << fast << ")";
+      } catch (const fsefi::HangBudgetExceeded&) {
+        at_throw = ctx.ops_total();
+      }
+      return at_throw;
+    };
+    EXPECT_EQ(run_budget(true), run_budget(false)) << "fast=" << fast;
+  }
+}
+
+}  // namespace
+}  // namespace resilience

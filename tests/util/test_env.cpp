@@ -26,10 +26,56 @@ TEST(EnvInt, RejectsGarbage) {
   ::unsetenv("RESILIENCE_TEST_BAD");
 }
 
+TEST(EnvInt, WarnsOnGarbage) {
+  ::setenv("RESILIENCE_TEST_BAD", "threads=4", 1);
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(env_int("RESILIENCE_TEST_BAD", 42), 42);
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("warning"), std::string::npos);
+  EXPECT_NE(err.find("RESILIENCE_TEST_BAD"), std::string::npos);
+  EXPECT_NE(err.find("threads=4"), std::string::npos);
+  ::unsetenv("RESILIENCE_TEST_BAD");
+}
+
+TEST(EnvInt, WarnsOnOutOfRangeValue) {
+  // Far beyond the int64 range: strtoll reports ERANGE, and the value is
+  // rejected rather than silently saturated.
+  ::setenv("RESILIENCE_TEST_HUGE", "99999999999999999999999999", 1);
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(env_int("RESILIENCE_TEST_HUGE", 7), 7);
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("warning"), std::string::npos);
+  ::unsetenv("RESILIENCE_TEST_HUGE");
+}
+
 TEST(EnvInt, ClampsToMinimum) {
   ::setenv("RESILIENCE_TEST_MIN", "0", 1);
+  ::testing::internal::CaptureStderr();
   EXPECT_EQ(env_int("RESILIENCE_TEST_MIN", 42, 10), 10);
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("below the minimum"), std::string::npos);
   ::unsetenv("RESILIENCE_TEST_MIN");
+}
+
+TEST(EnvFlag, ParsesZeroAndOne) {
+  ::unsetenv("RESILIENCE_TEST_FLAG");
+  EXPECT_TRUE(env_flag("RESILIENCE_TEST_FLAG", true));
+  EXPECT_FALSE(env_flag("RESILIENCE_TEST_FLAG", false));
+  ::setenv("RESILIENCE_TEST_FLAG", "0", 1);
+  EXPECT_FALSE(env_flag("RESILIENCE_TEST_FLAG", true));
+  ::setenv("RESILIENCE_TEST_FLAG", "1", 1);
+  EXPECT_TRUE(env_flag("RESILIENCE_TEST_FLAG", false));
+  ::unsetenv("RESILIENCE_TEST_FLAG");
+}
+
+TEST(EnvFlag, WarnsOnInvalidValue) {
+  ::setenv("RESILIENCE_TEST_FLAG", "yes", 1);
+  ::testing::internal::CaptureStderr();
+  EXPECT_TRUE(env_flag("RESILIENCE_TEST_FLAG", true));
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("warning"), std::string::npos);
+  EXPECT_NE(err.find("expected 0 or 1"), std::string::npos);
+  ::unsetenv("RESILIENCE_TEST_FLAG");
 }
 
 TEST(EnvStr, FallbackAndValue) {

@@ -27,6 +27,14 @@ Output:
                                  - blocked_dot_speedup.{unarmed,armed}:
                                    blocked local_dot vs the reference
                                    per-op path (bar: >= 5x)
+                                 - checkpoint_speedup.<app.mix|late_mix>:
+                                   campaign wall time with the golden-
+                                   checkpoint fast path off vs on;
+                                   late_mix pools the late-injection legs
+                                   of all apps (bar: >= 2x)
+                                 - early_exit_rate.<app.mix|late_mix>:
+                                   fraction of trials pruned by the
+                                   early-exit equivalence test
 
 Usage: tools/merge_bench.py [--dir DIR] [--out BENCH_substrate.json]
 Missing inputs are skipped with a warning so partial runs still merge.
@@ -107,6 +115,30 @@ def derive_micro_metrics(micro):
     return metrics
 
 
+def derive_checkpoint_metrics(intro):
+    """Headline ratios of the golden-checkpoint fast path legs."""
+    speedup = {}
+    early_rate = {}
+    late_on = late_off = 0.0
+    late_trials = late_exits = 0
+    for leg in intro.get("checkpoint", []):
+        key = f"{leg['app']}.{leg['mix']}"
+        if leg.get("on_wall_seconds"):
+            speedup[key] = leg["off_wall_seconds"] / leg["on_wall_seconds"]
+        if leg.get("trials"):
+            early_rate[key] = leg["early_exits"] / leg["trials"]
+        if leg.get("mix") == "late":
+            late_on += leg.get("on_wall_seconds", 0.0)
+            late_off += leg.get("off_wall_seconds", 0.0)
+            late_trials += leg.get("trials", 0)
+            late_exits += leg.get("early_exits", 0)
+    if late_on > 0:
+        speedup["late_mix"] = late_off / late_on
+    if late_trials:
+        early_rate["late_mix"] = late_exits / late_trials
+    return {"checkpoint_speedup": speedup, "early_exit_rate": early_rate}
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--dir", default=".",
@@ -127,6 +159,8 @@ def main():
     intro = load(base / "BENCH_intro_overhead.json")
     if intro is not None:
         merged["intro_overhead"] = intro
+        merged.setdefault("metrics", {}).update(
+            derive_checkpoint_metrics(intro))
 
     out_path = base / args.out
     with out_path.open("w") as f:
@@ -142,6 +176,10 @@ def main():
         print(f"  Real scalar fast-path speedup ({label}): {ratio:.2f}x")
     for label, ratio in metrics.get("blocked_dot_speedup", {}).items():
         print(f"  blocked dot fast-path speedup ({label}): {ratio:.2f}x")
+    for label, ratio in sorted(metrics.get("checkpoint_speedup", {}).items()):
+        rate = metrics.get("early_exit_rate", {}).get(label)
+        rate_str = f", early-exit rate {rate:.0%}" if rate is not None else ""
+        print(f"  checkpoint speedup ({label}): {ratio:.2f}x{rate_str}")
     return 0
 
 

@@ -145,6 +145,8 @@ int cmd_campaign(Args& args) {
     }
   }
   std::cout << "\nfault-injection time: " << campaign.wall_seconds << " s\n";
+  std::cout << "checkpoint fast path: " << campaign.checkpoint_restores
+            << " restores, " << campaign.early_exits << " early exits\n";
   return 0;
 }
 
@@ -184,6 +186,11 @@ int cmd_predict(Args& args) {
   std::cout << "\nfine-tuned: " << (study.prediction.fine_tuned ? "yes" : "no")
             << "; parallel-unique fraction: "
             << util::TablePrinter::pct(study.prob_unique, 2) << "\n";
+  std::cout << "golden cache: " << study.golden_cache_hits << " hits, "
+            << study.golden_cache_misses << " misses, "
+            << study.golden_cache_waits << " waits; checkpoint fast path: "
+            << study.checkpoint_restores << " restores, " << study.early_exits
+            << " early exits\n";
   if (ci_resamples > 0) {
     // Resampled over the common-computation model inputs (sweep + small
     // scale); the unique term contributes little to the variance.
