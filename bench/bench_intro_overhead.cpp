@@ -77,10 +77,8 @@ int main() {
     dep_json["dynamic_fp_ops"] = util::Json(total_ops);
     dep_json["messages_per_run"] = util::Json(probe.runtime.messages_sent);
     dep_json["bytes_per_run"] = util::Json(probe.runtime.bytes_sent);
-    dep_json["buffer_allocs_per_run"] =
-        util::Json(probe.runtime.buffer_allocs);
-    dep_json["buffer_reuses_per_run"] =
-        util::Json(probe.runtime.buffer_reuses);
+    dep_json["buffer_allocs_per_run"] = util::Json(probe.runtime.pool_allocs);
+    dep_json["buffer_reuses_per_run"] = util::Json(probe.runtime.pool_reuses);
     dep_json["fi_wall_seconds"] = util::Json(campaign.wall_seconds);
     deployments.push_back(util::Json(std::move(dep_json)));
   }

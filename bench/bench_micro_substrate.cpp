@@ -15,6 +15,7 @@
 #include "simmpi/rank_team.hpp"
 #include "simmpi/rendezvous.hpp"
 #include "simmpi/runtime.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -75,6 +76,55 @@ void BM_RealAxpyArmedPlan(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
 }
 BENCHMARK(BM_RealAxpyArmedPlan)->Repetitions(9);
+
+// ---- telemetry overhead (DESIGN.md §10) ------------------------------------
+// Telemetry must cost one branch when disabled: the TelemetryOff leg pins
+// set_metrics_enabled(false) around the default unarmed axpy, and
+// merge_bench.py derives telemetry_overhead.disabled = TelemetryOff /
+// UnderContext (acceptance bar <= 1.05). The Scoped leg arms a
+// never-firing plan under a live metric scope, so every countdown refill
+// pays an enabled count() — the heaviest per-op-stream telemetry cost a
+// campaign trial sees.
+
+/// Scoped override of the metrics switch; restores the default on exit.
+struct MetricsMode {
+  explicit MetricsMode(bool enabled) {
+    resilience::telemetry::set_metrics_enabled(enabled);
+  }
+  ~MetricsMode() { resilience::telemetry::set_metrics_enabled(true); }
+};
+
+void BM_RealAxpyTelemetryOff(benchmark::State& state) {
+  const std::size_t n = 1024;  // L1-resident: measures instrumentation, not cache
+  std::vector<Real> x(n, Real(1.5)), y(n, Real(0.5));
+  MetricsMode mode(false);
+  FaultContext ctx;
+  ContextGuard guard(&ctx);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) y[i] += Real(1.000001) * x[i];
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_RealAxpyTelemetryOff)->Repetitions(9);
+
+void BM_RealAxpyTelemetryScoped(benchmark::State& state) {
+  const std::size_t n = 1024;  // L1-resident: measures instrumentation, not cache
+  std::vector<Real> x(n, Real(1.5)), y(n, Real(0.5));
+  resilience::telemetry::MetricScope scope;
+  resilience::telemetry::ScopeGuard scope_guard(&scope);
+  FaultContext ctx;
+  resilience::fsefi::InjectionPlan plan;
+  plan.points = {{.op_index = ~0ULL, .operand = 0, .bit = 0}};  // never fires
+  ctx.arm(std::move(plan));
+  ContextGuard guard(&ctx);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) y[i] += Real(1.000001) * x[i];
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_RealAxpyTelemetryScoped)->Repetitions(9);
 
 // ---- instrumented-arithmetic fast path (DESIGN.md §8) ----------------------
 // The per-op legs above run in the production configuration (countdown
@@ -315,7 +365,7 @@ void BM_PingPong(benchmark::State& state) {
         }
       }
     });
-    allocs += result.buffer_allocs;
+    allocs += result.pool_allocs;
     messages += result.messages_sent;
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 32 *

@@ -9,9 +9,7 @@
 // 4-rank executions.
 #include <iostream>
 
-#include "apps/kernels.hpp"
-#include "core/study.hpp"
-#include "util/table.hpp"
+#include "resilience.hpp"
 
 namespace {
 

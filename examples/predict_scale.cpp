@@ -10,8 +10,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/study.hpp"
-#include "util/table.hpp"
+#include "resilience.hpp"
 
 int main(int argc, char** argv) {
   using namespace resilience;

@@ -10,9 +10,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "harness/campaign.hpp"
-#include "util/stats.hpp"
-#include "util/table.hpp"
+#include "resilience.hpp"
 
 int main(int argc, char** argv) {
   using namespace resilience;

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "telemetry/telemetry.hpp"
 #include "util/table.hpp"
 
 namespace resilience::core {
@@ -80,11 +81,35 @@ std::string render_report(const std::string& app_label,
     os << "- large-scale validation time (not needed for prediction): "
        << study.large_injection_seconds << " s\n";
   }
-  os << "- golden cache: " << study.golden_cache_hits << " hits, "
-     << study.golden_cache_misses << " misses, " << study.golden_cache_waits
+  using telemetry::Counter;
+  const auto& metrics = study.metrics;
+  os << "- golden cache: " << metrics.value(Counter::HarnessGoldenHits)
+     << " hits, " << metrics.value(Counter::HarnessGoldenMisses)
+     << " misses, " << metrics.value(Counter::HarnessGoldenWaits)
      << " single-flight waits\n"
-     << "- checkpoint fast path: " << study.checkpoint_restores
-     << " restores, " << study.early_exits << " early exits\n";
+     << "- checkpoint fast path: "
+     << metrics.value(Counter::HarnessCheckpointRestores) << " restores, "
+     << metrics.value(Counter::HarnessEarlyExits) << " early exits\n";
+
+  // Execution diagnostics from the study's metric scope (DESIGN.md §10).
+  // Cost/diagnostic detail only: none of it feeds the model.
+  if (!metrics.empty()) {
+    os << "\n## Telemetry\n\n| counter | value |\n|---|---|\n";
+    for (std::size_t i = 0; i < telemetry::kCounterCount; ++i) {
+      const auto c = static_cast<Counter>(i);
+      if (metrics.value(c) == 0) continue;
+      os << "| " << telemetry::name(c) << " | " << metrics.value(c) << " |\n";
+    }
+    const auto& ops = metrics.histogram(telemetry::Histogram::HarnessTrialOps);
+    if (ops.total() > 0) {
+      os << "\ntrial op-count distribution (log2 buckets):\n\n"
+         << "| bucket | trials |\n|---|---|\n";
+      for (std::size_t b = 0; b < telemetry::kHistogramBuckets; ++b) {
+        if (ops.buckets[b] == 0) continue;
+        os << "| 2^" << b << " | " << ops.buckets[b] << " |\n";
+      }
+    }
+  }
   return os.str();
 }
 

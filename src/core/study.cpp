@@ -1,6 +1,5 @@
 #include "core/study.hpp"
 
-#include <atomic>
 #include <exception>
 #include <functional>
 #include <stdexcept>
@@ -9,6 +8,7 @@
 
 #include "harness/executor.hpp"
 #include "harness/golden_cache.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 
 namespace resilience::core {
@@ -69,25 +69,35 @@ StudyResult run_study(const apps::App& app, const StudyConfig& cfg) {
 
   // One executor (global rank-concurrency budget) and one golden cache
   // across every campaign of the study: no deployment is profiled twice,
-  // and all phases' trials share the hardware fairly.
+  // and all phases' trials share the hardware fairly. The study's metric
+  // scope is the rollup target of every campaign scope below.
+  telemetry::MetricScope metrics;
+  telemetry::TraceSpan study_span("core", "study");
   harness::Executor executor(cfg.max_workers);
   harness::GoldenCache golden_cache;
-  const harness::CampaignContext ctx{&executor, &golden_cache};
+  const harness::CampaignContext ctx{&executor, &golden_cache, &metrics};
+  {
+    telemetry::ScopeGuard guard(&metrics);
+    telemetry::count(telemetry::Counter::CoreStudies);
+  }
+
+  /// Each phase body runs with the study scope active on its thread (for
+  /// counts outside any campaign, e.g. direct golden-cache probes) and a
+  /// span covering the phase.
+  auto as_phase = [&metrics](const char* name, std::function<void()> body) {
+    return [&metrics, name, body = std::move(body)] {
+      telemetry::ScopeGuard guard(&metrics);
+      telemetry::TraceSpan span("core", name);
+      telemetry::count(telemetry::Counter::CoreStudyPhases);
+      body();
+    };
+  };
 
   out.sweep.large_p = cfg.large_p;
   out.sweep.sample_x = SerialSweep::sample_points(cfg.large_p, cfg.small_p);
   out.sweep.results.resize(out.sweep.sample_x.size());
   std::vector<double> sweep_seconds(out.sweep.sample_x.size(), 0.0);
   std::vector<harness::CampaignResult> small_campaign(1);
-
-  // Checkpoint fast-path statistics, accumulated across phases (which may
-  // run concurrently, hence the atomics).
-  std::atomic<std::size_t> restores{0};
-  std::atomic<std::size_t> exits{0};
-  auto count_fast_path = [&](const harness::CampaignResult& campaign) {
-    restores.fetch_add(campaign.checkpoint_restores, std::memory_order_relaxed);
-    exits.fetch_add(campaign.early_exits, std::memory_order_relaxed);
-  };
 
   // All serial sweep points, the small-scale campaign, the large-scale
   // fault-free profile, and the optional measured large-scale campaign
@@ -96,7 +106,7 @@ StudyResult run_study(const apps::App& app, const StudyConfig& cfg) {
 
   // ---- serial sweeps: FI_ser_x at the paper's sample points --------------
   for (std::size_t i = 0; i < out.sweep.sample_x.size(); ++i) {
-    phases.push_back([&, i] {
+    phases.push_back(as_phase("serial_sweep", [&, i] {
       harness::DeploymentConfig dep = base_deployment(cfg, 1000 + i);
       dep.nranks = 1;
       dep.errors_per_test = out.sweep.sample_x[i];
@@ -104,41 +114,38 @@ StudyResult run_study(const apps::App& app, const StudyConfig& cfg) {
                                                 // computation (Section 3.3)
       const auto campaign = harness::CampaignRunner::run(app, dep, ctx);
       sweep_seconds[i] = campaign.wall_seconds;
-      count_fast_path(campaign);
       out.sweep.results[i] = campaign.overall;
-    });
+    }));
   }
 
   // ---- small-scale campaign: propagation + conditional results -----------
-  phases.push_back([&] {
+  phases.push_back(as_phase("small_campaign", [&] {
     harness::DeploymentConfig dep = base_deployment(cfg, 2000);
     dep.nranks = cfg.small_p;
     small_campaign[0] = harness::CampaignRunner::run(app, dep, ctx);
-    count_fast_path(small_campaign[0]);
-  });
+  }));
 
   // ---- large-scale fault-free profile (for prob2, Eq. 1) -----------------
   // The paper assumes the large scale's time split is known/predictable;
   // one fault-free profile supplies it. The cache keeps it for the
   // measured campaign too.
-  phases.push_back([&] {
+  phases.push_back(as_phase("large_profile", [&] {
     out.prob_unique =
         golden_cache
             .get_or_profile(app, cfg.large_p, cfg.deadlock_timeout, &executor)
             ->unique_fraction();
-  });
+  }));
 
   // ---- optional measured large-scale campaign ----------------------------
   if (cfg.measure_large) {
-    phases.push_back([&] {
+    phases.push_back(as_phase("large_campaign", [&] {
       harness::DeploymentConfig dep = base_deployment(cfg, 4000);
       dep.nranks = cfg.large_p;
       const auto campaign = harness::CampaignRunner::run(app, dep, ctx);
       out.large_injection_seconds = campaign.wall_seconds;
-      count_fast_path(campaign);
       out.measured_large = campaign.overall;
       out.measured_propagation = campaign.propagation_probabilities();
-    });
+    }));
   }
 
   run_phases(phases, /*overlap=*/executor.workers() > 1);
@@ -150,21 +157,20 @@ StudyResult run_study(const apps::App& app, const StudyConfig& cfg) {
   // ---- parallel-unique term (Eq. 1) --------------------------------------
   PredictorOptions popts = cfg.predictor;
   if (out.prob_unique > cfg.unique_fraction_threshold) {
-    harness::DeploymentConfig dep = base_deployment(cfg, 3000);
-    dep.nranks = cfg.small_p;
-    dep.regions = fsefi::RegionMask::ParallelUnique;
-    const auto campaign = harness::CampaignRunner::run(app, dep, ctx);
-    out.small_injection_seconds += campaign.wall_seconds;
-    count_fast_path(campaign);
-    popts.prob_unique = out.prob_unique;
-    popts.unique_result = campaign.overall;
+    as_phase("unique_campaign", [&] {
+      harness::DeploymentConfig dep = base_deployment(cfg, 3000);
+      dep.nranks = cfg.small_p;
+      dep.regions = fsefi::RegionMask::ParallelUnique;
+      const auto campaign = harness::CampaignRunner::run(app, dep, ctx);
+      out.small_injection_seconds += campaign.wall_seconds;
+      popts.prob_unique = out.prob_unique;
+      popts.unique_result = campaign.overall;
+    })();
   }
 
-  out.golden_cache_hits = golden_cache.hits();
-  out.golden_cache_misses = golden_cache.misses();
-  out.golden_cache_waits = golden_cache.waits();
-  out.checkpoint_restores = restores.load(std::memory_order_relaxed);
-  out.early_exits = exits.load(std::memory_order_relaxed);
+  // Every campaign scope has folded its totals into the study scope by
+  // now (campaigns end before their phase returns).
+  out.metrics = metrics.snapshot();
 
   // ---- predict ------------------------------------------------------------
   const ResiliencePredictor predictor(out.sweep, out.small, popts);

@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "core/model.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace resilience::core {
 
@@ -47,14 +48,37 @@ struct StudyResult {
   double small_injection_seconds = 0.0;
   double large_injection_seconds = 0.0;
 
-  /// Execution statistics of the shared golden cache and the checkpoint
-  /// fast path, summed over every campaign of the study. Cost/diagnostic
-  /// detail only — not part of the modeled results.
-  std::size_t golden_cache_hits = 0;
-  std::size_t golden_cache_misses = 0;
-  std::size_t golden_cache_waits = 0;
-  std::size_t checkpoint_restores = 0;
-  std::size_t early_exits = 0;
+  /// Execution-diagnostic counters and histograms of everything the
+  /// study ran, rolled up from every campaign's metric scope (DESIGN.md
+  /// §10). Cost/diagnostic detail only — not part of the modeled results
+  /// and excluded from serialization.
+  telemetry::MetricsSnapshot metrics;
+
+  [[deprecated("read metrics.value(Counter::HarnessGoldenHits)")]]
+  [[nodiscard]] std::size_t golden_cache_hits() const noexcept {
+    return static_cast<std::size_t>(
+        metrics.value(telemetry::Counter::HarnessGoldenHits));
+  }
+  [[deprecated("read metrics.value(Counter::HarnessGoldenMisses)")]]
+  [[nodiscard]] std::size_t golden_cache_misses() const noexcept {
+    return static_cast<std::size_t>(
+        metrics.value(telemetry::Counter::HarnessGoldenMisses));
+  }
+  [[deprecated("read metrics.value(Counter::HarnessGoldenWaits)")]]
+  [[nodiscard]] std::size_t golden_cache_waits() const noexcept {
+    return static_cast<std::size_t>(
+        metrics.value(telemetry::Counter::HarnessGoldenWaits));
+  }
+  [[deprecated("read metrics.value(Counter::HarnessCheckpointRestores)")]]
+  [[nodiscard]] std::size_t checkpoint_restores() const noexcept {
+    return static_cast<std::size_t>(
+        metrics.value(telemetry::Counter::HarnessCheckpointRestores));
+  }
+  [[deprecated("read metrics.value(Counter::HarnessEarlyExits)")]]
+  [[nodiscard]] std::size_t early_exits() const noexcept {
+    return static_cast<std::size_t>(
+        metrics.value(telemetry::Counter::HarnessEarlyExits));
+  }
 
   [[nodiscard]] double predicted_success() const noexcept {
     return prediction.combined.success;

@@ -3,28 +3,24 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
-#include <cstdlib>
-#include <cstring>
+
+#include "telemetry/telemetry.hpp"
+#include "util/options.hpp"
 
 namespace resilience::fsefi {
 
 namespace {
 
-// -1 = follow the environment, 0 = forced off, 1 = forced on.
+// -1 = follow RuntimeOptions, 0 = forced off, 1 = forced on.
 std::atomic<int> g_fast_real_override{-1};
-
-bool fast_real_env_default() {
-  const char* value = std::getenv("RESILIENCE_FAST_REAL");
-  return value == nullptr || std::strcmp(value, "0") != 0;
-}
 
 }  // namespace
 
 bool fast_real_enabled() noexcept {
   const int forced = g_fast_real_override.load(std::memory_order_relaxed);
   if (forced >= 0) return forced != 0;
-  static const bool from_env = fast_real_env_default();
-  return from_env;
+  static const bool from_options = util::RuntimeOptions::global().fast_real;
+  return from_options;
 }
 
 void set_fast_real_enabled(bool enabled) noexcept {
@@ -72,6 +68,20 @@ void FaultContext::arm(InjectionPlan plan) {
   armed_ = true;
   filter_word_ = filter_word(plan_.kinds, plan_.regions);
   recompute_countdown();
+  // Which dispatch path this armed context will take — the arm-time state
+  // is logical (a function of plan + kill switch), unlike transient
+  // FastIdle<->FastLive flips during the run.
+  switch (state_) {
+    case HotState::FastIdle:
+      telemetry::count(telemetry::Counter::FsefiDispatchFastIdle);
+      break;
+    case HotState::FastLive:
+      telemetry::count(telemetry::Counter::FsefiDispatchFastLive);
+      break;
+    case HotState::Reference:
+      telemetry::count(telemetry::Counter::FsefiDispatchReference);
+      break;
+  }
 }
 
 void FaultContext::reset() {
@@ -132,12 +142,14 @@ void FaultContext::recompute_countdown() noexcept {
 }
 
 void FaultContext::on_event(OpKind kind, double& a, double& b) {
+  telemetry::count(telemetry::Counter::FsefiCountdownRefills);
   if (op_budget_ != 0 && ops_total() > op_budget_) {
     // The reference path throws before filter accounting: if this op
     // matched, the derived filtered count must exclude it. Leave a live
     // countdown so catch-and-continue keeps throwing.
     filtered_bias_ += (filter_word_ >> filter_bit(region_, kind)) & 1u;
     countdown_ = 1;
+    telemetry::count(telemetry::Counter::FsefiBudgetThrows);
     throw HangBudgetExceeded();
   }
   if (((filter_word_ >> filter_bit(region_, kind)) & 1u) != 0) {
@@ -152,6 +164,8 @@ void FaultContext::on_event(OpKind kind, double& a, double& b) {
                          pt.width, before, target});
       ++next_point_;
       mark_contaminated();
+      telemetry::count(telemetry::Counter::FsefiInjections);
+      telemetry::trace_instant("fsefi", "injection", "op", ops_total());
     }
   }
   recompute_countdown();
@@ -160,6 +174,7 @@ void FaultContext::on_event(OpKind kind, double& a, double& b) {
 void FaultContext::reference_on_op(OpKind kind, double& a, double& b) {
   ++ops_total_;
   if (op_budget_ != 0 && ops_total_ > op_budget_) {
+    telemetry::count(telemetry::Counter::FsefiBudgetThrows);
     throw HangBudgetExceeded();
   }
   if (armed_ && contains(plan_.kinds, kind) &&
@@ -175,6 +190,8 @@ void FaultContext::reference_on_op(OpKind kind, double& a, double& b) {
                          pt.width, before, target});
       ++next_point_;
       mark_contaminated();
+      telemetry::count(telemetry::Counter::FsefiInjections);
+      telemetry::trace_instant("fsefi", "injection", "op", ops_total_);
     }
   }
 }

@@ -156,13 +156,25 @@ CampaignResult CampaignRunner::run(const apps::App& app,
   if (cfg.errors_per_test < 1) {
     throw std::invalid_argument("errors_per_test must be >= 1");
   }
+  // The campaign's accounting domain. Every count below — whether from
+  // this thread, an executor worker running a trial chunk, or a rank
+  // thread inside a job — lands here; totals roll up into the study's
+  // scope (if any) when this scope dies.
+  telemetry::MetricScope metrics(context.metrics_parent);
+  telemetry::TraceSpan span("harness", "campaign", "trials", cfg.trials);
+
   CampaignResult result;
   result.config = cfg;
-  if (context.golden_cache != nullptr) {
-    result.golden = *context.golden_cache->get_or_profile(
-        app, cfg.nranks, cfg.deadlock_timeout, context.executor);
-  } else {
-    result.golden = profile_app(app, cfg.nranks, cfg.deadlock_timeout);
+  {
+    telemetry::ScopeGuard guard(&metrics);
+    telemetry::count(telemetry::Counter::HarnessCampaigns);
+    if (context.golden_cache != nullptr) {
+      result.golden = *context.golden_cache->get_or_profile(
+          app, cfg.nranks, cfg.deadlock_timeout, context.executor);
+    } else {
+      result.golden = profile_app(app, cfg.nranks, cfg.deadlock_timeout);
+      telemetry::count(telemetry::Counter::HarnessGoldenProfiles);
+    }
   }
 
   std::vector<std::uint64_t> rank_ops;
@@ -201,10 +213,13 @@ CampaignResult CampaignRunner::run(const apps::App& app,
   struct TrialOutcome {
     Outcome outcome = Outcome::Failure;
     int contaminated = -1;
-    bool restored = false;
-    bool early_exit = false;
   };
   auto run_trial = [&](std::size_t trial) -> TrialOutcome {
+    // Per-trial scope push: the calling thread may be this function's
+    // thread (inline path) or an executor worker (chunked path); either
+    // way the trial's counts must land in this campaign's scope.
+    telemetry::ScopeGuard guard(&metrics);
+    telemetry::TraceSpan trial_span("harness", "trial", "index", trial);
     util::Xoshiro256 rng(util::derive_seed(cfg.seed, trial));
     auto [target, plan] =
         draw_plan(cfg, result.golden, rank_ops, total_ops, rng);
@@ -212,9 +227,38 @@ CampaignResult CampaignRunner::run(const apps::App& app,
         static_cast<std::size_t>(cfg.nranks));
     plans[static_cast<std::size_t>(target)] = std::move(plan);
     const RunOutput out = run_app_once(app, cfg.nranks, plans, run_opts);
+    telemetry::count(telemetry::Counter::HarnessTrials);
+    if (out.checkpoint_restored) {
+      telemetry::count(telemetry::Counter::HarnessCheckpointRestores);
+      telemetry::trace_instant(
+          "harness", "checkpoint_restore", "iteration",
+          static_cast<std::uint64_t>(out.resume_iteration));
+    }
+    if (out.early_exit) {
+      telemetry::count(telemetry::Counter::HarnessEarlyExits);
+      telemetry::trace_instant("harness", "early_exit");
+    }
+    if (out.hang) {
+      telemetry::count(telemetry::Counter::HarnessHangAborts);
+    } else if (out.runtime.deadlocked) {
+      telemetry::count(telemetry::Counter::HarnessDeadlockAborts);
+      telemetry::trace_instant("harness", "deadlock_abort");
+    }
+    const int contaminated = out.contaminated_ranks();
+    if (contaminated >= 0) {
+      telemetry::record(telemetry::Histogram::HarnessContaminatedRanks,
+                        static_cast<std::uint64_t>(contaminated));
+    }
+    if (out.runtime.ok) {
+      // Only clean completions: the op totals of a torn-down job depend on
+      // where the surviving ranks happened to stop, and histograms take
+      // part in the logical-determinism contract.
+      std::uint64_t trial_ops = 0;
+      for (const auto& prof : out.profiles) trial_ops += prof.total();
+      telemetry::record(telemetry::Histogram::HarnessTrialOps, trial_ops);
+    }
     return {classify(out, result.golden.signature, app.checker_tolerance()),
-            out.contaminated_ranks(), out.checkpoint_restored,
-            out.early_exit};
+            contaminated};
   };
 
   std::vector<TrialOutcome> outcomes(cfg.trials);
@@ -233,6 +277,7 @@ CampaignResult CampaignRunner::run(const apps::App& app,
       simmpi::RankTeamPool::enabled()) {
     // Pay the rank-team thread spawns before the timed trial loop: each
     // concurrently running trial checks out its own team of this width.
+    telemetry::ScopeGuard guard(&metrics);
     const int concurrent =
         std::max(1, executor->workers() / std::max(1, cfg.nranks));
     simmpi::RankTeamPool::instance().prewarm(cfg.nranks, concurrent);
@@ -289,9 +334,11 @@ CampaignResult CampaignRunner::run(const apps::App& app,
       result.by_contamination[static_cast<std::size_t>(t.contaminated)].add(
           t.outcome);
     }
-    result.checkpoint_restores += t.restored ? 1 : 0;
-    result.early_exits += t.early_exit ? 1 : 0;
   }
+  // Workers have quiesced (executor->run returned / inline loop ended):
+  // the merge is exact. The scope's destructor then rolls these totals up
+  // into the study scope, if any.
+  result.metrics = metrics.snapshot();
   return result;
 }
 

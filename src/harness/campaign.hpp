@@ -14,6 +14,7 @@
 
 #include "harness/result.hpp"
 #include "harness/runner.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace resilience::harness {
 
@@ -73,13 +74,24 @@ struct CampaignResult {
   /// campaign ran in parallel, i.e. the serial-equivalent cost — the
   /// wall-clock of the serial path, and comparable across worker counts.
   double wall_seconds = 0.0;
-  /// Checkpoint fast path (DESIGN.md §9): trials that resumed from a
-  /// stored golden boundary, and trials that terminated early after
-  /// provable reconvergence. Execution statistics only — the classified
-  /// outcomes are bit-identical to a full run either way — so they are
-  /// not part of the serialized campaign schema.
-  std::size_t checkpoint_restores = 0;
-  std::size_t early_exits = 0;
+  /// Execution-diagnostic counters and histograms of everything this
+  /// campaign ran (trials, golden-cache traffic, checkpoint fast path,
+  /// substrate activity), merged from the campaign's metric scope at the
+  /// end of the run (DESIGN.md §10). Execution statistics only — the
+  /// classified outcomes are bit-identical whatever these say — so not
+  /// part of the serialized campaign schema.
+  telemetry::MetricsSnapshot metrics;
+
+  [[deprecated("read metrics.value(Counter::HarnessCheckpointRestores)")]]
+  [[nodiscard]] std::size_t checkpoint_restores() const noexcept {
+    return static_cast<std::size_t>(
+        metrics.value(telemetry::Counter::HarnessCheckpointRestores));
+  }
+  [[deprecated("read metrics.value(Counter::HarnessEarlyExits)")]]
+  [[nodiscard]] std::size_t early_exits() const noexcept {
+    return static_cast<std::size_t>(
+        metrics.value(telemetry::Counter::HarnessEarlyExits));
+  }
 
   /// r_x (paper Eq. 3): probability that an injected error contaminates
   /// exactly x ranks, for x = 1..nranks. Returned as a vector of size
@@ -99,6 +111,9 @@ class GoldenCache;
 struct CampaignContext {
   Executor* executor = nullptr;
   GoldenCache* golden_cache = nullptr;
+  /// Parent metric scope (the study's): the campaign's own scope rolls
+  /// its totals up into it when the campaign finishes.
+  telemetry::MetricScope* metrics_parent = nullptr;
 };
 
 /// Runs fault-injection campaigns. Stateless apart from configuration;

@@ -7,7 +7,7 @@
 
 #include "fsefi/fault_context.hpp"
 #include "simmpi/comm.hpp"
-#include "util/env.hpp"
+#include "util/options.hpp"
 
 namespace resilience::harness {
 
@@ -29,8 +29,8 @@ inline std::uint64_t mix(std::uint64_t h, std::uint64_t word) noexcept {
 bool checkpoint_enabled() noexcept {
   const int forced = g_checkpoint_override.load(std::memory_order_relaxed);
   if (forced >= 0) return forced != 0;
-  static const bool from_env = util::env_flag("RESILIENCE_CHECKPOINT", true);
-  return from_env;
+  static const bool from_options = util::RuntimeOptions::global().checkpoint;
+  return from_options;
 }
 
 void set_checkpoint_enabled(bool enabled) noexcept {
@@ -38,8 +38,8 @@ void set_checkpoint_enabled(bool enabled) noexcept {
 }
 
 std::size_t checkpoint_budget() {
-  return static_cast<std::size_t>(
-      util::env_int("RESILIENCE_CHECKPOINT_BUDGET", 8, /*min_value=*/1));
+  const std::size_t budget = util::RuntimeOptions::global().checkpoint_budget;
+  return budget == 0 ? 1 : budget;
 }
 
 std::uint64_t digest_views(std::span<const apps::StateView> views) noexcept {

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "util/env.hpp"
+#include "util/options.hpp"
 
 namespace resilience::harness {
 
@@ -15,8 +15,8 @@ thread_local bool tl_in_worker = false;
 
 int Executor::resolve_workers(int requested) noexcept {
   if (requested > 0) return requested;
-  const auto env = util::env_int("RESILIENCE_THREADS", 0, /*min_value=*/0);
-  if (env > 0) return static_cast<int>(env);
+  const int configured = util::RuntimeOptions::global().threads;
+  if (configured > 0) return configured;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
 }

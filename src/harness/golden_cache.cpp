@@ -1,6 +1,7 @@
 #include "harness/golden_cache.hpp"
 
 #include "harness/executor.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace resilience::harness {
 
@@ -17,15 +18,20 @@ std::shared_ptr<const GoldenRun> GoldenCache::get_or_profile(
     if (it != entries_.end()) {
       future = it->second;
       ++hits_;
+      telemetry::count(telemetry::Counter::HarnessGoldenHits);
       if (future.wait_for(std::chrono::seconds(0)) !=
           std::future_status::ready) {
-        ++waits_;  // still in flight: this request blocks on the leader
+        // Still in flight: this request blocks on the leader.
+        ++waits_;
+        telemetry::count(telemetry::Counter::HarnessGoldenWaits);
+        telemetry::trace_instant("harness", "golden_cache_wait");
       }
     } else {
       leader = true;
       future = promise.get_future().share();
       entries_.emplace(key, future);
       ++misses_;
+      telemetry::count(telemetry::Counter::HarnessGoldenMisses);
     }
   }
   if (leader) {
@@ -43,6 +49,10 @@ std::shared_ptr<const GoldenRun> GoldenCache::get_or_profile(
         profile();
       }
       promise.set_value(std::move(golden));
+      // Counted here (the requesting thread) rather than inside the
+      // profile lambda: when the run is admitted through the executor it
+      // executes on a worker thread outside any metric scope.
+      telemetry::count(telemetry::Counter::HarnessGoldenProfiles);
     } catch (...) {
       promise.set_exception(std::current_exception());
       std::lock_guard lock(mu_);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "apps/trial_control.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace resilience::harness {
 
@@ -181,6 +182,8 @@ std::uint64_t GoldenRun::matching_total(fsefi::KindMask kinds,
 GoldenRun profile_app(const apps::App& app, int nranks,
                       std::chrono::milliseconds deadlock_timeout,
                       bool capture_checkpoints) {
+  telemetry::TraceSpan span("harness", "golden_profile", "nranks",
+                            static_cast<std::uint64_t>(nranks));
   RunOptions opts;
   opts.deadlock_timeout = deadlock_timeout;
   CheckpointCapture capture;

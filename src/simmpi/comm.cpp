@@ -1,28 +1,23 @@
 #include "simmpi/comm.hpp"
 
-#include <cstdlib>
-#include <cstring>
+#include "util/options.hpp"
 
 namespace resilience::simmpi {
 
 namespace detail {
 namespace {
 
-// -1 = follow the environment, 0 = forced off, 1 = forced on.
+// -1 = follow RuntimeOptions, 0 = forced off, 1 = forced on.
 std::atomic<int> g_fast_collectives_override{-1};
-
-bool fast_collectives_env_default() {
-  const char* value = std::getenv("RESILIENCE_FAST_COLLECTIVES");
-  return value == nullptr || std::strcmp(value, "0") != 0;
-}
 
 }  // namespace
 
 bool fast_collectives_enabled() noexcept {
   const int forced = g_fast_collectives_override.load(std::memory_order_relaxed);
   if (forced >= 0) return forced != 0;
-  static const bool from_env = fast_collectives_env_default();
-  return from_env;
+  static const bool from_options =
+      util::RuntimeOptions::global().fast_collectives;
+  return from_options;
 }
 
 void set_fast_collectives_enabled(bool enabled) noexcept {

@@ -27,6 +27,7 @@
 
 #include "simmpi/errors.hpp"
 #include "simmpi/pool.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace resilience::simmpi {
 
@@ -87,6 +88,7 @@ class Mailbox {
     std::unique_lock lock(mu_);
     std::uint64_t seen_arrivals = arrivals_;
     auto deadline = std::chrono::steady_clock::now() + timeout_;
+    bool counted_wait = false;
     for (;;) {
       if (abort_->triggered()) throw AbortError();
       if (SubQueue* queue = find_match(source, tag); queue != nullptr) {
@@ -99,6 +101,12 @@ class Mailbox {
           queues_.erase(key_of(env.source, env.tag));
         }
         return env;
+      }
+      if (!counted_wait) {
+        // Diagnostic (timing-born) counter: this receive is about to
+        // block — its match has not arrived yet. Counted once per call.
+        telemetry::count(telemetry::Counter::SimmpiMailboxWaits);
+        counted_wait = true;
       }
       if (arrivals_ != seen_arrivals) {
         // Progress: traffic arrived while we waited. Reset the clock so

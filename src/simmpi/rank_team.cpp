@@ -1,8 +1,9 @@
 #include "simmpi/rank_team.hpp"
 
 #include <atomic>
-#include <cstdlib>
-#include <cstring>
+
+#include "telemetry/telemetry.hpp"
+#include "util/options.hpp"
 
 namespace resilience::simmpi {
 
@@ -65,6 +66,7 @@ RankTeamPool& RankTeamPool::instance() {
 }
 
 RankTeamPool::Lease RankTeamPool::acquire(int width) {
+  telemetry::count(telemetry::Counter::SimmpiTeamCheckouts);
   {
     std::lock_guard lock(mu_);
     ++checkouts_;
@@ -77,6 +79,7 @@ RankTeamPool::Lease RankTeamPool::acquire(int width) {
     ++teams_created_;
   }
   // Spawn outside the lock: thread creation is the slow path.
+  telemetry::count(telemetry::Counter::SimmpiTeamSpawns);
   return Lease(this, std::make_unique<RankTeam>(width));
 }
 
@@ -91,6 +94,9 @@ void RankTeamPool::prewarm(int width, int teams) {
     fresh.push_back(std::make_unique<RankTeam>(width));
   }
   if (fresh.empty()) return;
+  telemetry::trace_instant("simmpi", "team_pool_prewarm", "teams",
+                           fresh.size());
+  telemetry::count(telemetry::Counter::SimmpiTeamSpawns, fresh.size());
   std::lock_guard lock(mu_);
   teams_created_ += fresh.size();
   auto& bucket = idle_[width];
@@ -125,21 +131,16 @@ std::size_t RankTeamPool::idle_teams() {
 
 namespace {
 
-// -1 = follow the environment, 0 = forced off, 1 = forced on.
+// -1 = follow RuntimeOptions, 0 = forced off, 1 = forced on.
 std::atomic<int> g_team_pool_override{-1};
-
-bool team_pool_env_default() {
-  const char* value = std::getenv("RESILIENCE_TEAM_POOL");
-  return value == nullptr || std::strcmp(value, "0") != 0;
-}
 
 }  // namespace
 
 bool RankTeamPool::enabled() noexcept {
   const int forced = g_team_pool_override.load(std::memory_order_relaxed);
   if (forced >= 0) return forced != 0;
-  static const bool from_env = team_pool_env_default();
-  return from_env;
+  static const bool from_options = util::RuntimeOptions::global().team_pool;
+  return from_options;
 }
 
 void RankTeamPool::set_enabled(bool enabled) noexcept {

@@ -40,6 +40,7 @@
 
 #include "simmpi/errors.hpp"
 #include "simmpi/mailbox.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace resilience::simmpi::detail {
 
@@ -63,6 +64,7 @@ class GroupRendezvous {
   /// buffer must stay alive until await_acks(rank) returns.
   void publish(int rank, const void* data, std::size_t len, int readers,
                std::uint64_t epoch) {
+    telemetry::count(telemetry::Counter::SimmpiRendezvousEpochs);
     Slot& slot = slots_[static_cast<std::size_t>(rank)];
     {
       std::lock_guard lock(mu_);
@@ -113,6 +115,7 @@ class GroupRendezvous {
       ++barrier_phase_;
       lock.unlock();
       barrier_cv_.notify_all();
+      telemetry::count(telemetry::Counter::SimmpiRendezvousEpochs);
       return;
     }
     wait_or_die(lock, barrier_cv_, [&] { return barrier_phase_ != phase; });

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "simmpi/rank_team.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace resilience::simmpi {
 
@@ -32,7 +33,13 @@ RunResult Runtime::run(int nranks, const std::function<void(Comm&)>& body,
     }
   };
 
+  // Rank threads run with the launching thread's metric-scope stack, so
+  // substrate counters land in the campaign that caused them. The handle
+  // stays valid because this thread blocks until the job joins.
+  const telemetry::ScopeStackHandle scopes = telemetry::current_scope_stack();
+
   auto rank_main = [&](int rank) {
+    telemetry::AdoptScopeStack adopt(scopes);
     Comm comm(&job, rank, nranks);
     if (options.on_rank_start) options.on_rank_start(rank);
     try {
@@ -76,8 +83,15 @@ RunResult Runtime::run(int nranks, const std::function<void(Comm&)>& body,
   result.messages_sent = job.messages_sent.load(std::memory_order_relaxed);
   result.bytes_sent = job.bytes_sent.load(std::memory_order_relaxed);
   const BufferPool::Stats pool = job.pool_stats();
-  result.buffer_allocs = pool.allocs;
-  result.buffer_reuses = pool.reuses;
+  result.pool_allocs = pool.allocs;
+  result.pool_reuses = pool.reuses;
+  telemetry::count(telemetry::Counter::SimmpiJobs);
+  if (pool.allocs != 0) {
+    telemetry::count(telemetry::Counter::SimmpiBufferAllocs, pool.allocs);
+  }
+  if (pool.reuses != 0) {
+    telemetry::count(telemetry::Counter::SimmpiBufferReuses, pool.reuses);
+  }
   return result;
 }
 

@@ -21,10 +21,10 @@ struct RunOptions {
   std::chrono::milliseconds deadlock_timeout{10'000};
   /// Optional hook run on each rank's thread before the body (the fault
   /// injector uses it to install per-rank thread-local state).
-  std::function<void(int rank)> on_rank_start;
+  std::function<void(int rank)> on_rank_start{};
   /// Optional hook run on each rank's thread after the body, even when the
   /// body throws.
-  std::function<void(int rank)> on_rank_exit;
+  std::function<void(int rank)> on_rank_exit{};
 };
 
 struct RunResult {
@@ -40,9 +40,21 @@ struct RunResult {
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
   /// Envelope-pool statistics: payload buffers freshly heap-allocated vs
-  /// recycled from the per-mailbox freelists.
-  std::uint64_t buffer_allocs = 0;
-  std::uint64_t buffer_reuses = 0;
+  /// recycled from the per-mailbox freelists. Also published to the
+  /// telemetry registry as simmpi.buffer_allocs / simmpi.buffer_reuses.
+  std::uint64_t pool_allocs = 0;
+  std::uint64_t pool_reuses = 0;
+
+  [[deprecated("use pool_allocs or the telemetry registry "
+               "(simmpi.buffer_allocs)")]] [[nodiscard]] std::uint64_t
+  buffer_allocs() const noexcept {
+    return pool_allocs;
+  }
+  [[deprecated("use pool_reuses or the telemetry registry "
+               "(simmpi.buffer_reuses)")]] [[nodiscard]] std::uint64_t
+  buffer_reuses() const noexcept {
+    return pool_reuses;
+  }
 
   [[nodiscard]] bool failed() const noexcept { return !ok; }
 };

@@ -1,0 +1,301 @@
+#include "telemetry/telemetry.hpp"
+
+#include <chrono>
+#include <cstring>
+
+namespace resilience::telemetry {
+
+namespace {
+
+constexpr const char* kCounterNames[kCounterCount] = {
+    "simmpi.jobs",
+    "simmpi.buffer_allocs",
+    "simmpi.buffer_reuses",
+    "simmpi.mailbox_waits",
+    "simmpi.rendezvous_epochs",
+    "simmpi.team_checkouts",
+    "simmpi.team_spawns",
+    "fsefi.dispatch_fast_idle",
+    "fsefi.dispatch_fast_live",
+    "fsefi.dispatch_reference",
+    "fsefi.countdown_refills",
+    "fsefi.injections",
+    "fsefi.budget_throws",
+    "harness.trials",
+    "harness.golden_profiles",
+    "harness.golden_hits",
+    "harness.golden_misses",
+    "harness.golden_waits",
+    "harness.checkpoint_restores",
+    "harness.early_exits",
+    "harness.deadlock_aborts",
+    "harness.hang_aborts",
+    "harness.campaigns",
+    "core.studies",
+    "core.study_phases",
+};
+
+constexpr const char* kHistogramNames[kHistogramCount] = {
+    "harness.trial_ops",
+    "harness.contaminated_ranks",
+};
+
+// Counters whose values depend on scheduling/timing rather than on
+// (app, configuration, seed). Everything else is logical: reproducible
+// run to run and independent of worker count.
+//
+// The per-op fsefi stream counters (refills, injections, budget throws)
+// and the rendezvous epochs are deterministic on a healthy rank, but in
+// an aborted job the *surviving* ranks wind down at whichever blocking
+// call first observes the abort token — a race — so their tails vary run
+// to run. Only arm-time and whole-trial counters stay exact.
+constexpr bool kTimingBorn[kCounterCount] = {
+    /*SimmpiJobs*/ false,
+    /*SimmpiBufferAllocs*/ true,   // freelist warmth is timing-dependent
+    /*SimmpiBufferReuses*/ true,
+    /*SimmpiMailboxWaits*/ true,   // whether a recv blocks is a race
+    /*SimmpiRendezvousEpochs*/ true,  // abort winding-down tails vary
+    /*SimmpiTeamCheckouts*/ false,
+    /*SimmpiTeamSpawns*/ true,     // pool hit/miss depends on interleaving
+    /*FsefiDispatchFastIdle*/ false,
+    /*FsefiDispatchFastLive*/ false,
+    /*FsefiDispatchReference*/ false,
+    /*FsefiCountdownRefills*/ true,   // abort winding-down tails vary
+    /*FsefiInjections*/ true,         // a racing abort can preempt a flip
+    /*FsefiBudgetThrows*/ true,       // ditto for the budget guard
+    /*HarnessTrials*/ false,
+    /*HarnessGoldenProfiles*/ false,  // single-flight: one per distinct key
+    /*HarnessGoldenHits*/ true,    // hit/miss/wait split races between
+    /*HarnessGoldenMisses*/ true,  // overlapping study phases
+    /*HarnessGoldenWaits*/ true,
+    /*HarnessCheckpointRestores*/ false,
+    /*HarnessEarlyExits*/ false,
+    /*HarnessDeadlockAborts*/ true,  // wall-clock watchdog
+    /*HarnessHangAborts*/ false,     // op-budget guard is deterministic
+    /*HarnessCampaigns*/ false,
+    /*CoreStudies*/ false,
+    /*CoreStudyPhases*/ false,
+};
+
+}  // namespace
+
+const char* name(Counter c) noexcept {
+  return kCounterNames[static_cast<std::size_t>(c)];
+}
+
+const char* name(Histogram h) noexcept {
+  return kHistogramNames[static_cast<std::size_t>(h)];
+}
+
+bool is_logical(Counter c) noexcept {
+  return !kTimingBorn[static_cast<std::size_t>(c)];
+}
+
+std::uint64_t MetricsSnapshot::value(std::string_view counter_name) const
+    noexcept {
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    if (counter_name == kCounterNames[i]) return counters[i];
+  }
+  return 0;
+}
+
+bool MetricsSnapshot::empty() const noexcept {
+  for (auto v : counters) {
+    if (v != 0) return false;
+  }
+  for (const auto& h : histograms) {
+    if (h.total() != 0) return false;
+  }
+  return true;
+}
+
+void MetricsSnapshot::add(const MetricsSnapshot& other) noexcept {
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    counters[i] += other.counters[i];
+  }
+  for (std::size_t i = 0; i < kHistogramCount; ++i) {
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      histograms[i].buckets[b] += other.histograms[i].buckets[b];
+    }
+  }
+}
+
+bool MetricsSnapshot::logical_equal(const MetricsSnapshot& other) const
+    noexcept {
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    if (is_logical(static_cast<Counter>(i)) &&
+        counters[i] != other.counters[i]) {
+      return false;
+    }
+  }
+  return histograms == other.histograms;
+}
+
+// ---- enablement ------------------------------------------------------------
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{true};
+std::atomic<bool> g_trace_enabled{false};
+thread_local constinit ScopeNode* tl_scope_top = nullptr;
+}  // namespace detail
+
+void set_metrics_enabled(bool enabled) noexcept {
+  detail::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// ---- metric scopes ---------------------------------------------------------
+
+MetricScope::~MetricScope() {
+  if (parent_ == nullptr) return;
+  const MetricsSnapshot totals = snapshot();
+  if (!totals.empty()) parent_->fold(totals);
+}
+
+MetricsSnapshot MetricScope::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    for (std::size_t i = 0; i < kCounterCount; ++i) {
+      out.counters[i] += shard->counters[i].load(std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < kHistogramCount; ++i) {
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        out.histograms[i].buckets[b] +=
+            shard->histograms[i][b].load(std::memory_order_relaxed);
+      }
+    }
+  }
+  return out;
+}
+
+detail::Shard* MetricScope::shard_for_current_thread() {
+  const auto id = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_thread_.find(id);
+  if (it != by_thread_.end()) return it->second;
+  shards_.push_back(std::make_unique<detail::Shard>());
+  detail::Shard* shard = shards_.back().get();
+  by_thread_.emplace(id, shard);
+  return shard;
+}
+
+void MetricScope::fold(const MetricsSnapshot& child) noexcept {
+  detail::Shard* shard = shard_for_current_thread();
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    if (child.counters[i] != 0) {
+      shard->add(static_cast<Counter>(i), child.counters[i]);
+    }
+  }
+  for (std::size_t i = 0; i < kHistogramCount; ++i) {
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      const std::uint64_t n = child.histograms[i].buckets[b];
+      if (n != 0) {
+        auto& slot = shard->histograms[i][b];
+        slot.store(slot.load(std::memory_order_relaxed) + n,
+                   std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+AdoptScopeStack::AdoptScopeStack(ScopeStackHandle handle) {
+  if (handle.head == nullptr || detail::tl_scope_top == handle.head) return;
+  // Walk the captured stack outermost-first so this thread's stack mirrors
+  // the capturing thread's nesting order.
+  std::array<detail::ScopeNode*, kMaxDepth> captured{};
+  std::size_t n = 0;
+  for (detail::ScopeNode* s = handle.head; s != nullptr && n < kMaxDepth;
+       s = s->parent) {
+    captured[n++] = s;
+  }
+  for (std::size_t i = n; i > 0; --i) {
+    detail::ScopeNode& node = nodes_[depth_];
+    // A fresh shard per adopting thread: the captured node's shard is the
+    // capturing thread's private bank, and several rank threads adopt the
+    // same stack concurrently — sharing it would break single-writer.
+    node.scope = captured[i - 1]->scope;
+    node.shard = node.scope->shard_for_current_thread();
+    node.parent = detail::tl_scope_top;
+    detail::tl_scope_top = &node;
+    ++depth_;
+  }
+  adopted_ = true;
+}
+
+AdoptScopeStack::~AdoptScopeStack() {
+  if (!adopted_) return;
+  for (std::size_t i = 0; i < depth_; ++i) {
+    detail::tl_scope_top = detail::tl_scope_top->parent;
+  }
+}
+
+// ---- tracing ---------------------------------------------------------------
+
+namespace {
+
+struct TraceState {
+  std::mutex mu;
+  std::shared_ptr<TraceSink> sink;
+  std::chrono::steady_clock::time_point epoch;
+  std::atomic<std::uint32_t> next_tid{1};
+};
+
+TraceState& trace_state() {
+  static TraceState state;
+  return state;
+}
+
+std::uint32_t current_tid() {
+  thread_local std::uint32_t tid = 0;
+  if (tid == 0) {
+    tid = trace_state().next_tid.fetch_add(1, std::memory_order_relaxed);
+  }
+  return tid;
+}
+
+}  // namespace
+
+void TraceSession::start(std::shared_ptr<TraceSink> sink) {
+  TraceState& state = trace_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.sink = std::move(sink);
+  state.epoch = std::chrono::steady_clock::now();
+  detail::g_trace_enabled.store(state.sink != nullptr,
+                                std::memory_order_relaxed);
+}
+
+void TraceSession::stop() {
+  TraceState& state = trace_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+  if (state.sink) {
+    state.sink->flush();
+    state.sink.reset();
+  }
+}
+
+namespace detail {
+
+void trace_emit(const char* category, const char* event_name,
+                TraceEvent::Type type, const char* arg_name,
+                std::uint64_t arg) noexcept {
+  TraceState& state = trace_state();
+  TraceEvent event;
+  event.category = category;
+  event.name = event_name;
+  event.type = type;
+  event.tid = current_tid();
+  event.arg_name = arg_name;
+  event.arg = arg;
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (!state.sink) return;  // stopped between the check and here
+  event.ts_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - state.epoch)
+          .count());
+  state.sink->consume(event);
+}
+
+}  // namespace detail
+
+}  // namespace resilience::telemetry

@@ -1,0 +1,69 @@
+// RuntimeOptions: every RESILIENCE_* environment knob resolved in one
+// place.
+//
+// The substrate layers used to read their own env vars at first use
+// (comm.cpp, rank_team.cpp, fault_context.cpp, checkpoint.cpp,
+// executor.cpp), which made the configuration surface hard to document
+// and impossible to inject under test. RuntimeOptions::from_env() is now
+// the only code path that touches the process environment (the repo-wide
+// invariant is: no getenv/env_int call sites outside util/options.cpp),
+// and global() is the resolved-once copy every layer consumes.
+//
+// Tests inject a configuration with set_global() and restore the
+// environment-derived one with reset_global(); the per-feature
+// set_*_enabled() runtime overrides in each layer still win over the
+// global options, preserving the existing precedence:
+//   programmatic override > RuntimeOptions (env) > built-in default.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/env.hpp"
+
+namespace resilience::util {
+
+/// One resolved copy of every RESILIENCE_* knob.
+struct RuntimeOptions {
+  /// RESILIENCE_THREADS — campaign executor worker count; 0 = auto
+  /// (hardware concurrency).
+  int threads = 0;
+  /// RESILIENCE_TEAM_POOL — reuse persistent rank teams across trials.
+  bool team_pool = true;
+  /// RESILIENCE_FAST_COLLECTIVES — same-process rendezvous collectives.
+  bool fast_collectives = true;
+  /// RESILIENCE_FAST_REAL — countdown dispatcher for instrumented Real
+  /// arithmetic.
+  bool fast_real = true;
+  /// RESILIENCE_CHECKPOINT — golden checkpoints (trial fast-forward +
+  /// early-exit pruning).
+  bool checkpoint = true;
+  /// RESILIENCE_CHECKPOINT_BUDGET — max full state snapshots kept per
+  /// golden run.
+  std::size_t checkpoint_budget = 8;
+  /// RESILIENCE_TRACE — default trace output path ("" = tracing off).
+  /// A ".json" suffix selects the Chrome trace_event format; anything
+  /// else gets JSON Lines.
+  std::string trace_path;
+  /// RESILIENCE_METRICS — default metrics JSON output path ("" = off).
+  std::string metrics_path;
+
+  /// Resolve every knob from the environment (warning on stderr for each
+  /// malformed value, which then falls back to the default above).
+  static RuntimeOptions from_env();
+
+  /// The process-wide options: resolved from the environment once on
+  /// first use, unless a test replaced them via set_global().
+  static const RuntimeOptions& global();
+
+  /// Replace the process-wide options (tests). Layers that latch their
+  /// knob in a function-local static (comm, rank_team, fault_context)
+  /// only see values injected before their first use; the documented
+  /// test hook for those is their set_*_enabled() override.
+  static void set_global(const RuntimeOptions& options);
+
+  /// Drop an injected global; the next global() re-reads the environment.
+  static void reset_global();
+};
+
+}  // namespace resilience::util

@@ -66,7 +66,7 @@ Inputs random_inputs(std::uint64_t seed, int p, int s) {
 class ModelFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ModelFuzz, PredictionsAreProbabilityDistributions) {
-  for (const auto [p, s] : {std::pair{64, 4}, std::pair{64, 8},
+  for (const auto& [p, s] : {std::pair{64, 4}, std::pair{64, 8},
                             std::pair{32, 8}, std::pair{16, 2}}) {
     const Inputs in = random_inputs(GetParam() * 1000 + static_cast<std::uint64_t>(p) + static_cast<std::uint64_t>(s), p, s);
     const ResiliencePredictor predictor(in.sweep, in.small, {});

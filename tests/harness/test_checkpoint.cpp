@@ -181,7 +181,9 @@ TEST(CheckpointCaptureTest, BudgetThinningKeepsStridedSubset) {
   EXPECT_GE(stored, 1u);
   EXPECT_LE(stored, cap.budget);
   for (const auto& rec : data->boundaries) {
-    if (rec.stored()) EXPECT_EQ(rec.iter % min_stored_iter, 0);
+    if (rec.stored()) {
+      EXPECT_EQ(rec.iter % min_stored_iter, 0);
+    }
   }
 
   // Profiles are the golden run's absolute counts: strictly increasing.
@@ -194,8 +196,8 @@ TEST(CheckpointCaptureTest, BudgetThinningKeepsStridedSubset) {
 TEST(CheckpointCaptureTest, AssembleRejectsDisagreeingRanks) {
   harness::CheckpointCapture cap;
   cap.ranks.resize(2);
-  cap.ranks[0].push_back({.iter = 1});
-  cap.ranks[1].push_back({.iter = 2});
+  cap.ranks[0].push_back({.iter = 1, .profile = {}, .state = {}});
+  cap.ranks[1].push_back({.iter = 2, .profile = {}, .state = {}});
   EXPECT_THROW(harness::assemble_checkpoints(std::move(cap)),
                std::runtime_error);
 }

@@ -9,6 +9,7 @@
 
 #include "harness/campaign.hpp"
 #include "harness/checkpoint.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace resilience {
 namespace {
@@ -162,11 +163,13 @@ TEST(CheckpointDiff, CampaignBitIdenticalToCheckpointOff) {
       harness::set_checkpoint_enabled(true);
       const auto on = CampaignRunner::run(*app, cfg);
 
+      using telemetry::Counter;
       const std::string label = app->label() + " p=" + std::to_string(nranks);
-      EXPECT_EQ(off.checkpoint_restores, 0u) << label;
-      EXPECT_EQ(off.early_exits, 0u) << label;
-      total_restores += on.checkpoint_restores;
-      total_early_exits += on.early_exits;
+      EXPECT_EQ(off.metrics.value(Counter::HarnessCheckpointRestores), 0u)
+          << label;
+      EXPECT_EQ(off.metrics.value(Counter::HarnessEarlyExits), 0u) << label;
+      total_restores += on.metrics.value(Counter::HarnessCheckpointRestores);
+      total_early_exits += on.metrics.value(Counter::HarnessEarlyExits);
 
       EXPECT_EQ(on.overall.trials, off.overall.trials) << label;
       EXPECT_EQ(on.overall.success, off.overall.success) << label;

@@ -152,8 +152,8 @@ TEST(EnvelopePool, SteadyTrafficRecyclesBuffers) {
   // 100 point-to-point messages in two buffers: everything past the first
   // envelope per mailbox reuses pooled capacity.
   EXPECT_EQ(result.messages_sent, 100u);
-  EXPECT_LE(result.buffer_allocs, 4u);
-  EXPECT_GE(result.buffer_reuses, 96u);
+  EXPECT_LE(result.pool_allocs, 4u);
+  EXPECT_GE(result.pool_reuses, 96u);
 }
 
 TEST(EnvelopePool, ReusesBuffersAfterAbortedJob) {
@@ -173,7 +173,7 @@ TEST(EnvelopePool, ReusesBuffersAfterAbortedJob) {
   });
   EXPECT_TRUE(aborted.aborted);
   EXPECT_EQ(aborted.failed_rank, 0);
-  EXPECT_GE(aborted.buffer_allocs, 1u);
+  EXPECT_GE(aborted.pool_allocs, 1u);
 
   const auto clean = Runtime::run(2, [](Comm& comm) {
     for (int round = 0; round < 10; ++round) {

@@ -1,0 +1,256 @@
+#!/usr/bin/env python3
+"""Validate the CLI's telemetry artifacts against the checked-in schema.
+
+Checks the three output formats the resilience CLI can produce:
+
+  --metrics out.json   resilience-metrics/1 document: counter/histogram
+                       names match the schema's patterns, every histogram
+                       has exactly the configured bucket count and a total
+                       equal to the sum of its buckets, and the counters
+                       the schema marks required are present and non-zero.
+  --trace out.jsonl    JSON Lines trace: every line is a JSON object with
+                       the required fields, phases and categories come
+                       from the schema's closed sets, timestamps are
+                       non-decreasing (the emitter stamps them under one
+                       lock), and B/E span events balance per thread with
+                       proper nesting (names match LIFO).
+  --trace out.json     Chrome trace_event document: {"traceEvents": [...]}
+                       with pid pinned to the schema value, instants
+                       carrying "s":"t", and the same balance rules.
+
+Stdlib-only on purpose: CI runs it straight from the checkout.
+
+Usage:
+  tools/check_telemetry.py --schema tools/telemetry_schema.json \
+      [--metrics metrics.json] [--trace trace.jsonl] [--trace trace.json]
+
+Exit status 0 when every artifact validates; 1 with one line per problem
+on stderr otherwise.
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+
+class Checker:
+    """Collects problems instead of stopping at the first one."""
+
+    def __init__(self):
+        self.problems = []
+
+    def expect(self, condition, message):
+        if not condition:
+            self.problems.append(message)
+        return condition
+
+
+_TYPES = {"str": str, "int": int, "num": (int, float)}
+
+
+def check_fields(check, where, event, required):
+    """True when every required (name, type) field is present and typed."""
+    ok = True
+    for field, type_name in required.items():
+        if not check.expect(field in event, f"{where}: missing '{field}'"):
+            ok = False
+            continue
+        expected = _TYPES[type_name]
+        value = event[field]
+        # bool is an int subclass in Python; a JSON true/false is never a
+        # valid tid/ts, so reject it explicitly.
+        if not check.expect(
+                isinstance(value, expected) and not isinstance(value, bool),
+                f"{where}: '{field}' should be {type_name}, "
+                f"got {value!r}"):
+            ok = False
+    return ok
+
+
+def check_events(check, path, events, schema, required_fields, ts_field):
+    """Shared trace validation: field shapes, closed sets, span balance."""
+    phases = set(schema["phases"])
+    categories = set(schema["categories"])
+    open_spans = {}  # tid -> stack of span names
+    last_ts = None
+    for i, event in enumerate(events):
+        where = f"{path}:{i + 1}"
+        if not check.expect(isinstance(event, dict),
+                            f"{where}: event is not a JSON object"):
+            continue
+        if not check_fields(check, where, event, required_fields):
+            continue
+        check.expect(event["ph"] in phases,
+                     f"{where}: phase {event['ph']!r} not in {sorted(phases)}")
+        check.expect(
+            event["cat"] in categories,
+            f"{where}: category {event['cat']!r} not in {sorted(categories)}")
+        ts = event[ts_field]
+        check.expect(ts >= 0, f"{where}: negative timestamp {ts}")
+        if last_ts is not None:
+            check.expect(ts >= last_ts,
+                         f"{where}: timestamp {ts} went backwards "
+                         f"(previous {last_ts})")
+        last_ts = ts
+        stack = open_spans.setdefault(event["tid"], [])
+        if event["ph"] == "B":
+            stack.append(event["name"])
+        elif event["ph"] == "E":
+            if check.expect(stack, f"{where}: 'E' for {event['name']!r} "
+                            "with no open span on this thread"):
+                check.expect(
+                    stack[-1] == event["name"],
+                    f"{where}: 'E' for {event['name']!r} but innermost "
+                    f"open span is {stack[-1]!r}")
+                stack.pop()
+    for tid, stack in sorted(open_spans.items()):
+        check.expect(not stack,
+                     f"{path}: thread {tid} left spans open: {stack}")
+    check.expect(events, f"{path}: trace holds no events")
+
+
+def check_trace_jsonl(check, path, schema):
+    events = []
+    with path.open() as f:
+        for i, line in enumerate(f):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as err:
+                check.expect(False, f"{path}:{i + 1}: bad JSON: {err}")
+    check_events(check, path, events, schema,
+                 schema["jsonl_required_fields"], "ts_ns")
+
+
+def check_trace_chrome(check, path, schema):
+    with path.open() as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as err:
+            check.expect(False, f"{path}: bad JSON: {err}")
+            return
+    if not check.expect(isinstance(doc, dict) and "traceEvents" in doc,
+                        f"{path}: not a {{\"traceEvents\": [...]}} document"):
+        return
+    events = doc["traceEvents"]
+    for i, event in enumerate(events):
+        where = f"{path}: event {i + 1}"
+        if not isinstance(event, dict):
+            continue
+        if "pid" in event:
+            check.expect(event["pid"] == schema["chrome_pid"],
+                         f"{where}: pid {event['pid']} != "
+                         f"{schema['chrome_pid']}")
+        if event.get("ph") == "i":
+            check.expect(event.get("s") == "t",
+                         f"{where}: instant without thread scope (\"s\":\"t\")")
+    check_events(check, path, events, schema,
+                 schema["chrome_required_fields"], "ts")
+
+
+def check_trace(check, path, schema):
+    if path.suffix == ".json":
+        check_trace_chrome(check, path, schema)
+    else:
+        check_trace_jsonl(check, path, schema)
+
+
+def check_metrics(check, path, schema):
+    with path.open() as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as err:
+            check.expect(False, f"{path}: bad JSON: {err}")
+            return
+    if not check.expect(isinstance(doc, dict), f"{path}: not a JSON object"):
+        return
+    check.expect(doc.get("schema") == schema["required_schema"],
+                 f"{path}: schema {doc.get('schema')!r} != "
+                 f"{schema['required_schema']!r}")
+
+    counters = doc.get("counters")
+    if check.expect(isinstance(counters, dict),
+                    f"{path}: 'counters' is not an object"):
+        name_re = re.compile(schema["counter_name_pattern"])
+        for name, value in counters.items():
+            check.expect(name_re.match(name),
+                         f"{path}: counter name {name!r} does not match "
+                         f"{schema['counter_name_pattern']}")
+            check.expect(
+                isinstance(value, int) and not isinstance(value, bool)
+                and value >= 0,
+                f"{path}: counter {name!r} value {value!r} is not a "
+                "non-negative integer")
+        for name in schema["required_counters"]:
+            check.expect(counters.get(name, 0) > 0,
+                         f"{path}: required counter {name!r} missing or zero")
+
+    histograms = doc.get("histograms")
+    if check.expect(isinstance(histograms, dict),
+                    f"{path}: 'histograms' is not an object"):
+        name_re = re.compile(schema["histogram_name_pattern"])
+        buckets_expected = schema["histogram_buckets"]
+        for name, hist in histograms.items():
+            check.expect(name_re.match(name),
+                         f"{path}: histogram name {name!r} does not match "
+                         f"{schema['histogram_name_pattern']}")
+            if not check.expect(
+                    isinstance(hist, dict) and "buckets" in hist
+                    and "total" in hist,
+                    f"{path}: histogram {name!r} lacks buckets/total"):
+                continue
+            buckets = hist["buckets"]
+            if check.expect(
+                    isinstance(buckets, list)
+                    and len(buckets) == buckets_expected,
+                    f"{path}: histogram {name!r} has "
+                    f"{len(buckets) if isinstance(buckets, list) else '?'} "
+                    f"buckets, want {buckets_expected}"):
+                check.expect(sum(buckets) == hist["total"],
+                             f"{path}: histogram {name!r} total "
+                             f"{hist['total']} != bucket sum {sum(buckets)}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--schema", required=True, type=pathlib.Path,
+                        help="path to telemetry_schema.json")
+    parser.add_argument("--metrics", action="append", default=[],
+                        type=pathlib.Path, help="a --metrics dump to check")
+    parser.add_argument("--trace", action="append", default=[],
+                        type=pathlib.Path,
+                        help="a --trace output to check (.json = Chrome "
+                             "format, anything else = JSON Lines)")
+    args = parser.parse_args()
+    if not args.metrics and not args.trace:
+        parser.error("nothing to check: pass --metrics and/or --trace")
+
+    with args.schema.open() as f:
+        schema = json.load(f)
+    if schema.get("schema") != "resilience-telemetry-schema/1":
+        print(f"check_telemetry: unsupported schema file {args.schema}",
+              file=sys.stderr)
+        return 1
+
+    check = Checker()
+    for path in args.metrics:
+        if check.expect(path.is_file(), f"{path}: missing metrics file"):
+            check_metrics(check, path, schema["metrics"])
+    for path in args.trace:
+        if check.expect(path.is_file(), f"{path}: missing trace file"):
+            check_trace(check, path, schema["trace"])
+
+    for problem in check.problems:
+        print(f"check_telemetry: {problem}", file=sys.stderr)
+    checked = len(args.metrics) + len(args.trace)
+    if not check.problems:
+        print(f"check_telemetry: OK ({checked} artifact(s))")
+    return 1 if check.problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

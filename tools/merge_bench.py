@@ -27,6 +27,12 @@ Output:
                                  - blocked_dot_speedup.{unarmed,armed}:
                                    blocked local_dot vs the reference
                                    per-op path (bar: >= 5x)
+                                 - telemetry_overhead.disabled: unarmed
+                                   Real axpy with set_metrics_enabled(0)
+                                   vs the default leg (bar: <= 1.05 — the
+                                   disabled path is one cached-atomic
+                                   branch); .scoped is the armed leg under
+                                   a live metric scope vs without one
                                  - checkpoint_speedup.<app.mix|late_mix>:
                                    campaign wall time with the golden-
                                    checkpoint fast path off vs on;
@@ -112,6 +118,16 @@ def derive_micro_metrics(micro):
     metrics["real_scalar_speedup_vs_reference"] = {
         k: v for k, v in scalar_ref.items() if v}
     metrics["blocked_dot_speedup"] = {k: v for k, v in blocked.items() if v}
+
+    # Telemetry overhead ratios (>1.0 = slower with telemetry). `disabled`
+    # is the acceptance bar (<= 1.05): metrics off must cost at most the
+    # cached-atomic branch. `scoped` reports the live-counting cost of an
+    # armed trial under an active metric scope.
+    telemetry = {"disabled": ratio("BM_RealAxpyTelemetryOff",
+                                   "BM_RealAxpyUnderContext"),
+                 "scoped": ratio("BM_RealAxpyTelemetryScoped",
+                                 "BM_RealAxpyArmedPlan")}
+    metrics["telemetry_overhead"] = {k: v for k, v in telemetry.items() if v}
     return metrics
 
 
@@ -176,6 +192,8 @@ def main():
         print(f"  Real scalar fast-path speedup ({label}): {ratio:.2f}x")
     for label, ratio in metrics.get("blocked_dot_speedup", {}).items():
         print(f"  blocked dot fast-path speedup ({label}): {ratio:.2f}x")
+    for label, ratio in metrics.get("telemetry_overhead", {}).items():
+        print(f"  telemetry overhead ({label}): {ratio:.3f}x")
     for label, ratio in sorted(metrics.get("checkpoint_speedup", {}).items()):
         rate = metrics.get("early_exit_rate", {}).get(label)
         rate_str = f", early-exit rate {rate:.0%}" if rate is not None else ""

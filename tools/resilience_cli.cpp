@@ -15,12 +15,27 @@
 //       [--jobs N]
 //       Profile error propagation across ranks.
 //
+// campaign, predict, and propagation also accept:
+//   --trace out.jsonl    Write a structured trace of the run (spans for
+//                        study phases, campaigns, and trials; instants for
+//                        injections, restores, early exits). A .json suffix
+//                        selects Chrome trace_event format (load the file
+//                        in chrome://tracing or https://ui.perfetto.dev);
+//                        anything else writes JSON Lines.
+//   --metrics out.json   Dump the run's telemetry counters/histograms as
+//                        JSON after the command finishes.
+// Both default to the RESILIENCE_TRACE / RESILIENCE_METRICS env vars.
+// Telemetry is execution-diagnostic only: results are bit-identical with
+// tracing on or off.
+//
 // --jobs sets the campaign executor's worker count (0 = auto: the
 // RESILIENCE_THREADS env var, else hardware concurrency; 1 = serial).
 // Results are bit-identical for every value.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 
@@ -28,6 +43,9 @@
 #include "core/report.hpp"
 #include "harness/serialize.hpp"
 #include "core/study.hpp"
+#include "telemetry/sinks.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/options.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -80,6 +98,59 @@ class Args {
   std::set<std::string> consumed_;
 };
 
+/// --trace/--metrics handling shared by the run commands: resolves the
+/// paths (flags override the RESILIENCE_TRACE / RESILIENCE_METRICS env
+/// vars), keeps a process-wide trace session open for the command's
+/// duration, and dumps the final metrics snapshot as JSON.
+class TelemetryOutputs {
+ public:
+  explicit TelemetryOutputs(Args& args) {
+    const auto& opts = util::RuntimeOptions::global();
+    trace_path_ = args.get("trace", opts.trace_path);
+    metrics_path_ = args.get("metrics", opts.metrics_path);
+    if (trace_path_.empty()) return;
+    std::shared_ptr<telemetry::TraceSink> sink;
+    if (trace_path_.ends_with(".json")) {
+      sink = std::make_shared<telemetry::ChromeTraceSink>(trace_path_);
+    } else {
+      sink = std::make_shared<telemetry::JsonLinesSink>(trace_path_);
+    }
+    telemetry::TraceSession::start(std::move(sink));
+    tracing_ = true;
+  }
+  ~TelemetryOutputs() { stop(); }
+  TelemetryOutputs(const TelemetryOutputs&) = delete;
+  TelemetryOutputs& operator=(const TelemetryOutputs&) = delete;
+
+  /// Flushes the trace and writes the metrics dump, reporting both files.
+  void finish(const telemetry::MetricsSnapshot& metrics) {
+    stop();
+    if (!trace_path_.empty()) {
+      std::cout << "trace written to " << trace_path_ << "\n";
+    }
+    if (!metrics_path_.empty()) {
+      std::ofstream out(metrics_path_);
+      if (!out) {
+        throw std::runtime_error("cannot write metrics to " + metrics_path_);
+      }
+      out << telemetry::metrics_to_json(metrics).dump(2) << "\n";
+      std::cout << "metrics written to " << metrics_path_ << "\n";
+    }
+  }
+
+ private:
+  void stop() {
+    if (tracing_) {
+      telemetry::TraceSession::stop();
+      tracing_ = false;
+    }
+  }
+
+  std::string trace_path_;
+  std::string metrics_path_;
+  bool tracing_ = false;
+};
+
 fsefi::FaultPattern parse_pattern(const std::string& name) {
   if (name == "single") return fsefi::FaultPattern::SingleBit;
   if (name == "double") return fsefi::FaultPattern::DoubleBit;
@@ -118,6 +189,7 @@ int cmd_campaign(Args& args) {
   dep.seed = static_cast<std::uint64_t>(args.get_int("seed", 20180813));
   dep.max_workers = static_cast<int>(args.get_int("jobs", 0));
   const std::string save_path = args.get("save", "");
+  TelemetryOutputs telemetry_out(args);
   args.check_consumed();
 
   const auto campaign = harness::CampaignRunner::run(*app, dep);
@@ -145,8 +217,13 @@ int cmd_campaign(Args& args) {
     }
   }
   std::cout << "\nfault-injection time: " << campaign.wall_seconds << " s\n";
-  std::cout << "checkpoint fast path: " << campaign.checkpoint_restores
-            << " restores, " << campaign.early_exits << " early exits\n";
+  std::cout << "checkpoint fast path: "
+            << campaign.metrics.value(
+                   telemetry::Counter::HarnessCheckpointRestores)
+            << " restores, "
+            << campaign.metrics.value(telemetry::Counter::HarnessEarlyExits)
+            << " early exits\n";
+  telemetry_out.finish(campaign.metrics);
   return 0;
 }
 
@@ -162,6 +239,7 @@ int cmd_predict(Args& args) {
   cfg.max_workers = static_cast<int>(args.get_int("jobs", 0));
   const std::string report_path = args.get("report", "");
   const long ci_resamples = args.get_int("ci", 0);
+  TelemetryOutputs telemetry_out(args);
   args.check_consumed();
 
   const auto study = core::run_study(*app, cfg);
@@ -186,10 +264,15 @@ int cmd_predict(Args& args) {
   std::cout << "\nfine-tuned: " << (study.prediction.fine_tuned ? "yes" : "no")
             << "; parallel-unique fraction: "
             << util::TablePrinter::pct(study.prob_unique, 2) << "\n";
-  std::cout << "golden cache: " << study.golden_cache_hits << " hits, "
-            << study.golden_cache_misses << " misses, "
-            << study.golden_cache_waits << " waits; checkpoint fast path: "
-            << study.checkpoint_restores << " restores, " << study.early_exits
+  using telemetry::Counter;
+  std::cout << "golden cache: "
+            << study.metrics.value(Counter::HarnessGoldenHits) << " hits, "
+            << study.metrics.value(Counter::HarnessGoldenMisses)
+            << " misses, " << study.metrics.value(Counter::HarnessGoldenWaits)
+            << " waits; checkpoint fast path: "
+            << study.metrics.value(Counter::HarnessCheckpointRestores)
+            << " restores, "
+            << study.metrics.value(Counter::HarnessEarlyExits)
             << " early exits\n";
   if (ci_resamples > 0) {
     // Resampled over the common-computation model inputs (sweep + small
@@ -207,6 +290,7 @@ int cmd_predict(Args& args) {
     std::cout << "success prediction error: "
               << util::TablePrinter::pct(study.success_error()) << "\n";
   }
+  telemetry_out.finish(study.metrics);
   return 0;
 }
 
@@ -218,6 +302,7 @@ int cmd_propagation(Args& args) {
   dep.trials = static_cast<std::size_t>(args.get_int("trials", 400));
   dep.seed = static_cast<std::uint64_t>(args.get_int("seed", 20180813));
   dep.max_workers = static_cast<int>(args.get_int("jobs", 0));
+  TelemetryOutputs telemetry_out(args);
   args.check_consumed();
 
   const auto campaign = harness::CampaignRunner::run(*app, dep);
@@ -234,6 +319,7 @@ int cmd_propagation(Args& args) {
                    util::TablePrinter::pct(cond.success_rate())});
   }
   table.print();
+  telemetry_out.finish(campaign.metrics);
   return 0;
 }
 
