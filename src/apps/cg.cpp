@@ -67,6 +67,16 @@ CgApp::Config CgApp::config_for_class(const std::string& size_class) {
     cfg.shift = 20.0;
     return cfg;
   }
+  if (size_class == "C") {
+    // Sized for 1024-rank campaigns under the fiber scheduler (one row
+    // per rank at full width); few iterations keep a trial affordable.
+    cfg.n = 1024;
+    cfg.row_nonzeros = 8;
+    cfg.outer_iters = 2;
+    cfg.cg_iters = 8;
+    cfg.shift = 20.0;
+    return cfg;
+  }
   if (size_class == "2D") {
     cfg.n = 256;
     cfg.row_nonzeros = 32;

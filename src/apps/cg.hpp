@@ -44,7 +44,8 @@ class CgApp final : public App {
     Decomposition decomposition = Decomposition::OneD;
   };
 
-  /// Input problems: "S" (default) and "B" use the 1D decomposition; "2D"
+  /// Input problems: "S" (default), "B", and "C" (n = 1024, sized for
+  /// full-width fiber-scheduler campaigns) use the 1D decomposition; "2D"
   /// and "B2D" use the NPB-style 2D decomposition (denser matrices so the
   /// merge shares match Table 1's scale).
   static Config config_for_class(const std::string& size_class);

@@ -5,6 +5,7 @@
 #include <bit>
 
 #include "telemetry/telemetry.hpp"
+#include "util/fiber_tls.hpp"
 #include "util/options.hpp"
 
 namespace resilience::fsefi {
@@ -13,6 +14,18 @@ namespace {
 
 // -1 = follow RuntimeOptions, 0 = forced off, 1 = forced on.
 std::atomic<int> g_fast_real_override{-1};
+
+// The installed fault context is per-rank state: under the fiber
+// scheduler it must follow the rank's fiber across worker threads, so
+// register the slot for scheduler-side migration.
+[[maybe_unused]] const std::size_t g_context_tls_slot =
+    util::FiberTlsRegistry::add({
+        []() noexcept -> void* { return detail::tl_context; },
+        [](void* v) noexcept {
+          detail::tl_context = static_cast<FaultContext*>(v);
+        },
+        nullptr,
+    });
 
 }  // namespace
 

@@ -11,6 +11,7 @@
 #include "harness/executor.hpp"
 #include "harness/golden_cache.hpp"
 #include "simmpi/rank_team.hpp"
+#include "simmpi/runtime.hpp"
 #include "util/rng.hpp"
 
 namespace resilience::harness {
@@ -273,14 +274,17 @@ CampaignResult CampaignRunner::run(const apps::App& app,
     }
   }
 
-  if (executor != nullptr && cfg.nranks > 1 &&
-      simmpi::RankTeamPool::enabled()) {
+  // The thread footprint of one trial's job: nranks in threads mode, the
+  // resolved fiber-worker count in fibers mode. Both the rank-team
+  // prewarm width and the executor admission weight follow it.
+  const int width = simmpi::Runtime::job_width(cfg.nranks);
+
+  if (executor != nullptr && width > 1 && simmpi::RankTeamPool::enabled()) {
     // Pay the rank-team thread spawns before the timed trial loop: each
     // concurrently running trial checks out its own team of this width.
     telemetry::ScopeGuard guard(&metrics);
-    const int concurrent =
-        std::max(1, executor->workers() / std::max(1, cfg.nranks));
-    simmpi::RankTeamPool::instance().prewarm(cfg.nranks, concurrent);
+    const int concurrent = std::max(1, executor->workers() / width);
+    simmpi::RankTeamPool::instance().prewarm(width, concurrent);
   }
 
   if (executor == nullptr) {
@@ -307,7 +311,7 @@ CampaignResult CampaignRunner::run(const apps::App& app,
       const std::size_t lo = c * chunk;
       const std::size_t hi = std::min(lo + chunk, cfg.trials);
       if (lo >= hi) break;
-      tasks.push_back({cfg.nranks, [&, c, lo, hi] {
+      tasks.push_back({width, [&, c, lo, hi] {
                          const auto start = std::chrono::steady_clock::now();
                          for (std::size_t trial = lo; trial < hi; ++trial) {
                            outcomes[trial] = run_trial(trial);

@@ -1,43 +1,50 @@
 #include "simmpi/comm.hpp"
 
-#include "util/options.hpp"
-
 namespace resilience::simmpi {
 
 namespace detail {
 namespace {
 
-// -1 = follow RuntimeOptions, 0 = forced off, 1 = forced on.
-std::atomic<int> g_fast_collectives_override{-1};
+// true = fuse fiber-mode collectives (default), false = forced onto the
+// mailbox decomposition. Programmatic test/bench toggle only.
+std::atomic<bool> g_fused_collectives{true};
 
 }  // namespace
 
-bool fast_collectives_enabled() noexcept {
-  const int forced = g_fast_collectives_override.load(std::memory_order_relaxed);
-  if (forced >= 0) return forced != 0;
-  static const bool from_options =
-      util::RuntimeOptions::global().fast_collectives;
-  return from_options;
+bool fused_collectives_enabled() noexcept {
+  return g_fused_collectives.load(std::memory_order_relaxed);
 }
 
-void set_fast_collectives_enabled(bool enabled) noexcept {
-  g_fast_collectives_override.store(enabled ? 1 : 0,
-                                    std::memory_order_relaxed);
+void set_fused_collectives_enabled(bool enabled) noexcept {
+  g_fused_collectives.store(enabled, std::memory_order_relaxed);
 }
 
 }  // namespace detail
 
 void Comm::barrier() {
-  if (size_ > 1 && detail::fast_collectives_enabled()) {
-    // Rendezvous fast path: one shared counter instead of 2(size-1)
-    // mailbox messages. The tag sequence still advances and the stats
-    // still record the logical notify/release decomposition, so the two
-    // paths are indistinguishable to campaign results.
-    next_collective_tag(6);
+  if (fused_active()) {
+    // Fused barrier: the last arriving fiber releases everyone. The tag
+    // sequence still advances and the stats still record the logical
+    // notify/release decomposition, so the two paths are
+    // indistinguishable to campaign results.
+    if (job_->abort.triggered()) throw AbortError();
+    const std::uint64_t epoch = next_collective_epoch(6);
+    detail::FusedGroup& group = fused_group();
     const int logical_sends = rank_ == 0 ? size_ - 1 : 1;
     for (int i = 0; i < logical_sends; ++i) record_logical_send(1);
-    rendezvous().barrier();
-    return;
+    detail::Arrival arrival;
+    arrival.fiber = FiberScheduler::current_fiber();
+    std::unique_lock lock(group.mutex());
+    switch (group.arrive(rank_, epoch, arrival, size_)) {
+      case detail::FusedGroup::ArriveOutcome::EpochMismatch:
+        throw UsageError("collective: SPMD sequence mismatch");
+      case detail::FusedGroup::ArriveOutcome::Combiner:
+        group.complete(epoch, *job_->scheduler);
+        return;
+      case detail::FusedGroup::ArriveOutcome::Waiter:
+        await_fused(group, lock, epoch);
+        return;
+    }
   }
   // Linear notify/release through rank 0. Two message waves; abort-safe
   // because it reuses the ordinary mailbox machinery.

@@ -31,10 +31,11 @@
 #include <type_traits>
 #include <vector>
 
+#include "simmpi/collective.hpp"
 #include "simmpi/errors.hpp"
 #include "simmpi/mailbox.hpp"
-#include "simmpi/rendezvous.hpp"
 #include "simmpi/request.hpp"
+#include "simmpi/scheduler.hpp"
 #include "simmpi/transport_traits.hpp"
 
 namespace resilience::simmpi {
@@ -51,9 +52,16 @@ struct JobState {
     }
   }
 
+  /// Wire the job to a fiber scheduler (fibers mode): blocking receives
+  /// park their fiber, and collectives take the fused path.
+  void attach_scheduler(FiberScheduler* sched) {
+    scheduler = sched;
+    for (auto& box : mailboxes) box->set_scheduler(sched);
+  }
+
   void trigger_abort() {
     abort.trigger();
-    hub.interrupt_all();
+    if (scheduler != nullptr) scheduler->wake_all_parked();
     for (auto& box : mailboxes) box->interrupt();
   }
 
@@ -71,12 +79,21 @@ struct JobState {
   AbortToken abort;
   std::chrono::milliseconds timeout;
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
-  /// Rendezvous groups for the collective fast path, keyed by comm salt.
-  CollectiveHub hub;
+  /// Fiber scheduler driving this job's ranks; null in threads mode.
+  FiberScheduler* scheduler = nullptr;
+  /// Fused-collective meeting points, keyed by communicator salt.
+  FusedHub fused;
   /// Transport statistics for the whole job (all communicators).
   std::atomic<std::uint64_t> messages_sent{0};
   std::atomic<std::uint64_t> bytes_sent{0};
 };
+
+/// Whether fiber-mode collectives fuse at the group meeting point (the
+/// default) or decompose into mailbox messages like threads mode. A
+/// programmatic test/bench toggle only — there is no environment knob,
+/// because the fused path is semantically identical and strictly faster.
+[[nodiscard]] bool fused_collectives_enabled() noexcept;
+void set_fused_collectives_enabled(bool enabled) noexcept;
 
 inline constexpr int kUserTagBits = 22;
 inline constexpr int kSaltBits = 8;
@@ -189,8 +206,14 @@ class Comm {
 
   /// True if a matching message is already queued (MPI_Iprobe).
   [[nodiscard]] bool probe(int source, int tag) {
-    return my_mailbox().probe(wire_source(source, "probe"),
-                              wire_recv_tag(tag));
+    if (my_mailbox().probe(wire_source(source, "probe"),
+                           wire_recv_tag(tag))) {
+      return true;
+    }
+    // Probe loops would starve the sender under the cooperative core;
+    // let the peers run before reporting no.
+    FiberScheduler::yield_current();
+    return false;
   }
 
   // ---- nonblocking ----------------------------------------------------------
@@ -228,15 +251,16 @@ class Comm {
   void barrier();
 
   /// Broadcast `buf` from `root` to all ranks over a binomial tree.
-  /// Data moves through the shared-memory rendezvous (children read the
-  /// parent's buffer in place) unless the fast path is disabled, in which
-  /// case every tree edge is a mailbox message. Both paths walk the same
-  /// tree, so results and transport stats are identical.
+  /// Under the fiber scheduler the broadcast executes as one fused
+  /// combine (the last arriving fiber copies the root's buffer to every
+  /// participant); otherwise every tree edge is a mailbox message. Both
+  /// paths deliver the same bytes with the same per-rank receive
+  /// instrumentation and the same logical transport stats.
   template <Transportable T>
   void bcast(std::span<T> buf, int root) {
     check_peer(root, "bcast");
-    if (size_ > 1 && detail::fast_collectives_enabled()) {
-      bcast_rendezvous(buf, root);
+    if (fused_active()) {
+      bcast_fused(buf, root);
       return;
     }
     const int tag = next_collective_tag(0);
@@ -270,8 +294,8 @@ class Comm {
     if (in.size() != out.size() && rank_ == root) {
       throw UsageError("reduce: in/out size mismatch on root");
     }
-    if (size_ > 1 && detail::fast_collectives_enabled()) {
-      reduce_rendezvous(in, out, root, op);
+    if (fused_active()) {
+      reduce_fused(in, out, root, op);
       return;
     }
     const int tag = next_collective_tag(1);
@@ -550,25 +574,35 @@ class Comm {
     TransportTraits<T>::on_receive(std::span<const T>(out.data(), out.size()));
   }
 
-  // ---- collective fast path -------------------------------------------------
+  // ---- fused collectives ----------------------------------------------------
   //
-  // The rendezvous implementations below mirror the mailbox tree walks
-  // exactly — same virtual-rank numbering, same child order, same combine
-  // order under the same LibraryGuard, same on_receive payloads on the
-  // same rank — but synchronize through shared memory and read payloads
-  // in place instead of enqueueing envelopes. Transport stats record the
-  // *logical* tree messages so either path reports identical counts.
+  // The fused implementations below mirror the mailbox tree walks exactly
+  // — same virtual-rank numbering, same child order, same combine order
+  // under the same LibraryGuard, same on_receive payloads attributed to
+  // the same logical rank — but execute the whole tree as one combine on
+  // the last arriving fiber instead of 2(N-1) parked message hops.
+  // Transport stats record the *logical* tree messages (each rank records
+  // its own sends before arriving) so either path reports identical
+  // counts. See collective.hpp for the arrival/epoch protocol and the
+  // pointer-safety argument.
 
-  /// This communicator's rendezvous group (created on first use).
-  [[nodiscard]] detail::GroupRendezvous& rendezvous() {
-    if (rv_ == nullptr) {
-      rv_ = &job_->hub.get(salt_, size_, &job_->abort, job_->timeout);
-    }
-    return *rv_;
+  /// True when collectives should fuse: this job runs on the fiber
+  /// scheduler, the caller is a fiber, and the test toggle is on.
+  [[nodiscard]] bool fused_active() const noexcept {
+    return size_ > 1 && job_->scheduler != nullptr &&
+           FiberScheduler::in_fiber() && detail::fused_collectives_enabled();
   }
 
-  /// Count one logical tree message that the fast path did not physically
-  /// enqueue, keeping messages_sent/bytes_sent path-independent.
+  /// This communicator's fused meeting point (created on first use).
+  [[nodiscard]] detail::FusedGroup& fused_group() {
+    if (fg_ == nullptr) {
+      fg_ = &job_->fused.group(static_cast<std::uint32_t>(salt_));
+    }
+    return *fg_;
+  }
+
+  /// Count one logical tree message that the fused path did not
+  /// physically enqueue, keeping messages_sent/bytes_sent path-independent.
   void record_logical_send(std::size_t bytes) noexcept {
     job_->messages_sent.fetch_add(1, std::memory_order_relaxed);
     job_->bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
@@ -576,7 +610,7 @@ class Comm {
 
   /// The epoch of the collective op about to run. Consumes the same SPMD
   /// sequence number that the mailbox path folds into its wire tags, so
-  /// mixed fast/mailbox collective sequences stay aligned and every op
+  /// mixed fused/mailbox collective sequences stay aligned and every op
   /// gets a unique, monotonically increasing epoch per communicator.
   std::uint64_t next_collective_epoch(int slot) noexcept {
     const auto epoch = static_cast<std::uint64_t>(collective_seq_) + 1;
@@ -584,74 +618,142 @@ class Comm {
     return epoch;
   }
 
+  /// Park until the fused group's combiner publishes `epoch`. Requires
+  /// `lock` on the group mutex; rechecks abort/deadlock on every wake.
+  void await_fused(detail::FusedGroup& group,
+                   std::unique_lock<std::mutex>& lock, std::uint64_t epoch) {
+    detail::Fiber* const self = FiberScheduler::current_fiber();
+    for (;;) {
+      if (group.done_epoch() >= epoch) return;
+      if (job_->abort.triggered()) throw AbortError();
+      if (job_->scheduler->deadlocked()) {
+        throw DeadlockError(
+            "collective blocked with no runnable fiber: deadlock");
+      }
+      group.waiters().add(self);
+      job_->scheduler->park(lock);
+      group.waiters().remove(self);
+    }
+  }
+
   template <Transportable T>
-  void bcast_rendezvous(std::span<T> buf, int root) {
+  void bcast_fused(std::span<T> buf, int root) {
     if (job_->abort.triggered()) throw AbortError();
     const std::uint64_t epoch = next_collective_epoch(0);
-    detail::GroupRendezvous& rv = rendezvous();
+    detail::FusedGroup& group = fused_group();
     const int vrank = (rank_ - root + size_) % size_;
-    if (vrank != 0) {
-      const int parent = ((vrank - 1) / 2 + root) % size_;
-      const auto bytes = rv.await_publish(parent, epoch);
-      if (bytes.size() != buf.size_bytes()) {
+    // Record this rank's own logical tree sends (edges to its children),
+    // exactly as the mailbox walk would have.
+    for (int child_v : {2 * vrank + 1, 2 * vrank + 2}) {
+      if (child_v < size_) record_logical_send(buf.size_bytes());
+    }
+    detail::Arrival arrival;
+    arrival.data = reinterpret_cast<std::byte*>(buf.data());
+    arrival.out = arrival.data;
+    arrival.len = buf.size_bytes();
+    arrival.fiber = FiberScheduler::current_fiber();
+    std::unique_lock lock(group.mutex());
+    switch (group.arrive(vrank, epoch, arrival, size_)) {
+      case detail::FusedGroup::ArriveOutcome::EpochMismatch:
+        throw UsageError("collective: SPMD sequence mismatch");
+      case detail::FusedGroup::ArriveOutcome::Combiner:
+        combine_bcast_subtree<T>(group, 0);
+        group.complete(epoch, *job_->scheduler);
+        return;
+      case detail::FusedGroup::ArriveOutcome::Waiter:
+        await_fused(group, lock, epoch);
+        return;  // combiner already wrote buf and replayed on_receive
+    }
+  }
+
+  /// Combiner side of a fused bcast: pre-order walk from virtual rank
+  /// `v`, copying the root's buffer to each child and replaying the
+  /// child's receive instrumentation under the child's own fiber TLS.
+  template <Transportable T>
+  void combine_bcast_subtree(detail::FusedGroup& group, int v) {
+    const detail::Arrival& from_root = group.slot(0);
+    for (int child_v : {2 * v + 1, 2 * v + 2}) {
+      if (child_v >= size_) continue;
+      detail::Arrival& child = group.slot(child_v);
+      if (child.len != from_root.len) {
         throw UsageError("collective: message size mismatch");
       }
-      if (!buf.empty()) std::memcpy(buf.data(), bytes.data(), bytes.size());
-      TransportTraits<T>::on_receive(
-          std::span<const T>(buf.data(), buf.size()));
-      rv.ack(parent);
-    }
-    int readers = 0;
-    for (int child_v : {2 * vrank + 1, 2 * vrank + 2}) {
-      if (child_v < size_) {
-        ++readers;
-        record_logical_send(buf.size_bytes());
+      if (child.len != 0 && child.out != from_root.data) {
+        std::memcpy(child.out, from_root.data, child.len);
       }
-    }
-    if (readers > 0) {
-      rv.publish(rank_, buf.data(), buf.size_bytes(), readers, epoch);
-      rv.await_acks(rank_);
+      {
+        BorrowFiberTls borrow(child.fiber);
+        TransportTraits<T>::on_receive(std::span<const T>(
+            reinterpret_cast<const T*>(child.out), child.len / sizeof(T)));
+      }
+      combine_bcast_subtree<T>(group, child_v);
     }
   }
 
   template <Transportable T, typename Op>
-  void reduce_rendezvous(std::span<const T> in, std::span<T> out, int root,
-                         Op op) {
+  void reduce_fused(std::span<const T> in, std::span<T> out, int root,
+                    Op op) {
     if (job_->abort.triggered()) throw AbortError();
     const std::uint64_t epoch = next_collective_epoch(1);
-    detail::GroupRendezvous& rv = rendezvous();
+    detail::FusedGroup& group = fused_group();
     const int vrank = (rank_ - root + size_) % size_;
+    // The accumulator lives on this fiber's stack; it stays valid for the
+    // combiner because this fiber cannot resume until the combiner
+    // releases the group mutex (see collective.hpp).
     std::vector<T> acc(in.begin(), in.end());
-    // Gather children's partial results (left child first: fixed order).
-    for (int child_v : {2 * vrank + 1, 2 * vrank + 2}) {
-      if (child_v < size_) {
-        const int child = (child_v + root) % size_;
-        const auto bytes = rv.await_publish(child, epoch);
-        if (bytes.size() != in.size_bytes()) {
-          throw UsageError("collective: message size mismatch");
+    if (vrank != 0) record_logical_send(acc.size() * sizeof(T));
+    detail::Arrival arrival;
+    arrival.data = reinterpret_cast<std::byte*>(acc.data());
+    arrival.out =
+        vrank == 0 ? reinterpret_cast<std::byte*>(out.data()) : nullptr;
+    arrival.len = acc.size() * sizeof(T);
+    arrival.fiber = FiberScheduler::current_fiber();
+    std::unique_lock lock(group.mutex());
+    switch (group.arrive(vrank, epoch, arrival, size_)) {
+      case detail::FusedGroup::ArriveOutcome::EpochMismatch:
+        throw UsageError("collective: SPMD sequence mismatch");
+      case detail::FusedGroup::ArriveOutcome::Combiner: {
+        combine_reduce_subtree<T>(group, 0, op);
+        // Root-local finish: copy virtual rank 0's accumulator into its
+        // out span (plain copy, no receive instrumentation — identical to
+        // the mailbox walk's local std::copy on the root).
+        detail::Arrival& root_a = group.slot(0);
+        if (root_a.len != 0) {
+          std::memcpy(root_a.out, root_a.data, root_a.len);
         }
-        // The published bytes are the child's live T accumulator;
-        // combine from it in place — no copy, no envelope.
-        const std::span<const T> child_vals(
-            reinterpret_cast<const T*>(bytes.data()), bytes.size() / sizeof(T));
-        TransportTraits<T>::on_receive(child_vals);
-        {
-          // Combine as library code: not application computation.
-          [[maybe_unused]] typename TransportTraits<T>::LibraryGuard guard{};
-          for (std::size_t i = 0; i < acc.size(); ++i) {
-            acc[i] = op(acc[i], child_vals[i]);
-          }
-        }
-        rv.ack(child);
+        group.complete(epoch, *job_->scheduler);
+        return;
       }
+      case detail::FusedGroup::ArriveOutcome::Waiter:
+        await_fused(group, lock, epoch);
+        return;
     }
-    if (vrank == 0) {
-      std::copy(acc.begin(), acc.end(), out.begin());
-    } else {
-      record_logical_send(acc.size() * sizeof(T));
-      rv.publish(rank_, acc.data(), acc.size() * sizeof(T), /*readers=*/1,
-                 epoch);
-      rv.await_acks(rank_);
+  }
+
+  /// Combiner side of a fused reduce: post-order walk (left child first,
+  /// the mailbox path's fixed order) folding each child's accumulator
+  /// into its parent's, replaying the parent's receive instrumentation
+  /// and LibraryGuard under the parent's fiber TLS.
+  template <Transportable T, typename Op>
+  void combine_reduce_subtree(detail::FusedGroup& group, int v, Op op) {
+    detail::Arrival& parent = group.slot(v);
+    auto* parent_vals = reinterpret_cast<T*>(parent.data);
+    const std::size_t count = parent.len / sizeof(T);
+    for (int child_v : {2 * v + 1, 2 * v + 2}) {
+      if (child_v >= size_) continue;
+      combine_reduce_subtree<T>(group, child_v, op);
+      detail::Arrival& child = group.slot(child_v);
+      if (child.len != parent.len) {
+        throw UsageError("collective: message size mismatch");
+      }
+      const auto* child_vals = reinterpret_cast<const T*>(child.data);
+      BorrowFiberTls borrow(parent.fiber);
+      TransportTraits<T>::on_receive(std::span<const T>(child_vals, count));
+      // Combine as library code: not application computation.
+      [[maybe_unused]] typename TransportTraits<T>::LibraryGuard guard{};
+      for (std::size_t i = 0; i < count; ++i) {
+        parent_vals[i] = op(parent_vals[i], child_vals[i]);
+      }
     }
   }
 
@@ -752,7 +854,7 @@ class Comm {
   int size_;
   int salt_ = 0;
   std::vector<int> group_;  ///< local -> world rank map; empty on the world
-  detail::GroupRendezvous* rv_ = nullptr;  ///< cached hub lookup
+  detail::FusedGroup* fg_ = nullptr;  ///< cached fused-hub lookup
   int collective_seq_ = 0;
   int split_seq_ = 0;
 };

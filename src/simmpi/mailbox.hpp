@@ -13,6 +13,15 @@
 // arrival-ordered linear scan returned, at a cost proportional to the
 // number of *distinct* live (source, tag) pairs, not the number of
 // queued messages.
+//
+// Blocking has two shapes. On the threaded substrate a receive without a
+// match waits on the mailbox condvar with the progress-reset deadlock
+// deadline. Under the fiber scheduler the receiving *fiber* instead adds
+// itself to the mailbox's wait list and parks — the worker thread moves
+// on to another runnable rank — and push/interrupt unpark the waiters.
+// The fiber path has no timeout at all: the scheduler detects deadlock
+// deterministically (zero runnable fibers) and wakes parked receivers,
+// which observe deadlocked() and throw.
 #pragma once
 
 #include <atomic>
@@ -27,6 +36,7 @@
 
 #include "simmpi/errors.hpp"
 #include "simmpi/pool.hpp"
+#include "simmpi/scheduler.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace resilience::simmpi {
@@ -63,6 +73,12 @@ class Mailbox {
   Mailbox(const Mailbox&) = delete;
   Mailbox& operator=(const Mailbox&) = delete;
 
+  /// Attach the owning job's fiber scheduler; receives called from a
+  /// fiber will park instead of waiting on the condvar.
+  void set_scheduler(FiberScheduler* scheduler) noexcept {
+    sched_ = scheduler;
+  }
+
   /// Enqueue an envelope; never blocks.
   void push(Envelope env) {
     {
@@ -71,12 +87,19 @@ class Mailbox {
       queue.push_back(Stamped{next_stamp_++, std::move(env)});
       ++pending_;
       ++arrivals_;
+      if (sched_ != nullptr) waiters_.wake_all(*sched_);
     }
     cv_.notify_all();
   }
 
   /// Wake a blocked receive so it can observe an abort.
-  void interrupt() { cv_.notify_all(); }
+  void interrupt() {
+    {
+      std::lock_guard lock(mu_);
+      if (sched_ != nullptr) waiters_.wake_all(*sched_);
+    }
+    cv_.notify_all();
+  }
 
   /// Dequeue the first envelope matching (source, tag), blocking as needed.
   /// Throws AbortError if the job aborts while waiting and DeadlockError if
@@ -86,21 +109,16 @@ class Mailbox {
   /// deadlock just because the stream outlasts one timeout period.
   Envelope pop_matching(int source, int tag) {
     std::unique_lock lock(mu_);
+    if (sched_ != nullptr && FiberScheduler::in_fiber()) {
+      return pop_matching_fiber(source, tag, lock);
+    }
     std::uint64_t seen_arrivals = arrivals_;
     auto deadline = std::chrono::steady_clock::now() + timeout_;
     bool counted_wait = false;
     for (;;) {
       if (abort_->triggered()) throw AbortError();
       if (SubQueue* queue = find_match(source, tag); queue != nullptr) {
-        Envelope env = std::move(queue->front().env);
-        queue->pop_front();
-        --pending_;
-        if (queue->empty()) {
-          // One-shot keys (every collective op salts a fresh tag) would
-          // otherwise grow the index without bound.
-          queues_.erase(key_of(env.source, env.tag));
-        }
-        return env;
+        return take_front(*queue);
       }
       if (!counted_wait) {
         // Diagnostic (timing-born) counter: this receive is about to
@@ -161,6 +179,42 @@ class Mailbox {
   };
   using SubQueue = std::deque<Stamped>;
 
+  Envelope take_front(SubQueue& queue) {
+    Envelope env = std::move(queue.front().env);
+    queue.pop_front();
+    --pending_;
+    if (queue.empty()) {
+      // One-shot keys (every collective op salts a fresh tag) would
+      // otherwise grow the index without bound.
+      queues_.erase(key_of(env.source, env.tag));
+    }
+    return env;
+  }
+
+  /// Fiber-path receive: park instead of condvar-waiting, no timeout.
+  /// Requires `lock` held; called with the calling fiber's scheduler set.
+  Envelope pop_matching_fiber(int source, int tag,
+                              std::unique_lock<std::mutex>& lock) {
+    bool counted_wait = false;
+    detail::Fiber* const self = FiberScheduler::current_fiber();
+    for (;;) {
+      if (abort_->triggered()) throw AbortError();
+      if (SubQueue* queue = find_match(source, tag); queue != nullptr) {
+        return take_front(*queue);
+      }
+      if (sched_->deadlocked()) {
+        throw DeadlockError("receive blocked with no runnable fiber: deadlock");
+      }
+      if (!counted_wait) {
+        telemetry::count(telemetry::Counter::SimmpiMailboxWaits);
+        counted_wait = true;
+      }
+      waiters_.add(self);
+      sched_->park(lock);
+      waiters_.remove(self);
+    }
+  }
+
   /// Wire sources are world ranks (>= 0) and wire tags are non-negative
   /// 31-bit values, so the pair packs into one index key.
   static std::uint64_t key_of(int source, int tag) noexcept {
@@ -201,6 +255,8 @@ class Mailbox {
 
   AbortToken* abort_;
   std::chrono::milliseconds timeout_;
+  FiberScheduler* sched_ = nullptr;  ///< set when the job runs on fibers
+  detail::WaitList waiters_;         ///< parked receiving fibers (under mu_)
   std::mutex mu_;
   std::condition_variable cv_;
   /// (source, tag) -> FIFO of envelopes; empty sub-queues are erased.

@@ -61,7 +61,12 @@ class Request {
   /// so (MPI_Test semantics).
   bool test() {
     if (!pending_) return true;
-    if (!mailbox_->probe(source_, tag_)) return false;
+    if (!mailbox_->probe(source_, tag_)) {
+      // Polling loops (`while (!req.test()) {}`) would starve the sender
+      // under the cooperative core; let the peers run before reporting no.
+      FiberScheduler::yield_current();
+      return false;
+    }
     wait();
     return true;
   }

@@ -1,14 +1,83 @@
 #include "simmpi/runtime.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "simmpi/rank_team.hpp"
+#include "simmpi/scheduler.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/options.hpp"
 
 namespace resilience::simmpi {
+
+namespace detail {
+namespace {
+
+// Programmatic overrides: -1 = follow RuntimeOptions. The options values
+// are latched on first use (same latching caveat as every set_*_enabled
+// pattern in this repo — documented in util/options.hpp).
+std::atomic<int> g_fibers_override{-1};
+std::atomic<int> g_workers_override{-1};
+std::atomic<std::size_t> g_stack_kb_override{0};
+
+int hardware_workers() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+bool scheduler_fibers_enabled() noexcept {
+  const int forced = g_fibers_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  static const bool from_options =
+      util::RuntimeOptions::global().scheduler_fibers;
+  return from_options;
+}
+
+void set_scheduler_fibers_enabled(bool enabled) noexcept {
+  g_fibers_override.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+void reset_scheduler_fibers_enabled() noexcept {
+  g_fibers_override.store(-1, std::memory_order_relaxed);
+}
+
+int resolved_scheduler_workers(int nranks) noexcept {
+  int workers = g_workers_override.load(std::memory_order_relaxed);
+  if (workers < 0) {
+    static const int from_options =
+        util::RuntimeOptions::global().sched_workers;
+    workers = from_options;
+  }
+  if (workers <= 0) workers = hardware_workers();
+  return std::min(workers, std::max(1, nranks));
+}
+
+void set_scheduler_workers(int workers) noexcept {
+  g_workers_override.store(workers < 0 ? -1 : workers,
+                           std::memory_order_relaxed);
+}
+
+std::size_t resolved_fiber_stack_bytes() noexcept {
+  std::size_t kb = g_stack_kb_override.load(std::memory_order_relaxed);
+  if (kb == 0) {
+    static const std::size_t from_options =
+        util::RuntimeOptions::global().fiber_stack_kb;
+    kb = from_options;
+  }
+  return kb * 1024;
+}
+
+void set_fiber_stack_kb(std::size_t kb) noexcept {
+  g_stack_kb_override.store(kb, std::memory_order_relaxed);
+}
+
+}  // namespace detail
 
 RunResult Runtime::run(int nranks, const std::function<void(Comm&)>& body,
                        const RunOptions& options) {
@@ -64,6 +133,33 @@ RunResult Runtime::run(int nranks, const std::function<void(Comm&)>& body,
     // injector's thread-local context installed by the caller stays valid
     // and serial campaigns are cheap.
     rank_main(0);
+  } else if (detail::scheduler_fibers_enabled()) {
+    // Fiber scheduler: one resumable fiber per rank, multiplexed over a
+    // small worker pool. Blocking points park the fiber instead of an OS
+    // thread, so the job's thread footprint is the worker count no
+    // matter how many ranks it simulates.
+    FiberScheduler sched(nranks, detail::resolved_fiber_stack_bytes());
+    job.attach_scheduler(&sched);
+    sched.start(rank_main);
+    const int workers = detail::resolved_scheduler_workers(nranks);
+    if (workers == 1) {
+      // Single worker drives every fiber inline on the launching thread:
+      // no handoff, no spawn — the common case on small hosts.
+      sched.worker_main(0);
+    } else if (RankTeamPool::enabled()) {
+      // Reuse the rank-team pool as the worker pool, at worker width
+      // instead of rank width.
+      RankTeamPool::Lease lease = RankTeamPool::instance().acquire(workers);
+      lease.team().run([&sched](int worker) { sched.worker_main(worker); });
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(workers));
+      for (int w = 0; w < workers; ++w) {
+        threads.emplace_back([&sched, w] { sched.worker_main(w); });
+      }
+      for (auto& t : threads) t.join();
+    }
+    job.attach_scheduler(nullptr);  // sched dies at scope exit
   } else if (RankTeamPool::enabled()) {
     // Check a parked team of this width out of the process-wide pool;
     // repeated jobs at one width reuse threads instead of respawning
@@ -93,6 +189,14 @@ RunResult Runtime::run(int nranks, const std::function<void(Comm&)>& body,
     telemetry::count(telemetry::Counter::SimmpiBufferReuses, pool.reuses);
   }
   return result;
+}
+
+int Runtime::job_width(int nranks) noexcept {
+  if (nranks <= 1) return 1;
+  if (detail::scheduler_fibers_enabled()) {
+    return detail::resolved_scheduler_workers(nranks);
+  }
+  return nranks;
 }
 
 }  // namespace resilience::simmpi

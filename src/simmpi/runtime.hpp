@@ -1,11 +1,20 @@
 // Job launcher for the simulated MPI runtime.
 //
-// Runtime::run executes `body` once per rank — on a pooled RankTeam by
-// default, or on freshly spawned std::threads when the pool is disabled
-// (RESILIENCE_TEAM_POOL=0) — hands each rank a Comm, and reports how the
-// job ended: clean completion, abort (a rank threw), or deadlock/hang.
-// The campaign harness maps abnormal endings onto the paper's "Failure"
+// Runtime::run executes `body` once per rank and reports how the job
+// ended: clean completion, abort (a rank threw), or deadlock/hang. The
+// campaign harness maps abnormal endings onto the paper's "Failure"
 // fault-injection outcome.
+//
+// Execution core (RESILIENCE_SCHEDULER):
+//  - "fibers" (default): each rank is a cooperative fiber multiplexed
+//    over a small worker pool (RESILIENCE_SCHED_WORKERS, default
+//    min(hardware concurrency, nranks)), so a 1024-rank job costs a
+//    handful of OS threads and deadlock is detected deterministically
+//    the moment no fiber is runnable. See scheduler.hpp.
+//  - "threads": one OS thread per rank — on a pooled RankTeam by
+//    default, or freshly spawned std::threads when the pool is disabled
+//    (RESILIENCE_TEAM_POOL=0) — with the timeout-based deadlock
+//    detector. Kept as the bit-identical reference core.
 #pragma once
 
 #include <chrono>
@@ -16,8 +25,30 @@
 
 namespace resilience::simmpi {
 
+namespace detail {
+
+/// Scheduler-mode knobs resolved from util::RuntimeOptions, each with a
+/// programmatic override for tests/benches (override > env > default).
+/// The setters accept a sentinel to drop the override again.
+[[nodiscard]] bool scheduler_fibers_enabled() noexcept;
+void set_scheduler_fibers_enabled(bool enabled) noexcept;
+void reset_scheduler_fibers_enabled() noexcept;
+
+/// Worker threads a fiber-mode job of `nranks` will use.
+[[nodiscard]] int resolved_scheduler_workers(int nranks) noexcept;
+/// Override the worker count (0 = auto, negative = back to options).
+void set_scheduler_workers(int workers) noexcept;
+
+[[nodiscard]] std::size_t resolved_fiber_stack_bytes() noexcept;
+/// Override the fiber stack size (0 = back to options).
+void set_fiber_stack_kb(std::size_t kb) noexcept;
+
+}  // namespace detail
+
 struct RunOptions {
-  /// How long a blocked receive waits before declaring the job hung.
+  /// How long a blocked receive waits before declaring the job hung
+  /// (threads mode only: the fiber scheduler detects deadlock
+  /// deterministically and ignores this).
   std::chrono::milliseconds deadlock_timeout{10'000};
   /// Optional hook run on each rank's thread before the body (the fault
   /// injector uses it to install per-rank thread-local state).
@@ -34,9 +65,9 @@ struct RunResult {
   int failed_rank = -1;     ///< rank whose exception triggered the abort
   std::string error;        ///< what() of the first exception
   /// Transport statistics over the whole job: point-to-point messages and
-  /// the messages collectives decompose into. Collectives taking the
-  /// rendezvous fast path still report their logical decomposition, so
-  /// these counts are independent of which transport ran the job.
+  /// the messages collectives decompose into. Fused fiber-mode
+  /// collectives still report their logical decomposition, so these
+  /// counts are independent of which execution core ran the job.
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
   /// Envelope-pool statistics: payload buffers freshly heap-allocated vs
@@ -68,6 +99,13 @@ class Runtime {
   /// nranks < 1.
   static RunResult run(int nranks, const std::function<void(Comm&)>& body,
                        const RunOptions& options = {});
+
+  /// OS threads a job of `nranks` will occupy under the current
+  /// scheduler configuration: 1 for serial jobs, the resolved worker
+  /// count in fibers mode, nranks in threads mode. The campaign executor
+  /// uses this as the admission weight of a trial task and as the
+  /// rank-team prewarm width.
+  [[nodiscard]] static int job_width(int nranks) noexcept;
 };
 
 }  // namespace resilience::simmpi

@@ -1,0 +1,190 @@
+#include "simmpi/scheduler.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace resilience::simmpi {
+
+namespace {
+
+/// The fiber the calling thread is currently executing, if any. Workers
+/// set it around each slice; everything else (mailbox waits, collective
+/// arrivals) reads it to decide fiber-path vs thread-path behaviour.
+thread_local detail::Fiber* tl_current_fiber = nullptr;
+
+}  // namespace
+
+namespace detail {
+
+Fiber::Fiber(FiberScheduler* scheduler, int rank, std::size_t stack_bytes)
+    : scheduler_(scheduler),
+      rank_(rank),
+      context_(stack_bytes, &Fiber::entry_thunk, this) {
+  util::FiberTlsRegistry::init(tls_);
+}
+
+void Fiber::entry_thunk(void* arg) {
+  auto* fiber = static_cast<Fiber*>(arg);
+  fiber->scheduler_->fiber_entry(fiber);
+}
+
+}  // namespace detail
+
+FiberScheduler::FiberScheduler(int nranks, std::size_t stack_bytes)
+    : nranks_(nranks), stack_bytes_(stack_bytes) {}
+
+FiberScheduler::~FiberScheduler() = default;
+
+void FiberScheduler::start(const std::function<void(int rank)>& body) {
+  body_ = body;
+  fibers_.reserve(static_cast<std::size_t>(nranks_));
+  std::lock_guard lock(mu_);
+  for (int rank = 0; rank < nranks_; ++rank) {
+    fibers_.push_back(
+        std::make_unique<detail::Fiber>(this, rank, stack_bytes_));
+    run_queue_.push_back(fibers_.back().get());
+  }
+}
+
+void FiberScheduler::fiber_entry(detail::Fiber* fiber) {
+  body_(fiber->rank_);
+  fiber->finished_ = true;
+  // Final switch back to the worker, which commits Done. The fiber is
+  // never resumed again; the trampoline aborts if it somehow is.
+  fiber->context_.switch_out();
+}
+
+void FiberScheduler::resume(detail::Fiber* fiber) {
+  util::FiberTlsRegistry::swap(fiber->tls_);
+  tl_current_fiber = fiber;
+  fiber->context_.switch_in();
+  tl_current_fiber = nullptr;
+  util::FiberTlsRegistry::swap(fiber->tls_);
+}
+
+void FiberScheduler::worker_main(int /*worker_index*/) {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    if (finished_ == nranks_) {
+      cv_.notify_all();
+      return;
+    }
+    if (!run_queue_.empty()) {
+      detail::Fiber* fiber = run_queue_.front();
+      run_queue_.pop_front();
+      fiber->state_ = detail::Fiber::State::Running;
+      ++running_;
+      lock.unlock();
+      resume(fiber);
+      lock.lock();
+      --running_;
+      // Commit the slice outcome. The fiber cannot be touched by wakers
+      // between its switch-out and this commit in any way we could lose:
+      // unpark flags Parking -> ParkingWoken and we requeue it here.
+      if (fiber->finished_) {
+        fiber->state_ = detail::Fiber::State::Done;
+        ++finished_;
+        if (finished_ == nranks_) cv_.notify_all();
+      } else if (fiber->state_ == detail::Fiber::State::ParkingWoken) {
+        fiber->state_ = detail::Fiber::State::Runnable;
+        run_queue_.push_back(fiber);
+        cv_.notify_one();
+      } else {
+        fiber->state_ = detail::Fiber::State::Parked;
+      }
+      continue;
+    }
+    if (running_ == 0) {
+      // Nothing runnable, nothing running, some fibers unfinished: no
+      // future event can wake them (no timers, no external input). The
+      // job is deadlocked — deterministically, not after a timeout.
+      if (!deadlock_declared_) {
+        deadlock_declared_ = true;
+        deadlocked_.store(true, std::memory_order_release);
+      }
+      for (auto& fiber : fibers_) {
+        unpark_locked(fiber.get());
+      }
+      // Woken fibers are queued; run them so their blocking primitives
+      // observe deadlocked() and throw.
+      if (!run_queue_.empty()) continue;
+    }
+    cv_.wait(lock);
+  }
+}
+
+void FiberScheduler::park(std::unique_lock<std::mutex>& owner_lock) {
+  detail::Fiber* fiber = current_fiber();
+  if (fiber == nullptr) {
+    std::fprintf(stderr, "scheduler: park called outside a fiber\n");
+    std::abort();
+  }
+  {
+    std::lock_guard lock(mu_);
+    fiber->state_ = detail::Fiber::State::Parking;
+  }
+  // Release the owner lock only after the state is Parking: a waker that
+  // now finds this fiber in a WaitList flags it ParkingWoken and the
+  // committing worker requeues it — the wakeup cannot be lost.
+  owner_lock.unlock();
+  fiber->context_.switch_out();
+  owner_lock.lock();
+}
+
+void FiberScheduler::unpark(detail::Fiber* fiber) {
+  std::lock_guard lock(mu_);
+  unpark_locked(fiber);
+}
+
+void FiberScheduler::unpark_locked(detail::Fiber* fiber) {
+  switch (fiber->state_) {
+    case detail::Fiber::State::Parked:
+      fiber->state_ = detail::Fiber::State::Runnable;
+      run_queue_.push_back(fiber);
+      cv_.notify_one();
+      break;
+    case detail::Fiber::State::Parking:
+      fiber->state_ = detail::Fiber::State::ParkingWoken;
+      break;
+    default:
+      break;  // already runnable, running, woken, or done: nothing to do
+  }
+}
+
+void FiberScheduler::yield_current() {
+  detail::Fiber* fiber = current_fiber();
+  if (fiber == nullptr) return;
+  {
+    std::lock_guard lock(fiber->scheduler_->mu_);
+    // ParkingWoken makes the committing worker requeue the fiber at the
+    // back of the run queue: exactly a cooperative yield.
+    fiber->state_ = detail::Fiber::State::ParkingWoken;
+  }
+  fiber->context_.switch_out();
+}
+
+void FiberScheduler::wake_all_parked() {
+  std::lock_guard lock(mu_);
+  for (auto& fiber : fibers_) {
+    unpark_locked(fiber.get());
+  }
+}
+
+detail::Fiber* FiberScheduler::current_fiber() noexcept {
+  return tl_current_fiber;
+}
+
+BorrowFiberTls::BorrowFiberTls(detail::Fiber* fiber) {
+  if (fiber != nullptr && fiber != FiberScheduler::current_fiber()) {
+    fiber_ = fiber;
+    util::FiberTlsRegistry::swap(fiber_->tls_);
+  }
+}
+
+BorrowFiberTls::~BorrowFiberTls() {
+  if (fiber_ != nullptr) {
+    util::FiberTlsRegistry::swap(fiber_->tls_);
+  }
+}
+
+}  // namespace resilience::simmpi

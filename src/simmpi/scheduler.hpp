@@ -1,0 +1,205 @@
+// Cooperative fiber scheduler: resumable ranks multiplexed over a small
+// worker pool (DESIGN.md §11).
+//
+// Thread-per-rank capped campaigns near the paper's 128 ranks — a
+// 1024-rank job is 1024 OS threads fighting over a handful of cores, and
+// every collective is N threads rendezvousing on condition variables. The
+// scheduler replaces that with one stackful fiber per rank (fiber.hpp)
+// run by `workers` pooled threads: a blocking point (mailbox receive,
+// fused collective arrival) parks the fiber and the worker picks the next
+// runnable one, so a job's thread footprint is the worker-pool width no
+// matter how many ranks it simulates.
+//
+// Park/wake protocol (all state transitions under the scheduler mutex):
+//   - A fiber that must block registers itself in the owning structure's
+//     WaitList while holding that structure's lock, marks itself Parking,
+//     releases the lock and switches to its worker. The worker *commits*
+//     the park: Parking -> Parked, or — if a waker already flagged it —
+//     straight back onto the run queue. Wakers therefore never lose a
+//     wakeup regardless of where the fiber is in its switch.
+//   - Wakers call unpark(): Parked -> Runnable (enqueued); Parking ->
+//     ParkingWoken (the committing worker requeues); any other state is a
+//     satisfied or spurious wake and is ignored. Parked fibers remove
+//     themselves from their WaitList after resuming (they reacquire the
+//     owner lock anyway to re-check their predicate), so wakers never
+//     touch list storage they don't own.
+//
+// Deadlock detection is deterministic, not timer-based: the moment no
+// fiber is runnable or running while some are still unfinished, no future
+// event can ever unblock them (there are no timers and no external
+// inputs), so the scheduler declares the job deadlocked and wakes every
+// parked fiber; the blocking primitives observe deadlocked() and throw
+// DeadlockError, which Runtime::run records exactly like a threads-mode
+// deadlock timeout — minus the ten seconds of waiting.
+//
+// TLS migration: a resuming worker installs the fiber's saved bank of
+// registered thread-local slots (util::FiberTlsRegistry — fault-injector
+// context, trial control, telemetry scope stack and lane) and restores
+// its own on suspend, so per-rank state follows the fiber across worker
+// threads. The scheduler mutex orders every suspend/resume pair, which is
+// what keeps single-writer telemetry shards valid under migration.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "simmpi/fiber.hpp"
+#include "util/fiber_tls.hpp"
+
+namespace resilience::simmpi {
+
+class FiberScheduler;
+class BorrowFiberTls;
+
+namespace detail {
+
+/// One rank's resumable execution context plus its scheduler state.
+class Fiber {
+ public:
+  Fiber(FiberScheduler* scheduler, int rank, std::size_t stack_bytes);
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+
+ private:
+  friend class ::resilience::simmpi::FiberScheduler;
+  friend class ::resilience::simmpi::BorrowFiberTls;
+
+  enum class State { Runnable, Running, Parking, ParkingWoken, Parked, Done };
+
+  static void entry_thunk(void* arg);
+
+  FiberScheduler* scheduler_;
+  int rank_;
+  State state_ = State::Runnable;  ///< guarded by the scheduler mutex
+  bool finished_ = false;  ///< set by the fiber before its last switch-out
+  util::FiberTlsRegistry::Values tls_{};  ///< saved bank while suspended
+  FiberContext context_;  ///< last member: entry may run immediately never
+};
+
+}  // namespace detail
+
+class FiberScheduler {
+ public:
+  /// Prepares a scheduler for `nranks` fibers with `stack_bytes` stacks.
+  FiberScheduler(int nranks, std::size_t stack_bytes);
+  ~FiberScheduler();
+
+  FiberScheduler(const FiberScheduler&) = delete;
+  FiberScheduler& operator=(const FiberScheduler&) = delete;
+
+  /// Create one runnable fiber per rank executing `body(rank)`. `body`
+  /// must not throw (Runtime's rank wrapper catches everything) and must
+  /// outlive the worker loop.
+  void start(const std::function<void(int rank)>& body);
+
+  /// Drive fibers until every one of them finished. Run this on each of
+  /// the job's worker threads (or inline on the launching thread for a
+  /// single-worker job); every call returns once all fibers are done.
+  void worker_main(int worker_index);
+
+  /// Park the calling fiber. `owner_lock` — the lock of the structure the
+  /// fiber registered its WaitList entry under — is released before the
+  /// stack switch and reacquired after resume.
+  void park(std::unique_lock<std::mutex>& owner_lock);
+
+  /// Make a parked (or parking) fiber runnable; satisfied and spurious
+  /// wakes are ignored.
+  void unpark(detail::Fiber* fiber);
+
+  /// Wake every parked fiber (job abort teardown): each resumes inside
+  /// its blocking primitive, re-checks its predicate and observes the
+  /// abort token.
+  void wake_all_parked();
+
+  /// True once the scheduler declared the job deadlocked (every fiber
+  /// blocked). Blocking primitives check this after resuming and throw
+  /// DeadlockError.
+  [[nodiscard]] bool deadlocked() const noexcept {
+    return deadlocked_.load(std::memory_order_acquire);
+  }
+
+  /// Reschedule the calling fiber at the back of the run queue so its
+  /// peers can make progress; no-op outside fibers. The non-blocking
+  /// query primitives (probe, Request::test) yield on failure, because a
+  /// cooperative core would otherwise starve the very rank a polling
+  /// loop is waiting on.
+  static void yield_current();
+
+  /// The fiber running on the calling thread (nullptr outside fibers).
+  [[nodiscard]] static detail::Fiber* current_fiber() noexcept;
+  [[nodiscard]] static bool in_fiber() noexcept {
+    return current_fiber() != nullptr;
+  }
+
+ private:
+  friend class detail::Fiber;
+
+  void fiber_entry(detail::Fiber* fiber);
+  void resume(detail::Fiber* fiber);
+  void unpark_locked(detail::Fiber* fiber);
+
+  const int nranks_;
+  const std::size_t stack_bytes_;
+  std::function<void(int)> body_;
+  std::mutex mu_;
+  std::condition_variable cv_;  ///< idle workers park here
+  std::deque<detail::Fiber*> run_queue_;
+  std::vector<std::unique_ptr<detail::Fiber>> fibers_;
+  int running_ = 0;   ///< fibers currently on a worker (commit pending too)
+  int finished_ = 0;  ///< fibers whose body returned
+  bool deadlock_declared_ = false;
+  std::atomic<bool> deadlocked_{false};
+};
+
+namespace detail {
+
+/// Parked fibers blocked on one structure (a mailbox, a fused-collective
+/// group). All methods require the owning structure's lock; entries are
+/// removed by the fibers themselves after they resume.
+class WaitList {
+ public:
+  void add(Fiber* fiber) { fibers_.push_back(fiber); }
+  void remove(Fiber* fiber) {
+    for (auto it = fibers_.begin(); it != fibers_.end(); ++it) {
+      if (*it == fiber) {
+        fibers_.erase(it);
+        return;
+      }
+    }
+  }
+  [[nodiscard]] bool empty() const noexcept { return fibers_.empty(); }
+  void wake_all(FiberScheduler& scheduler) {
+    for (Fiber* fiber : fibers_) scheduler.unpark(fiber);
+  }
+
+ private:
+  std::vector<Fiber*> fibers_;
+};
+
+}  // namespace detail
+
+/// Temporarily install a *parked* fiber's saved thread-local bank on the
+/// calling thread. The fused-collective combiner uses this to attribute
+/// per-rank instrumentation (TransportTraits::on_receive, fault-context
+/// taint, telemetry counts) to the logical rank it belongs to while
+/// executing the whole combine on one fiber. No-op for null or the
+/// calling fiber itself. The caller must hold whatever lock keeps the
+/// borrowed fiber parked for the borrow's lifetime.
+class BorrowFiberTls {
+ public:
+  explicit BorrowFiberTls(detail::Fiber* fiber);
+  ~BorrowFiberTls();
+  BorrowFiberTls(const BorrowFiberTls&) = delete;
+  BorrowFiberTls& operator=(const BorrowFiberTls&) = delete;
+
+ private:
+  detail::Fiber* fiber_ = nullptr;
+};
+
+}  // namespace resilience::simmpi

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "util/fiber_tls.hpp"
+
 namespace resilience::telemetry {
 
 namespace {
@@ -12,7 +14,7 @@ constexpr const char* kCounterNames[kCounterCount] = {
     "simmpi.buffer_allocs",
     "simmpi.buffer_reuses",
     "simmpi.mailbox_waits",
-    "simmpi.rendezvous_epochs",
+    "simmpi.fused_collectives",
     "simmpi.team_checkouts",
     "simmpi.team_spawns",
     "fsefi.dispatch_fast_idle",
@@ -45,17 +47,18 @@ constexpr const char* kHistogramNames[kHistogramCount] = {
 // run to run and independent of worker count.
 //
 // The per-op fsefi stream counters (refills, injections, budget throws)
-// and the rendezvous epochs are deterministic on a healthy rank, but in
-// an aborted job the *surviving* ranks wind down at whichever blocking
-// call first observes the abort token — a race — so their tails vary run
-// to run. Only arm-time and whole-trial counters stay exact.
+// and the fused collective combines are deterministic on a healthy rank,
+// but in an aborted job the *surviving* ranks wind down at whichever
+// blocking call first observes the abort token — a race — so their tails
+// vary run to run. Only arm-time and whole-trial counters stay exact.
 constexpr bool kTimingBorn[kCounterCount] = {
     /*SimmpiJobs*/ false,
     /*SimmpiBufferAllocs*/ true,   // freelist warmth is timing-dependent
     /*SimmpiBufferReuses*/ true,
     /*SimmpiMailboxWaits*/ true,   // whether a recv blocks is a race
-    /*SimmpiRendezvousEpochs*/ true,  // abort winding-down tails vary
-    /*SimmpiTeamCheckouts*/ false,
+    /*SimmpiFusedCollectives*/ true,  // fibers-mode-only; abort tails vary
+    /*SimmpiTeamCheckouts*/ true,  // scheduler-mode-dependent (fibers lease
+                                   // one worker team, threads one per job)
     /*SimmpiTeamSpawns*/ true,     // pool hit/miss depends on interleaving
     /*FsefiDispatchFastIdle*/ false,
     /*FsefiDispatchFastLive*/ false,
@@ -137,7 +140,57 @@ namespace detail {
 std::atomic<bool> g_metrics_enabled{true};
 std::atomic<bool> g_trace_enabled{false};
 thread_local constinit ScopeNode* tl_scope_top = nullptr;
+
+namespace {
+std::atomic<std::uint64_t> g_next_lane{1};
+thread_local constinit std::uint64_t tl_lane = 0;  // 0 = not yet assigned
+}  // namespace
+
+std::uint64_t new_lane() noexcept {
+  return g_next_lane.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t current_lane() noexcept {
+  if (tl_lane == 0) tl_lane = new_lane();
+  return tl_lane;
+}
+
+void set_current_lane(std::uint64_t lane) noexcept { tl_lane = lane; }
+
 }  // namespace detail
+
+namespace {
+
+// Fiber-local slots: the scope stack and the lane follow a fiber across
+// worker threads. The scope-stack nodes live on the fiber's own stack
+// (ScopeGuard / AdoptScopeStack frames), so migrating the head pointer is
+// sufficient; the lane makes the migrated fiber keep writing the same
+// single-writer shards it resolved earlier.
+[[maybe_unused]] const std::size_t g_scope_stack_slot =
+    util::FiberTlsRegistry::add({
+        []() noexcept -> void* { return detail::tl_scope_top; },
+        [](void* v) noexcept {
+          detail::tl_scope_top = static_cast<detail::ScopeNode*>(v);
+        },
+        nullptr,
+    });
+
+[[maybe_unused]] const std::size_t g_lane_slot = util::FiberTlsRegistry::add({
+    []() noexcept -> void* {
+      return reinterpret_cast<void*>(
+          static_cast<std::uintptr_t>(detail::tl_lane));
+    },
+    [](void* v) noexcept {
+      detail::set_current_lane(
+          static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(v)));
+    },
+    []() noexcept -> void* {
+      return reinterpret_cast<void*>(
+          static_cast<std::uintptr_t>(detail::new_lane()));
+    },
+});
+
+}  // namespace
 
 void set_metrics_enabled(bool enabled) noexcept {
   detail::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
@@ -168,19 +221,19 @@ MetricsSnapshot MetricScope::snapshot() const {
   return out;
 }
 
-detail::Shard* MetricScope::shard_for_current_thread() {
-  const auto id = std::this_thread::get_id();
+detail::Shard* MetricScope::shard_for_current_lane() {
+  const std::uint64_t lane = detail::current_lane();
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = by_thread_.find(id);
-  if (it != by_thread_.end()) return it->second;
+  auto it = by_lane_.find(lane);
+  if (it != by_lane_.end()) return it->second;
   shards_.push_back(std::make_unique<detail::Shard>());
   detail::Shard* shard = shards_.back().get();
-  by_thread_.emplace(id, shard);
+  by_lane_.emplace(lane, shard);
   return shard;
 }
 
 void MetricScope::fold(const MetricsSnapshot& child) noexcept {
-  detail::Shard* shard = shard_for_current_thread();
+  detail::Shard* shard = shard_for_current_lane();
   for (std::size_t i = 0; i < kCounterCount; ++i) {
     if (child.counters[i] != 0) {
       shard->add(static_cast<Counter>(i), child.counters[i]);
@@ -210,11 +263,11 @@ AdoptScopeStack::AdoptScopeStack(ScopeStackHandle handle) {
   }
   for (std::size_t i = n; i > 0; --i) {
     detail::ScopeNode& node = nodes_[depth_];
-    // A fresh shard per adopting thread: the captured node's shard is the
-    // capturing thread's private bank, and several rank threads adopt the
-    // same stack concurrently — sharing it would break single-writer.
+    // A fresh shard per adopting lane: the captured node's shard is the
+    // capturing context's private bank, and several ranks adopt the same
+    // stack concurrently — sharing it would break single-writer.
     node.scope = captured[i - 1]->scope;
-    node.shard = node.scope->shard_for_current_thread();
+    node.shard = node.scope->shard_for_current_lane();
     node.parent = detail::tl_scope_top;
     detail::tl_scope_top = &node;
     ++depth_;

@@ -55,7 +55,7 @@ enum class Counter : std::uint16_t {
   SimmpiBufferAllocs,     ///< envelope payloads freshly heap-allocated
   SimmpiBufferReuses,     ///< envelope payloads recycled from freelists
   SimmpiMailboxWaits,     ///< receives that blocked before a match arrived
-  SimmpiRendezvousEpochs, ///< rendezvous collective epochs advanced
+  SimmpiFusedCollectives, ///< fused collective combines executed
   SimmpiTeamCheckouts,    ///< rank-team pool checkouts
   SimmpiTeamSpawns,       ///< rank teams freshly spawned (pool misses)
   // fsefi — fault injector
@@ -214,6 +214,20 @@ struct ScopeNode {
 // metrics hot path).
 extern thread_local constinit ScopeNode* tl_scope_top;
 
+// ---- lanes ----
+// A *lane* is the unit of shard ownership: a small process-unique id for
+// one logical execution context. A plain thread lazily allocates a lane
+// on first use and keeps it forever; a fiber gets a fresh lane at
+// creation, carried across worker threads by the scheduler's TLS
+// migration (the lane and the scope stack are registered fiber-local
+// slots). Keying shards by lane instead of std::thread::id is what keeps
+// the single-writer shard invariant valid when a fiber suspends on one
+// worker and resumes on another: the shard follows the lane, the lane
+// follows the fiber, and the scheduler mutex orders the handoff.
+[[nodiscard]] std::uint64_t current_lane() noexcept;
+void set_current_lane(std::uint64_t lane) noexcept;
+[[nodiscard]] std::uint64_t new_lane() noexcept;
+
 }  // namespace detail
 
 /// An accounting domain: one campaign, one study. Counts recorded while a
@@ -232,8 +246,9 @@ class MetricScope {
   /// executor/job joins) for exact totals.
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
-  /// The calling thread's shard in this scope (created on first use).
-  [[nodiscard]] detail::Shard* shard_for_current_thread();
+  /// The calling lane's shard in this scope (created on first use). A
+  /// lane is a thread — or a fiber, wherever it currently runs.
+  [[nodiscard]] detail::Shard* shard_for_current_lane();
 
  private:
   void fold(const MetricsSnapshot& child) noexcept;
@@ -241,7 +256,7 @@ class MetricScope {
   MetricScope* parent_;
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<detail::Shard>> shards_;
-  std::unordered_map<std::thread::id, detail::Shard*> by_thread_;
+  std::unordered_map<std::uint64_t, detail::Shard*> by_lane_;
 };
 
 /// RAII: makes `scope` the innermost accounting domain of this thread.
@@ -249,7 +264,7 @@ class ScopeGuard {
  public:
   explicit ScopeGuard(MetricScope* scope) {
     if (scope == nullptr) return;
-    node_.shard = scope->shard_for_current_thread();
+    node_.shard = scope->shard_for_current_lane();
     node_.scope = scope;
     node_.parent = detail::tl_scope_top;
     // Storing a stack address in a thread-local is the point of the RAII

@@ -66,8 +66,27 @@ RuntimeOptions RuntimeOptions::from_env() {
   options.threads = static_cast<int>(
       env_int("RESILIENCE_THREADS", 0, /*min_value=*/0));
   options.team_pool = env_flag("RESILIENCE_TEAM_POOL", options.team_pool);
-  options.fast_collectives =
-      env_flag("RESILIENCE_FAST_COLLECTIVES", options.fast_collectives);
+  {
+    const std::string mode = env_str("RESILIENCE_SCHEDULER", "");
+    if (mode == "fibers") {
+      options.scheduler_fibers = true;
+    } else if (mode == "threads") {
+      options.scheduler_fibers = false;
+    } else if (!mode.empty()) {
+      std::fprintf(stderr,
+                   "warning: RESILIENCE_SCHEDULER: ignoring invalid value "
+                   "\"%s\" (expected \"fibers\" or \"threads\"), using "
+                   "default %s\n",
+                   mode.c_str(),
+                   options.scheduler_fibers ? "fibers" : "threads");
+    }
+  }
+  options.sched_workers = static_cast<int>(
+      env_int("RESILIENCE_SCHED_WORKERS", 0, /*min_value=*/0));
+  options.fiber_stack_kb = static_cast<std::size_t>(
+      env_int("RESILIENCE_FIBER_STACK_KB",
+              static_cast<std::int64_t>(options.fiber_stack_kb),
+              /*min_value=*/16));
   options.fast_real = env_flag("RESILIENCE_FAST_REAL", options.fast_real);
   options.checkpoint = env_flag("RESILIENCE_CHECKPOINT", options.checkpoint);
   options.checkpoint_budget = static_cast<std::size_t>(env_int(

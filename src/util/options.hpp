@@ -30,8 +30,16 @@ struct RuntimeOptions {
   int threads = 0;
   /// RESILIENCE_TEAM_POOL — reuse persistent rank teams across trials.
   bool team_pool = true;
-  /// RESILIENCE_FAST_COLLECTIVES — same-process rendezvous collectives.
-  bool fast_collectives = true;
+  /// RESILIENCE_SCHEDULER — "fibers" (default) multiplexes simulated
+  /// ranks as cooperative fibers over a small worker pool; "threads"
+  /// spawns one OS thread per rank (the legacy execution core).
+  bool scheduler_fibers = true;
+  /// RESILIENCE_SCHED_WORKERS — fiber-scheduler worker threads per job;
+  /// 0 = auto (min(hardware concurrency, nranks)).
+  int sched_workers = 0;
+  /// RESILIENCE_FIBER_STACK_KB — per-rank fiber stack size in KiB
+  /// (rounded up to whole pages, plus a guard page).
+  std::size_t fiber_stack_kb = 256;
   /// RESILIENCE_FAST_REAL — countdown dispatcher for instrumented Real
   /// arithmetic.
   bool fast_real = true;

@@ -7,7 +7,7 @@
 
 #include "harness/campaign.hpp"
 #include "simmpi/rank_team.hpp"
-#include "simmpi/rendezvous.hpp"
+#include "simmpi/runtime.hpp"
 
 namespace resilience {
 namespace {
@@ -124,13 +124,13 @@ TEST(Determinism, ParallelCampaignBitIdenticalToSerial) {
   }
 }
 
-// The simmpi fast path's determinism contract: a campaign run on pooled
-// rank teams with rendezvous collectives is bit-identical to one run on
-// freshly spawned threads with mailbox collectives, across worker counts
-// (team reuse included — the parallel run revisits pooled teams many
-// times). The toggles default on, so the "fast" legs also guard the
-// production configuration.
-TEST(Determinism, PooledFastPathCampaignBitIdenticalToBaseline) {
+// The execution-core determinism contract: a campaign is a pure function
+// of (app, config) no matter which scheduler runs it — fibers with fused
+// collectives (the default), fibers decomposing collectives into mailbox
+// messages, or the threads reference core on pooled teams or fresh
+// threads — and no matter how many campaign workers or scheduler workers
+// drive it. The fused/fibers legs guard the production configuration.
+TEST(Determinism, SchedulerModeCampaignBitIdenticalAcrossCores) {
   const auto app = apps::make_app(apps::AppId::CG);
   DeploymentConfig cfg;
   cfg.nranks = 8;
@@ -138,31 +138,44 @@ TEST(Determinism, PooledFastPathCampaignBitIdenticalToBaseline) {
   cfg.seed = 20180813;
 
   struct Leg {
-    bool fast;
-    std::size_t workers;
+    const char* name;
+    bool fibers;
+    bool fused;
+    bool team_pool;
+    int sched_workers;        // fibers mode only; 0 = auto
+    std::size_t max_workers;  // campaign executor width
+  };
+  const Leg legs[] = {
+      {"threads/fresh", false, true, false, 0, 1},
+      {"threads/pooled", false, true, true, 0, 8},
+      {"fibers/fused/1w", true, true, true, 1, 1},
+      {"fibers/fused/4w", true, true, true, 4, 8},
+      {"fibers/fused/4w repeat", true, true, true, 4, 8},
+      {"fibers/mailbox", true, false, true, 2, 8},
   };
   harness::CampaignResult baseline;
   bool have_baseline = false;
-  for (const Leg leg : {Leg{false, 1}, Leg{false, 8}, Leg{true, 1},
-                        Leg{true, 8}, Leg{true, 8}}) {
-    simmpi::detail::set_fast_collectives_enabled(leg.fast);
-    simmpi::RankTeamPool::set_enabled(leg.fast);
-    cfg.max_workers = leg.workers;
+  for (const Leg& leg : legs) {
+    simmpi::detail::set_scheduler_fibers_enabled(leg.fibers);
+    simmpi::detail::set_fused_collectives_enabled(leg.fused);
+    simmpi::detail::set_scheduler_workers(leg.sched_workers);
+    simmpi::RankTeamPool::set_enabled(leg.team_pool);
+    cfg.max_workers = leg.max_workers;
     const auto got = CampaignRunner::run(*app, cfg);
     if (!have_baseline) {
       baseline = got;
       have_baseline = true;
       continue;
     }
-    const std::string label = std::string(leg.fast ? "fast" : "slow") + " @" +
-                              std::to_string(leg.workers) + " workers";
-    EXPECT_EQ(got.overall.success, baseline.overall.success) << label;
-    EXPECT_EQ(got.overall.sdc, baseline.overall.sdc) << label;
-    EXPECT_EQ(got.overall.failure, baseline.overall.failure) << label;
-    EXPECT_EQ(got.contamination_hist, baseline.contamination_hist) << label;
-    EXPECT_EQ(got.golden.signature, baseline.golden.signature) << label;
+    EXPECT_EQ(got.overall.success, baseline.overall.success) << leg.name;
+    EXPECT_EQ(got.overall.sdc, baseline.overall.sdc) << leg.name;
+    EXPECT_EQ(got.overall.failure, baseline.overall.failure) << leg.name;
+    EXPECT_EQ(got.contamination_hist, baseline.contamination_hist) << leg.name;
+    EXPECT_EQ(got.golden.signature, baseline.golden.signature) << leg.name;
   }
-  simmpi::detail::set_fast_collectives_enabled(true);
+  simmpi::detail::reset_scheduler_fibers_enabled();
+  simmpi::detail::set_fused_collectives_enabled(true);
+  simmpi::detail::set_scheduler_workers(-1);
   simmpi::RankTeamPool::set_enabled(true);
 }
 

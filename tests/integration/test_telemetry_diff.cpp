@@ -7,6 +7,7 @@
 
 #include "harness/campaign.hpp"
 #include "core/study.hpp"
+#include "simmpi/runtime.hpp"
 #include "telemetry/sinks.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -110,6 +111,39 @@ TEST(TelemetryDiff, SameSeedTwiceReportsIdenticalLogicalCounters) {
         cfg.trials)
         << label;
   }
+}
+
+TEST(TelemetryDiff, FiberMigrationRollsUpEveryCountExactlyOnce) {
+  // Under the fiber scheduler a rank's telemetry lane migrates across
+  // worker threads whenever its fiber is resumed elsewhere. The campaign
+  // rollup must still fold every shard exactly once: the logical view of
+  // a multi-worker fibers campaign equals the threads-core view bit for
+  // bit, and the absolute harness counters match the trial count (a
+  // double-fold or dropped shard would show up here, not just as an
+  // inequality between legs).
+  const auto app = apps::make_app(apps::AppId::MG);
+  DeploymentConfig cfg;
+  cfg.nranks = 4;
+  cfg.trials = 15;
+  cfg.seed = 20180813;
+
+  simmpi::detail::set_scheduler_fibers_enabled(true);
+  simmpi::detail::set_scheduler_workers(4);  // force cross-worker migration
+  const auto fibers = CampaignRunner::run(*app, cfg);
+  simmpi::detail::set_scheduler_fibers_enabled(false);
+  simmpi::detail::set_scheduler_workers(-1);
+  const auto threads = CampaignRunner::run(*app, cfg);
+  simmpi::detail::reset_scheduler_fibers_enabled();
+
+  expect_same_campaign(fibers, threads, "fibers@4workers vs threads");
+  EXPECT_TRUE(fibers.metrics.logical_equal(threads.metrics));
+  EXPECT_EQ(fibers.metrics.value(Counter::HarnessTrials), cfg.trials);
+  EXPECT_EQ(fibers.metrics.value(Counter::HarnessCampaigns), 1u);
+  EXPECT_EQ(fibers.metrics.value(Counter::HarnessGoldenProfiles), 1u);
+  EXPECT_EQ(
+      fibers.metrics.histogram(telemetry::Histogram::HarnessContaminatedRanks)
+          .total(),
+      cfg.trials);
 }
 
 TEST(TelemetryDiff, StudyBitIdenticalTelemetryOnVsOff) {

@@ -87,6 +87,9 @@ TEST(RankTeamPool, PrewarmStocksIdleTeams) {
 }
 
 TEST(RankTeamPool, RuntimeJobsShareOnePooledTeam) {
+  // Pin the threads core: this test is about rank-width team reuse, and
+  // the fibers core only checks teams out at worker width (often 1).
+  detail::set_scheduler_fibers_enabled(false);
   RankTeamPool::set_enabled(true);
   auto& pool = RankTeamPool::instance();
   pool.clear();
@@ -100,6 +103,31 @@ TEST(RankTeamPool, RuntimeJobsShareOnePooledTeam) {
   }
   EXPECT_EQ(pool.teams_created() - created_before, 1u);
   pool.clear();
+  detail::reset_scheduler_fibers_enabled();
+}
+
+TEST(RankTeamPool, FiberWorkersShareOnePooledTeam) {
+  // The fibers core reuses the same pool for its worker threads, at
+  // worker width instead of rank width.
+  detail::set_scheduler_fibers_enabled(true);
+  detail::set_scheduler_workers(3);
+  RankTeamPool::set_enabled(true);
+  auto& pool = RankTeamPool::instance();
+  pool.clear();
+  const auto created_before = pool.teams_created();
+  const auto checkouts_before = pool.checkouts();
+  for (int job = 0; job < 20; ++job) {
+    const auto result = Runtime::run(8, [](Comm& comm) {
+      const double sum = comm.allreduce_value(1.0);
+      EXPECT_DOUBLE_EQ(sum, 8.0);
+    });
+    EXPECT_TRUE(result.ok);
+  }
+  EXPECT_EQ(pool.teams_created() - created_before, 1u);
+  EXPECT_EQ(pool.checkouts() - checkouts_before, 20u);
+  pool.clear();
+  detail::set_scheduler_workers(-1);
+  detail::reset_scheduler_fibers_enabled();
 }
 
 TEST(RankTeamPool, DisabledFallsBackToSpawnedThreads) {

@@ -1,0 +1,167 @@
+// Scheduler edge cases, exercised in both execution cores (fibers and
+// threads) via a value-parameterized fixture: deterministic deadlock with
+// zero runnable fibers, abort teardown mid-collective, a 512-rank smoke
+// job (the scale the thread-per-rank core existed to avoid), and pooled
+// resource reuse across an aborted job.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <numeric>
+#include <vector>
+
+#include "simmpi/rank_team.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace resilience::simmpi {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+class SchedulerModes : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    detail::set_scheduler_fibers_enabled(GetParam());
+  }
+  void TearDown() override {
+    detail::reset_scheduler_fibers_enabled();
+    detail::set_scheduler_workers(-1);
+    detail::set_fiber_stack_kb(0);
+  }
+  [[nodiscard]] static bool fibers() { return GetParam(); }
+};
+
+std::string mode_name(const ::testing::TestParamInfo<bool>& param) {
+  return param.param ? "fibers" : "threads";
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, SchedulerModes, ::testing::Bool(), mode_name);
+
+TEST_P(SchedulerModes, ZeroRunnableRanksIsDeadlock) {
+  // Both ranks block receiving a message nobody will send. The fiber
+  // scheduler must declare the deadlock the moment its run queue drains;
+  // the threads core falls back to its timeout.
+  RunOptions opts;
+  opts.deadlock_timeout = milliseconds(200);
+  const auto start = steady_clock::now();
+  const auto result = Runtime::run(
+      2,
+      [](Comm& comm) { comm.recv_value<int>(1 - comm.rank(), 0); },
+      opts);
+  EXPECT_TRUE(result.deadlocked);
+  EXPECT_TRUE(result.aborted);
+  EXPECT_GE(result.failed_rank, 0);
+  if (fibers()) {
+    // Event-driven detection: no fraction of the timeout was consumed.
+    EXPECT_LT(steady_clock::now() - start, milliseconds(150));
+  }
+}
+
+TEST_P(SchedulerModes, AbortMidCollectiveTearsDownEveryParkedRank) {
+  const auto result = Runtime::run(16, [](Comm& comm) {
+    if (comm.rank() == 5) throw std::runtime_error("rank 5 dies");
+    const double sum = comm.allreduce_value(1.0);
+    (void)sum;
+  });
+  EXPECT_TRUE(result.aborted);
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_EQ(result.failed_rank, 5);
+  EXPECT_EQ(result.error, "rank 5 dies");
+
+  // The job's scheduler state dies with the job: a follow-up job on the
+  // same process must be unaffected.
+  const auto clean = Runtime::run(16, [](Comm& comm) {
+    EXPECT_DOUBLE_EQ(comm.allreduce_value(1.0), 16.0);
+  });
+  EXPECT_TRUE(clean.ok);
+}
+
+TEST_P(SchedulerModes, FiveTwelveRankSmoke) {
+  // 512 ranks: collectives, a ring exchange and a reduction. Under the
+  // fiber core this costs a handful of worker threads; under the threads
+  // core it is the old 512-thread job and doubles as its regression
+  // check.
+  const auto result = Runtime::run(512, [](Comm& comm) {
+    comm.barrier();
+    const int total = comm.allreduce_value(1);
+    EXPECT_EQ(total, comm.size());
+    const int right = (comm.rank() + 1) % comm.size();
+    const int left = (comm.rank() + comm.size() - 1) % comm.size();
+    const int mine = comm.rank();
+    int from_left = -1;
+    comm.sendrecv(right, 3, std::span<const int>(&mine, 1), left, 3,
+                  std::span<int>(&from_left, 1));
+    EXPECT_EQ(from_left, left);
+    const long r = comm.rank();
+    long sum = 0;
+    comm.allreduce(std::span<const long>(&r, 1), std::span<long>(&sum, 1));
+    EXPECT_EQ(sum, 512L * 511L / 2L);
+  });
+  EXPECT_TRUE(result.ok) << result.error;
+}
+
+TEST_P(SchedulerModes, PooledResourcesSurviveAnAbortedJob) {
+  // An abort tears a job down mid-flight with ranks parked and pooled
+  // resources (fiber stacks / team threads / envelope buffers) checked
+  // out. The pools must hand all of it back: follow-up jobs of the same
+  // and larger widths run clean.
+  const auto aborted = Runtime::run(32, [](Comm& comm) {
+    if (comm.rank() == 31) throw std::runtime_error("late rank dies");
+    comm.barrier();
+    comm.recv_value<int>(comm.rank(), 0);  // unreachable: abort wakes us
+  });
+  EXPECT_TRUE(aborted.aborted);
+  EXPECT_EQ(aborted.failed_rank, 31);
+
+  for (const int nranks : {32, 64}) {
+    const auto clean = Runtime::run(nranks, [](Comm& comm) {
+      const int total = comm.allreduce_value(1);
+      EXPECT_EQ(total, comm.size());
+      comm.barrier();
+    });
+    EXPECT_TRUE(clean.ok) << nranks << " ranks: " << clean.error;
+  }
+}
+
+TEST(FiberScheduler, WorkerCountDoesNotChangeResults) {
+  // The same job body must produce identical values no matter how many
+  // workers multiplex the fibers (including more workers than ranks ask
+  // for, which the resolver clamps).
+  detail::set_scheduler_fibers_enabled(true);
+  std::vector<double> baseline;
+  for (const int workers : {1, 2, 4, 64}) {
+    detail::set_scheduler_workers(workers);
+    std::vector<double> out;
+    const auto result = Runtime::run(8, [&out](Comm& comm) {
+      std::vector<double> v(3, 1.5 * (comm.rank() + 1));
+      std::vector<double> sum(3);
+      comm.allreduce(std::span<const double>(v), std::span<double>(sum));
+      if (comm.rank() == 0) out = sum;
+    });
+    EXPECT_TRUE(result.ok);
+    if (baseline.empty()) {
+      baseline = out;
+    } else {
+      EXPECT_EQ(out, baseline) << workers << " workers";
+    }
+  }
+  detail::set_scheduler_workers(-1);
+  detail::reset_scheduler_fibers_enabled();
+}
+
+TEST(FiberScheduler, TinyStacksStillRunLeafWork) {
+  // The configured floor (16 KiB) plus guard page must be enough for a
+  // rank that only does transport calls — the scheduler's own frames and
+  // the mailbox path must not assume a deep stack.
+  detail::set_scheduler_fibers_enabled(true);
+  detail::set_fiber_stack_kb(16);
+  const auto result = Runtime::run(4, [](Comm& comm) {
+    EXPECT_EQ(comm.allreduce_value(1), 4);
+  });
+  EXPECT_TRUE(result.ok) << result.error;
+  detail::set_fiber_stack_kb(0);
+  detail::reset_scheduler_fibers_enabled();
+}
+
+}  // namespace
+}  // namespace resilience::simmpi

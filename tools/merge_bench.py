@@ -10,10 +10,16 @@ Output:
                                substrate performance, including the derived
                                headline metrics:
                                  - launch_speedup.<n>: pooled vs unpooled
-                                   per-trial job launch latency (the PR's
-                                   acceptance bar is >= 2x at nranks >= 8)
-                                 - collective_speedup.<n>: rendezvous vs
-                                   mailbox allreduce latency
+                                   per-trial job launch latency on the
+                                   threads core (the PR's acceptance bar
+                                   is >= 2x at nranks >= 8)
+                                 - collective_speedup.<n>: fused fiber
+                                   allreduce vs the threads-core mailbox
+                                   decomposition (bar: >= 1.0x at every
+                                   benched rank count)
+                                 - scheduler_speedup.{collective,p2p}.<n>:
+                                   whole-job fibers-core vs threads-core
+                                   wall time at 16..1024 ranks
                                  - allocs_per_msg.<bytes>: envelope-pool
                                    payload allocations per message
                                  - real_scalar_speedup.{unarmed,armed}:
@@ -44,6 +50,11 @@ Output:
 
 Usage: tools/merge_bench.py [--dir DIR] [--out BENCH_substrate.json]
 Missing inputs are skipped with a warning so partial runs still merge.
+
+Debug-build dumps are refused: ratios between unoptimized legs say
+nothing about the production substrate. Pass --allow-debug to merge one
+anyway; the output is then annotated with "debug_build": true so no
+downstream consumer mistakes it for a release measurement.
 """
 
 import argparse
@@ -77,6 +88,7 @@ def derive_micro_metrics(micro):
     """Headline ratios from the micro-substrate google-benchmark dump."""
     benchmarks = micro.get("benchmarks", [])
     metrics = {"launch_speedup": {}, "collective_speedup": {},
+               "scheduler_speedup": {"collective": {}, "p2p": {}},
                "allocs_per_msg": {}}
     for ranks in (2, 8, 32, 64):
         pooled = real_time(benchmarks, f"BM_JobSpawnJoin/{ranks}")
@@ -84,10 +96,18 @@ def derive_micro_metrics(micro):
         if pooled and unpooled:
             metrics["launch_speedup"][str(ranks)] = unpooled / pooled
     for ranks in (4, 8, 16, 64):
-        fast = real_time(benchmarks, f"BM_AllreduceRound/{ranks}")
+        fused = real_time(benchmarks, f"BM_AllreduceRound/{ranks}")
         mailbox = real_time(benchmarks, f"BM_AllreduceRoundMailbox/{ranks}")
-        if fast and mailbox:
-            metrics["collective_speedup"][str(ranks)] = mailbox / fast
+        if fused and mailbox:
+            metrics["collective_speedup"][str(ranks)] = mailbox / fused
+    for kind, stem in (("collective", "BM_SchedCollective"),
+                       ("p2p", "BM_SchedPointToPoint")):
+        for ranks in (16, 64, 256, 1024):
+            fibers = real_time(benchmarks, f"{stem}Fibers/{ranks}")
+            threads = real_time(benchmarks, f"{stem}Threads/{ranks}")
+            if fibers and threads:
+                metrics["scheduler_speedup"][kind][str(ranks)] = \
+                    threads / fibers
     for b in benchmarks:
         if b.get("name", "").startswith("BM_PingPong/") and "allocs_per_msg" in b:
             size = b["name"].split("/", 1)[1]
@@ -160,18 +180,40 @@ def main():
     parser.add_argument("--dir", default=".",
                         help="directory holding the input dumps")
     parser.add_argument("--out", default="BENCH_substrate.json")
+    parser.add_argument("--allow-debug", action="store_true",
+                        help="merge a debug-build dump anyway, annotating "
+                             "the output with debug_build: true")
     args = parser.parse_args()
     base = pathlib.Path(args.dir)
 
     merged = {"schema": "resilience-bench-substrate/1"}
     micro = load(base / "BENCH_micro_substrate.json")
     if micro is not None:
+        # binary_build_type is stamped by bench_micro_substrate itself from
+        # its own optimization flags; library_build_type only describes the
+        # prebuilt google-benchmark library and is the fallback for dumps
+        # from older binaries.
+        context = micro.get("context", {})
+        build_type = context.get("binary_build_type",
+                                 context.get("library_build_type", ""))
+        if build_type not in ("release", ""):
+            if not args.allow_debug:
+                print(f"merge_bench: refusing {build_type} build input "
+                      "(speedup ratios of unoptimized legs are meaningless); "
+                      "rebuild with an optimized CMAKE_BUILD_TYPE or pass "
+                      "--allow-debug to annotate-and-merge",
+                      file=sys.stderr)
+                return 1
+            merged["debug_build"] = True
+            print(f"merge_bench: warning: merging {build_type} build input; "
+                  "output annotated with debug_build: true",
+                  file=sys.stderr)
         merged["micro_substrate"] = micro
         merged["metrics"] = derive_micro_metrics(micro)
-        context = micro.get("context", {})
         merged["host"] = {k: context[k] for k in
                           ("host_name", "num_cpus", "mhz_per_cpu",
-                           "library_build_type") if k in context}
+                           "binary_build_type", "library_build_type")
+                          if k in context}
     intro = load(base / "BENCH_intro_overhead.json")
     if intro is not None:
         merged["intro_overhead"] = intro
@@ -188,6 +230,15 @@ def main():
     for ranks, ratio in sorted(metrics.get("launch_speedup", {}).items(),
                                key=lambda kv: int(kv[0])):
         print(f"  job launch speedup @{ranks} ranks: {ratio:.2f}x")
+    for ranks, ratio in sorted(metrics.get("collective_speedup", {}).items(),
+                               key=lambda kv: int(kv[0])):
+        bar = "" if ratio >= 1.0 else "  ** BELOW the >= 1.0x bar **"
+        print(f"  fused collective speedup @{ranks} ranks: {ratio:.2f}x{bar}")
+    for kind in ("collective", "p2p"):
+        legs = metrics.get("scheduler_speedup", {}).get(kind, {})
+        for ranks, ratio in sorted(legs.items(), key=lambda kv: int(kv[0])):
+            print(f"  scheduler ({kind}) fibers-vs-threads @{ranks} ranks: "
+                  f"{ratio:.2f}x")
     for label, ratio in metrics.get("real_scalar_speedup", {}).items():
         print(f"  Real scalar fast-path speedup ({label}): {ratio:.2f}x")
     for label, ratio in metrics.get("blocked_dot_speedup", {}).items():

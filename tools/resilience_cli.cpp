@@ -167,7 +167,7 @@ fsefi::RegionMask parse_region(const std::string& name) {
 
 int cmd_list() {
   util::TablePrinter table({"name", "input problem", "notes"});
-  table.add_row({"CG", "S (also B)", "sparse eigenvalue, power + CG solves"});
+  table.add_row({"CG", "S (also B, C)", "sparse eigenvalue, power + CG solves"});
   table.add_row({"FT", "S (also B)", "2D FFT with alltoall transpose"});
   table.add_row({"MG", "S", "2D multigrid V-cycles"});
   table.add_row({"LU", "W", "SSOR with pipelined wavefronts"});
