@@ -14,14 +14,21 @@
 // replays per-rank receive hooks under BorrowFiberTls so taint and
 // telemetry land on the logical rank that would have executed them.
 //
-// Safety of the borrowed pointers: every non-last arriver's Arrival
-// points into its own fiber stack (accumulator buffers, user output
-// slots). Those fibers are parked and cannot resume — even on job abort —
-// until the combiner releases the group mutex, because their first act
-// after waking is to reacquire it. The combiner therefore runs the whole
-// combine under the group mutex and never parks; the worker OS-blocking
-// on that mutex still counts as running, so no false deadlock can be
-// declared.
+// Safety of the borrowed pointers and TLS banks: every non-last
+// arriver's Arrival points into its own fiber stack (accumulator
+// buffers, user output slots), and the combiner swaps each arriver's
+// saved thread-local bank onto its own thread while replaying that
+// rank's instrumentation. Both are safe because an arrived fiber stays
+// *parked* for the whole combine: it parks with a group tag
+// (park_on_group), which exempts it from wake_all_parked — a job abort
+// cannot make it runnable, so no worker can swap its TLS bank
+// concurrently with the borrow. The only wake sources for a group-parked
+// fiber are the combiner's own complete() (after the combine) and the
+// scheduler's no-runnable-fiber sweep (impossible mid-combine: the
+// combiner is a running fiber). BorrowFiberTls additionally waits for
+// each park to commit before swapping, so a not-yet-suspended arriver is
+// never borrowed early. The combiner runs the whole combine under the
+// group mutex and never parks.
 //
 // Epochs: collectives on one communicator are totally ordered by the
 // Comm's collective sequence number. The first arriver of an epoch pins
@@ -63,6 +70,14 @@ class FusedGroup {
   /// releasing the mutex; arrival slots stay valid exactly that long.
   ArriveOutcome arrive(int vrank, std::uint64_t epoch, const Arrival& arrival,
                        int group_size) {
+    if (epoch <= done_epoch_) {
+      // A rank arriving with an already-completed epoch has fallen behind
+      // the group's SPMD sequence (it skipped collectives its peers ran).
+      // Reject before recording anything: pinning current_epoch_ to the
+      // stale value would corrupt group state and misreport the error at
+      // a healthy rank's next collective instead of the diverged rank.
+      return ArriveOutcome::EpochMismatch;
+    }
     if (arrived_ == 0) {
       current_epoch_ = epoch;
       if (arrivals_.size() < static_cast<std::size_t>(group_size)) {

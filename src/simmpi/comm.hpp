@@ -619,21 +619,34 @@ class Comm {
   }
 
   /// Park until the fused group's combiner publishes `epoch`. Requires
-  /// `lock` on the group mutex; rechecks abort/deadlock on every wake.
+  /// `lock` on the group mutex. An arrived rank must park *before*
+  /// checking abort or deadlock and stay parked until woken: its Arrival
+  /// slot and the group's arrival count are combiner inputs, so bailing
+  /// out between arrive() and park would hand a racing combiner a stale
+  /// slot and an unparked fiber to borrow. The group-tagged park exempts
+  /// this fiber from abort wakeups while a combiner may be mid-combine
+  /// (see FiberScheduler::wake_all_parked and BorrowFiberTls); when no
+  /// combiner ever comes, the scheduler's no-runnable sweep — which
+  /// cannot coincide with a combine — delivers the wake, and abort and
+  /// deadlock are observed here after resuming.
   void await_fused(detail::FusedGroup& group,
                    std::unique_lock<std::mutex>& lock, std::uint64_t epoch) {
     detail::Fiber* const self = FiberScheduler::current_fiber();
-    for (;;) {
-      if (group.done_epoch() >= epoch) return;
-      if (job_->abort.triggered()) throw AbortError();
+    group.waiters().add(self);
+    while (group.done_epoch() < epoch) {
+      job_->scheduler->park_on_group(lock, &group);
+      if (group.done_epoch() >= epoch) break;
+      if (job_->abort.triggered()) {
+        group.waiters().remove(self);
+        throw AbortError();
+      }
       if (job_->scheduler->deadlocked()) {
+        group.waiters().remove(self);
         throw DeadlockError(
             "collective blocked with no runnable fiber: deadlock");
       }
-      group.waiters().add(self);
-      job_->scheduler->park(lock);
-      group.waiters().remove(self);
     }
+    group.waiters().remove(self);
   }
 
   template <Transportable T>

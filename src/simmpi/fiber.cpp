@@ -125,7 +125,10 @@ FiberContext::FiberContext(std::size_t stack_bytes, Entry entry, void* arg)
   context_.uc_stack.ss_size = usable;
   context_.uc_link = nullptr;  // the entry must switch_out, never fall off
   // makecontext only passes ints; split the pointer across two of them.
-  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  // Widen to 64 bits first: on a 32-bit target `uintptr_t >> 32` would
+  // shift by the full type width, which is undefined behavior.
+  const auto self =
+      static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(this));
   ::makecontext(&context_, reinterpret_cast<void (*)()>(&trampoline), 2,
                 static_cast<unsigned>(self >> 32),
                 static_cast<unsigned>(self & 0xffffffffu));
@@ -144,9 +147,10 @@ FiberContext::~FiberContext() {
 }
 
 void FiberContext::trampoline(unsigned hi, unsigned lo) {
-  const auto bits = (static_cast<std::uintptr_t>(hi) << 32) |
-                    static_cast<std::uintptr_t>(lo);
-  auto* self = reinterpret_cast<FiberContext*>(bits);
+  const auto bits =
+      (static_cast<std::uint64_t>(hi) << 32) | static_cast<std::uint64_t>(lo);
+  auto* self =
+      reinterpret_cast<FiberContext*>(static_cast<std::uintptr_t>(bits));
   self->entry_(self->arg_);
   // The entry contract is a final switch_out(); falling off the context
   // would terminate the thread (uc_link is null).

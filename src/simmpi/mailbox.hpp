@@ -16,9 +16,11 @@
 //
 // Blocking has two shapes. On the threaded substrate a receive without a
 // match waits on the mailbox condvar with the progress-reset deadlock
-// deadline. Under the fiber scheduler the receiving *fiber* instead adds
-// itself to the mailbox's wait list and parks — the worker thread moves
-// on to another runnable rank — and push/interrupt unpark the waiters.
+// deadline. Under the fiber scheduler the receiving *fiber* instead
+// records its (source, tag) filter in the mailbox's waiter list and
+// parks — the worker thread moves on to another runnable rank — and
+// push unparks exactly the waiters its envelope can match (interrupt
+// unparks them all).
 // The fiber path has no timeout at all: the scheduler detects deadlock
 // deterministically (zero runnable fibers) and wakes parked receivers,
 // which observe deadlocked() and throw.
@@ -79,24 +81,37 @@ class Mailbox {
     sched_ = scheduler;
   }
 
-  /// Enqueue an envelope; never blocks.
+  /// Enqueue an envelope; never blocks. Only parked receivers whose
+  /// (source, tag) filter matches the envelope are woken — waking the
+  /// rest would be a thundering herd of resume/re-park cycles (each a
+  /// full TLS swap and context switch) for receives that cannot match.
   void push(Envelope env) {
     {
       std::lock_guard lock(mu_);
-      auto& queue = queues_[key_of(env.source, env.tag)];
+      const int source = env.source;
+      const int tag = env.tag;
+      auto& queue = queues_[key_of(source, tag)];
       queue.push_back(Stamped{next_stamp_++, std::move(env)});
       ++pending_;
       ++arrivals_;
-      if (sched_ != nullptr) waiters_.wake_all(*sched_);
+      if (sched_ != nullptr) {
+        for (const RecvWaiter& waiter : recv_waiters_) {
+          if (waiter.matches(source, tag)) sched_->unpark(waiter.fiber);
+        }
+      }
     }
     cv_.notify_all();
   }
 
-  /// Wake a blocked receive so it can observe an abort.
+  /// Wake every blocked receive so it can observe an abort.
   void interrupt() {
     {
       std::lock_guard lock(mu_);
-      if (sched_ != nullptr) waiters_.wake_all(*sched_);
+      if (sched_ != nullptr) {
+        for (const RecvWaiter& waiter : recv_waiters_) {
+          sched_->unpark(waiter.fiber);
+        }
+      }
     }
     cv_.notify_all();
   }
@@ -191,6 +206,29 @@ class Mailbox {
     return env;
   }
 
+  /// A parked receiving fiber plus the (source, tag) filter it awaits;
+  /// push() uses the filter to wake only receivers the envelope can
+  /// satisfy. Guarded by mu_.
+  struct RecvWaiter {
+    detail::Fiber* fiber = nullptr;
+    int source = 0;
+    int tag = 0;
+
+    [[nodiscard]] bool matches(int env_source, int env_tag) const noexcept {
+      return (source == kAnySource || source == env_source) &&
+             (tag == kAnyTag || tag == env_tag);
+    }
+  };
+
+  void remove_recv_waiter(detail::Fiber* fiber) {
+    for (auto it = recv_waiters_.begin(); it != recv_waiters_.end(); ++it) {
+      if (it->fiber == fiber) {
+        recv_waiters_.erase(it);
+        return;
+      }
+    }
+  }
+
   /// Fiber-path receive: park instead of condvar-waiting, no timeout.
   /// Requires `lock` held; called with the calling fiber's scheduler set.
   Envelope pop_matching_fiber(int source, int tag,
@@ -209,9 +247,9 @@ class Mailbox {
         telemetry::count(telemetry::Counter::SimmpiMailboxWaits);
         counted_wait = true;
       }
-      waiters_.add(self);
+      recv_waiters_.push_back(RecvWaiter{self, source, tag});
       sched_->park(lock);
-      waiters_.remove(self);
+      remove_recv_waiter(self);
     }
   }
 
@@ -256,7 +294,7 @@ class Mailbox {
   AbortToken* abort_;
   std::chrono::milliseconds timeout_;
   FiberScheduler* sched_ = nullptr;  ///< set when the job runs on fibers
-  detail::WaitList waiters_;         ///< parked receiving fibers (under mu_)
+  std::vector<RecvWaiter> recv_waiters_;  ///< parked receivers (under mu_)
   std::mutex mu_;
   std::condition_variable cv_;
   /// (source, tag) -> FIFO of envelopes; empty sub-queues are erased.

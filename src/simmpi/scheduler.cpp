@@ -91,6 +91,9 @@ void FiberScheduler::worker_main(int /*worker_index*/) {
         cv_.notify_one();
       } else {
         fiber->state_ = detail::Fiber::State::Parked;
+        // The fiber's TLS bank is now saved (resume() swapped it back
+        // before this commit): a combiner waiting to borrow it may go.
+        if (fiber->park_group_ != nullptr) borrow_cv_.notify_all();
       }
       continue;
     }
@@ -114,6 +117,16 @@ void FiberScheduler::worker_main(int /*worker_index*/) {
 }
 
 void FiberScheduler::park(std::unique_lock<std::mutex>& owner_lock) {
+  park_impl(owner_lock, nullptr);
+}
+
+void FiberScheduler::park_on_group(std::unique_lock<std::mutex>& owner_lock,
+                                   const void* group_tag) {
+  park_impl(owner_lock, group_tag);
+}
+
+void FiberScheduler::park_impl(std::unique_lock<std::mutex>& owner_lock,
+                               const void* group_tag) {
   detail::Fiber* fiber = current_fiber();
   if (fiber == nullptr) {
     std::fprintf(stderr, "scheduler: park called outside a fiber\n");
@@ -122,6 +135,7 @@ void FiberScheduler::park(std::unique_lock<std::mutex>& owner_lock) {
   {
     std::lock_guard lock(mu_);
     fiber->state_ = detail::Fiber::State::Parking;
+    fiber->park_group_ = group_tag;
   }
   // Release the owner lock only after the state is Parking: a waker that
   // now finds this fiber in a WaitList flags it ParkingWoken and the
@@ -139,11 +153,13 @@ void FiberScheduler::unpark(detail::Fiber* fiber) {
 void FiberScheduler::unpark_locked(detail::Fiber* fiber) {
   switch (fiber->state_) {
     case detail::Fiber::State::Parked:
+      fiber->park_group_ = nullptr;
       fiber->state_ = detail::Fiber::State::Runnable;
       run_queue_.push_back(fiber);
       cv_.notify_one();
       break;
     case detail::Fiber::State::Parking:
+      fiber->park_group_ = nullptr;
       fiber->state_ = detail::Fiber::State::ParkingWoken;
       break;
     default:
@@ -166,6 +182,15 @@ void FiberScheduler::yield_current() {
 void FiberScheduler::wake_all_parked() {
   std::lock_guard lock(mu_);
   for (auto& fiber : fibers_) {
+    // A fiber parked on a fused-collective group may have its TLS bank
+    // borrowed by a mid-combine combiner right now; resuming it would
+    // race the borrow's swaps. Leave it parked: the combiner's
+    // complete() wakes the group when the combine ends, and if no
+    // combiner ever arrives (abort before the last arrival) the
+    // no-runnable-fiber sweep in worker_main — which cannot coincide
+    // with a combine, since a combiner is a running fiber — delivers
+    // the wake instead.
+    if (fiber->park_group_ != nullptr) continue;
     unpark_locked(fiber.get());
   }
 }
@@ -175,10 +200,26 @@ detail::Fiber* FiberScheduler::current_fiber() noexcept {
 }
 
 BorrowFiberTls::BorrowFiberTls(detail::Fiber* fiber) {
-  if (fiber != nullptr && fiber != FiberScheduler::current_fiber()) {
-    fiber_ = fiber;
-    util::FiberTlsRegistry::swap(fiber_->tls_);
+  if (fiber == nullptr || fiber == FiberScheduler::current_fiber()) return;
+  fiber_ = fiber;
+  FiberScheduler* sched = fiber->scheduler_;
+  std::unique_lock lock(sched->mu_);
+  // Wait for the fiber's park to commit: until the owning worker swaps
+  // the fiber's live thread-locals back into tls_ and marks it Parked,
+  // the bank is not ours to borrow. The wait is short and bounded — the
+  // suspending worker is between switch-out and commit, with nothing to
+  // block on — and the state is stable for the borrow's lifetime: the
+  // fiber is group-parked (exempt from wake_all_parked), its group's
+  // complete() runs only after this combine, and the no-runnable sweep
+  // cannot fire while the combiner itself is running.
+  while (fiber->state_ != detail::Fiber::State::Parked) {
+    if (fiber->state_ != detail::Fiber::State::Parking) {
+      std::fprintf(stderr, "scheduler: borrowed fiber is not parked\n");
+      std::abort();
+    }
+    sched->borrow_cv_.wait(lock);
   }
+  util::FiberTlsRegistry::swap(fiber_->tls_);
 }
 
 BorrowFiberTls::~BorrowFiberTls() {

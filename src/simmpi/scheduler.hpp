@@ -23,6 +23,12 @@
 //     themselves from their WaitList after resuming (they reacquire the
 //     owner lock anyway to re-check their predicate), so wakers never
 //     touch list storage they don't own.
+//   - Fibers parked on a fused-collective group (park_on_group) are
+//     exempt from the job-abort broadcast (wake_all_parked): the group's
+//     combiner may be borrowing their TLS banks mid-combine, and an
+//     early resume would race those swaps. Such fibers are woken by the
+//     combiner's complete() or by the no-runnable sweep, which cannot
+//     run while a combiner (a running fiber) exists.
 //
 // Deadlock detection is deterministic, not timer-based: the moment no
 // fiber is runnable or running while some are still unfinished, no future
@@ -77,6 +83,11 @@ class Fiber {
   FiberScheduler* scheduler_;
   int rank_;
   State state_ = State::Runnable;  ///< guarded by the scheduler mutex
+  /// Non-null while the fiber is parked (or parking) on a fused-collective
+  /// group: a combiner may be borrowing its TLS bank, so abort wakeups are
+  /// deferred to the group's own wake paths. Guarded by the scheduler
+  /// mutex; cleared whenever the fiber is actually woken.
+  const void* park_group_ = nullptr;
   bool finished_ = false;  ///< set by the fiber before its last switch-out
   util::FiberTlsRegistry::Values tls_{};  ///< saved bank while suspended
   FiberContext context_;  ///< last member: entry may run immediately never
@@ -108,13 +119,27 @@ class FiberScheduler {
   /// stack switch and reacquired after resume.
   void park(std::unique_lock<std::mutex>& owner_lock);
 
+  /// Park the calling fiber on a fused-collective group identified by the
+  /// opaque `group_tag`. Identical to park(), except that while the tag
+  /// is set the fiber is exempt from wake_all_parked(): the group's
+  /// combiner may be borrowing the fiber's TLS bank (BorrowFiberTls), and
+  /// resuming the fiber would race that borrow. Group-parked fibers are
+  /// woken by the combiner's complete() or — when no combiner can be
+  /// running — by the no-runnable-fiber sweep.
+  void park_on_group(std::unique_lock<std::mutex>& owner_lock,
+                     const void* group_tag);
+
   /// Make a parked (or parking) fiber runnable; satisfied and spurious
   /// wakes are ignored.
   void unpark(detail::Fiber* fiber);
 
   /// Wake every parked fiber (job abort teardown): each resumes inside
   /// its blocking primitive, re-checks its predicate and observes the
-  /// abort token.
+  /// abort token. Fibers parked on a fused-collective group are *not*
+  /// woken here — a combiner may be mid-combine borrowing their TLS —
+  /// they are released by the combiner's complete() or, if no combiner
+  /// ever arrives, by the deterministic no-runnable-fiber sweep (which
+  /// cannot coincide with a combine: a combiner is a running fiber).
   void wake_all_parked();
 
   /// True once the scheduler declared the job deadlocked (every fiber
@@ -139,16 +164,23 @@ class FiberScheduler {
 
  private:
   friend class detail::Fiber;
+  friend class BorrowFiberTls;
 
   void fiber_entry(detail::Fiber* fiber);
   void resume(detail::Fiber* fiber);
   void unpark_locked(detail::Fiber* fiber);
+  void park_impl(std::unique_lock<std::mutex>& owner_lock,
+                 const void* group_tag);
 
   const int nranks_;
   const std::size_t stack_bytes_;
   std::function<void(int)> body_;
   std::mutex mu_;
   std::condition_variable cv_;  ///< idle workers park here
+  /// Signalled when a group-parked fiber's park commits (Parking ->
+  /// Parked): BorrowFiberTls waits here for the owning worker to finish
+  /// banking the fiber's TLS before borrowing it.
+  std::condition_variable borrow_cv_;
   std::deque<detail::Fiber*> run_queue_;
   std::vector<std::unique_ptr<detail::Fiber>> fibers_;
   int running_ = 0;   ///< fibers currently on a worker (commit pending too)
@@ -189,8 +221,16 @@ class WaitList {
 /// per-rank instrumentation (TransportTraits::on_receive, fault-context
 /// taint, telemetry counts) to the logical rank it belongs to while
 /// executing the whole combine on one fiber. No-op for null or the
-/// calling fiber itself. The caller must hold whatever lock keeps the
-/// borrowed fiber parked for the borrow's lifetime.
+/// calling fiber itself.
+///
+/// The borrowed fiber must be parked (or mid-park) on a fused group whose
+/// mutex the caller holds for the borrow's lifetime. The constructor
+/// waits, under the scheduler mutex, for the fiber's park to *commit*
+/// (state Parked), i.e. for the suspending worker to finish banking the
+/// fiber's TLS; and because group-parked fibers are exempt from abort
+/// wakeups (see wake_all_parked) while the only other wake sources — the
+/// group's complete() and the no-runnable sweep — cannot run during the
+/// combine, the bank cannot be swapped out from under the borrow.
 class BorrowFiberTls {
  public:
   explicit BorrowFiberTls(detail::Fiber* fiber);

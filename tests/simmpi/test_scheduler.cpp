@@ -9,6 +9,7 @@
 #include <numeric>
 #include <vector>
 
+#include "simmpi/collective.hpp"
 #include "simmpi/rank_team.hpp"
 #include "simmpi/runtime.hpp"
 
@@ -74,6 +75,71 @@ TEST_P(SchedulerModes, AbortMidCollectiveTearsDownEveryParkedRank) {
     EXPECT_DOUBLE_EQ(comm.allreduce_value(1.0), 16.0);
   });
   EXPECT_TRUE(clean.ok);
+}
+
+TEST_P(SchedulerModes, AbortRacingActiveCombinesStaysCoherent) {
+  // Regression for a TLS-borrow race: a job abort used to wake fibers
+  // parked on a fused collective while the combiner was replaying their
+  // instrumentation under BorrowFiberTls, letting two threads swap one
+  // fiber's thread-local bank concurrently. Abort wakeups for
+  // group-parked fibers are now deferred to the combiner's complete()
+  // or the no-runnable sweep. The dying rank lives *outside* the
+  // collective's sub-communicator, so its abort lands while the group's
+  // combines are genuinely in flight; multiple workers make the stale
+  // resume physically possible and the tsan run of this suite watches
+  // the TLS swaps.
+  detail::set_scheduler_workers(4);
+  for (int round = 0; round < 8; ++round) {
+    const auto result = Runtime::run(12, [](Comm& comm) {
+      const int killer = comm.size() - 1;
+      Comm sub = comm.split(comm.rank() == killer ? 1 : 0, comm.rank());
+      if (comm.rank() == killer) {
+        // Give the workers' group time to stream collectives, then die
+        // at a scheduling-dependent point of their combine pipeline.
+        for (int i = 0; i < 200; ++i) FiberScheduler::yield_current();
+        throw std::runtime_error("outsider dies");
+      }
+      std::vector<double> buf(256, comm.rank() + 1.0);
+      std::vector<double> sum(256);
+      for (int i = 0;; ++i) {
+        sub.allreduce(std::span<const double>(buf), std::span<double>(sum));
+        sub.bcast(std::span<double>(sum), i % sub.size());
+      }
+    });
+    EXPECT_TRUE(result.aborted);
+    EXPECT_FALSE(result.deadlocked);
+    EXPECT_EQ(result.failed_rank, 11);
+    EXPECT_EQ(result.error, "outsider dies");
+  }
+  const auto clean = Runtime::run(12, [](Comm& comm) {
+    EXPECT_DOUBLE_EQ(comm.allreduce_value(1.0), 12.0);
+  });
+  EXPECT_TRUE(clean.ok) << clean.error;
+}
+
+TEST(FusedGroup, StaleEpochArrivalIsRejectedBeforeRecordingState) {
+  // A rank re-arriving with an already-completed epoch has diverged from
+  // the SPMD sequence. It must be rejected up front: recording the
+  // arrival would pin current_epoch_ to the stale value and misreport
+  // the divergence at a healthy rank's next collective.
+  detail::FusedGroup group;
+  FiberScheduler sched(0, 64 * 1024);
+  const detail::Arrival arrival;
+  std::unique_lock lock(group.mutex());
+  EXPECT_EQ(group.arrive(0, 1, arrival, 2),
+            detail::FusedGroup::ArriveOutcome::Waiter);
+  EXPECT_EQ(group.arrive(1, 1, arrival, 2),
+            detail::FusedGroup::ArriveOutcome::Combiner);
+  group.complete(1, sched);
+  EXPECT_EQ(group.arrive(0, 1, arrival, 2),
+            detail::FusedGroup::ArriveOutcome::EpochMismatch);
+  // Group state stayed clean: the next epoch still completes normally.
+  EXPECT_EQ(group.arrive(0, 2, arrival, 2),
+            detail::FusedGroup::ArriveOutcome::Waiter);
+  EXPECT_EQ(group.arrive(1, 2, arrival, 2),
+            detail::FusedGroup::ArriveOutcome::Combiner);
+  group.complete(2, sched);
+  EXPECT_EQ(group.done_epoch(), 2u);
 }
 
 TEST_P(SchedulerModes, FiveTwelveRankSmoke) {
