@@ -7,7 +7,9 @@
 // serial; fault-injection time +58%; plain execution time differs by 15%.
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
+#include <thread>
 
 #include "apps/ft.hpp"
 #include "bench_common.hpp"
@@ -201,6 +203,75 @@ int main() {
     }
   }
 
+  // Adaptive campaign engine (DESIGN.md §12): the same trial budget with
+  // CI-driven early stopping + stratified sampling vs running the fixed
+  // budget to the end. The adaptive leg stops once every outcome rate is
+  // pinned to ±5% at 95%, so the ratio requested/executed is the trial
+  // reduction the engine buys at that envelope (merge_bench.py bar:
+  // >= 3x mean across legs), and the fixed run's rates must land inside
+  // the reported intervals.
+  util::JsonArray adaptive_json;
+  {
+    const std::size_t cap = cfg.trials * 10;
+    std::vector<std::unique_ptr<apps::App>> ad_apps;
+    ad_apps.push_back(apps::make_app(apps::AppId::CG));
+    ad_apps.push_back(std::make_unique<apps::FtApp>(
+        apps::FtApp::Config{.n = 64, .iterations = 4}, "S4"));
+    std::cout << "\nAdaptive campaigns (" << cap
+              << "-trial budget, 4 ranks, +-5% CI at 95%):\n";
+    for (const auto& ad_app : ad_apps) {
+      harness::DeploymentConfig dep;
+      dep.nranks = 4;
+      dep.trials = cap;
+      dep.seed = cfg.seed;
+      const auto fixed_start = std::chrono::steady_clock::now();
+      const auto fixed = harness::CampaignRunner::run(*ad_app, dep);
+      const double fixed_wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        fixed_start)
+              .count();
+      dep.adaptive.enabled = true;
+      dep.adaptive.ci_half_width = 0.05;
+      const auto adaptive_start = std::chrono::steady_clock::now();
+      const auto adaptive = harness::CampaignRunner::run(*ad_app, dep);
+      const double adaptive_wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        adaptive_start)
+              .count();
+      const auto& stats = *adaptive.adaptive;
+      const double fixed_rate = fixed.overall.success_rate();
+      const bool in_ci = stats.success.contains(fixed_rate);
+      std::cout << "  " << ad_app->label() << ": " << stats.trials_executed
+                << " of " << stats.trials_requested << " trials ("
+                << bench::fmt(stats.trial_reduction(), 1) << "x fewer, "
+                << to_string(stats.stop_reason) << ", " << stats.strata
+                << " strata), " << bench::fmt(fixed_wall, 2) << " s fixed vs "
+                << bench::fmt(adaptive_wall, 2)
+                << " s adaptive; fixed success rate "
+                << bench::pct(fixed_rate) << " is "
+                << (in_ci ? "inside" : "** OUTSIDE **")
+                << " the adaptive CI [" << bench::pct(stats.success.lo)
+                << ", " << bench::pct(stats.success.hi) << "]\n";
+      util::JsonObject leg_json;
+      leg_json["app"] = util::Json(ad_app->label());
+      leg_json["nranks"] = util::Json(dep.nranks);
+      leg_json["ci_half_width"] = util::Json(dep.adaptive.ci_half_width);
+      leg_json["trials_requested"] = util::Json(stats.trials_requested);
+      leg_json["trials_executed"] = util::Json(stats.trials_executed);
+      leg_json["stop_reason"] =
+          util::Json(std::string(to_string(stats.stop_reason)));
+      leg_json["strata"] = util::Json(stats.strata);
+      leg_json["fixed_wall_seconds"] = util::Json(fixed_wall);
+      leg_json["adaptive_wall_seconds"] = util::Json(adaptive_wall);
+      leg_json["fixed_success_rate"] = util::Json(fixed_rate);
+      leg_json["success_rate"] = util::Json(stats.success.rate);
+      leg_json["success_ci_lo"] = util::Json(stats.success.lo);
+      leg_json["success_ci_hi"] = util::Json(stats.success.hi);
+      leg_json["fixed_rate_in_ci"] = util::Json(in_ci);
+      adaptive_json.push_back(util::Json(std::move(leg_json)));
+    }
+  }
+
   // Machine-readable mirror of the numbers above, merged into
   // BENCH_substrate.json by tools/merge_bench.py.
   {
@@ -212,6 +283,15 @@ int main() {
     root["deployments"] = util::Json(std::move(deployments));
     root["executor"] = util::Json(std::move(executor_json));
     root["checkpoint"] = util::Json(std::move(checkpoint_json));
+    root["adaptive"] = util::Json(std::move(adaptive_json));
+    // Host-load stamp: merge_bench.py flags dumps taken on a saturated
+    // host, where wall-clock ratios are unreliable.
+    double loads[1] = {0.0};
+    if (::getloadavg(loads, 1) == 1) {
+      root["load_avg"] = util::Json(loads[0]);
+    }
+    root["num_cpus"] =
+        util::Json(static_cast<int>(std::thread::hardware_concurrency()));
     std::ofstream out("BENCH_intro_overhead.json");
     out << util::Json(std::move(root)).dump(2) << "\n";
   }

@@ -69,8 +69,38 @@ std::string render_report(const std::string& app_label,
     os << "| measured (" << m.trials << " tests) | " << pct(m.success_rate())
        << " | " << pct(m.sdc_rate()) << " | " << pct(m.failure_rate())
        << " |\n";
+    if (study.measured_adaptive) {
+      // The adaptive run's CI envelope, printed next to the Eq. 4/8
+      // prediction it gates (DESIGN.md §12).
+      const auto& a = *study.measured_adaptive;
+      os << "| measured 95% CI | " << pct(a.success.lo) << "-"
+         << pct(a.success.hi) << " | " << pct(a.sdc.lo) << "-"
+         << pct(a.sdc.hi) << " | " << pct(a.failure.lo) << "-"
+         << pct(a.failure.hi) << " |\n";
+    }
     os << "\n**Success prediction error: " << pct(study.success_error())
        << "**\n";
+    if (study.measured_adaptive) {
+      os << (study.accuracy_gate_flagged()
+                 ? "\n**ACCURACY GATE: prediction falls OUTSIDE the measured "
+                   "success-rate CI envelope — treat the prediction as "
+                   "unvalidated at this trial budget.**\n"
+                 : "\nAccuracy gate: prediction lies inside the measured "
+                   "success-rate CI envelope.\n");
+    }
+  }
+
+  // ---- adaptive campaigns (DESIGN.md §12) ---------------------------------
+  if (!study.adaptive_phases.empty()) {
+    os << "\n## Adaptive campaigns\n\n"
+       << "| phase | trials requested | executed | stop reason | success CI "
+          "half-width |\n|---|---|---|---|---|\n";
+    for (const auto& rec : study.adaptive_phases) {
+      os << "| " << rec.phase << " | " << rec.stats.trials_requested << " | "
+         << rec.stats.trials_executed << " | "
+         << harness::to_string(rec.stats.stop_reason) << " | "
+         << pct(rec.stats.success.half_width()) << " |\n";
+    }
   }
 
   os << "\n## Cost\n\n"

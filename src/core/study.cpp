@@ -21,6 +21,7 @@ harness::DeploymentConfig base_deployment(const StudyConfig& cfg,
   dep.trials = cfg.trials;
   dep.seed = util::derive_seed(cfg.seed, stream);
   dep.deadlock_timeout = cfg.deadlock_timeout;
+  dep.adaptive = cfg.adaptive;
   return dep;
 }
 
@@ -98,6 +99,13 @@ StudyResult run_study(const apps::App& app, const StudyConfig& cfg) {
   out.sweep.results.resize(out.sweep.sample_x.size());
   std::vector<double> sweep_seconds(out.sweep.sample_x.size(), 0.0);
   std::vector<harness::CampaignResult> small_campaign(1);
+  // Per-phase adaptive records, each phase writing its own slot (phases
+  // overlap on threads); assembled into out.adaptive_phases afterwards in
+  // a fixed order.
+  std::vector<std::optional<harness::AdaptiveStats>> sweep_adaptive(
+      out.sweep.sample_x.size());
+  std::optional<harness::AdaptiveStats> large_adaptive;
+  std::optional<harness::AdaptiveStats> unique_adaptive;
 
   // All serial sweep points, the small-scale campaign, the large-scale
   // fault-free profile, and the optional measured large-scale campaign
@@ -115,6 +123,7 @@ StudyResult run_study(const apps::App& app, const StudyConfig& cfg) {
       const auto campaign = harness::CampaignRunner::run(app, dep, ctx);
       sweep_seconds[i] = campaign.wall_seconds;
       out.sweep.results[i] = campaign.overall;
+      sweep_adaptive[i] = campaign.adaptive;
     }));
   }
 
@@ -145,6 +154,7 @@ StudyResult run_study(const apps::App& app, const StudyConfig& cfg) {
       out.large_injection_seconds = campaign.wall_seconds;
       out.measured_large = campaign.overall;
       out.measured_propagation = campaign.propagation_probabilities();
+      large_adaptive = campaign.adaptive;
     }));
   }
 
@@ -165,7 +175,29 @@ StudyResult run_study(const apps::App& app, const StudyConfig& cfg) {
       out.small_injection_seconds += campaign.wall_seconds;
       popts.prob_unique = out.prob_unique;
       popts.unique_result = campaign.overall;
+      unique_adaptive = campaign.adaptive;
     })();
+  }
+
+  // ---- adaptive records (DESIGN.md §12) ----------------------------------
+  // Fixed assembly order; measured_adaptive feeds the accuracy gate.
+  for (std::size_t i = 0; i < sweep_adaptive.size(); ++i) {
+    if (sweep_adaptive[i]) {
+      out.adaptive_phases.push_back(
+          {"serial_sweep_x" + std::to_string(out.sweep.sample_x[i]),
+           *sweep_adaptive[i]});
+    }
+  }
+  if (small_campaign[0].adaptive) {
+    out.adaptive_phases.push_back(
+        {"small_campaign", *small_campaign[0].adaptive});
+  }
+  if (large_adaptive) {
+    out.adaptive_phases.push_back({"large_campaign", *large_adaptive});
+    out.measured_adaptive = large_adaptive;
+  }
+  if (unique_adaptive) {
+    out.adaptive_phases.push_back({"unique_campaign", *unique_adaptive});
   }
 
   // Every campaign scope has folded its totals into the study scope by

@@ -5,8 +5,11 @@
 #pragma once
 
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "core/model.hpp"
+#include "harness/campaign.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace resilience::core {
@@ -28,6 +31,10 @@ struct StudyConfig {
   /// (0 = auto, 1 = fully serial). Execution policy only: study results
   /// are bit-identical for every value.
   int max_workers = 0;
+  /// Adaptive campaign engine applied to every deployment of the study
+  /// (DESIGN.md §12). Off by default: all campaigns run their full fixed
+  /// trial counts, bit-identical to a config without this member.
+  harness::AdaptiveConfig adaptive;
 };
 
 struct StudyResult {
@@ -41,6 +48,20 @@ struct StudyResult {
   double prob_unique = 0.0;
   std::optional<harness::FaultInjectionResult> measured_large;
   std::optional<std::vector<double>> measured_propagation;  ///< large r_x
+
+  /// One record per deployment the adaptive engine ran: which study
+  /// phase, the requested-vs-executed trial counts, stop reason, and CI
+  /// envelope. Empty when config.adaptive.enabled is false. Ordered by
+  /// phase (serial sweeps in sample order, then small, large, unique) —
+  /// deterministic regardless of phase overlap.
+  struct AdaptivePhase {
+    std::string phase;
+    harness::AdaptiveStats stats;
+  };
+  std::vector<AdaptivePhase> adaptive_phases;
+  /// Adaptive record of the measured large-scale campaign — the CI
+  /// envelope the accuracy gate compares the Eq. 4/8 prediction against.
+  std::optional<harness::AdaptiveStats> measured_adaptive;
 
   /// Serial-equivalent cost of the fault-injection phases (paper Figure
   /// 8's cost axis); summed across workers when phases ran in parallel.
@@ -93,6 +114,16 @@ struct StudyResult {
                       ? measured_success() - predicted_success()
                       : predicted_success() - measured_success())
                : 0.0;
+  }
+
+  /// Accuracy gate (DESIGN.md §12): true when the measured large-scale
+  /// campaign ran adaptively and the Eq. 4/8 prediction falls outside
+  /// the measured success-rate CI envelope. Reporting paths must surface
+  /// this flag next to the prediction — a gap larger than the envelope
+  /// is never reported silently.
+  [[nodiscard]] bool accuracy_gate_flagged() const noexcept {
+    return measured_adaptive.has_value() &&
+           !measured_adaptive->success.contains(predicted_success());
   }
 };
 

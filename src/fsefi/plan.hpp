@@ -8,7 +8,9 @@
 // then picks a random dynamic operation index, operand, and bit.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace resilience::fsefi {
@@ -159,6 +161,69 @@ struct OpCountProfile {
     return sum;
   }
 };
+
+// ---- stratified-sampling vocabulary ---------------------------------------
+// The adaptive campaign engine (DESIGN.md §12) partitions the injection
+// space into strata: a stratum fixes one (region, kind) cell of the
+// OpCountProfile plus one dynamic-op decile within each rank's cell
+// stream. A stratum-constrained plan narrows its filters to the single
+// cell, so op_index counts within the cell's own dynamic stream and the
+// decile becomes a contiguous index range per rank.
+
+/// One stratum of the injection space.
+struct Stratum {
+  Region region = Region::Common;
+  OpKind kind = OpKind::Add;
+  int decile = 0;    ///< 0..ndeciles-1
+  int ndeciles = 10;
+
+  /// Plan filters that restrict injection to this stratum's cell.
+  [[nodiscard]] constexpr KindMask kinds() const noexcept {
+    return mask_of(kind);
+  }
+  [[nodiscard]] constexpr RegionMask regions() const noexcept {
+    return static_cast<RegionMask>(1u << static_cast<std::uint8_t>(region));
+  }
+};
+
+/// Stable index of a stratum in the full (region x kind x decile) grid —
+/// the substream id its trials are seeded from. Independent of which
+/// strata turn out non-empty, so seeds survive profile changes in other
+/// cells.
+[[nodiscard]] constexpr std::size_t stratum_index(const Stratum& s) noexcept {
+  return (static_cast<std::size_t>(s.region) *
+              static_cast<std::size_t>(kNumOpKinds) +
+          static_cast<std::size_t>(s.kind)) *
+             static_cast<std::size_t>(s.ndeciles) +
+         static_cast<std::size_t>(s.decile);
+}
+
+/// Half-open op-index range [lo, hi) that decile d of a cell holding
+/// `count` filtered ops covers in that cell's dynamic stream. The floor
+/// split is deterministic and the ndeciles ranges partition [0, count)
+/// exactly.
+[[nodiscard]] constexpr std::pair<std::uint64_t, std::uint64_t> decile_range(
+    std::uint64_t count, int decile, int ndeciles) noexcept {
+  const auto d = static_cast<std::uint64_t>(decile);
+  const auto nd = static_cast<std::uint64_t>(ndeciles);
+  // 128-bit intermediate: op counts can be large and the split must not
+  // wrap.
+  const auto lo = static_cast<std::uint64_t>(
+      static_cast<__uint128_t>(count) * d / nd);
+  const auto hi = static_cast<std::uint64_t>(
+      static_cast<__uint128_t>(count) * (d + 1) / nd);
+  return {lo, hi};
+}
+
+/// Ops of `profile` that fall into stratum `s`: the decile's share of the
+/// (region, kind) cell.
+[[nodiscard]] constexpr std::uint64_t stratum_population(
+    const OpCountProfile& profile, const Stratum& s) noexcept {
+  const std::uint64_t cell =
+      profile.counts[static_cast<int>(s.region)][static_cast<int>(s.kind)];
+  const auto [lo, hi] = decile_range(cell, s.decile, s.ndeciles);
+  return hi - lo;
+}
 
 /// Flip one bit of an IEEE-754 double (the paper's single-bit-flip model).
 double flip_bit(double value, int bit) noexcept;

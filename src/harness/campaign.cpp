@@ -1,6 +1,7 @@
 #include "harness/campaign.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <limits>
@@ -12,11 +13,38 @@
 #include "harness/golden_cache.hpp"
 #include "simmpi/rank_team.hpp"
 #include "simmpi/runtime.hpp"
+#include "util/options.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 
 namespace resilience::harness {
 
 namespace {
+
+/// Append the injection points of one drawn dynamic-op index, expanding
+/// the deployment's fault pattern (operand, bit positions, width).
+void expand_pattern(const DeploymentConfig& cfg, std::uint64_t idx,
+                    util::Xoshiro256& rng, fsefi::InjectionPlan& plan) {
+  const auto operand = static_cast<std::uint8_t>(rng.uniform_below(2));
+  switch (cfg.pattern) {
+    case fsefi::FaultPattern::SingleBit:
+      plan.points.push_back(
+          {idx, operand, static_cast<std::uint8_t>(rng.uniform_below(64)), 1});
+      break;
+    case fsefi::FaultPattern::DoubleBit: {
+      // Two distinct random bits of the same operand.
+      const auto bits = rng.sample_distinct(64, 2);
+      for (auto bit : bits) {
+        plan.points.push_back({idx, operand, static_cast<std::uint8_t>(bit), 1});
+      }
+      break;
+    }
+    case fsefi::FaultPattern::Burst4:
+      plan.points.push_back(
+          {idx, operand, static_cast<std::uint8_t>(rng.uniform_below(61)), 4});
+      break;
+  }
+}
 
 /// Draw the injection plan of one trial: a target rank plus
 /// `errors_per_test` distinct dynamic-op indices in that rank's filtered
@@ -65,33 +93,25 @@ std::pair<int, fsefi::InjectionPlan> draw_plan(
   plan.regions = cfg.regions;
   plan.points.reserve(indices.size());
   for (std::uint64_t idx : indices) {
-    // Expand the deployment's fault pattern into injection points at this
-    // dynamic operation.
-    const auto operand = static_cast<std::uint8_t>(rng.uniform_below(2));
-    switch (cfg.pattern) {
-      case fsefi::FaultPattern::SingleBit:
-        plan.points.push_back(
-            {idx, operand, static_cast<std::uint8_t>(rng.uniform_below(64)),
-             1});
-        break;
-      case fsefi::FaultPattern::DoubleBit: {
-        // Two distinct random bits of the same operand.
-        const auto bits = rng.sample_distinct(64, 2);
-        for (auto bit : bits) {
-          plan.points.push_back(
-              {idx, operand, static_cast<std::uint8_t>(bit), 1});
-        }
-        break;
-      }
-      case fsefi::FaultPattern::Burst4:
-        plan.points.push_back(
-            {idx, operand, static_cast<std::uint8_t>(rng.uniform_below(61)),
-             4});
-        break;
-    }
+    expand_pattern(cfg, idx, rng, plan);
   }
   (void)golden;
   return {target, std::move(plan)};
+}
+
+/// Count of one outcome in a tally, by outcome ordinal (0 = Success,
+/// 1 = SDC, 2 = Failure) — the iteration order the adaptive stop rule
+/// uses.
+std::size_t outcome_count(const FaultInjectionResult& tally,
+                          int ordinal) noexcept {
+  switch (ordinal) {
+    case 0:
+      return tally.success;
+    case 1:
+      return tally.sdc;
+    default:
+      return tally.failure;
+  }
 }
 
 }  // namespace
@@ -106,6 +126,28 @@ const char* to_string(Outcome o) noexcept {
       return "Failure";
   }
   return "?";
+}
+
+const char* to_string(StopReason reason) noexcept {
+  switch (reason) {
+    case StopReason::Converged:
+      return "converged";
+    case StopReason::TrialCap:
+      return "trial-cap";
+  }
+  return "?";
+}
+
+AdaptiveConfig AdaptiveConfig::from_runtime() {
+  const auto& opt = util::RuntimeOptions::global();
+  AdaptiveConfig cfg;
+  cfg.enabled = opt.adaptive;
+  cfg.batch = opt.adaptive_batch;
+  cfg.min_trials = opt.adaptive_min_trials;
+  cfg.ci_half_width = opt.adaptive_ci_half_width;
+  cfg.ci_relative = opt.adaptive_ci_relative;
+  cfg.stratify = opt.adaptive_stratify;
+  return cfg;
 }
 
 double signature_deviation(const std::vector<double>& a,
@@ -133,6 +175,9 @@ Outcome CampaignRunner::classify(const RunOutput& out,
 }
 
 std::vector<double> CampaignResult::propagation_probabilities() const {
+  if (adaptive.has_value() && !adaptive->propagation.empty()) {
+    return adaptive->propagation;
+  }
   std::size_t injected_total = 0;
   for (std::size_t x = 1; x < contamination_hist.size(); ++x) {
     injected_total += contamination_hist[x];
@@ -209,21 +254,21 @@ CampaignResult CampaignRunner::run(const apps::App& app,
   result.by_contamination.assign(static_cast<std::size_t>(cfg.nranks) + 1,
                                  FaultInjectionResult{});
 
-  // One trial, seeded from its index: the unit of work both execution
-  // paths share, which is what keeps them bit-identical.
+  // One trial: the unit of work every execution path shares. A trial's
+  // randomness is a pure function of its identity (trial index, or
+  // (stratum, index-within-stratum) under the adaptive engine), which is
+  // what keeps all paths bit-identical across worker counts.
   struct TrialOutcome {
     Outcome outcome = Outcome::Failure;
     int contaminated = -1;
   };
-  auto run_trial = [&](std::size_t trial) -> TrialOutcome {
+  auto execute_trial = [&](std::size_t trial_tag, int target,
+                           fsefi::InjectionPlan plan) -> TrialOutcome {
     // Per-trial scope push: the calling thread may be this function's
     // thread (inline path) or an executor worker (chunked path); either
     // way the trial's counts must land in this campaign's scope.
     telemetry::ScopeGuard guard(&metrics);
-    telemetry::TraceSpan trial_span("harness", "trial", "index", trial);
-    util::Xoshiro256 rng(util::derive_seed(cfg.seed, trial));
-    auto [target, plan] =
-        draw_plan(cfg, result.golden, rank_ops, total_ops, rng);
+    telemetry::TraceSpan trial_span("harness", "trial", "index", trial_tag);
     std::vector<fsefi::InjectionPlan> plans(
         static_cast<std::size_t>(cfg.nranks));
     plans[static_cast<std::size_t>(target)] = std::move(plan);
@@ -261,8 +306,14 @@ CampaignResult CampaignRunner::run(const apps::App& app,
     return {classify(out, result.golden.signature, app.checker_tolerance()),
             contaminated};
   };
-
-  std::vector<TrialOutcome> outcomes(cfg.trials);
+  // Uniform drawing, seeded from the global trial index — the fixed-mode
+  // stream (and the adaptive engine's fallback when it cannot stratify).
+  auto run_trial = [&](std::size_t trial) -> TrialOutcome {
+    util::Xoshiro256 rng(util::derive_seed(cfg.seed, trial));
+    auto [target, plan] =
+        draw_plan(cfg, result.golden, rank_ops, total_ops, rng);
+    return execute_trial(trial, target, std::move(plan));
+  };
 
   Executor* executor = context.executor;
   std::unique_ptr<Executor> local_executor;
@@ -287,35 +338,34 @@ CampaignResult CampaignRunner::run(const apps::App& app,
     simmpi::RankTeamPool::instance().prewarm(width, concurrent);
   }
 
-  if (executor == nullptr) {
-    // Inline path (max_workers == 1): no pool, no extra threads.
-    const auto start = std::chrono::steady_clock::now();
-    for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
-      outcomes[trial] = run_trial(trial);
+  // Run trials [0, n) of `body` to completion and return the
+  // serial-equivalent seconds. Inline when no executor; otherwise
+  // contiguous chunks, several per worker: large enough to amortise
+  // queueing, small enough that the tail stays balanced.
+  auto run_chunked = [&](std::size_t n, auto&& body) -> double {
+    if (n == 0) return 0.0;
+    if (executor == nullptr) {
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < n; ++i) body(i);
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start)
+          .count();
     }
-    result.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
-  } else {
-    // Contiguous chunks, several per worker: large enough to amortise
-    // queueing, small enough that the tail stays balanced.
     const std::size_t chunk_target =
         static_cast<std::size_t>(executor->workers()) * 4;
-    const std::size_t nchunks = std::min(cfg.trials, std::max<std::size_t>(
-                                                         chunk_target, 1));
-    const std::size_t chunk = (cfg.trials + nchunks - 1) / nchunks;
+    const std::size_t nchunks =
+        std::min(n, std::max<std::size_t>(chunk_target, 1));
+    const std::size_t chunk = (n + nchunks - 1) / nchunks;
     std::vector<double> chunk_seconds(nchunks, 0.0);
     std::vector<Executor::Task> tasks;
     tasks.reserve(nchunks);
     for (std::size_t c = 0; c < nchunks; ++c) {
       const std::size_t lo = c * chunk;
-      const std::size_t hi = std::min(lo + chunk, cfg.trials);
+      const std::size_t hi = std::min(lo + chunk, n);
       if (lo >= hi) break;
       tasks.push_back({width, [&, c, lo, hi] {
                          const auto start = std::chrono::steady_clock::now();
-                         for (std::size_t trial = lo; trial < hi; ++trial) {
-                           outcomes[trial] = run_trial(trial);
-                         }
+                         for (std::size_t i = lo; i < hi; ++i) body(i);
                          chunk_seconds[c] =
                              std::chrono::duration<double>(
                                  std::chrono::steady_clock::now() - start)
@@ -325,12 +375,15 @@ CampaignResult CampaignRunner::run(const apps::App& app,
     executor->run(std::move(tasks));
     // Serial-equivalent injection time: execution spans summed across
     // workers, in chunk order so the sum itself is reproducible.
-    for (double s : chunk_seconds) result.wall_seconds += s;
-  }
+    double total = 0.0;
+    for (double s : chunk_seconds) total += s;
+    return total;
+  };
 
-  // Merge in trial order — the parallel path stays bit-identical to the
-  // serial one no matter how chunks were scheduled.
-  for (const TrialOutcome& t : outcomes) {
+  // Fold one finished trial into the campaign tallies. Always called in
+  // deterministic trial order — the parallel path stays bit-identical to
+  // the serial one no matter how chunks were scheduled.
+  auto merge_trial = [&](const TrialOutcome& t) {
     result.overall.add(t.outcome);
     if (t.contaminated >= 0 &&
         t.contaminated < static_cast<int>(result.contamination_hist.size())) {
@@ -338,6 +391,342 @@ CampaignResult CampaignRunner::run(const apps::App& app,
       result.by_contamination[static_cast<std::size_t>(t.contaminated)].add(
           t.outcome);
     }
+  };
+
+  if (!cfg.adaptive.enabled) {
+    std::vector<TrialOutcome> outcomes(cfg.trials);
+    result.wall_seconds = run_chunked(cfg.trials, [&](std::size_t trial) {
+      outcomes[trial] = run_trial(trial);
+    });
+    for (const TrialOutcome& t : outcomes) merge_trial(t);
+    result.metrics = metrics.snapshot();
+    return result;
+  }
+
+  // ---- adaptive engine (DESIGN.md §12) ------------------------------------
+  // CI-driven early stopping over (optionally) stratified sampling. The
+  // stop rule runs only at batch boundaries on tallies merged in
+  // deterministic (stratum, index) order, so for a given seed the
+  // stopping point — and therefore every classified outcome — is
+  // reproducible across worker counts and scheduler modes.
+  const AdaptiveConfig& ad = cfg.adaptive;
+  const std::size_t cap = cfg.trials;
+  const std::size_t batch_size = std::max<std::size_t>(1, ad.batch);
+  const std::size_t min_trials =
+      std::min(std::max<std::size_t>(1, ad.min_trials), cap);
+
+  // Stratification needs single-error UniformInstruction deployments:
+  // decile ranges are defined on single op indices, and multi-error
+  // distinct draws do not decompose into independent strata.
+  const bool want_strata =
+      ad.stratify && cfg.errors_per_test == 1 &&
+      cfg.selection == TargetSelection::UniformInstruction && ad.deciles >= 1;
+
+  // One stratum of the injection space with its running tallies.
+  struct StratumState {
+    fsefi::Stratum stratum;
+    std::size_t id = 0;  ///< grid index: RNG substream + ordering key
+    std::vector<std::uint64_t> rank_pop;  ///< per-rank decile population
+    std::uint64_t population = 0;
+    double weight = 0.0;  ///< population / total_ops (the W_s of §12)
+    FaultInjectionResult tally;
+    std::vector<std::size_t> hist;  ///< contamination counts
+    std::size_t drawn = 0;          ///< trials assigned so far
+  };
+  std::vector<StratumState> strata;
+  if (want_strata) {
+    for (int r = 0; r < fsefi::kNumRegions; ++r) {
+      if (!fsefi::contains(cfg.regions, static_cast<fsefi::Region>(r)))
+        continue;
+      for (int k = 0; k < fsefi::kNumOpKinds; ++k) {
+        if (!fsefi::contains(cfg.kinds, static_cast<fsefi::OpKind>(k)))
+          continue;
+        for (int d = 0; d < ad.deciles; ++d) {
+          StratumState s;
+          s.stratum = {static_cast<fsefi::Region>(r),
+                       static_cast<fsefi::OpKind>(k), d, ad.deciles};
+          s.id = fsefi::stratum_index(s.stratum);
+          s.rank_pop.reserve(result.golden.profiles.size());
+          for (const auto& prof : result.golden.profiles) {
+            const std::uint64_t pop = fsefi::stratum_population(prof, s.stratum);
+            s.rank_pop.push_back(pop);
+            s.population += pop;
+          }
+          if (s.population == 0) continue;  // nothing to hit: drop
+          s.weight = static_cast<double>(s.population) /
+                     static_cast<double>(total_ops);
+          s.hist.assign(static_cast<std::size_t>(cfg.nranks) + 1, 0);
+          strata.push_back(std::move(s));
+        }
+      }
+    }
+  }
+  const bool use_strata = want_strata && !strata.empty();
+
+  // A stratified trial: rank weighted by its share of the stratum, then a
+  // uniform op index inside that rank's decile range of the (region,
+  // kind) cell stream. The plan narrows its filters to the single cell,
+  // so op_index counts within the cell's own dynamic stream. Seeded from
+  // (stratum grid id, index-within-stratum): independent of batch
+  // boundaries and allocation history.
+  auto run_stratum_trial = [&](const StratumState& s, std::size_t j,
+                               std::size_t tag) -> TrialOutcome {
+    util::Xoshiro256 rng(util::derive_seed(cfg.seed, s.id, j));
+    std::uint64_t pick = rng.uniform_below(s.population);
+    int target = 0;
+    for (int r = 0; r < cfg.nranks; ++r) {
+      const std::uint64_t pop = s.rank_pop[static_cast<std::size_t>(r)];
+      if (pick < pop) {
+        target = r;
+        break;
+      }
+      pick -= pop;
+    }
+    const auto& prof =
+        result.golden.profiles[static_cast<std::size_t>(target)];
+    const std::uint64_t cell =
+        prof.counts[static_cast<int>(s.stratum.region)]
+                   [static_cast<int>(s.stratum.kind)];
+    const auto [lo, hi] =
+        fsefi::decile_range(cell, s.stratum.decile, s.stratum.ndeciles);
+    fsefi::InjectionPlan plan;
+    plan.kinds = s.stratum.kinds();
+    plan.regions = s.stratum.regions();
+    expand_pattern(cfg, lo + rng.uniform_below(hi - lo), rng, plan);
+    return execute_trial(tag, target, std::move(plan));
+  };
+
+  // Per-batch allocation: one trial to every still-unsampled stratum
+  // first (largest population first — the stop rule cannot fire until
+  // every live stratum has data), then largest-remainder apportionment of
+  // the rest by W_s * sqrt(v_s) — proportional on the first batch (all
+  // v_s equal) and Neyman-refined once per-stratum variance is observed.
+  auto allocate_batch = [&](std::size_t n) -> std::vector<std::size_t> {
+    std::vector<std::size_t> alloc(strata.size(), 0);
+    std::vector<std::size_t> order(strata.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (strata[a].population != strata[b].population)
+        return strata[a].population > strata[b].population;
+      return strata[a].id < strata[b].id;
+    });
+    for (std::size_t i : order) {
+      if (n == 0) break;
+      if (strata[i].drawn + alloc[i] == 0) {
+        alloc[i] += 1;
+        --n;
+      }
+    }
+    if (n == 0) return alloc;
+    std::vector<double> w(strata.size(), 0.0);
+    double wsum = 0.0;
+    for (std::size_t i = 0; i < strata.size(); ++i) {
+      const auto& s = strata[i];
+      // Multinomial spread sum_o p_o(1 - p_o), shrunk toward the center
+      // ((k+2)/(n+4)) so a handful of same-outcome trials cannot zero a
+      // stratum out of the allocation; 2/3 (the maximal spread) until a
+      // stratum has enough data to say otherwise.
+      double v = 2.0 / 3.0;
+      if (s.tally.trials >= 8) {
+        v = 0.0;
+        const double ns = static_cast<double>(s.tally.trials);
+        for (int o = 0; o < 3; ++o) {
+          const double pv =
+              (static_cast<double>(outcome_count(s.tally, o)) + 2.0) /
+              (ns + 4.0);
+          v += pv * (1.0 - pv);
+        }
+        v = std::max(v, 1e-4);  // converged strata keep a trickle share
+      }
+      w[i] = s.weight * std::sqrt(v);
+      wsum += w[i];
+    }
+    std::vector<std::pair<double, std::size_t>> frac;
+    frac.reserve(strata.size());
+    std::size_t assigned = 0;
+    for (std::size_t i = 0; i < strata.size(); ++i) {
+      const double quota = static_cast<double>(n) * w[i] / wsum;
+      const auto base = static_cast<std::size_t>(quota);
+      alloc[i] += base;
+      assigned += base;
+      frac.emplace_back(quota - static_cast<double>(base), i);
+    }
+    std::sort(frac.begin(), frac.end(),
+              [&](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return strata[a.second].id < strata[b.second].id;
+              });
+    for (std::size_t r = 0; assigned < n; ++r) {
+      alloc[frac[r % frac.size()].second] += 1;
+      ++assigned;
+    }
+    return alloc;
+  };
+
+  // Rate estimate + CI per outcome on the current tallies. Post-
+  // stratified when strata are in play and all are covered; exact
+  // Clopper–Pearson bounds (widened to contain the post-stratified
+  // point) on the rare tail, where the normal approximations under-cover.
+  auto compute_envelope = [&](bool covered) {
+    std::array<OutcomeInterval, 3> env;
+    const std::size_t n_total = result.overall.trials;
+    for (int o = 0; o < 3; ++o) {
+      const std::size_t k = outcome_count(result.overall, o);
+      double est = n_total == 0
+                       ? 0.0
+                       : static_cast<double>(k) / static_cast<double>(n_total);
+      double strat_var = 0.0;
+      if (use_strata && covered) {
+        est = 0.0;
+        for (const auto& s : strata) {
+          const double ns = static_cast<double>(s.tally.trials);
+          const double ks = static_cast<double>(outcome_count(s.tally, o));
+          // Shrunk rate in the variance term only: guards the
+          // zero-variance trap of small all-same-outcome samples.
+          const double pv = (ks + 2.0) / (ns + 4.0);
+          est += s.weight * (ks / ns);
+          strat_var += s.weight * s.weight * pv * (1.0 - pv) / ns;
+        }
+      }
+      const double pooled =
+          n_total == 0 ? 0.0
+                       : static_cast<double>(k) / static_cast<double>(n_total);
+      const std::size_t complement = n_total - k;
+      const bool rare = pooled < ad.rare_threshold ||
+                        1.0 - pooled < ad.rare_threshold ||
+                        std::min(k, complement) < 8;
+      OutcomeInterval iv;
+      iv.rate = est;
+      if (rare) {
+        const auto cp =
+            util::clopper_pearson_interval(k, n_total, ad.confidence_z);
+        iv.lo = std::min(cp.lo, est);
+        iv.hi = std::max(cp.hi, est);
+        iv.exact = true;
+      } else if (use_strata && covered) {
+        const double half = ad.confidence_z * std::sqrt(strat_var);
+        iv.lo = std::max(0.0, est - half);
+        iv.hi = std::min(1.0, est + half);
+      } else {
+        const auto wi = util::wilson_interval(k, n_total, ad.confidence_z);
+        iv.lo = wi.lo;
+        iv.hi = wi.hi;
+      }
+      env[static_cast<std::size_t>(o)] = iv;
+    }
+    return env;
+  };
+  auto target_half_width = [&](double est) {
+    if (ad.ci_relative > 0.0)
+      return ad.ci_relative * std::max(est, ad.rare_threshold);
+    return ad.ci_half_width;
+  };
+
+  struct WorkItem {
+    std::size_t stratum = 0;  ///< index into `strata` (unused unstratified)
+    std::size_t j = 0;        ///< index within the stratum's substream
+    std::size_t tag = 0;      ///< global executed index (trace label)
+  };
+  std::size_t executed = 0;
+  StopReason stop = StopReason::TrialCap;
+  std::array<OutcomeInterval, 3> envelope{};
+  while (executed < cap) {
+    const std::size_t n = std::min(batch_size, cap - executed);
+    std::vector<WorkItem> items;
+    items.reserve(n);
+    if (use_strata) {
+      const auto alloc = allocate_batch(n);
+      for (std::size_t i = 0; i < strata.size(); ++i) {
+        for (std::size_t a = 0; a < alloc[i]; ++a) {
+          items.push_back({i, strata[i].drawn + a, 0});
+        }
+        strata[i].drawn += alloc[i];
+      }
+    } else {
+      for (std::size_t t = 0; t < n; ++t) items.push_back({0, executed + t, 0});
+    }
+    for (std::size_t p = 0; p < items.size(); ++p) items[p].tag = executed + p;
+
+    std::vector<TrialOutcome> out(items.size());
+    result.wall_seconds += run_chunked(items.size(), [&](std::size_t i) {
+      const WorkItem& it = items[i];
+      out[i] = use_strata ? run_stratum_trial(strata[it.stratum], it.j, it.tag)
+                          : run_trial(it.j);
+    });
+    // Merge in (stratum, index) order — fixed before the batch ran.
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      merge_trial(out[i]);
+      if (use_strata) {
+        auto& s = strata[items[i].stratum];
+        s.tally.add(out[i].outcome);
+        const int c = out[i].contaminated;
+        if (c >= 0 && c < static_cast<int>(s.hist.size())) {
+          s.hist[static_cast<std::size_t>(c)] += 1;
+        }
+      }
+    }
+    executed += items.size();
+
+    bool covered = true;
+    if (use_strata) {
+      for (const auto& s : strata) covered = covered && s.tally.trials > 0;
+    }
+    envelope = compute_envelope(covered);
+    if (executed >= min_trials && covered) {
+      bool converged = true;
+      for (const auto& iv : envelope) {
+        converged = converged && iv.half_width() <= target_half_width(iv.rate);
+      }
+      if (converged) {
+        stop = StopReason::Converged;
+        break;
+      }
+    }
+  }
+
+  AdaptiveStats stats;
+  stats.trials_requested = cap;
+  stats.trials_executed = executed;
+  stats.stop_reason = stop;
+  stats.stratified = use_strata;
+  stats.strata = use_strata ? strata.size() : 1;
+  stats.success = envelope[0];
+  stats.sdc = envelope[1];
+  stats.failure = envelope[2];
+  if (use_strata) {
+    // Post-stratified r_x: each stratum's contamination distribution
+    // weighted by its population share, renormalized over the trials
+    // whose contamination is known (mirrors the raw-histogram rule).
+    std::vector<double> q(static_cast<std::size_t>(cfg.nranks), 0.0);
+    double mass = 0.0;
+    for (const auto& s : strata) {
+      if (s.tally.trials == 0) continue;
+      const double ns = static_cast<double>(s.tally.trials);
+      for (std::size_t x = 1; x < s.hist.size(); ++x) {
+        const double share =
+            s.weight * static_cast<double>(s.hist[x]) / ns;
+        q[x - 1] += share;
+        mass += share;
+      }
+    }
+    if (mass > 0.0) {
+      for (double& v : q) v /= mass;
+      stats.propagation = std::move(q);
+    }
+  }
+  result.adaptive = stats;
+  {
+    telemetry::ScopeGuard guard(&metrics);
+    telemetry::count(telemetry::Counter::CampaignTrialsSaved,
+                     static_cast<std::uint64_t>(cap - executed));
+    telemetry::count(telemetry::Counter::CampaignStrata,
+                     static_cast<std::uint64_t>(stats.strata));
+    telemetry::trace_instant("harness",
+                             stop == StopReason::Converged
+                                 ? "adaptive_stop_converged"
+                                 : "adaptive_stop_trial_cap",
+                             "executed",
+                             static_cast<std::uint64_t>(executed));
   }
   // Workers have quiesced (executor->run returned / inline loop ended):
   // the merge is exact. The scope's destructor then rolls these totals up

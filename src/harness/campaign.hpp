@@ -9,12 +9,14 @@
 
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "harness/result.hpp"
 #include "harness/runner.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/stats.hpp"
 
 namespace resilience::harness {
 
@@ -26,6 +28,101 @@ enum class TargetSelection {
   UniformInstruction,
   /// Uniform over ranks, then uniform over that rank's operations.
   UniformRank,
+};
+
+/// Adaptive campaign engine configuration (DESIGN.md §12). Default off:
+/// with enabled == false CampaignRunner::run executes exactly
+/// config.trials trials, bit-identical to a build without the engine.
+struct AdaptiveConfig {
+  bool enabled = false;
+  /// Trials per batch. The stop rule is evaluated only at batch
+  /// boundaries on the merged tallies, which is what makes adaptive
+  /// stopping points reproducible for a given seed regardless of worker
+  /// count or scheduler mode.
+  std::size_t batch = 64;
+  /// No stopping decision before this many trials: intervals on very
+  /// small samples are too noisy to trust a stop.
+  std::size_t min_trials = 128;
+  /// Absolute CI half-width target every tracked outcome rate (Success,
+  /// SDC, Failure) must meet before the campaign stops early.
+  double ci_half_width = 0.02;
+  /// Relative mode: > 0 replaces the absolute target for an outcome with
+  /// estimate p by ci_relative * max(p, rare_threshold) — the
+  /// rare-outcome floor keeps a zero-count outcome from demanding a
+  /// zero-width interval.
+  double ci_relative = 0.0;
+  /// Two-sided normal quantile of every interval (1.96 ~ 95%).
+  double confidence_z = 1.96;
+  /// Outcomes whose pooled rate sits below this (or whose complement
+  /// does, or with < 8 counts either way) use Clopper–Pearson bounds:
+  /// exact coverage where the Wilson normal approximation under-covers.
+  double rare_threshold = 0.02;
+  /// Stratified sampling over (region x op kind x dynamic-op decile)
+  /// with Neyman-refined allocation and post-stratified estimates.
+  /// Applies to single-error UniformInstruction deployments; other
+  /// deployments keep uniform drawing (early stopping still applies).
+  bool stratify = true;
+  /// Dynamic-op deciles per (region, kind) cell.
+  int deciles = 10;
+
+  /// Resolve defaults from the RESILIENCE_ADAPTIVE* knobs
+  /// (util::RuntimeOptions). Library callers get the engine only by
+  /// opting in here or by setting fields explicitly.
+  static AdaptiveConfig from_runtime();
+};
+
+/// Why an adaptive campaign stopped drawing trials.
+enum class StopReason : std::uint8_t {
+  /// Every tracked outcome met its CI half-width target.
+  Converged,
+  /// The config.trials cap was reached before convergence.
+  TrialCap,
+};
+
+const char* to_string(StopReason reason) noexcept;
+
+/// One outcome's rate estimate with its confidence envelope. For
+/// stratified campaigns the rate is the post-stratified estimate — an
+/// unbiased estimate of the uniform-injection campaign the paper defines
+/// — and the bounds come from the stratified variance (or, on the rare
+/// tail, Clopper–Pearson on the pooled counts, widened to contain the
+/// post-stratified point).
+struct OutcomeInterval {
+  double rate = 0.0;
+  double lo = 0.0;
+  double hi = 1.0;
+  bool exact = false;  ///< true when the bounds are Clopper–Pearson
+
+  [[nodiscard]] double half_width() const noexcept { return (hi - lo) / 2.0; }
+  [[nodiscard]] bool contains(double p) const noexcept {
+    return p >= lo && p <= hi;
+  }
+};
+
+/// What the adaptive engine did and estimated. Absent from fixed runs.
+struct AdaptiveStats {
+  std::size_t trials_requested = 0;  ///< the config.trials cap
+  std::size_t trials_executed = 0;
+  StopReason stop_reason = StopReason::TrialCap;
+  bool stratified = false;
+  std::size_t strata = 1;  ///< non-empty strata sampled (1 = unstratified)
+  OutcomeInterval success;
+  OutcomeInterval sdc;
+  OutcomeInterval failure;
+  /// Post-stratified propagation probabilities r_x (x = 1..nranks);
+  /// empty for unstratified runs (raw histogram normalization applies).
+  std::vector<double> propagation;
+
+  [[nodiscard]] const OutcomeInterval& envelope(Outcome o) const noexcept {
+    return (o == Outcome::Success) ? success
+                                   : (o == Outcome::SDC) ? sdc : failure;
+  }
+  /// Requested / executed — the paper-campaign cost this run avoided.
+  [[nodiscard]] double trial_reduction() const noexcept {
+    if (trials_executed == 0) return 1.0;
+    return static_cast<double>(trials_requested) /
+           static_cast<double>(trials_executed);
+  }
 };
 
 struct DeploymentConfig {
@@ -55,6 +152,11 @@ struct DeploymentConfig {
   /// is not part of the deployment's identity — serialization and
   /// merge_campaigns ignore it.
   int max_workers = 0;
+  /// Adaptive engine (DESIGN.md §12); disabled by default, in which case
+  /// exactly `trials` tests run and results are bit-identical to a
+  /// config without this member. When enabled, `trials` becomes the cap
+  /// and `seed` still fully determines every drawn plan.
+  AdaptiveConfig adaptive;
 };
 
 /// Everything a campaign produced.
@@ -81,6 +183,9 @@ struct CampaignResult {
   /// classified outcomes are bit-identical whatever these say — so not
   /// part of the serialized campaign schema.
   telemetry::MetricsSnapshot metrics;
+  /// Adaptive-engine record: stopping point, CI envelope, post-stratified
+  /// estimates. Engaged iff config.adaptive.enabled.
+  std::optional<AdaptiveStats> adaptive;
 
   [[deprecated("read metrics.value(Counter::HarnessCheckpointRestores)")]]
   [[nodiscard]] std::size_t checkpoint_restores() const noexcept {
@@ -95,7 +200,9 @@ struct CampaignResult {
 
   /// r_x (paper Eq. 3): probability that an injected error contaminates
   /// exactly x ranks, for x = 1..nranks. Returned as a vector of size
-  /// nranks with r[0] == r_1.
+  /// nranks with r[0] == r_1. Post-stratified when the adaptive engine
+  /// sampled strata (unbiased for the uniform campaign); the raw
+  /// contamination histogram otherwise.
   [[nodiscard]] std::vector<double> propagation_probabilities() const;
 };
 

@@ -43,6 +43,58 @@ util::Json to_json(const DeploymentConfig& cfg) {
   return util::Json(std::move(obj));
 }
 
+util::Json to_json(const OutcomeInterval& iv) {
+  util::JsonObject obj;
+  obj["rate"] = util::Json(iv.rate);
+  obj["lo"] = util::Json(iv.lo);
+  obj["hi"] = util::Json(iv.hi);
+  obj["exact"] = util::Json(iv.exact);
+  return util::Json(std::move(obj));
+}
+
+OutcomeInterval interval_from_json(const util::Json& json) {
+  OutcomeInterval iv;
+  iv.rate = json.at("rate").as_double();
+  iv.lo = json.at("lo").as_double();
+  iv.hi = json.at("hi").as_double();
+  iv.exact = json.at("exact").as_bool();
+  return iv;
+}
+
+util::Json to_json(const AdaptiveStats& stats) {
+  util::JsonObject obj;
+  obj["trials_requested"] = util::Json(stats.trials_requested);
+  obj["trials_executed"] = util::Json(stats.trials_executed);
+  obj["stop_reason"] = util::Json(static_cast<int>(stats.stop_reason));
+  obj["stratified"] = util::Json(stats.stratified);
+  obj["strata"] = util::Json(stats.strata);
+  obj["success"] = to_json(stats.success);
+  obj["sdc"] = to_json(stats.sdc);
+  obj["failure"] = to_json(stats.failure);
+  util::JsonArray propagation;
+  for (double v : stats.propagation) propagation.push_back(util::Json(v));
+  obj["propagation"] = util::Json(std::move(propagation));
+  return util::Json(std::move(obj));
+}
+
+AdaptiveStats adaptive_from_json(const util::Json& json) {
+  AdaptiveStats stats;
+  stats.trials_requested =
+      static_cast<std::size_t>(json.at("trials_requested").as_int());
+  stats.trials_executed =
+      static_cast<std::size_t>(json.at("trials_executed").as_int());
+  stats.stop_reason = static_cast<StopReason>(json.at("stop_reason").as_int());
+  stats.stratified = json.at("stratified").as_bool();
+  stats.strata = static_cast<std::size_t>(json.at("strata").as_int());
+  stats.success = interval_from_json(json.at("success"));
+  stats.sdc = interval_from_json(json.at("sdc"));
+  stats.failure = interval_from_json(json.at("failure"));
+  for (const auto& item : json.at("propagation").as_array()) {
+    stats.propagation.push_back(item.as_double());
+  }
+  return stats;
+}
+
 DeploymentConfig config_from_json(const util::Json& json) {
   DeploymentConfig cfg;
   cfg.nranks = static_cast<int>(json.at("nranks").as_int());
@@ -95,6 +147,10 @@ util::Json to_json(const CampaignResult& result) {
   }
   obj["golden"] = util::Json(std::move(golden));
   obj["wall_seconds"] = util::Json(result.wall_seconds);
+  // Optional block (schema stays at version 1): present only for
+  // adaptive runs, so fixed-campaign files are byte-identical to those of
+  // builds without the adaptive engine.
+  if (result.adaptive) obj["adaptive"] = to_json(*result.adaptive);
   return util::Json(std::move(obj));
 }
 
@@ -142,6 +198,10 @@ CampaignResult campaign_from_json(const util::Json& json) {
     result.golden.profiles.push_back(prof);
   }
   result.wall_seconds = json.at("wall_seconds").as_double();
+  const auto& obj = json.as_object();
+  if (const auto it = obj.find("adaptive"); it != obj.end()) {
+    result.adaptive = adaptive_from_json(it->second);
+  }
   return result;
 }
 
@@ -181,6 +241,10 @@ CampaignResult merge_campaigns(const CampaignResult& a,
     merged.by_contamination[i].merge(b.by_contamination[i]);
   }
   merged.wall_seconds += b.wall_seconds;
+  // A merge is no longer one adaptive run: the inputs' stopping decisions
+  // and per-stratum allocations do not compose, so the merged campaign
+  // reports plain pooled counts (its rates remain exact).
+  merged.adaptive.reset();
   return merged;
 }
 

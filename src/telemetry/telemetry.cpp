@@ -33,6 +33,8 @@ constexpr const char* kCounterNames[kCounterCount] = {
     "harness.deadlock_aborts",
     "harness.hang_aborts",
     "harness.campaigns",
+    "campaign.trials_saved",
+    "campaign.strata",
     "core.studies",
     "core.study_phases",
 };
@@ -76,6 +78,13 @@ constexpr bool kTimingBorn[kCounterCount] = {
     /*HarnessDeadlockAborts*/ true,  // wall-clock watchdog
     /*HarnessHangAborts*/ false,     // op-budget guard is deterministic
     /*HarnessCampaigns*/ false,
+    // The adaptive engine's stop decisions are evaluated at deterministic
+    // batch boundaries on merged tallies, so both adaptive counters are a
+    // pure function of (app, configuration, seed) — logical, and part of
+    // the determinism contract. With adaptive off they are zero on both
+    // sides of every diff, so adaptive-off comparisons stay clean.
+    /*CampaignTrialsSaved*/ false,
+    /*CampaignStrata*/ false,
     /*CoreStudies*/ false,
     /*CoreStudyPhases*/ false,
 };

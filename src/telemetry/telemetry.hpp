@@ -76,6 +76,10 @@ enum class Counter : std::uint16_t {
   HarnessDeadlockAborts,     ///< trials ended by the deadlock detector
   HarnessHangAborts,         ///< trials ended by the op-budget hang guard
   HarnessCampaigns,          ///< campaigns run
+  CampaignTrialsSaved,       ///< requested-minus-executed trials of
+                             ///< adaptive campaigns (early-stopping win)
+  CampaignStrata,            ///< non-empty strata sampled by adaptive
+                             ///< campaigns (1 per unstratified campaign)
   // core — study pipeline
   CoreStudies,            ///< run_study invocations
   CoreStudyPhases,        ///< study phases executed

@@ -47,6 +47,28 @@ bool env_flag(const char* name, bool fallback) {
   return fallback;
 }
 
+double env_double(const char* name, double fallback, double min_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(raw, &end);
+  if (end == raw || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr,
+                 "warning: %s: ignoring non-numeric value \"%s\", using "
+                 "default %g\n",
+                 name, raw, fallback);
+    return fallback;
+  }
+  if (parsed < min_value) {
+    std::fprintf(stderr,
+                 "warning: %s: value %g is below the minimum %g, clamping\n",
+                 name, parsed, min_value);
+    return min_value;
+  }
+  return parsed;
+}
+
 std::string env_str(const char* name, const std::string& fallback) {
   const char* raw = std::getenv(name);
   return (raw == nullptr || *raw == '\0') ? fallback : std::string(raw);
@@ -92,6 +114,20 @@ RuntimeOptions RuntimeOptions::from_env() {
   options.checkpoint_budget = static_cast<std::size_t>(env_int(
       "RESILIENCE_CHECKPOINT_BUDGET",
       static_cast<std::int64_t>(options.checkpoint_budget)));
+  options.adaptive = env_flag("RESILIENCE_ADAPTIVE", options.adaptive);
+  options.adaptive_ci_half_width =
+      env_double("RESILIENCE_ADAPTIVE_CI", options.adaptive_ci_half_width,
+                 /*min_value=*/1e-4);
+  options.adaptive_ci_relative = env_double(
+      "RESILIENCE_ADAPTIVE_REL", options.adaptive_ci_relative, /*min_value=*/0.0);
+  options.adaptive_batch = static_cast<std::size_t>(
+      env_int("RESILIENCE_ADAPTIVE_BATCH",
+              static_cast<std::int64_t>(options.adaptive_batch)));
+  options.adaptive_min_trials = static_cast<std::size_t>(
+      env_int("RESILIENCE_ADAPTIVE_MIN",
+              static_cast<std::int64_t>(options.adaptive_min_trials)));
+  options.adaptive_stratify =
+      env_flag("RESILIENCE_ADAPTIVE_STRATIFY", options.adaptive_stratify);
   options.trace_path = env_str("RESILIENCE_TRACE", "");
   options.metrics_path = env_str("RESILIENCE_METRICS", "");
   return options;

@@ -49,6 +49,25 @@ struct RuntimeOptions {
   /// RESILIENCE_CHECKPOINT_BUDGET — max full state snapshots kept per
   /// golden run.
   std::size_t checkpoint_budget = 8;
+  /// RESILIENCE_ADAPTIVE — adaptive campaign engine: CI-driven early
+  /// stopping + stratified sampling (DESIGN.md §12). Off by default:
+  /// campaigns run their full fixed trial count, bit-identical to
+  /// previous releases.
+  bool adaptive = false;
+  /// RESILIENCE_ADAPTIVE_CI — absolute CI half-width target each outcome
+  /// rate must meet before an adaptive campaign stops early.
+  double adaptive_ci_half_width = 0.02;
+  /// RESILIENCE_ADAPTIVE_REL — relative half-width target; > 0 switches
+  /// the stop rule to relative mode (with a rare-outcome floor).
+  double adaptive_ci_relative = 0.0;
+  /// RESILIENCE_ADAPTIVE_BATCH — trials per adaptive batch (the stop
+  /// rule's evaluation granularity).
+  std::size_t adaptive_batch = 64;
+  /// RESILIENCE_ADAPTIVE_MIN — minimum trials before a stop decision.
+  std::size_t adaptive_min_trials = 128;
+  /// RESILIENCE_ADAPTIVE_STRATIFY — stratified sampling over
+  /// (region x kind x dynamic-op decile) with post-stratified estimates.
+  bool adaptive_stratify = true;
   /// RESILIENCE_TRACE — default trace output path ("" = tracing off).
   /// A ".json" suffix selects the Chrome trace_event format; anything
   /// else gets JSON Lines.

@@ -44,6 +44,16 @@ constexpr std::uint64_t derive_seed(std::uint64_t parent,
   return mix.next();
 }
 
+/// Two-level substream derivation: an independent child seed for index
+/// `inner` of substream `outer`. Adaptive campaigns key trial RNGs by
+/// (stratum, index-within-stratum) so a trial's randomness is a function
+/// of its identity alone — independent of batch boundaries, allocation
+/// order, and worker count.
+constexpr std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t outer,
+                                    std::uint64_t inner) noexcept {
+  return derive_seed(derive_seed(parent, outer), inner);
+}
+
 /// xoshiro256**: fast, high-quality 64-bit PRNG with 256 bits of state.
 class Xoshiro256 {
  public:

@@ -79,6 +79,98 @@ WilsonInterval wilson_interval(std::size_t successes, std::size_t trials,
   return {p, std::max(0.0, center - half), std::min(1.0, center + half)};
 }
 
+double normal_cdf(double z) noexcept {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+namespace {
+
+/// Continued fraction for the regularized incomplete beta (modified
+/// Lentz). Converges fast for x < (a + 1) / (a + b + 2); the public
+/// wrapper routes the other half through the symmetry relation.
+double betacf(double a, double b, double x) noexcept {
+  constexpr int kMaxIter = 200;
+  constexpr double kEps = 1e-15;
+  constexpr double kTiny = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+/// Smallest x with I_x(a, b) >= target, by bisection: monotone, bounded,
+/// and bit-deterministic across platforms (no stopping on floating-point
+/// residuals).
+double beta_inv(double target, double a, double b) noexcept {
+  double lo = 0.0, hi = 1.0;
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (regularized_incomplete_beta(a, b, mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+double regularized_incomplete_beta(double a, double b, double x) noexcept {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * betacf(a, b, x) / a;
+  }
+  return 1.0 - front * betacf(b, a, 1.0 - x) / b;
+}
+
+WilsonInterval clopper_pearson_interval(std::size_t successes,
+                                        std::size_t trials,
+                                        double z) noexcept {
+  if (trials == 0) return {0.0, 0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double k = static_cast<double>(successes);
+  const double p = k / n;
+  // Two-sided tail mass the z quantile implies (z = 1.96 -> alpha ~ 0.05).
+  const double alpha = 2.0 * (1.0 - normal_cdf(z));
+  const double lo = (successes == 0)
+                        ? 0.0
+                        : beta_inv(alpha / 2.0, k, n - k + 1.0);
+  const double hi = (successes == trials)
+                        ? 1.0
+                        : beta_inv(1.0 - alpha / 2.0, k + 1.0, n - k);
+  return {p, lo, hi};
+}
+
 std::vector<double> normalize(std::span<const std::size_t> counts) {
   std::size_t total = 0;
   for (std::size_t c : counts) total += c;

@@ -37,12 +37,36 @@ struct WilsonInterval {
   double center = 0.0;  ///< point estimate successes / trials
   double lo = 0.0;      ///< lower bound of the interval
   double hi = 0.0;      ///< upper bound of the interval
+
+  /// Half the interval width — the convergence measure adaptive
+  /// campaigns stop on.
+  [[nodiscard]] double half_width() const noexcept { return (hi - lo) / 2.0; }
 };
 
 /// Wilson score interval at confidence z (default z = 1.96, ~95%).
 /// trials == 0 yields the degenerate interval [0, 1] around 0.
 WilsonInterval wilson_interval(std::size_t successes, std::size_t trials,
                                double z = 1.96) noexcept;
+
+/// Clopper–Pearson ("exact") interval at confidence z (same z convention
+/// as wilson_interval: the two-sided normal quantile, z = 1.96 ~ 95%).
+/// Guaranteed >= nominal coverage for every p, which is what the adaptive
+/// campaign engine wants on the rare-outcome tail where the Wilson
+/// normal approximation under-covers. trials == 0 yields [0, 1].
+WilsonInterval clopper_pearson_interval(std::size_t successes,
+                                        std::size_t trials,
+                                        double z = 1.96) noexcept;
+
+/// Standard normal CDF (used to translate z into the Clopper–Pearson
+/// tail mass; exposed because the accuracy-gate report prints the
+/// confidence level a z implies).
+double normal_cdf(double z) noexcept;
+
+/// Regularized incomplete beta function I_x(a, b) for a, b > 0 and
+/// x in [0, 1] — the CDF of the Beta(a, b) distribution, which is what
+/// Clopper–Pearson bounds invert. Continued-fraction evaluation
+/// (Lentz), accurate to ~1e-12.
+double regularized_incomplete_beta(double a, double b, double x) noexcept;
 
 /// Normalize a histogram of counts into a probability vector.
 /// An all-zero histogram normalizes to all zeros.

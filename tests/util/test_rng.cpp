@@ -28,6 +28,27 @@ TEST(DeriveSeed, ChildDiffersFromParent) {
   EXPECT_NE(derive_seed(12345, 0), 12345u);
 }
 
+TEST(DeriveSeed, TwoLevelSubstreamsAreDistinct) {
+  // (outer, inner) substream pairs must neither collide with each other
+  // nor with the single-level streams adaptive campaigns share a parent
+  // seed with.
+  std::set<std::uint64_t> seeds;
+  std::size_t total = 0;
+  for (std::uint64_t outer = 0; outer < 32; ++outer) {
+    for (std::uint64_t inner = 0; inner < 32; ++inner) {
+      seeds.insert(derive_seed(7, outer, inner));
+      ++total;
+    }
+  }
+  for (std::uint64_t s = 0; s < 1024; ++s) {
+    seeds.insert(derive_seed(7, s));
+    ++total;
+  }
+  EXPECT_EQ(seeds.size(), total);
+  // Two-level derivation composes the single-level one.
+  EXPECT_EQ(derive_seed(7, 3, 5), derive_seed(derive_seed(7, 3), 5));
+}
+
 TEST(Xoshiro256, IsDeterministic) {
   Xoshiro256 a(99), b(99);
   for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());

@@ -105,6 +105,71 @@ TEST(WilsonInterval, ShrinksWithMoreTrials) {
   EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
 }
 
+TEST(WilsonInterval, MatchesReferenceValues) {
+  // 7 successes in 10 trials at z = 1.96: the standard worked example.
+  const auto w = wilson_interval(7, 10);
+  EXPECT_NEAR(w.center, 0.7, 1e-12);
+  EXPECT_NEAR(w.lo, 0.3968, 1e-3);
+  EXPECT_NEAR(w.hi, 0.8922, 1e-3);
+  EXPECT_NEAR(w.half_width(), (w.hi - w.lo) / 2.0, 1e-15);
+}
+
+TEST(NormalCdf, ReferenceValues) {
+  EXPECT_DOUBLE_EQ(normal_cdf(0.0), 0.5);
+  EXPECT_NEAR(normal_cdf(1.96), 0.9750021, 1e-6);
+  EXPECT_NEAR(normal_cdf(-1.96), 1.0 - normal_cdf(1.96), 1e-12);
+}
+
+TEST(RegularizedIncompleteBeta, ClosedForms) {
+  // I_x(1, 1) = x (uniform CDF).
+  for (double x : {0.1, 0.25, 0.5, 0.9}) {
+    EXPECT_NEAR(regularized_incomplete_beta(1.0, 1.0, x), x, 1e-12);
+  }
+  // Symmetry at the midpoint of a symmetric Beta.
+  EXPECT_NEAR(regularized_incomplete_beta(2.0, 2.0, 0.5), 0.5, 1e-12);
+  // I_x(a, b) = 1 - I_{1-x}(b, a).
+  EXPECT_NEAR(regularized_incomplete_beta(3.0, 7.0, 0.3),
+              1.0 - regularized_incomplete_beta(7.0, 3.0, 0.7), 1e-12);
+  EXPECT_EQ(regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_EQ(regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(ClopperPearson, MatchesReferenceValues) {
+  // 7 successes in 10 trials at 95%: the textbook exact interval.
+  const auto cp = clopper_pearson_interval(7, 10);
+  EXPECT_NEAR(cp.center, 0.7, 1e-12);
+  EXPECT_NEAR(cp.lo, 0.3475, 2e-3);
+  EXPECT_NEAR(cp.hi, 0.9333, 2e-3);
+}
+
+TEST(ClopperPearson, ZeroAndFullCountsUseClosedForms) {
+  // k = 0: lo = 0, hi = 1 - (alpha/2)^(1/n); k = n mirrors it.
+  const double alpha = 2.0 * (1.0 - normal_cdf(1.96));
+  const auto none = clopper_pearson_interval(0, 10);
+  EXPECT_EQ(none.lo, 0.0);
+  EXPECT_NEAR(none.hi, 1.0 - std::pow(alpha / 2.0, 0.1), 1e-9);
+  const auto all = clopper_pearson_interval(10, 10);
+  EXPECT_EQ(all.hi, 1.0);
+  EXPECT_NEAR(all.lo, std::pow(alpha / 2.0, 0.1), 1e-9);
+}
+
+TEST(ClopperPearson, SymmetricUnderComplement) {
+  const auto a = clopper_pearson_interval(3, 20);
+  const auto b = clopper_pearson_interval(17, 20);
+  EXPECT_NEAR(a.lo, 1.0 - b.hi, 1e-9);
+  EXPECT_NEAR(a.hi, 1.0 - b.lo, 1e-9);
+}
+
+TEST(ClopperPearson, CoversWilsonOnTheRareTail) {
+  // The exact interval is at least as wide as Wilson where the normal
+  // approximation under-covers (tiny counts) — the property the adaptive
+  // engine relies on.
+  const auto cp = clopper_pearson_interval(1, 200);
+  const auto w = wilson_interval(1, 200);
+  EXPECT_GE(cp.hi - cp.lo, 0.9 * (w.hi - w.lo));
+  EXPECT_EQ(clopper_pearson_interval(0, 0).hi, 1.0);
+}
+
 TEST(Normalize, SumsToOne) {
   const std::vector<std::size_t> counts{1, 2, 3, 4};
   const auto probs = normalize(counts);

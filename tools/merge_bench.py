@@ -47,6 +47,16 @@ Output:
                                  - early_exit_rate.<app.mix|late_mix>:
                                    fraction of trials pruned by the
                                    early-exit equivalence test
+                                 - adaptive_trial_reduction.<app|mean>:
+                                   trials requested / trials executed of
+                                   the CI-driven adaptive campaign legs
+                                   (bar: >= 3x mean); each leg also
+                                   asserts the fixed-budget success rate
+                                   landed inside the adaptive 95% CI
+
+When any input dump carries a load_avg above its num_cpus the host was
+saturated while benching; the merge warns and stamps the output with
+"load_exceeds_cpus" so wall-clock ratios are read with suspicion.
 
 Usage: tools/merge_bench.py [--dir DIR] [--out BENCH_substrate.json]
 Missing inputs are skipped with a warning so partial runs still merge.
@@ -175,6 +185,45 @@ def derive_checkpoint_metrics(intro):
     return {"checkpoint_speedup": speedup, "early_exit_rate": early_rate}
 
 
+def derive_adaptive_metrics(intro):
+    """Trial-reduction ratios of the adaptive campaign legs."""
+    reduction = {}
+    outside_ci = []
+    for leg in intro.get("adaptive", []):
+        if leg.get("trials_executed"):
+            reduction[leg["app"]] = (
+                leg["trials_requested"] / leg["trials_executed"])
+        if not leg.get("fixed_rate_in_ci", True):
+            outside_ci.append(leg["app"])
+    if reduction:
+        reduction["mean"] = sum(
+            v for k, v in reduction.items()) / len(reduction)
+    return {"adaptive_trial_reduction": reduction}, outside_ci
+
+
+def check_host_load(merged, name, dump, fallback_cpus=None):
+    """Warn and stamp the merge when a dump was taken on a saturated host.
+
+    google-benchmark stamps load_avg as a 1/5/15-minute triple in its
+    context block; bench_intro_overhead stamps a single 1-minute value at
+    top level. Either way, load above num_cpus means the bench shared the
+    machine and its wall-clock ratios are unreliable.
+    """
+    context = dump.get("context", dump)
+    load = context.get("load_avg")
+    if load is None:
+        return
+    load = max(load) if isinstance(load, list) else float(load)
+    cpus = context.get("num_cpus", fallback_cpus)
+    if not cpus or load <= cpus:
+        return
+    print(f"merge_bench: warning: {name} was benched under load_avg "
+          f"{load:.1f} on {cpus} CPUs; wall-clock ratios are unreliable",
+          file=sys.stderr)
+    merged.setdefault("load_exceeds_cpus", {})[name] = {
+        "load_avg": load, "num_cpus": cpus}
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--dir", default=".",
@@ -214,11 +263,18 @@ def main():
                           ("host_name", "num_cpus", "mhz_per_cpu",
                            "binary_build_type", "library_build_type")
                           if k in context}
+    if micro is not None:
+        check_host_load(merged, "micro_substrate", micro)
     intro = load(base / "BENCH_intro_overhead.json")
+    outside_ci = []
     if intro is not None:
         merged["intro_overhead"] = intro
         merged.setdefault("metrics", {}).update(
             derive_checkpoint_metrics(intro))
+        adaptive_metrics, outside_ci = derive_adaptive_metrics(intro)
+        merged["metrics"].update(adaptive_metrics)
+        check_host_load(merged, "intro_overhead", intro,
+                        fallback_cpus=merged.get("host", {}).get("num_cpus"))
 
     out_path = base / args.out
     with out_path.open("w") as f:
@@ -249,6 +305,15 @@ def main():
         rate = metrics.get("early_exit_rate", {}).get(label)
         rate_str = f", early-exit rate {rate:.0%}" if rate is not None else ""
         print(f"  checkpoint speedup ({label}): {ratio:.2f}x{rate_str}")
+    adaptive = metrics.get("adaptive_trial_reduction", {})
+    for label, ratio in sorted(adaptive.items()):
+        bar = ""
+        if label == "mean" and ratio < 3.0:
+            bar = "  ** BELOW the >= 3x bar **"
+        print(f"  adaptive trial reduction ({label}): {ratio:.2f}x{bar}")
+    for app in outside_ci:
+        print(f"  ** adaptive CI for {app} does NOT contain the "
+              "fixed-budget rate **")
     return 0
 
 

@@ -15,6 +15,16 @@
 //       [--jobs N]
 //       Profile error propagation across ranks.
 //
+// campaign, predict, and propagation also accept the adaptive engine
+// flags (DESIGN.md §12):
+//   --trials-auto        CI-driven early stopping: --trials becomes a cap
+//                        and each deployment stops once every outcome
+//                        rate's confidence interval is tight enough.
+//   --ci-half-width W    Absolute CI half-width target (default 0.02);
+//                        implies --trials-auto.
+// Both default to the RESILIENCE_ADAPTIVE* env knobs; stopping points are
+// seed-deterministic (independent of --jobs and scheduler mode).
+//
 // campaign, predict, and propagation also accept:
 //   --trace out.jsonl    Write a structured trace of the run (spans for
 //                        study phases, campaigns, and trials; instants for
@@ -62,7 +72,7 @@ class Args {
         throw std::invalid_argument("unexpected argument: " + key);
       }
       key = key.substr(2);
-      if (key == "no-measure") {
+      if (key == "no-measure" || key == "trials-auto") {
         values_[key] = "1";
         continue;
       }
@@ -83,6 +93,11 @@ class Args {
   [[nodiscard]] long get_int(const std::string& key, long fallback) {
     const std::string raw = get(key, "");
     return raw.empty() ? fallback : std::stol(raw);
+  }
+
+  [[nodiscard]] double get_double(const std::string& key, double fallback) {
+    const std::string raw = get(key, "");
+    return raw.empty() ? fallback : std::stod(raw);
   }
 
   void check_consumed() const {
@@ -151,6 +166,37 @@ class TelemetryOutputs {
   bool tracing_ = false;
 };
 
+/// Adaptive-engine flags layered over the RESILIENCE_ADAPTIVE* env knobs:
+/// --trials-auto switches the engine on, --ci-half-width sets (and, when
+/// given, also switches on) the convergence target.
+harness::AdaptiveConfig parse_adaptive(Args& args) {
+  harness::AdaptiveConfig adaptive = harness::AdaptiveConfig::from_runtime();
+  if (!args.get("trials-auto", "").empty()) adaptive.enabled = true;
+  if (!args.get("ci-half-width", "").empty()) {
+    const double half_width = args.get_double("ci-half-width", 0.0);
+    if (!(half_width >= 1e-4 && half_width < 1.0)) {
+      throw std::invalid_argument(
+          "--ci-half-width must be in [0.0001, 1)");
+    }
+    adaptive.ci_half_width = half_width;
+    adaptive.enabled = true;
+  }
+  return adaptive;
+}
+
+/// One-line adaptive summary after a campaign (requested vs executed
+/// trials, stop reason, the success-rate CI).
+void print_adaptive(const harness::CampaignResult& campaign) {
+  if (!campaign.adaptive) return;
+  const auto& a = *campaign.adaptive;
+  std::cout << "adaptive: " << a.trials_executed << "/" << a.trials_requested
+            << " trials (" << to_string(a.stop_reason) << ", " << a.strata
+            << (a.strata == 1 ? " stratum" : " strata")
+            << "); success 95% CI ["
+            << util::TablePrinter::pct(a.success.lo) << ", "
+            << util::TablePrinter::pct(a.success.hi) << "]\n";
+}
+
 fsefi::FaultPattern parse_pattern(const std::string& name) {
   if (name == "single") return fsefi::FaultPattern::SingleBit;
   if (name == "double") return fsefi::FaultPattern::DoubleBit;
@@ -188,6 +234,7 @@ int cmd_campaign(Args& args) {
   dep.regions = parse_region(args.get("region", "all"));
   dep.seed = static_cast<std::uint64_t>(args.get_int("seed", 20180813));
   dep.max_workers = static_cast<int>(args.get_int("jobs", 0));
+  dep.adaptive = parse_adaptive(args);
   const std::string save_path = args.get("save", "");
   TelemetryOutputs telemetry_out(args);
   args.check_consumed();
@@ -208,6 +255,7 @@ int cmd_campaign(Args& args) {
   table.add_row({"Failure", std::to_string(campaign.overall.failure),
                  util::TablePrinter::pct(campaign.overall.failure_rate())});
   table.print();
+  print_adaptive(campaign);
   std::cout << "\npropagation r_x:";
   const auto r = campaign.propagation_probabilities();
   for (int x = 1; x <= dep.nranks; ++x) {
@@ -237,6 +285,7 @@ int cmd_predict(Args& args) {
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 20180813));
   cfg.measure_large = args.get("no-measure", "").empty();
   cfg.max_workers = static_cast<int>(args.get_int("jobs", 0));
+  cfg.adaptive = parse_adaptive(args);
   const std::string report_path = args.get("report", "");
   const long ci_resamples = args.get_int("ci", 0);
   TelemetryOutputs telemetry_out(args);
@@ -290,6 +339,28 @@ int cmd_predict(Args& args) {
     std::cout << "success prediction error: "
               << util::TablePrinter::pct(study.success_error()) << "\n";
   }
+  if (!study.adaptive_phases.empty()) {
+    std::size_t requested = 0, executed = 0;
+    for (const auto& rec : study.adaptive_phases) {
+      requested += rec.stats.trials_requested;
+      executed += rec.stats.trials_executed;
+    }
+    std::cout << "adaptive: " << executed << "/" << requested
+              << " trials across " << study.adaptive_phases.size()
+              << " deployments";
+    if (study.measured_adaptive) {
+      const auto& a = *study.measured_adaptive;
+      std::cout << "; measured success 95% CI ["
+                << util::TablePrinter::pct(a.success.lo) << ", "
+                << util::TablePrinter::pct(a.success.hi) << "]";
+    }
+    std::cout << "\n";
+    if (study.accuracy_gate_flagged()) {
+      std::cout << "ACCURACY GATE: prediction falls outside the measured "
+                   "success-rate CI envelope — unvalidated at this trial "
+                   "budget\n";
+    }
+  }
   telemetry_out.finish(study.metrics);
   return 0;
 }
@@ -302,6 +373,7 @@ int cmd_propagation(Args& args) {
   dep.trials = static_cast<std::size_t>(args.get_int("trials", 400));
   dep.seed = static_cast<std::uint64_t>(args.get_int("seed", 20180813));
   dep.max_workers = static_cast<int>(args.get_int("jobs", 0));
+  dep.adaptive = parse_adaptive(args);
   TelemetryOutputs telemetry_out(args);
   args.check_consumed();
 
@@ -319,6 +391,7 @@ int cmd_propagation(Args& args) {
                    util::TablePrinter::pct(cond.success_rate())});
   }
   table.print();
+  print_adaptive(campaign);
   telemetry_out.finish(campaign.metrics);
   return 0;
 }
