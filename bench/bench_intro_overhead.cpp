@@ -5,17 +5,24 @@
 //
 // Paper (NPB CG, F-SEFI): 4 MPI processes execute +74.5% instructions vs
 // serial; fault-injection time +58%; plain execution time differs by 15%.
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <thread>
+#include <utility>
 
 #include "apps/ft.hpp"
 #include "bench_common.hpp"
 #include "harness/campaign.hpp"
 #include "harness/checkpoint.hpp"
 #include "harness/executor.hpp"
+#include "shard/coordinator.hpp"
+#include "shard/worker.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
 
@@ -35,8 +42,13 @@ double time_campaign(const resilience::apps::App& app,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace resilience;
+  // The sharded leg's coordinator re-execs this binary as its worker
+  // processes; the worker hook must run before anything else.
+  if (const int rc = shard::maybe_worker_main(argc, argv); rc >= 0) {
+    return rc;
+  }
   const auto cfg = util::BenchConfig::from_env(/*default_trials=*/200);
   bench::print_header(
       "Section 1 motivation: instruction and fault-injection-time growth "
@@ -272,6 +284,83 @@ int main() {
     }
   }
 
+  // Sharded campaign execution (DESIGN.md §13): the same deployment run
+  // in-process on one worker vs fanned out across coordinator-spawned
+  // worker processes (this binary re-exec'd with --shard-worker).
+  // Results are bit-identical (tests/shard/test_shard.cpp); only the
+  // wall clock moves (merge_bench.py bar: >= 2x at 4 shards). The
+  // store-reuse leg runs the same sharded campaign twice against a
+  // persistent golden store: the second invocation re-profiles nothing
+  // and serves the coordinator and every worker from disk.
+  util::JsonObject shard_json;
+  {
+    harness::DeploymentConfig dep;
+    dep.nranks = 4;
+    dep.trials = std::min<std::size_t>(cfg.trials, 200);
+    dep.seed = cfg.seed;
+    dep.max_workers = 1;  // trials-per-process are serial in both legs
+    const double serial_wall = time_campaign(*app, dep);
+
+    const auto time_sharded = [&](int shards, const std::string& store) {
+      shard::ShardOptions opts;
+      opts.shards = shards;
+      opts.golden_store_dir = store;
+      const auto start = std::chrono::steady_clock::now();
+      auto result = shard::run_sharded_campaign(*app, dep, opts);
+      const double wall = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+      return std::pair<double, harness::CampaignResult>(wall,
+                                                        std::move(result));
+    };
+
+    const double one_wall = time_sharded(1, "").first;
+    const double four_wall = time_sharded(4, "").first;
+    const double speedup = serial_wall / four_wall;
+    std::cout << "\nSharded campaigns (CG, 4 ranks, " << dep.trials
+              << " trials): " << bench::fmt(serial_wall, 2)
+              << " s in-process serial vs " << bench::fmt(one_wall, 2)
+              << " s on 1 shard vs " << bench::fmt(four_wall, 2)
+              << " s on 4 shards — " << bench::fmt(speedup, 1)
+              << "x speedup, bit-identical results.\n";
+
+    const std::string store_dir =
+        (std::filesystem::temp_directory_path() /
+         ("resilience-bench-store-" + std::to_string(::getpid())))
+            .string();
+    std::filesystem::remove_all(store_dir);
+    (void)time_sharded(4, store_dir);  // fills the store
+    const auto [reuse_wall, reuse] = time_sharded(4, store_dir);
+    std::filesystem::remove_all(store_dir);
+    const auto hits = reuse.metrics.value(telemetry::Counter::GoldenStoreHits);
+    const auto misses =
+        reuse.metrics.value(telemetry::Counter::GoldenStoreMisses);
+    const auto profiles =
+        reuse.metrics.value(telemetry::Counter::HarnessGoldenProfiles);
+    const double hit_rate =
+        hits + misses > 0
+            ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+            : 0.0;
+    std::cout << "  Golden-store reuse: second 4-shard run took "
+              << bench::fmt(reuse_wall, 2) << " s with " << hits
+              << " store hits / " << misses << " misses ("
+              << bench::pct(hit_rate) << " hit rate, " << profiles
+              << " re-profiles).\n";
+
+    shard_json["trials"] = util::Json(dep.trials);
+    shard_json["nranks"] = util::Json(dep.nranks);
+    shard_json["serial_wall_seconds"] = util::Json(serial_wall);
+    shard_json["one_shard_wall_seconds"] = util::Json(one_wall);
+    shard_json["shards"] = util::Json(4);
+    shard_json["sharded_wall_seconds"] = util::Json(four_wall);
+    shard_json["speedup"] = util::Json(speedup);
+    shard_json["reuse_wall_seconds"] = util::Json(reuse_wall);
+    shard_json["reuse_store_hits"] = util::Json(hits);
+    shard_json["reuse_store_misses"] = util::Json(misses);
+    shard_json["reuse_profiles"] = util::Json(profiles);
+    shard_json["store_hit_rate"] = util::Json(hit_rate);
+  }
+
   // Machine-readable mirror of the numbers above, merged into
   // BENCH_substrate.json by tools/merge_bench.py.
   {
@@ -284,6 +373,7 @@ int main() {
     root["executor"] = util::Json(std::move(executor_json));
     root["checkpoint"] = util::Json(std::move(checkpoint_json));
     root["adaptive"] = util::Json(std::move(adaptive_json));
+    root["shard"] = util::Json(std::move(shard_json));
     // Host-load stamp: merge_bench.py flags dumps taken on a saturated
     // host, where wall-clock ratios are unreliable.
     double loads[1] = {0.0};

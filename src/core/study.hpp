@@ -75,32 +75,6 @@ struct StudyResult {
   /// and excluded from serialization.
   telemetry::MetricsSnapshot metrics;
 
-  [[deprecated("read metrics.value(Counter::HarnessGoldenHits)")]]
-  [[nodiscard]] std::size_t golden_cache_hits() const noexcept {
-    return static_cast<std::size_t>(
-        metrics.value(telemetry::Counter::HarnessGoldenHits));
-  }
-  [[deprecated("read metrics.value(Counter::HarnessGoldenMisses)")]]
-  [[nodiscard]] std::size_t golden_cache_misses() const noexcept {
-    return static_cast<std::size_t>(
-        metrics.value(telemetry::Counter::HarnessGoldenMisses));
-  }
-  [[deprecated("read metrics.value(Counter::HarnessGoldenWaits)")]]
-  [[nodiscard]] std::size_t golden_cache_waits() const noexcept {
-    return static_cast<std::size_t>(
-        metrics.value(telemetry::Counter::HarnessGoldenWaits));
-  }
-  [[deprecated("read metrics.value(Counter::HarnessCheckpointRestores)")]]
-  [[nodiscard]] std::size_t checkpoint_restores() const noexcept {
-    return static_cast<std::size_t>(
-        metrics.value(telemetry::Counter::HarnessCheckpointRestores));
-  }
-  [[deprecated("read metrics.value(Counter::HarnessEarlyExits)")]]
-  [[nodiscard]] std::size_t early_exits() const noexcept {
-    return static_cast<std::size_t>(
-        metrics.value(telemetry::Counter::HarnessEarlyExits));
-  }
-
   [[nodiscard]] double predicted_success() const noexcept {
     return prediction.combined.success;
   }

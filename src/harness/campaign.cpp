@@ -1,7 +1,6 @@
 #include "harness/campaign.hpp"
 
 #include <algorithm>
-#include <array>
 #include <chrono>
 #include <cmath>
 #include <limits>
@@ -9,112 +8,14 @@
 #include <stdexcept>
 #include <utility>
 
+#include "harness/campaign_engine.hpp"
 #include "harness/executor.hpp"
 #include "harness/golden_cache.hpp"
 #include "simmpi/rank_team.hpp"
 #include "simmpi/runtime.hpp"
 #include "util/options.hpp"
-#include "util/rng.hpp"
-#include "util/stats.hpp"
 
 namespace resilience::harness {
-
-namespace {
-
-/// Append the injection points of one drawn dynamic-op index, expanding
-/// the deployment's fault pattern (operand, bit positions, width).
-void expand_pattern(const DeploymentConfig& cfg, std::uint64_t idx,
-                    util::Xoshiro256& rng, fsefi::InjectionPlan& plan) {
-  const auto operand = static_cast<std::uint8_t>(rng.uniform_below(2));
-  switch (cfg.pattern) {
-    case fsefi::FaultPattern::SingleBit:
-      plan.points.push_back(
-          {idx, operand, static_cast<std::uint8_t>(rng.uniform_below(64)), 1});
-      break;
-    case fsefi::FaultPattern::DoubleBit: {
-      // Two distinct random bits of the same operand.
-      const auto bits = rng.sample_distinct(64, 2);
-      for (auto bit : bits) {
-        plan.points.push_back({idx, operand, static_cast<std::uint8_t>(bit), 1});
-      }
-      break;
-    }
-    case fsefi::FaultPattern::Burst4:
-      plan.points.push_back(
-          {idx, operand, static_cast<std::uint8_t>(rng.uniform_below(61)), 4});
-      break;
-  }
-}
-
-/// Draw the injection plan of one trial: a target rank plus
-/// `errors_per_test` distinct dynamic-op indices in that rank's filtered
-/// op stream, each with a random bit and operand.
-std::pair<int, fsefi::InjectionPlan> draw_plan(
-    const DeploymentConfig& cfg, const GoldenRun& golden,
-    const std::vector<std::uint64_t>& rank_ops, std::uint64_t total_ops,
-    util::Xoshiro256& rng) {
-  // Pick the target rank.
-  int target = 0;
-  if (cfg.selection == TargetSelection::UniformInstruction) {
-    std::uint64_t pick = rng.uniform_below(total_ops);
-    for (int r = 0; r < cfg.nranks; ++r) {
-      const std::uint64_t ops = rank_ops[static_cast<std::size_t>(r)];
-      if (pick < ops) {
-        target = r;
-        break;
-      }
-      pick -= ops;
-    }
-  } else {
-    // Uniform over ranks with a non-empty sample space.
-    std::vector<int> eligible;
-    for (int r = 0; r < cfg.nranks; ++r) {
-      if (rank_ops[static_cast<std::size_t>(r)] >=
-          static_cast<std::uint64_t>(cfg.errors_per_test)) {
-        eligible.push_back(r);
-      }
-    }
-    if (eligible.empty()) {
-      throw std::runtime_error("no rank has enough eligible operations");
-    }
-    target = eligible[rng.uniform_below(eligible.size())];
-  }
-
-  const std::uint64_t ops = rank_ops[static_cast<std::size_t>(target)];
-  const auto x = static_cast<std::uint64_t>(cfg.errors_per_test);
-  if (ops < x) {
-    throw std::runtime_error("target rank has fewer eligible ops than errors");
-  }
-  std::vector<std::uint64_t> indices = rng.sample_distinct(ops, x);
-  std::sort(indices.begin(), indices.end());
-
-  fsefi::InjectionPlan plan;
-  plan.kinds = cfg.kinds;
-  plan.regions = cfg.regions;
-  plan.points.reserve(indices.size());
-  for (std::uint64_t idx : indices) {
-    expand_pattern(cfg, idx, rng, plan);
-  }
-  (void)golden;
-  return {target, std::move(plan)};
-}
-
-/// Count of one outcome in a tally, by outcome ordinal (0 = Success,
-/// 1 = SDC, 2 = Failure) — the iteration order the adaptive stop rule
-/// uses.
-std::size_t outcome_count(const FaultInjectionResult& tally,
-                          int ordinal) noexcept {
-  switch (ordinal) {
-    case 0:
-      return tally.success;
-    case 1:
-      return tally.sdc;
-    default:
-      return tally.failure;
-  }
-}
-
-}  // namespace
 
 const char* to_string(Outcome o) noexcept {
   switch (o) {
@@ -223,97 +124,15 @@ CampaignResult CampaignRunner::run(const apps::App& app,
     }
   }
 
-  std::vector<std::uint64_t> rank_ops;
-  rank_ops.reserve(result.golden.profiles.size());
-  std::uint64_t total_ops = 0;
-  for (const auto& prof : result.golden.profiles) {
-    rank_ops.push_back(prof.matching(cfg.kinds, cfg.regions));
-    total_ops += rank_ops.back();
-  }
-  if (total_ops == 0) {
-    throw std::runtime_error(app.label() +
-                             ": no dynamic operations match the deployment's "
-                             "kind/region filters");
-  }
-
-  RunOptions run_opts;
-  run_opts.deadlock_timeout = cfg.deadlock_timeout;
-  run_opts.op_budget = static_cast<std::uint64_t>(
-                           cfg.hang_budget_factor *
-                           static_cast<double>(result.golden.max_rank_ops)) +
-                       cfg.hang_budget_slack;
-  // Trial fast-forward (DESIGN.md §9): hand every trial the boundary
-  // checkpoints the golden pre-pass captured. Null when the kill switch
-  // was off at capture time.
-  if (checkpoint_enabled() && result.golden.checkpoints != nullptr) {
-    run_opts.checkpoints = result.golden.checkpoints.get();
-  }
+  // The deterministic trial machinery (plan drawing, execution, strata) —
+  // shared with the shard coordinator/worker path (src/shard), which is
+  // why a sharded campaign is bit-identical to this in-process one.
+  TrialSpace space(app, cfg, result.golden);
 
   result.contamination_hist.assign(static_cast<std::size_t>(cfg.nranks) + 1,
                                    0);
   result.by_contamination.assign(static_cast<std::size_t>(cfg.nranks) + 1,
                                  FaultInjectionResult{});
-
-  // One trial: the unit of work every execution path shares. A trial's
-  // randomness is a pure function of its identity (trial index, or
-  // (stratum, index-within-stratum) under the adaptive engine), which is
-  // what keeps all paths bit-identical across worker counts.
-  struct TrialOutcome {
-    Outcome outcome = Outcome::Failure;
-    int contaminated = -1;
-  };
-  auto execute_trial = [&](std::size_t trial_tag, int target,
-                           fsefi::InjectionPlan plan) -> TrialOutcome {
-    // Per-trial scope push: the calling thread may be this function's
-    // thread (inline path) or an executor worker (chunked path); either
-    // way the trial's counts must land in this campaign's scope.
-    telemetry::ScopeGuard guard(&metrics);
-    telemetry::TraceSpan trial_span("harness", "trial", "index", trial_tag);
-    std::vector<fsefi::InjectionPlan> plans(
-        static_cast<std::size_t>(cfg.nranks));
-    plans[static_cast<std::size_t>(target)] = std::move(plan);
-    const RunOutput out = run_app_once(app, cfg.nranks, plans, run_opts);
-    telemetry::count(telemetry::Counter::HarnessTrials);
-    if (out.checkpoint_restored) {
-      telemetry::count(telemetry::Counter::HarnessCheckpointRestores);
-      telemetry::trace_instant(
-          "harness", "checkpoint_restore", "iteration",
-          static_cast<std::uint64_t>(out.resume_iteration));
-    }
-    if (out.early_exit) {
-      telemetry::count(telemetry::Counter::HarnessEarlyExits);
-      telemetry::trace_instant("harness", "early_exit");
-    }
-    if (out.hang) {
-      telemetry::count(telemetry::Counter::HarnessHangAborts);
-    } else if (out.runtime.deadlocked) {
-      telemetry::count(telemetry::Counter::HarnessDeadlockAborts);
-      telemetry::trace_instant("harness", "deadlock_abort");
-    }
-    const int contaminated = out.contaminated_ranks();
-    if (contaminated >= 0) {
-      telemetry::record(telemetry::Histogram::HarnessContaminatedRanks,
-                        static_cast<std::uint64_t>(contaminated));
-    }
-    if (out.runtime.ok) {
-      // Only clean completions: the op totals of a torn-down job depend on
-      // where the surviving ranks happened to stop, and histograms take
-      // part in the logical-determinism contract.
-      std::uint64_t trial_ops = 0;
-      for (const auto& prof : out.profiles) trial_ops += prof.total();
-      telemetry::record(telemetry::Histogram::HarnessTrialOps, trial_ops);
-    }
-    return {classify(out, result.golden.signature, app.checker_tolerance()),
-            contaminated};
-  };
-  // Uniform drawing, seeded from the global trial index — the fixed-mode
-  // stream (and the adaptive engine's fallback when it cannot stratify).
-  auto run_trial = [&](std::size_t trial) -> TrialOutcome {
-    util::Xoshiro256 rng(util::derive_seed(cfg.seed, trial));
-    auto [target, plan] =
-        draw_plan(cfg, result.golden, rank_ops, total_ops, rng);
-    return execute_trial(trial, target, std::move(plan));
-  };
 
   Executor* executor = context.executor;
   std::unique_ptr<Executor> local_executor;
@@ -383,7 +202,7 @@ CampaignResult CampaignRunner::run(const apps::App& app,
   // Fold one finished trial into the campaign tallies. Always called in
   // deterministic trial order — the parallel path stays bit-identical to
   // the serial one no matter how chunks were scheduled.
-  auto merge_trial = [&](const TrialOutcome& t) {
+  auto merge_trial = [&](const TrialResult& t) {
     result.overall.add(t.outcome);
     if (t.contaminated >= 0 &&
         t.contaminated < static_cast<int>(result.contamination_hist.size())) {
@@ -393,340 +212,57 @@ CampaignResult CampaignRunner::run(const apps::App& app,
     }
   };
 
+  // One trial body: the executing thread may be this function's thread
+  // (inline path) or an executor worker (chunked path); the scope push
+  // makes the trial's counts land in this campaign's scope either way.
+  auto run_ref = [&](const TrialRef& ref) -> TrialResult {
+    telemetry::ScopeGuard guard(&metrics);
+    return space.run(ref);
+  };
+
   if (!cfg.adaptive.enabled) {
-    std::vector<TrialOutcome> outcomes(cfg.trials);
+    std::vector<TrialResult> outcomes(cfg.trials);
     result.wall_seconds = run_chunked(cfg.trials, [&](std::size_t trial) {
-      outcomes[trial] = run_trial(trial);
+      outcomes[trial] = run_ref({kNoStratum, trial, trial});
     });
-    for (const TrialOutcome& t : outcomes) merge_trial(t);
+    for (const TrialResult& t : outcomes) merge_trial(t);
     result.metrics = metrics.snapshot();
     return result;
   }
 
   // ---- adaptive engine (DESIGN.md §12) ------------------------------------
   // CI-driven early stopping over (optionally) stratified sampling. The
-  // stop rule runs only at batch boundaries on tallies merged in
-  // deterministic (stratum, index) order, so for a given seed the
-  // stopping point — and therefore every classified outcome — is
-  // reproducible across worker counts and scheduler modes.
-  const AdaptiveConfig& ad = cfg.adaptive;
-  const std::size_t cap = cfg.trials;
-  const std::size_t batch_size = std::max<std::size_t>(1, ad.batch);
-  const std::size_t min_trials =
-      std::min(std::max<std::size_t>(1, ad.min_trials), cap);
-
-  // Stratification needs single-error UniformInstruction deployments:
-  // decile ranges are defined on single op indices, and multi-error
-  // distinct draws do not decompose into independent strata.
-  const bool want_strata =
-      ad.stratify && cfg.errors_per_test == 1 &&
-      cfg.selection == TargetSelection::UniformInstruction && ad.deciles >= 1;
-
-  // One stratum of the injection space with its running tallies.
-  struct StratumState {
-    fsefi::Stratum stratum;
-    std::size_t id = 0;  ///< grid index: RNG substream + ordering key
-    std::vector<std::uint64_t> rank_pop;  ///< per-rank decile population
-    std::uint64_t population = 0;
-    double weight = 0.0;  ///< population / total_ops (the W_s of §12)
-    FaultInjectionResult tally;
-    std::vector<std::size_t> hist;  ///< contamination counts
-    std::size_t drawn = 0;          ///< trials assigned so far
-  };
-  std::vector<StratumState> strata;
-  if (want_strata) {
-    for (int r = 0; r < fsefi::kNumRegions; ++r) {
-      if (!fsefi::contains(cfg.regions, static_cast<fsefi::Region>(r)))
-        continue;
-      for (int k = 0; k < fsefi::kNumOpKinds; ++k) {
-        if (!fsefi::contains(cfg.kinds, static_cast<fsefi::OpKind>(k)))
-          continue;
-        for (int d = 0; d < ad.deciles; ++d) {
-          StratumState s;
-          s.stratum = {static_cast<fsefi::Region>(r),
-                       static_cast<fsefi::OpKind>(k), d, ad.deciles};
-          s.id = fsefi::stratum_index(s.stratum);
-          s.rank_pop.reserve(result.golden.profiles.size());
-          for (const auto& prof : result.golden.profiles) {
-            const std::uint64_t pop = fsefi::stratum_population(prof, s.stratum);
-            s.rank_pop.push_back(pop);
-            s.population += pop;
-          }
-          if (s.population == 0) continue;  // nothing to hit: drop
-          s.weight = static_cast<double>(s.population) /
-                     static_cast<double>(total_ops);
-          s.hist.assign(static_cast<std::size_t>(cfg.nranks) + 1, 0);
-          strata.push_back(std::move(s));
-        }
-      }
-    }
-  }
-  const bool use_strata = want_strata && !strata.empty();
-
-  // A stratified trial: rank weighted by its share of the stratum, then a
-  // uniform op index inside that rank's decile range of the (region,
-  // kind) cell stream. The plan narrows its filters to the single cell,
-  // so op_index counts within the cell's own dynamic stream. Seeded from
-  // (stratum grid id, index-within-stratum): independent of batch
-  // boundaries and allocation history.
-  auto run_stratum_trial = [&](const StratumState& s, std::size_t j,
-                               std::size_t tag) -> TrialOutcome {
-    util::Xoshiro256 rng(util::derive_seed(cfg.seed, s.id, j));
-    std::uint64_t pick = rng.uniform_below(s.population);
-    int target = 0;
-    for (int r = 0; r < cfg.nranks; ++r) {
-      const std::uint64_t pop = s.rank_pop[static_cast<std::size_t>(r)];
-      if (pick < pop) {
-        target = r;
-        break;
-      }
-      pick -= pop;
-    }
-    const auto& prof =
-        result.golden.profiles[static_cast<std::size_t>(target)];
-    const std::uint64_t cell =
-        prof.counts[static_cast<int>(s.stratum.region)]
-                   [static_cast<int>(s.stratum.kind)];
-    const auto [lo, hi] =
-        fsefi::decile_range(cell, s.stratum.decile, s.stratum.ndeciles);
-    fsefi::InjectionPlan plan;
-    plan.kinds = s.stratum.kinds();
-    plan.regions = s.stratum.regions();
-    expand_pattern(cfg, lo + rng.uniform_below(hi - lo), rng, plan);
-    return execute_trial(tag, target, std::move(plan));
-  };
-
-  // Per-batch allocation: one trial to every still-unsampled stratum
-  // first (largest population first — the stop rule cannot fire until
-  // every live stratum has data), then largest-remainder apportionment of
-  // the rest by W_s * sqrt(v_s) — proportional on the first batch (all
-  // v_s equal) and Neyman-refined once per-stratum variance is observed.
-  auto allocate_batch = [&](std::size_t n) -> std::vector<std::size_t> {
-    std::vector<std::size_t> alloc(strata.size(), 0);
-    std::vector<std::size_t> order(strata.size());
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      if (strata[a].population != strata[b].population)
-        return strata[a].population > strata[b].population;
-      return strata[a].id < strata[b].id;
-    });
-    for (std::size_t i : order) {
-      if (n == 0) break;
-      if (strata[i].drawn + alloc[i] == 0) {
-        alloc[i] += 1;
-        --n;
-      }
-    }
-    if (n == 0) return alloc;
-    std::vector<double> w(strata.size(), 0.0);
-    double wsum = 0.0;
-    for (std::size_t i = 0; i < strata.size(); ++i) {
-      const auto& s = strata[i];
-      // Multinomial spread sum_o p_o(1 - p_o), shrunk toward the center
-      // ((k+2)/(n+4)) so a handful of same-outcome trials cannot zero a
-      // stratum out of the allocation; 2/3 (the maximal spread) until a
-      // stratum has enough data to say otherwise.
-      double v = 2.0 / 3.0;
-      if (s.tally.trials >= 8) {
-        v = 0.0;
-        const double ns = static_cast<double>(s.tally.trials);
-        for (int o = 0; o < 3; ++o) {
-          const double pv =
-              (static_cast<double>(outcome_count(s.tally, o)) + 2.0) /
-              (ns + 4.0);
-          v += pv * (1.0 - pv);
-        }
-        v = std::max(v, 1e-4);  // converged strata keep a trickle share
-      }
-      w[i] = s.weight * std::sqrt(v);
-      wsum += w[i];
-    }
-    std::vector<std::pair<double, std::size_t>> frac;
-    frac.reserve(strata.size());
-    std::size_t assigned = 0;
-    for (std::size_t i = 0; i < strata.size(); ++i) {
-      const double quota = static_cast<double>(n) * w[i] / wsum;
-      const auto base = static_cast<std::size_t>(quota);
-      alloc[i] += base;
-      assigned += base;
-      frac.emplace_back(quota - static_cast<double>(base), i);
-    }
-    std::sort(frac.begin(), frac.end(),
-              [&](const auto& a, const auto& b) {
-                if (a.first != b.first) return a.first > b.first;
-                return strata[a.second].id < strata[b.second].id;
-              });
-    for (std::size_t r = 0; assigned < n; ++r) {
-      alloc[frac[r % frac.size()].second] += 1;
-      ++assigned;
-    }
-    return alloc;
-  };
-
-  // Rate estimate + CI per outcome on the current tallies. Post-
-  // stratified when strata are in play and all are covered; exact
-  // Clopper–Pearson bounds (widened to contain the post-stratified
-  // point) on the rare tail, where the normal approximations under-cover.
-  auto compute_envelope = [&](bool covered) {
-    std::array<OutcomeInterval, 3> env;
-    const std::size_t n_total = result.overall.trials;
-    for (int o = 0; o < 3; ++o) {
-      const std::size_t k = outcome_count(result.overall, o);
-      double est = n_total == 0
-                       ? 0.0
-                       : static_cast<double>(k) / static_cast<double>(n_total);
-      double strat_var = 0.0;
-      if (use_strata && covered) {
-        est = 0.0;
-        for (const auto& s : strata) {
-          const double ns = static_cast<double>(s.tally.trials);
-          const double ks = static_cast<double>(outcome_count(s.tally, o));
-          // Shrunk rate in the variance term only: guards the
-          // zero-variance trap of small all-same-outcome samples.
-          const double pv = (ks + 2.0) / (ns + 4.0);
-          est += s.weight * (ks / ns);
-          strat_var += s.weight * s.weight * pv * (1.0 - pv) / ns;
-        }
-      }
-      const double pooled =
-          n_total == 0 ? 0.0
-                       : static_cast<double>(k) / static_cast<double>(n_total);
-      const std::size_t complement = n_total - k;
-      const bool rare = pooled < ad.rare_threshold ||
-                        1.0 - pooled < ad.rare_threshold ||
-                        std::min(k, complement) < 8;
-      OutcomeInterval iv;
-      iv.rate = est;
-      if (rare) {
-        const auto cp =
-            util::clopper_pearson_interval(k, n_total, ad.confidence_z);
-        iv.lo = std::min(cp.lo, est);
-        iv.hi = std::max(cp.hi, est);
-        iv.exact = true;
-      } else if (use_strata && covered) {
-        const double half = ad.confidence_z * std::sqrt(strat_var);
-        iv.lo = std::max(0.0, est - half);
-        iv.hi = std::min(1.0, est + half);
-      } else {
-        const auto wi = util::wilson_interval(k, n_total, ad.confidence_z);
-        iv.lo = wi.lo;
-        iv.hi = wi.hi;
-      }
-      env[static_cast<std::size_t>(o)] = iv;
-    }
-    return env;
-  };
-  auto target_half_width = [&](double est) {
-    if (ad.ci_relative > 0.0)
-      return ad.ci_relative * std::max(est, ad.rare_threshold);
-    return ad.ci_half_width;
-  };
-
-  struct WorkItem {
-    std::size_t stratum = 0;  ///< index into `strata` (unused unstratified)
-    std::size_t j = 0;        ///< index within the stratum's substream
-    std::size_t tag = 0;      ///< global executed index (trace label)
-  };
-  std::size_t executed = 0;
-  StopReason stop = StopReason::TrialCap;
-  std::array<OutcomeInterval, 3> envelope{};
-  while (executed < cap) {
-    const std::size_t n = std::min(batch_size, cap - executed);
-    std::vector<WorkItem> items;
-    items.reserve(n);
-    if (use_strata) {
-      const auto alloc = allocate_batch(n);
-      for (std::size_t i = 0; i < strata.size(); ++i) {
-        for (std::size_t a = 0; a < alloc[i]; ++a) {
-          items.push_back({i, strata[i].drawn + a, 0});
-        }
-        strata[i].drawn += alloc[i];
-      }
-    } else {
-      for (std::size_t t = 0; t < n; ++t) items.push_back({0, executed + t, 0});
-    }
-    for (std::size_t p = 0; p < items.size(); ++p) items[p].tag = executed + p;
-
-    std::vector<TrialOutcome> out(items.size());
-    result.wall_seconds += run_chunked(items.size(), [&](std::size_t i) {
-      const WorkItem& it = items[i];
-      out[i] = use_strata ? run_stratum_trial(strata[it.stratum], it.j, it.tag)
-                          : run_trial(it.j);
-    });
+  // driver issues refs and evaluates the stop rule only at batch
+  // boundaries on tallies folded in deterministic (stratum, index) order,
+  // so for a given seed the stopping point — and therefore every
+  // classified outcome — is reproducible across worker counts and
+  // scheduler modes.
+  AdaptiveDriver driver(cfg, space);
+  std::vector<TrialRef> refs;
+  while (!(refs = driver.next_batch()).empty()) {
+    std::vector<TrialResult> out(refs.size());
+    result.wall_seconds += run_chunked(
+        refs.size(), [&](std::size_t i) { out[i] = run_ref(refs[i]); });
     // Merge in (stratum, index) order — fixed before the batch ran.
-    for (std::size_t i = 0; i < items.size(); ++i) {
-      merge_trial(out[i]);
-      if (use_strata) {
-        auto& s = strata[items[i].stratum];
-        s.tally.add(out[i].outcome);
-        const int c = out[i].contaminated;
-        if (c >= 0 && c < static_cast<int>(s.hist.size())) {
-          s.hist[static_cast<std::size_t>(c)] += 1;
-        }
-      }
-    }
-    executed += items.size();
-
-    bool covered = true;
-    if (use_strata) {
-      for (const auto& s : strata) covered = covered && s.tally.trials > 0;
-    }
-    envelope = compute_envelope(covered);
-    if (executed >= min_trials && covered) {
-      bool converged = true;
-      for (const auto& iv : envelope) {
-        converged = converged && iv.half_width() <= target_half_width(iv.rate);
-      }
-      if (converged) {
-        stop = StopReason::Converged;
-        break;
-      }
-    }
+    for (const TrialResult& t : out) merge_trial(t);
+    driver.fold(refs, out);
   }
 
-  AdaptiveStats stats;
-  stats.trials_requested = cap;
-  stats.trials_executed = executed;
-  stats.stop_reason = stop;
-  stats.stratified = use_strata;
-  stats.strata = use_strata ? strata.size() : 1;
-  stats.success = envelope[0];
-  stats.sdc = envelope[1];
-  stats.failure = envelope[2];
-  if (use_strata) {
-    // Post-stratified r_x: each stratum's contamination distribution
-    // weighted by its population share, renormalized over the trials
-    // whose contamination is known (mirrors the raw-histogram rule).
-    std::vector<double> q(static_cast<std::size_t>(cfg.nranks), 0.0);
-    double mass = 0.0;
-    for (const auto& s : strata) {
-      if (s.tally.trials == 0) continue;
-      const double ns = static_cast<double>(s.tally.trials);
-      for (std::size_t x = 1; x < s.hist.size(); ++x) {
-        const double share =
-            s.weight * static_cast<double>(s.hist[x]) / ns;
-        q[x - 1] += share;
-        mass += share;
-      }
-    }
-    if (mass > 0.0) {
-      for (double& v : q) v /= mass;
-      stats.propagation = std::move(q);
-    }
-  }
+  const AdaptiveStats stats = driver.stats();
   result.adaptive = stats;
   {
     telemetry::ScopeGuard guard(&metrics);
     telemetry::count(telemetry::Counter::CampaignTrialsSaved,
-                     static_cast<std::uint64_t>(cap - executed));
+                     static_cast<std::uint64_t>(stats.trials_requested -
+                                                stats.trials_executed));
     telemetry::count(telemetry::Counter::CampaignStrata,
                      static_cast<std::uint64_t>(stats.strata));
     telemetry::trace_instant("harness",
-                             stop == StopReason::Converged
+                             stats.stop_reason == StopReason::Converged
                                  ? "adaptive_stop_converged"
                                  : "adaptive_stop_trial_cap",
                              "executed",
-                             static_cast<std::uint64_t>(executed));
+                             static_cast<std::uint64_t>(stats.trials_executed));
   }
   // Workers have quiesced (executor->run returned / inline loop ended):
   // the merge is exact. The scope's destructor then rolls these totals up

@@ -187,17 +187,6 @@ struct CampaignResult {
   /// estimates. Engaged iff config.adaptive.enabled.
   std::optional<AdaptiveStats> adaptive;
 
-  [[deprecated("read metrics.value(Counter::HarnessCheckpointRestores)")]]
-  [[nodiscard]] std::size_t checkpoint_restores() const noexcept {
-    return static_cast<std::size_t>(
-        metrics.value(telemetry::Counter::HarnessCheckpointRestores));
-  }
-  [[deprecated("read metrics.value(Counter::HarnessEarlyExits)")]]
-  [[nodiscard]] std::size_t early_exits() const noexcept {
-    return static_cast<std::size_t>(
-        metrics.value(telemetry::Counter::HarnessEarlyExits));
-  }
-
   /// r_x (paper Eq. 3): probability that an injected error contaminates
   /// exactly x ranks, for x = 1..nranks. Returned as a vector of size
   /// nranks with r[0] == r_1. Post-stratified when the adaptive engine

@@ -1,6 +1,7 @@
 #include "harness/golden_cache.hpp"
 
 #include "harness/executor.hpp"
+#include "harness/golden_store.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace resilience::harness {
@@ -36,23 +37,33 @@ std::shared_ptr<const GoldenRun> GoldenCache::get_or_profile(
   }
   if (leader) {
     try {
-      std::shared_ptr<const GoldenRun> golden;
-      auto profile = [&] {
-        golden = std::make_shared<const GoldenRun>(
-            profile_app(app, nranks, deadlock_timeout));
+      auto run_profile = [&]() -> GoldenRun {
+        GoldenRun result;
+        auto profile = [&] {
+          result = profile_app(app, nranks, deadlock_timeout);
+        };
+        if (executor != nullptr) {
+          std::vector<Executor::Task> task;
+          task.push_back({nranks, profile});
+          executor->run(std::move(task));
+        } else {
+          profile();
+        }
+        // Counted here (the requesting thread) rather than inside the
+        // profile lambda: when the run is admitted through the executor it
+        // executes on a worker thread outside any metric scope. Skipped
+        // entirely when the on-disk store served the run — nothing was
+        // profiled.
+        telemetry::count(telemetry::Counter::HarnessGoldenProfiles);
+        return result;
       };
-      if (executor != nullptr) {
-        std::vector<Executor::Task> task;
-        task.push_back({nranks, profile});
-        executor->run(std::move(task));
+      std::shared_ptr<const GoldenRun> golden;
+      if (store_ != nullptr) {
+        golden = store_->load_or_fill(app, nranks, run_profile);
       } else {
-        profile();
+        golden = std::make_shared<const GoldenRun>(run_profile());
       }
       promise.set_value(std::move(golden));
-      // Counted here (the requesting thread) rather than inside the
-      // profile lambda: when the run is admitted through the executor it
-      // executes on a worker thread outside any metric scope.
-      telemetry::count(telemetry::Counter::HarnessGoldenProfiles);
     } catch (...) {
       promise.set_exception(std::current_exception());
       std::lock_guard lock(mu_);

@@ -22,9 +22,17 @@
 namespace resilience::harness {
 
 class Executor;
+class GoldenStore;
 
 class GoldenCache {
  public:
+  GoldenCache() = default;
+  /// A cache backed by an on-disk store: in-process misses consult the
+  /// store before profiling (and persist what they profile), so repeated
+  /// invocations — and the shard worker processes of one campaign — share
+  /// one golden pre-pass. The store must outlive the cache.
+  explicit GoldenCache(GoldenStore* store) : store_(store) {}
+
   /// Return the golden run of (app.label(), nranks), profiling it on a
   /// miss. With a non-null `executor` the profiling run is admitted
   /// through it with weight nranks, so golden runs obey the same
@@ -49,6 +57,7 @@ class GoldenCache {
   using Key = std::pair<std::string, int>;
   using Future = std::shared_future<std::shared_ptr<const GoldenRun>>;
 
+  GoldenStore* store_ = nullptr;
   mutable std::mutex mu_;
   std::map<Key, Future> entries_;
   std::size_t hits_ = 0;

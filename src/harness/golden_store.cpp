@@ -1,0 +1,182 @@
+#include "harness/golden_store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "harness/checkpoint.hpp"
+#include "harness/serialize.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/json.hpp"
+
+namespace resilience::harness {
+
+namespace {
+
+constexpr const char* kStoreSchema = "resilience-golden-store/1";
+/// How long a contender waits for a lock holder before declaring the lock
+/// stale (a crashed filler) and taking over.
+constexpr auto kLockBudget = std::chrono::seconds(10);
+constexpr auto kLockPoll = std::chrono::milliseconds(100);
+
+/// App label + rank count, reduced to a portable file stem: alphanumerics
+/// kept, every other run of characters collapsed to one '_'.
+std::string sanitize(const std::string& label) {
+  std::string out;
+  out.reserve(label.size());
+  for (char c : label) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      out.push_back(c);
+    } else if (!out.empty() && out.back() != '_') {
+      out.push_back('_');
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+}  // namespace
+
+GoldenStore::GoldenStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    throw std::runtime_error("golden store: cannot create directory " + dir_ +
+                             ": " + ec.message());
+  }
+}
+
+std::string GoldenStore::path_for(const apps::App& app, int nranks) const {
+  return dir_ + "/" + sanitize(app.label()) + "-r" + std::to_string(nranks) +
+         "-v1.json";
+}
+
+std::shared_ptr<const GoldenRun> GoldenStore::load(const apps::App& app,
+                                                   int nranks) {
+  return load_impl(app, nranks, /*count=*/true);
+}
+
+std::shared_ptr<const GoldenRun> GoldenStore::load_impl(const apps::App& app,
+                                                        int nranks,
+                                                        bool count) {
+  const std::string path = path_for(app, nranks);
+  const auto miss = [&]() -> std::shared_ptr<const GoldenRun> {
+    if (count) telemetry::count(telemetry::Counter::GoldenStoreMisses);
+    return nullptr;
+  };
+  std::ifstream in(path);
+  if (!in) return miss();
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    const util::Json json = util::Json::parse(buffer.str());
+    if (json.at("schema").as_string() != kStoreSchema ||
+        json.at("app").as_string() != app.label() ||
+        static_cast<int>(json.at("nranks").as_int()) != nranks) {
+      throw util::JsonError("golden store: key mismatch");
+    }
+    // A file captured under other checkpoint settings is valid but not
+    // what this process would have profiled: the fast-forward path would
+    // diverge from a fresh run. Miss without unlinking — a fill renames
+    // over it.
+    const bool file_ckpt = json.at("checkpoint_enabled").as_bool();
+    const auto file_budget =
+        static_cast<std::size_t>(json.at("checkpoint_budget").as_int());
+    if (file_ckpt != checkpoint_enabled() ||
+        (file_ckpt && file_budget != checkpoint_budget())) {
+      return miss();
+    }
+    auto golden =
+        std::make_shared<GoldenRun>(golden_from_json(json.at("golden")));
+    if (count) telemetry::count(telemetry::Counter::GoldenStoreHits);
+    return golden;
+  } catch (const std::exception&) {
+    // Corrupt, truncated, or mismatched content: unlink so the next fill
+    // starts clean, and report a plain miss.
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    return miss();
+  }
+}
+
+void GoldenStore::put(const apps::App& app, int nranks,
+                      const GoldenRun& golden) {
+  const std::string path = path_for(app, nranks);
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  util::JsonObject obj;
+  obj["schema"] = util::Json(kStoreSchema);
+  obj["app"] = util::Json(app.label());
+  obj["nranks"] = util::Json(nranks);
+  obj["checkpoint_enabled"] = util::Json(checkpoint_enabled());
+  obj["checkpoint_budget"] = util::Json(checkpoint_budget());
+  obj["golden"] = golden_to_json(golden);
+  {
+    std::ofstream out(tmp);
+    if (!out) {
+      throw std::runtime_error("golden store: cannot write " + tmp);
+    }
+    out << util::Json(std::move(obj)).dump(2) << '\n';
+    if (!out) {
+      throw std::runtime_error("golden store: short write to " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw std::runtime_error("golden store: cannot rename into " + path);
+  }
+}
+
+std::shared_ptr<const GoldenRun> GoldenStore::load_or_fill(
+    const apps::App& app, int nranks,
+    const std::function<GoldenRun()>& profile) {
+  if (auto golden = load(app, nranks)) return golden;
+  const std::string lock = path_for(app, nranks) + ".lock";
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const int fd = ::open(lock.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd >= 0) {
+      ::close(fd);
+      try {
+        // Re-check under the lock: a competing filler may have completed
+        // between our miss and the acquisition.
+        auto golden = load_impl(app, nranks, /*count=*/false);
+        if (golden == nullptr) {
+          golden = std::make_shared<GoldenRun>(profile());
+          put(app, nranks, *golden);
+        }
+        ::unlink(lock.c_str());
+        return golden;
+      } catch (...) {
+        ::unlink(lock.c_str());
+        throw;
+      }
+    }
+    if (errno != EEXIST) break;  // unexpected: fall through to local profile
+    // Another process is filling: poll for its result, then declare the
+    // lock stale and take over.
+    const auto deadline = std::chrono::steady_clock::now() + kLockBudget;
+    while (std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(kLockPoll);
+      if (auto golden = load_impl(app, nranks, /*count=*/false)) {
+        telemetry::count(telemetry::Counter::GoldenStoreHits);
+        return golden;
+      }
+      if (::access(lock.c_str(), F_OK) != 0) break;  // holder gone: retry
+    }
+    ::unlink(lock.c_str());  // stale (or just released): contend again
+  }
+  // Contended past the budget twice over: profile locally without
+  // persisting rather than fail the campaign.
+  return std::make_shared<GoldenRun>(profile());
+}
+
+}  // namespace resilience::harness

@@ -77,8 +77,10 @@ struct GoldenRun {
   std::vector<double> signature;                ///< rank-0 output
   std::uint64_t max_rank_ops = 0;
   /// Boundary checkpoints captured during the pre-pass (null when capture
-  /// was disabled or the app has no boundary hooks). Runtime-only: not
-  /// part of the serialized golden schema.
+  /// was disabled or the app has no boundary hooks). Not part of the
+  /// campaign file schema; the on-disk GoldenStore serializes them with
+  /// full fidelity (golden_to_json) so a loaded golden run drives the
+  /// checkpoint fast path exactly like a fresh one.
   std::shared_ptr<const CheckpointData> checkpoints;
 
   /// Fraction of all dynamic operations spent in the parallel-unique

@@ -1,0 +1,480 @@
+#include "shard/coordinator.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "harness/campaign_engine.hpp"
+#include "harness/golden_store.hpp"
+#include "shard/protocol.hpp"
+#include "telemetry/sinks.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/options.hpp"
+
+namespace resilience::shard {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One dispatchable slice of a campaign: contiguous refs, executed as a
+/// unit on one worker. `results`/`wall` are filled when the unit's result
+/// frame arrives; a unit lost to a worker crash is simply re-dispatched.
+struct Unit {
+  std::vector<harness::TrialRef> refs;
+  std::optional<std::vector<harness::TrialResult>> results;
+  double wall = 0.0;
+};
+
+/// Split `refs` into at most `max_units` contiguous units (ceil-div
+/// chunking, mirroring the in-process executor's chunk shape). Unit order
+/// preserves ref order, so concatenating unit results in unit-id order
+/// reproduces the ref order the driver and merge loop expect.
+std::vector<Unit> split_units(const std::vector<harness::TrialRef>& refs,
+                              std::size_t max_units) {
+  std::vector<Unit> units;
+  const std::size_t n = refs.size();
+  if (n == 0) return units;
+  const std::size_t nunits = std::min(n, std::max<std::size_t>(max_units, 1));
+  const std::size_t chunk = (n + nunits - 1) / nunits;
+  for (std::size_t lo = 0; lo < n; lo += chunk) {
+    const std::size_t hi = std::min(lo + chunk, n);
+    Unit unit;
+    unit.refs.assign(refs.begin() + static_cast<std::ptrdiff_t>(lo),
+                     refs.begin() + static_cast<std::ptrdiff_t>(hi));
+    units.push_back(std::move(unit));
+  }
+  return units;
+}
+
+/// Owns the worker fleet for one campaign: spawning over socketpairs,
+/// dispatching units, folding worker metric snapshots into the campaign
+/// scope, and replacing workers that die or wedge.
+class Coordinator {
+ public:
+  Coordinator(const apps::App& app, const harness::DeploymentConfig& config,
+              const ShardOptions& opts, int shards, std::string store_dir,
+              telemetry::MetricScope& metrics)
+      : app_(app),
+        config_(config),
+        opts_(opts),
+        store_dir_(std::move(store_dir)),
+        metrics_(metrics) {
+    worker_path_ = opts.worker_path.empty() ? "/proc/self/exe"
+                                            : opts.worker_path;
+    workers_.resize(static_cast<std::size_t>(shards));
+    for (std::size_t slot = 0; slot < workers_.size(); ++slot) {
+      // The crash-recovery hook arms only the first incarnation of worker
+      // 0; its replacement (and every other worker) runs to completion.
+      spawn_worker(slot, slot == 0 ? opts.debug_kill_unit : -1);
+    }
+  }
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  ~Coordinator() {
+    for (Worker& w : workers_) {
+      if (w.fd < 0) continue;
+      try {
+        util::JsonObject shutdown;
+        shutdown["type"] = util::Json("shutdown");
+        write_frame(w.fd, util::Json(std::move(shutdown)));
+      } catch (...) {
+      }
+      ::close(w.fd);
+      w.fd = -1;
+    }
+    for (Worker& w : workers_) {
+      if (w.pid > 0) ::waitpid(w.pid, nullptr, 0);
+      w.pid = -1;
+    }
+  }
+
+  /// Drive `units` to completion across the fleet; fills every unit's
+  /// results and wall. Throws std::runtime_error when the whole fleet is
+  /// lost with work outstanding.
+  void run_units(std::vector<Unit>& units) {
+    units_ = &units;
+    pending_.clear();
+    for (std::size_t id = 0; id < units.size(); ++id) pending_.push_back(id);
+    remaining_ = units.size();
+
+    for (std::size_t slot = 0; slot < workers_.size(); ++slot) {
+      if (workers_[slot].fd >= 0 && workers_[slot].ready &&
+          workers_[slot].unit < 0) {
+        dispatch(slot);
+      }
+    }
+
+    while (remaining_ > 0) {
+      std::vector<pollfd> fds;
+      std::vector<std::size_t> slots;
+      int timeout_ms = -1;
+      const auto now = Clock::now();
+      for (std::size_t slot = 0; slot < workers_.size(); ++slot) {
+        const Worker& w = workers_[slot];
+        if (w.fd < 0) continue;
+        fds.push_back({w.fd, POLLIN, 0});
+        slots.push_back(slot);
+        if (w.unit >= 0 || !w.ready) {
+          const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+              w.deadline - now);
+          const int ms = static_cast<int>(std::max<std::int64_t>(
+              0, std::min<std::int64_t>(left.count(), 60'000)));
+          timeout_ms = timeout_ms < 0 ? ms : std::min(timeout_ms, ms);
+        }
+      }
+      if (fds.empty()) {
+        throw std::runtime_error(
+            "shard: all workers lost with " + std::to_string(remaining_) +
+            " unit(s) outstanding" +
+            (last_error_.empty() ? "" : " (last worker error: " + last_error_ +
+                                            ")"));
+      }
+
+      const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error(std::string("shard: poll failed: ") +
+                                 std::strerror(errno));
+      }
+
+      // Drain readable sockets before enforcing deadlines: a frame that
+      // already sits in the buffer proves the worker is alive, and
+      // processing it may clear the deadline condition.
+      for (std::size_t i = 0; i < fds.size(); ++i) {
+        if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        handle_readable(slots[i]);
+      }
+      const auto after = Clock::now();
+      for (std::size_t slot = 0; slot < workers_.size(); ++slot) {
+        Worker& w = workers_[slot];
+        if (w.fd < 0 || (w.unit < 0 && w.ready)) continue;
+        if (w.deadline <= after) {
+          ::kill(w.pid, SIGKILL);
+          handle_worker_down(slot);
+        }
+      }
+    }
+    units_ = nullptr;
+  }
+
+ private:
+  struct Worker {
+    pid_t pid = -1;
+    int fd = -1;
+    bool ready = false;
+    int unit = -1;  ///< in-flight unit id, -1 when idle
+    Clock::time_point deadline{};
+  };
+
+  void spawn_worker(std::size_t slot, int kill_after_units) {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      throw std::runtime_error(std::string("shard: socketpair failed: ") +
+                               std::strerror(errno));
+    }
+    // The coordinator end must not leak into workers forked later — a
+    // worker holding a sibling's coordinator fd would mask that sibling's
+    // EOF. The worker end stays inheritable across exec by design.
+    ::fcntl(sv[0], F_SETFD, FD_CLOEXEC);
+    const std::string fd_arg = "--shard-worker=" + std::to_string(sv[1]);
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(sv[0]);
+      ::close(sv[1]);
+      throw std::runtime_error(std::string("shard: fork failed: ") +
+                               std::strerror(errno));
+    }
+    if (pid == 0) {
+      // Child: only async-signal-safe calls until exec (the parent may be
+      // multi-threaded — rank-team pools survive from earlier campaigns).
+      ::execl(worker_path_.c_str(), worker_path_.c_str(), fd_arg.c_str(),
+              static_cast<char*>(nullptr));
+      ::_exit(127);
+    }
+    ::close(sv[1]);
+    Worker& w = workers_[slot];
+    w.pid = pid;
+    w.fd = sv[0];
+    w.ready = false;
+    w.unit = -1;
+    w.deadline = Clock::now() + opts_.unit_timeout;
+
+    util::JsonObject init;
+    init["type"] = util::Json("init");
+    init["app"] = util::Json(app_.name());
+    init["size_class"] = util::Json(app_.size_class());
+    init["config"] = deployment_to_json(config_);
+    init["store"] = util::Json(store_dir_);
+    init["kill_after_units"] = util::Json(kill_after_units);
+    try {
+      write_frame(w.fd, util::Json(std::move(init)));
+    } catch (const std::exception&) {
+      // A worker that died before reading init surfaces as EOF in the
+      // event loop; the recovery path there replaces it.
+    }
+  }
+
+  void dispatch(std::size_t slot) {
+    if (pending_.empty()) return;
+    Worker& w = workers_[slot];
+    const std::size_t id = pending_.front();
+    pending_.pop_front();
+    util::JsonObject frame;
+    frame["type"] = util::Json("unit");
+    frame["id"] = util::Json(static_cast<std::int64_t>(id));
+    frame["refs"] = refs_to_json((*units_)[id].refs);
+    try {
+      write_frame(w.fd, util::Json(std::move(frame)));
+    } catch (const std::exception&) {
+      pending_.push_front(id);
+      handle_worker_down(slot);
+      return;
+    }
+    w.unit = static_cast<int>(id);
+    w.deadline = Clock::now() + opts_.unit_timeout;
+    telemetry::ScopeGuard guard(&metrics_);
+    telemetry::count(telemetry::Counter::ShardUnitsDispatched);
+  }
+
+  void handle_readable(std::size_t slot) {
+    Worker& w = workers_[slot];
+    if (w.fd < 0) return;
+    std::optional<util::Json> frame;
+    try {
+      frame = read_frame(w.fd);
+    } catch (const std::exception& e) {
+      last_error_ = e.what();
+      handle_worker_down(slot);
+      return;
+    }
+    if (!frame) {
+      handle_worker_down(slot);
+      return;
+    }
+    const std::string type = frame->at("type").as_string();
+    if (type == "ready") {
+      w.ready = true;
+      metrics_.absorb(telemetry::metrics_from_json(frame->at("metrics")));
+      dispatch(slot);
+      return;
+    }
+    if (type == "result") {
+      const auto id = static_cast<std::size_t>(frame->at("id").as_int());
+      Unit& unit = (*units_)[id];
+      unit.results = results_from_json(frame->at("outcomes"));
+      unit.wall = frame->at("wall_seconds").as_double();
+      metrics_.absorb(telemetry::metrics_from_json(frame->at("metrics")));
+      w.unit = -1;
+      remaining_ -= 1;
+      dispatch(slot);
+      return;
+    }
+    if (type == "error") {
+      last_error_ = frame->at("message").as_string();
+      // The worker exits right after; its EOF drives the recovery path.
+      return;
+    }
+    last_error_ = "unexpected frame: " + type;
+    handle_worker_down(slot);
+  }
+
+  /// Reap a dead (or presumed-wedged, already SIGKILLed) worker,
+  /// re-enqueue its in-flight unit, and spawn a replacement while the
+  /// restart budget lasts. The re-run unit produces identical outcomes —
+  /// a crash costs wall time, never correctness.
+  void handle_worker_down(std::size_t slot) {
+    Worker& w = workers_[slot];
+    if (w.fd < 0) return;
+    ::kill(w.pid, SIGKILL);
+    ::waitpid(w.pid, nullptr, 0);
+    ::close(w.fd);
+    w.fd = -1;
+    w.pid = -1;
+    w.ready = false;
+    if (w.unit >= 0) {
+      pending_.push_front(static_cast<std::size_t>(w.unit));
+      w.unit = -1;
+    }
+    if (remaining_ == 0) return;
+    if (restarts_used_ >= opts_.max_worker_restarts) return;
+    restarts_used_ += 1;
+    {
+      telemetry::ScopeGuard guard(&metrics_);
+      telemetry::count(telemetry::Counter::ShardWorkerRestarts);
+    }
+    spawn_worker(slot, /*kill_after_units=*/-1);
+  }
+
+  const apps::App& app_;
+  const harness::DeploymentConfig& config_;
+  const ShardOptions& opts_;
+  std::string store_dir_;
+  std::string worker_path_;
+  telemetry::MetricScope& metrics_;
+  std::vector<Worker> workers_;
+  std::vector<Unit>* units_ = nullptr;
+  std::deque<std::size_t> pending_;
+  std::size_t remaining_ = 0;
+  int restarts_used_ = 0;
+  std::string last_error_;
+};
+
+}  // namespace
+
+ShardOptions ShardOptions::from_runtime() {
+  const auto& opt = util::RuntimeOptions::global();
+  ShardOptions s;
+  s.shards = opt.shards;
+  s.golden_store_dir = opt.golden_store;
+  s.debug_kill_unit = opt.shard_kill_unit;
+  return s;
+}
+
+harness::CampaignResult run_sharded_campaign(
+    const apps::App& app, const harness::DeploymentConfig& cfg,
+    const ShardOptions& opts, telemetry::MetricScope* metrics_parent) {
+  if (cfg.errors_per_test < 1) {
+    throw std::invalid_argument("errors_per_test must be >= 1");
+  }
+  // Dispatching a unit to a worker that just died must surface as EPIPE
+  // (an exception the recovery path handles), not a process signal.
+  ::signal(SIGPIPE, SIG_IGN);
+  const int shards = std::max(1, opts.shards);
+
+  telemetry::MetricScope metrics(metrics_parent);
+  telemetry::TraceSpan span("shard", "campaign", "trials", cfg.trials);
+
+  harness::CampaignResult result;
+  result.config = cfg;
+
+  std::string store_dir = opts.golden_store_dir;
+  const bool temp_store = store_dir.empty();
+  if (temp_store) {
+    store_dir = (std::filesystem::temp_directory_path() /
+                 ("resilience-shard-" + std::to_string(::getpid())))
+                    .string();
+  }
+
+  {
+    // Golden pre-pass: fill the store before spawning workers so the
+    // campaign profiles exactly once (one HarnessGoldenProfiles here) and
+    // every worker's acquisition is a disk hit.
+    telemetry::ScopeGuard guard(&metrics);
+    telemetry::count(telemetry::Counter::HarnessCampaigns);
+    harness::GoldenStore store(store_dir);
+    const auto golden = store.load_or_fill(app, cfg.nranks, [&] {
+      telemetry::count(telemetry::Counter::HarnessGoldenProfiles);
+      return harness::profile_app(app, cfg.nranks, cfg.deadlock_timeout);
+    });
+    result.golden = *golden;
+  }
+
+  // Built for the adaptive driver (strata, allocation weights) and to
+  // validate the deployment exactly as the in-process runner does.
+  harness::TrialSpace space(app, cfg, result.golden);
+
+  result.contamination_hist.assign(static_cast<std::size_t>(cfg.nranks) + 1,
+                                   0);
+  result.by_contamination.assign(static_cast<std::size_t>(cfg.nranks) + 1,
+                                 harness::FaultInjectionResult{});
+
+  // Identical to CampaignRunner::run's merge: always applied in
+  // deterministic ref order, which is what makes the sharded tallies
+  // bit-identical to the in-process ones.
+  auto merge_trial = [&](const harness::TrialResult& t) {
+    result.overall.add(t.outcome);
+    if (t.contaminated >= 0 &&
+        t.contaminated < static_cast<int>(result.contamination_hist.size())) {
+      result.contamination_hist[static_cast<std::size_t>(t.contaminated)] += 1;
+      result.by_contamination[static_cast<std::size_t>(t.contaminated)].add(
+          t.outcome);
+    }
+  };
+
+  {
+    Coordinator coord(app, cfg, opts, shards, store_dir, metrics);
+
+    if (!cfg.adaptive.enabled) {
+      std::vector<harness::TrialRef> refs;
+      refs.reserve(cfg.trials);
+      for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
+        refs.push_back({harness::kNoStratum, trial, trial});
+      }
+      // Several units per worker, like the in-process chunk shape: large
+      // enough to amortise framing, small enough to balance the tail.
+      auto units =
+          split_units(refs, static_cast<std::size_t>(shards) * 4);
+      coord.run_units(units);
+      for (const Unit& unit : units) {
+        result.wall_seconds += unit.wall;
+        for (const harness::TrialResult& t : *unit.results) merge_trial(t);
+      }
+    } else {
+      // Adaptive: the coordinator runs the allocation/stop policy; each
+      // batch fans out as at most `shards` units with a barrier at the
+      // batch boundary (the stop rule needs the whole batch folded).
+      harness::AdaptiveDriver driver(cfg, space);
+      std::vector<harness::TrialRef> refs;
+      while (!(refs = driver.next_batch()).empty()) {
+        auto units = split_units(refs, static_cast<std::size_t>(shards));
+        coord.run_units(units);
+        std::vector<harness::TrialResult> out;
+        out.reserve(refs.size());
+        for (const Unit& unit : units) {
+          result.wall_seconds += unit.wall;
+          for (const harness::TrialResult& t : *unit.results) {
+            merge_trial(t);
+            out.push_back(t);
+          }
+        }
+        driver.fold(refs, out);
+      }
+
+      const harness::AdaptiveStats stats = driver.stats();
+      result.adaptive = stats;
+      {
+        telemetry::ScopeGuard guard(&metrics);
+        telemetry::count(
+            telemetry::Counter::CampaignTrialsSaved,
+            static_cast<std::uint64_t>(stats.trials_requested -
+                                       stats.trials_executed));
+        telemetry::count(telemetry::Counter::CampaignStrata,
+                         static_cast<std::uint64_t>(stats.strata));
+        telemetry::trace_instant(
+            "harness",
+            stats.stop_reason == harness::StopReason::Converged
+                ? "adaptive_stop_converged"
+                : "adaptive_stop_trial_cap",
+            "executed", static_cast<std::uint64_t>(stats.trials_executed));
+      }
+    }
+  }  // ~Coordinator: shutdown frames, close, reap
+
+  result.metrics = metrics.snapshot();
+  if (temp_store) {
+    std::error_code ec;
+    std::filesystem::remove_all(store_dir, ec);
+  }
+  return result;
+}
+
+}  // namespace resilience::shard

@@ -1,0 +1,200 @@
+#include "shard/protocol.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace resilience::shard {
+
+namespace {
+
+/// Backstop against a corrupted length prefix (a stray write into the
+/// pipe): no legitimate frame approaches this.
+constexpr std::uint32_t kMaxFrame = 256u << 20;
+
+void write_all(int fd, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("shard: write failed: ") +
+                               std::strerror(errno));
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+/// Read exactly `size` bytes. Returns false on EOF before the first byte;
+/// throws on EOF mid-buffer.
+bool read_all(int fd, void* data, std::size_t size) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, p + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("shard: read failed: ") +
+                               std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0) return false;
+      throw std::runtime_error("shard: peer closed mid-frame");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+void write_frame(int fd, const util::Json& message) {
+  const std::string payload = message.dump();
+  if (payload.size() > kMaxFrame) {
+    throw std::runtime_error("shard: frame too large");
+  }
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::uint8_t prefix[4] = {
+      static_cast<std::uint8_t>(len & 0xff),
+      static_cast<std::uint8_t>((len >> 8) & 0xff),
+      static_cast<std::uint8_t>((len >> 16) & 0xff),
+      static_cast<std::uint8_t>((len >> 24) & 0xff),
+  };
+  write_all(fd, prefix, sizeof(prefix));
+  write_all(fd, payload.data(), payload.size());
+}
+
+std::optional<util::Json> read_frame(int fd) {
+  std::uint8_t prefix[4];
+  if (!read_all(fd, prefix, sizeof(prefix))) return std::nullopt;
+  const std::uint32_t len = static_cast<std::uint32_t>(prefix[0]) |
+                            (static_cast<std::uint32_t>(prefix[1]) << 8) |
+                            (static_cast<std::uint32_t>(prefix[2]) << 16) |
+                            (static_cast<std::uint32_t>(prefix[3]) << 24);
+  if (len > kMaxFrame) {
+    throw std::runtime_error("shard: oversized frame (corrupt prefix?)");
+  }
+  std::string payload(len, '\0');
+  if (len > 0 && !read_all(fd, payload.data(), len)) {
+    throw std::runtime_error("shard: peer closed mid-frame");
+  }
+  return util::Json::parse(payload);
+}
+
+util::Json deployment_to_json(const harness::DeploymentConfig& config) {
+  util::JsonObject obj;
+  obj["nranks"] = util::Json(config.nranks);
+  obj["errors_per_test"] = util::Json(config.errors_per_test);
+  obj["kinds"] = util::Json(static_cast<int>(config.kinds));
+  obj["pattern"] = util::Json(static_cast<int>(config.pattern));
+  obj["regions"] = util::Json(static_cast<int>(config.regions));
+  obj["trials"] = util::Json(config.trials);
+  obj["seed"] = util::Json(config.seed);
+  obj["selection"] = util::Json(static_cast<int>(config.selection));
+  obj["hang_budget_factor"] = util::Json(config.hang_budget_factor);
+  obj["hang_budget_slack"] = util::Json(config.hang_budget_slack);
+  obj["deadlock_timeout_ms"] =
+      util::Json(static_cast<std::int64_t>(config.deadlock_timeout.count()));
+  obj["max_workers"] = util::Json(config.max_workers);
+  const harness::AdaptiveConfig& ad = config.adaptive;
+  util::JsonObject adj;
+  adj["enabled"] = util::Json(ad.enabled);
+  adj["batch"] = util::Json(ad.batch);
+  adj["min_trials"] = util::Json(ad.min_trials);
+  adj["ci_half_width"] = util::Json(ad.ci_half_width);
+  adj["ci_relative"] = util::Json(ad.ci_relative);
+  adj["confidence_z"] = util::Json(ad.confidence_z);
+  adj["rare_threshold"] = util::Json(ad.rare_threshold);
+  adj["stratify"] = util::Json(ad.stratify);
+  adj["deciles"] = util::Json(ad.deciles);
+  obj["adaptive"] = util::Json(std::move(adj));
+  return util::Json(std::move(obj));
+}
+
+harness::DeploymentConfig deployment_from_json(const util::Json& json) {
+  harness::DeploymentConfig config;
+  config.nranks = static_cast<int>(json.at("nranks").as_int());
+  config.errors_per_test =
+      static_cast<int>(json.at("errors_per_test").as_int());
+  config.kinds = static_cast<fsefi::KindMask>(json.at("kinds").as_int());
+  config.pattern =
+      static_cast<fsefi::FaultPattern>(json.at("pattern").as_int());
+  config.regions = static_cast<fsefi::RegionMask>(json.at("regions").as_int());
+  config.trials = static_cast<std::size_t>(json.at("trials").as_int());
+  config.seed = static_cast<std::uint64_t>(json.at("seed").as_int());
+  config.selection =
+      static_cast<harness::TargetSelection>(json.at("selection").as_int());
+  config.hang_budget_factor = json.at("hang_budget_factor").as_double();
+  config.hang_budget_slack =
+      static_cast<std::uint64_t>(json.at("hang_budget_slack").as_int());
+  config.deadlock_timeout =
+      std::chrono::milliseconds(json.at("deadlock_timeout_ms").as_int());
+  config.max_workers = static_cast<int>(json.at("max_workers").as_int());
+  const auto& adj = json.at("adaptive");
+  harness::AdaptiveConfig& ad = config.adaptive;
+  ad.enabled = adj.at("enabled").as_bool();
+  ad.batch = static_cast<std::size_t>(adj.at("batch").as_int());
+  ad.min_trials = static_cast<std::size_t>(adj.at("min_trials").as_int());
+  ad.ci_half_width = adj.at("ci_half_width").as_double();
+  ad.ci_relative = adj.at("ci_relative").as_double();
+  ad.confidence_z = adj.at("confidence_z").as_double();
+  ad.rare_threshold = adj.at("rare_threshold").as_double();
+  ad.stratify = adj.at("stratify").as_bool();
+  ad.deciles = static_cast<int>(adj.at("deciles").as_int());
+  return config;
+}
+
+util::Json refs_to_json(const std::vector<harness::TrialRef>& refs) {
+  util::JsonArray arr;
+  arr.reserve(refs.size());
+  for (const harness::TrialRef& ref : refs) {
+    util::JsonObject obj;
+    obj["s"] = util::Json(ref.stratum);
+    obj["i"] = util::Json(ref.index);
+    obj["t"] = util::Json(ref.tag);
+    arr.push_back(util::Json(std::move(obj)));
+  }
+  return util::Json(std::move(arr));
+}
+
+std::vector<harness::TrialRef> refs_from_json(const util::Json& json) {
+  std::vector<harness::TrialRef> refs;
+  for (const auto& item : json.as_array()) {
+    harness::TrialRef ref;
+    ref.stratum = static_cast<std::uint64_t>(item.at("s").as_int());
+    ref.index = static_cast<std::uint64_t>(item.at("i").as_int());
+    ref.tag = static_cast<std::uint64_t>(item.at("t").as_int());
+    refs.push_back(ref);
+  }
+  return refs;
+}
+
+util::Json results_to_json(const std::vector<harness::TrialResult>& results) {
+  util::JsonArray arr;
+  arr.reserve(results.size());
+  for (const harness::TrialResult& r : results) {
+    util::JsonObject obj;
+    obj["o"] = util::Json(static_cast<int>(r.outcome));
+    obj["c"] = util::Json(r.contaminated);
+    arr.push_back(util::Json(std::move(obj)));
+  }
+  return util::Json(std::move(arr));
+}
+
+std::vector<harness::TrialResult> results_from_json(const util::Json& json) {
+  std::vector<harness::TrialResult> results;
+  for (const auto& item : json.as_array()) {
+    harness::TrialResult r;
+    r.outcome = static_cast<harness::Outcome>(item.at("o").as_int());
+    r.contaminated = static_cast<int>(item.at("c").as_int());
+    results.push_back(r);
+  }
+  return results;
+}
+
+}  // namespace resilience::shard

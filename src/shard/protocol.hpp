@@ -1,0 +1,51 @@
+// Shard wire protocol (DESIGN.md §13).
+//
+// Coordinator and workers exchange length-prefixed JSON frames over a
+// Unix-domain socketpair: a 4-byte little-endian payload length followed
+// by that many bytes of UTF-8 JSON. Both ends are the same binary, so the
+// protocol carries no compatibility machinery — a malformed frame is a
+// bug (or a killed peer) and surfaces as an exception / EOF.
+//
+// Message vocabulary (the "type" field):
+//   coordinator -> worker
+//     init     {app, size_class, config, store, kill_after_units}
+//     unit     {id, refs: [{s, i, t}, ...]}
+//     shutdown {}
+//   worker -> coordinator
+//     ready    {metrics}                 — after init + golden acquisition
+//     result   {id, outcomes: [{o, c}, ...], wall_seconds, metrics}
+//     error    {message}                 — before exiting on a failure
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "harness/campaign_engine.hpp"
+#include "util/json.hpp"
+
+namespace resilience::shard {
+
+/// Write one frame; throws std::runtime_error on a short write or closed
+/// peer (EPIPE arrives as an error, not a signal — callers ignore
+/// SIGPIPE).
+void write_frame(int fd, const util::Json& message);
+
+/// Read one frame. Returns nullopt on clean EOF at a frame boundary;
+/// throws std::runtime_error on a truncated frame (peer died mid-write)
+/// or an over-long length prefix, and util::JsonError on malformed JSON.
+std::optional<util::Json> read_frame(int fd);
+
+/// Full-fidelity deployment config for the wire — unlike the campaign
+/// file schema this carries every execution-relevant field (hang budget,
+/// deadlock timeout, adaptive engine parameters), so a worker rebuilds
+/// the exact TrialSpace the coordinator planned against.
+util::Json deployment_to_json(const harness::DeploymentConfig& config);
+harness::DeploymentConfig deployment_from_json(const util::Json& json);
+
+util::Json refs_to_json(const std::vector<harness::TrialRef>& refs);
+std::vector<harness::TrialRef> refs_from_json(const util::Json& json);
+
+util::Json results_to_json(const std::vector<harness::TrialResult>& results);
+std::vector<harness::TrialResult> results_from_json(const util::Json& json);
+
+}  // namespace resilience::shard

@@ -1,0 +1,205 @@
+#include "shard/service.hpp"
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "apps/app.hpp"
+#include "harness/serialize.hpp"
+#include "shard/coordinator.hpp"
+#include "shard/protocol.hpp"
+
+namespace resilience::shard {
+
+namespace {
+
+util::Json error_reply(const std::string& message) {
+  util::JsonObject obj;
+  obj["type"] = util::Json("error");
+  obj["message"] = util::Json(message);
+  return util::Json(std::move(obj));
+}
+
+int bind_unix(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("serve: socket path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("serve: socket failed: ") +
+                             std::strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());  // stale socket from a previous server
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 8) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("serve: bind/listen on " + path + " failed: " +
+                             err);
+  }
+  return fd;
+}
+
+}  // namespace
+
+util::Json StudyService::run_campaign(const util::Json& request) {
+  const std::string app_name = request.at("app").as_string();
+  const util::JsonObject& req = request.as_object();
+  const std::string size_class =
+      req.count("size_class") ? request.at("size_class").as_string() : "";
+  const harness::DeploymentConfig config =
+      deployment_from_json(request.at("config"));
+  ShardOptions opts = ShardOptions::from_runtime();
+  const int shards = req.count("shards")
+                         ? static_cast<int>(request.at("shards").as_int())
+                         : opts.shards;
+
+  // Canonical cache key: re-serialize through our own encoders so two
+  // requests meaning the same campaign key identically regardless of how
+  // the client ordered or spelled its JSON.
+  std::string key;
+  {
+    util::JsonObject canon;
+    canon["app"] = util::Json(app_name);
+    canon["size_class"] = util::Json(size_class);
+    canon["config"] = deployment_to_json(config);
+    canon["shards"] = util::Json(shards);
+    key = util::Json(std::move(canon)).dump();
+  }
+
+  bool cached = true;
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    cached = false;
+    const std::unique_ptr<apps::App> app =
+        apps::make_app(apps::parse_app_id(app_name), size_class);
+    harness::CampaignResult result;
+    if (shards > 0) {
+      opts.shards = shards;
+      result = run_sharded_campaign(*app, config, opts);
+    } else {
+      result = harness::CampaignRunner::run(*app, config);
+    }
+    it = cache_.emplace(key, harness::to_json(result).dump()).first;
+  } else {
+    cache_hits_ += 1;
+  }
+
+  util::JsonObject reply;
+  reply["type"] = util::Json("result");
+  reply["cached"] = util::Json(cached);
+  reply["campaign"] = util::Json::parse(it->second);
+  return util::Json(std::move(reply));
+}
+
+util::Json StudyService::handle(const util::Json& request) {
+  requests_ += 1;
+  try {
+    const std::string type = request.at("type").as_string();
+    if (type == "ping") {
+      util::JsonObject obj;
+      obj["type"] = util::Json("pong");
+      return util::Json(std::move(obj));
+    }
+    if (type == "campaign") return run_campaign(request);
+    if (type == "stats") {
+      util::JsonObject obj;
+      obj["type"] = util::Json("stats");
+      obj["requests"] = util::Json(static_cast<std::int64_t>(requests_));
+      obj["cache_hits"] = util::Json(static_cast<std::int64_t>(cache_hits_));
+      return util::Json(std::move(obj));
+    }
+    if (type == "shutdown") {
+      shutdown_ = true;
+      util::JsonObject obj;
+      obj["type"] = util::Json("ok");
+      return util::Json(std::move(obj));
+    }
+    return error_reply("unknown request type: " + type);
+  } catch (const std::exception& e) {
+    return error_reply(e.what());
+  }
+}
+
+int run_server(const std::string& socket_path) {
+  ::signal(SIGPIPE, SIG_IGN);
+  const int listen_fd = bind_unix(socket_path);
+  StudyService service;
+  std::fprintf(stderr, "serve: listening on %s\n", socket_path.c_str());
+  while (!service.shutdown_requested()) {
+    const int client = ::accept(listen_fd, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "serve: accept failed: %s\n", std::strerror(errno));
+      break;
+    }
+    try {
+      // One client at a time, frames until it hangs up: campaigns are
+      // CPU-bound, so serial service keeps the cache simple and the
+      // machine uncontended.
+      while (true) {
+        const auto request = read_frame(client);
+        if (!request) break;
+        write_frame(client, service.handle(*request));
+        if (service.shutdown_requested()) break;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "serve: client error: %s\n", e.what());
+    }
+    ::close(client);
+  }
+  ::close(listen_fd);
+  ::unlink(socket_path.c_str());
+  return 0;
+}
+
+util::Json send_request(const std::string& socket_path,
+                        const util::Json& request) {
+  ::signal(SIGPIPE, SIG_IGN);
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("request: socket path too long: " + socket_path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("request: socket failed: ") +
+                             std::strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("request: connect to " + socket_path +
+                             " failed: " + err);
+  }
+  std::optional<util::Json> reply;
+  try {
+    write_frame(fd, request);
+    reply = read_frame(fd);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  if (!reply) {
+    throw std::runtime_error("request: server closed without a reply");
+  }
+  return std::move(*reply);
+}
+
+}  // namespace resilience::shard

@@ -1,0 +1,143 @@
+#include "shard/worker.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <string>
+
+#include "apps/app.hpp"
+#include "harness/campaign_engine.hpp"
+#include "harness/golden_store.hpp"
+#include "shard/protocol.hpp"
+#include "telemetry/sinks.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace resilience::shard {
+
+namespace {
+
+void worker_loop(int fd) {
+  // The coordinator detects a dead worker by EOF; a worker writing into a
+  // dead coordinator should get EPIPE (an exception), not a process kill.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  const auto init = read_frame(fd);
+  if (!init || init->at("type").as_string() != "init") {
+    throw std::runtime_error("shard worker: expected init frame");
+  }
+  const std::string app_name = init->at("app").as_string();
+  const std::string size_class = init->at("size_class").as_string();
+  const harness::DeploymentConfig config =
+      deployment_from_json(init->at("config"));
+  const std::string store_dir = init->at("store").as_string();
+  const auto kill_after_units =
+      static_cast<int>(init->at("kill_after_units").as_int());
+
+  const std::unique_ptr<apps::App> app =
+      apps::make_app(apps::parse_app_id(app_name), size_class);
+
+  // Golden acquisition. The coordinator pre-fills the store before
+  // spawning workers, so this is a disk load (golden_store.hits), not a
+  // re-profile — the campaign's single HarnessGoldenProfiles count stays
+  // with the coordinator. The fallback profile keeps a worker functional
+  // if the store was cleaned underneath it; its extra counts surface in
+  // the ready metrics rather than silently vanishing.
+  telemetry::MetricScope init_scope;
+  std::shared_ptr<const harness::GoldenRun> golden;
+  {
+    telemetry::ScopeGuard guard(&init_scope);
+    harness::GoldenStore store(store_dir);
+    golden = store.load_or_fill(*app, config.nranks, [&] {
+      telemetry::count(telemetry::Counter::HarnessGoldenProfiles);
+      return harness::profile_app(*app, config.nranks,
+                                  config.deadlock_timeout);
+    });
+  }
+  const harness::TrialSpace space(*app, config, *golden);
+
+  {
+    util::JsonObject ready;
+    ready["type"] = util::Json("ready");
+    ready["metrics"] = telemetry::metrics_to_json(init_scope.snapshot());
+    write_frame(fd, util::Json(std::move(ready)));
+  }
+
+  int units_done = 0;
+  while (true) {
+    const auto frame = read_frame(fd);
+    if (!frame) return;  // coordinator went away: nothing left to do
+    const std::string type = frame->at("type").as_string();
+    if (type == "shutdown") return;
+    if (type != "unit") {
+      throw std::runtime_error("shard worker: unexpected frame: " + type);
+    }
+    const auto unit_id = frame->at("id").as_int();
+    const std::vector<harness::TrialRef> refs =
+        refs_from_json(frame->at("refs"));
+
+    telemetry::MetricScope unit_scope;
+    std::vector<harness::TrialResult> results;
+    results.reserve(refs.size());
+    const auto start = std::chrono::steady_clock::now();
+    for (const harness::TrialRef& ref : refs) {
+      telemetry::ScopeGuard guard(&unit_scope);
+      results.push_back(space.run(ref));
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+
+    // Crash-recovery hook (tests and CI): die without reporting, as a
+    // crashed worker would — the unit's counts and outcomes are lost with
+    // the process and the coordinator re-runs the unit elsewhere.
+    if (kill_after_units >= 0 && ++units_done > kill_after_units) {
+      ::raise(SIGKILL);
+    }
+
+    util::JsonObject result;
+    result["type"] = util::Json("result");
+    result["id"] = util::Json(unit_id);
+    result["outcomes"] = results_to_json(results);
+    result["wall_seconds"] = util::Json(wall);
+    result["metrics"] = telemetry::metrics_to_json(unit_scope.snapshot());
+    write_frame(fd, util::Json(std::move(result)));
+  }
+}
+
+}  // namespace
+
+int maybe_worker_main(int argc, char** argv) {
+  constexpr const char* kFlag = "--shard-worker=";
+  int fd = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      fd = std::atoi(argv[i] + std::strlen(kFlag));
+      break;
+    }
+  }
+  if (fd < 0) return -1;
+  try {
+    worker_loop(fd);
+    return 0;
+  } catch (const std::exception& e) {
+    // Best-effort error frame so the coordinator can log the cause; the
+    // EOF that follows is what triggers its recovery path.
+    try {
+      util::JsonObject err;
+      err["type"] = util::Json("error");
+      err["message"] = util::Json(std::string(e.what()));
+      write_frame(fd, util::Json(std::move(err)));
+    } catch (...) {
+    }
+    std::fprintf(stderr, "shard worker: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace resilience::shard

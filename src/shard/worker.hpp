@@ -1,0 +1,22 @@
+// Shard worker process entry point (DESIGN.md §13).
+//
+// A worker is the same binary as the coordinator, re-exec'd with
+// `--shard-worker=<fd>` where <fd> is the worker's end of the
+// coordinator's socketpair. It receives one init frame (app key, full
+// deployment config, golden-store directory), loads the golden run from
+// the store (the coordinator pre-fills it, so this is a hit, not a
+// re-profile), builds the shared TrialSpace, and then executes work units
+// — lists of TrialRefs — streaming each unit's outcomes and metric
+// snapshot back. Trial identity is placement-independent, so whichever
+// worker runs a ref produces the byte-identical outcome.
+#pragma once
+
+namespace resilience::shard {
+
+/// Entry hook for main(): scans argv for `--shard-worker=<fd>` and, when
+/// present, runs the worker protocol loop to completion and returns the
+/// process exit code (0 on clean shutdown, 1 on error). Returns -1 when
+/// the flag is absent — the caller proceeds as a normal CLI/test process.
+int maybe_worker_main(int argc, char** argv);
+
+}  // namespace resilience::shard

@@ -76,17 +76,6 @@ struct RunResult {
   std::uint64_t pool_allocs = 0;
   std::uint64_t pool_reuses = 0;
 
-  [[deprecated("use pool_allocs or the telemetry registry "
-               "(simmpi.buffer_allocs)")]] [[nodiscard]] std::uint64_t
-  buffer_allocs() const noexcept {
-    return pool_allocs;
-  }
-  [[deprecated("use pool_reuses or the telemetry registry "
-               "(simmpi.buffer_reuses)")]] [[nodiscard]] std::uint64_t
-  buffer_reuses() const noexcept {
-    return pool_reuses;
-  }
-
   [[nodiscard]] bool failed() const noexcept { return !ok; }
 };
 

@@ -37,6 +37,10 @@ constexpr const char* kCounterNames[kCounterCount] = {
     "campaign.strata",
     "core.studies",
     "core.study_phases",
+    "shard.units_dispatched",
+    "shard.worker_restarts",
+    "golden_store.hits",
+    "golden_store.misses",
 };
 
 constexpr const char* kHistogramNames[kHistogramCount] = {
@@ -87,6 +91,15 @@ constexpr bool kTimingBorn[kCounterCount] = {
     /*CampaignStrata*/ false,
     /*CoreStudies*/ false,
     /*CoreStudyPhases*/ false,
+    // Sharding is an execution policy: unit and restart counts depend on
+    // the shard count and on crash/respawn timing, and store hit/miss
+    // splits depend on what earlier invocations left on disk — none of it
+    // is a function of (app, configuration, seed), so a sharded run stays
+    // logical_equal to the single-process run.
+    /*ShardUnitsDispatched*/ true,
+    /*ShardWorkerRestarts*/ true,
+    /*GoldenStoreHits*/ true,
+    /*GoldenStoreMisses*/ true,
 };
 
 }  // namespace
@@ -239,6 +252,10 @@ detail::Shard* MetricScope::shard_for_current_lane() {
   detail::Shard* shard = shards_.back().get();
   by_lane_.emplace(lane, shard);
   return shard;
+}
+
+void MetricScope::absorb(const MetricsSnapshot& snapshot) noexcept {
+  fold(snapshot);
 }
 
 void MetricScope::fold(const MetricsSnapshot& child) noexcept {

@@ -83,6 +83,11 @@ enum class Counter : std::uint16_t {
   // core — study pipeline
   CoreStudies,            ///< run_study invocations
   CoreStudyPhases,        ///< study phases executed
+  // shard — multi-process campaign sharding + on-disk golden store
+  ShardUnitsDispatched,   ///< work units sent to worker processes
+  ShardWorkerRestarts,    ///< workers respawned after EOF/timeout
+  GoldenStoreHits,        ///< golden runs served from the on-disk store
+  GoldenStoreMisses,      ///< store lookups that found no usable file
   kCount
 };
 inline constexpr std::size_t kCounterCount =
@@ -253,6 +258,12 @@ class MetricScope {
   /// The calling lane's shard in this scope (created on first use). A
   /// lane is a thread — or a fiber, wherever it currently runs.
   [[nodiscard]] detail::Shard* shard_for_current_lane();
+
+  /// Fold an externally produced snapshot — a shard worker process's
+  /// counters arriving over the wire — into this scope, attributed to the
+  /// calling lane. Unlike count()/record() this adds raw histogram
+  /// buckets, so a worker's observations keep their exact distribution.
+  void absorb(const MetricsSnapshot& snapshot) noexcept;
 
  private:
   void fold(const MetricsSnapshot& child) noexcept;

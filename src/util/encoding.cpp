@@ -1,0 +1,91 @@
+#include "util/encoding.hpp"
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+
+namespace resilience::util {
+
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+constexpr std::array<std::int8_t, 256> make_reverse() {
+  std::array<std::int8_t, 256> rev{};
+  for (auto& v : rev) v = -1;
+  for (int i = 0; i < 64; ++i) {
+    rev[static_cast<unsigned char>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+  }
+  return rev;
+}
+
+constexpr std::array<std::int8_t, 256> kReverse = make_reverse();
+
+}  // namespace
+
+std::string base64_encode(std::span<const std::byte> bytes) {
+  std::string out;
+  out.reserve((bytes.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= bytes.size(); i += 3) {
+    const auto a = static_cast<std::uint32_t>(bytes[i]);
+    const auto b = static_cast<std::uint32_t>(bytes[i + 1]);
+    const auto c = static_cast<std::uint32_t>(bytes[i + 2]);
+    const std::uint32_t word = (a << 16) | (b << 8) | c;
+    out.push_back(kAlphabet[(word >> 18) & 0x3f]);
+    out.push_back(kAlphabet[(word >> 12) & 0x3f]);
+    out.push_back(kAlphabet[(word >> 6) & 0x3f]);
+    out.push_back(kAlphabet[word & 0x3f]);
+  }
+  const std::size_t rest = bytes.size() - i;
+  if (rest == 1) {
+    const auto a = static_cast<std::uint32_t>(bytes[i]);
+    out.push_back(kAlphabet[(a >> 2) & 0x3f]);
+    out.push_back(kAlphabet[(a << 4) & 0x3f]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rest == 2) {
+    const auto a = static_cast<std::uint32_t>(bytes[i]);
+    const auto b = static_cast<std::uint32_t>(bytes[i + 1]);
+    out.push_back(kAlphabet[(a >> 2) & 0x3f]);
+    out.push_back(kAlphabet[((a << 4) | (b >> 4)) & 0x3f]);
+    out.push_back(kAlphabet[(b << 2) & 0x3f]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::vector<std::byte> base64_decode(const std::string& text) {
+  if (text.size() % 4 != 0) {
+    throw std::invalid_argument("base64: length is not a multiple of 4");
+  }
+  std::vector<std::byte> out;
+  out.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    int pad = 0;
+    std::uint32_t word = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      const char ch = text[i + j];
+      if (ch == '=') {
+        // Padding is legal only in the last two positions of the final
+        // quantum, and nothing may follow it.
+        if (i + 4 != text.size() || j < 2 || (j == 2 && text[i + 3] != '=')) {
+          throw std::invalid_argument("base64: misplaced padding");
+        }
+        ++pad;
+        word <<= 6;
+        continue;
+      }
+      const std::int8_t v = kReverse[static_cast<unsigned char>(ch)];
+      if (v < 0) throw std::invalid_argument("base64: invalid character");
+      word = (word << 6) | static_cast<std::uint32_t>(v);
+    }
+    out.push_back(static_cast<std::byte>((word >> 16) & 0xff));
+    if (pad < 2) out.push_back(static_cast<std::byte>((word >> 8) & 0xff));
+    if (pad < 1) out.push_back(static_cast<std::byte>(word & 0xff));
+  }
+  return out;
+}
+
+}  // namespace resilience::util

@@ -1,0 +1,20 @@
+// Base64 (RFC 4648, with padding) for embedding binary blobs — notably
+// checkpoint rank-state snapshots — in JSON documents.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace resilience::util {
+
+/// Encode `bytes` as standard base64 with '=' padding.
+[[nodiscard]] std::string base64_encode(std::span<const std::byte> bytes);
+
+/// Decode a padded base64 string. Throws std::invalid_argument on any
+/// character outside the alphabet, misplaced padding, or a length that is
+/// not a multiple of 4.
+[[nodiscard]] std::vector<std::byte> base64_decode(const std::string& text);
+
+}  // namespace resilience::util

@@ -128,6 +128,11 @@ RuntimeOptions RuntimeOptions::from_env() {
               static_cast<std::int64_t>(options.adaptive_min_trials)));
   options.adaptive_stratify =
       env_flag("RESILIENCE_ADAPTIVE_STRATIFY", options.adaptive_stratify);
+  options.shards = static_cast<int>(
+      env_int("RESILIENCE_SHARDS", 0, /*min_value=*/0));
+  options.golden_store = env_str("RESILIENCE_GOLDEN_STORE", "");
+  options.shard_kill_unit = static_cast<int>(
+      env_int("RESILIENCE_SHARD_KILL", -1, /*min_value=*/-1));
   options.trace_path = env_str("RESILIENCE_TRACE", "");
   options.metrics_path = env_str("RESILIENCE_METRICS", "");
   return options;

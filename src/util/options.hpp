@@ -68,6 +68,18 @@ struct RuntimeOptions {
   /// RESILIENCE_ADAPTIVE_STRATIFY — stratified sampling over
   /// (region x kind x dynamic-op decile) with post-stratified estimates.
   bool adaptive_stratify = true;
+  /// RESILIENCE_SHARDS — worker processes for sharded campaign execution
+  /// (DESIGN.md §13); 0 = in-process (no sharding).
+  int shards = 0;
+  /// RESILIENCE_GOLDEN_STORE — on-disk golden-run store directory ("" =
+  /// none for in-process runs; sharded runs fall back to a private temp
+  /// store). A persistent directory lets repeated invocations skip the
+  /// golden pre-pass entirely.
+  std::string golden_store;
+  /// RESILIENCE_SHARD_KILL — crash-recovery testing hook: worker 0's
+  /// first incarnation SIGKILLs itself after completing this many units.
+  /// -1 = off.
+  int shard_kill_unit = -1;
   /// RESILIENCE_TRACE — default trace output path ("" = tracing off).
   /// A ".json" suffix selects the Chrome trace_event format; anything
   /// else gets JSON Lines.

@@ -1,0 +1,239 @@
+// Golden-run serialization + the on-disk GoldenStore: full-fidelity
+// round trips (profiles, signature, checkpoints with base64 rank state),
+// byte-stable re-serialization, and the store's miss/fill/hit and
+// corruption-recovery behavior.
+#include <unistd.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "harness/campaign.hpp"
+#include "harness/checkpoint.hpp"
+#include "harness/golden_cache.hpp"
+#include "harness/golden_store.hpp"
+#include "harness/runner.hpp"
+#include "harness/serialize.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/encoding.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace resilience;
+
+std::string fresh_dir(const std::string& tag) {
+  static int counter = 0;
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("resilience-test-" + tag + "-" +
+                    std::to_string(::getpid()) + "-" +
+                    std::to_string(counter++));
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+harness::GoldenRun profile_cg(int nranks) {
+  const auto app = apps::make_app(apps::AppId::CG);
+  return harness::profile_app(*app, nranks);
+}
+
+TEST(GoldenJson, RoundTripPreservesEverything) {
+  const harness::GoldenRun golden = profile_cg(2);
+  ASSERT_NE(golden.checkpoints, nullptr);  // CG has boundary hooks
+
+  const util::Json json = harness::golden_to_json(golden);
+  const harness::GoldenRun back =
+      harness::golden_from_json(util::Json::parse(json.dump()));
+
+  EXPECT_EQ(back.signature, golden.signature);  // bit-exact doubles
+  EXPECT_EQ(back.max_rank_ops, golden.max_rank_ops);
+  ASSERT_EQ(back.profiles.size(), golden.profiles.size());
+  for (std::size_t r = 0; r < golden.profiles.size(); ++r) {
+    EXPECT_EQ(back.profiles[r], golden.profiles[r]) << r;
+  }
+
+  ASSERT_NE(back.checkpoints, nullptr);
+  const auto& a = *golden.checkpoints;
+  const auto& b = *back.checkpoints;
+  EXPECT_EQ(b.nranks, a.nranks);
+  EXPECT_EQ(b.iterations, a.iterations);
+  EXPECT_EQ(b.signature, a.signature);
+  ASSERT_EQ(b.boundaries.size(), a.boundaries.size());
+  for (std::size_t i = 0; i < a.boundaries.size(); ++i) {
+    EXPECT_EQ(b.boundaries[i].iter, a.boundaries[i].iter);
+    EXPECT_EQ(b.boundaries[i].profiles, a.boundaries[i].profiles);
+    EXPECT_EQ(b.boundaries[i].digests, a.boundaries[i].digests);
+    ASSERT_EQ(b.boundaries[i].state.size(), a.boundaries[i].state.size());
+    for (std::size_t r = 0; r < a.boundaries[i].state.size(); ++r) {
+      EXPECT_EQ(b.boundaries[i].state[r], a.boundaries[i].state[r]);
+    }
+  }
+}
+
+// serialize -> parse -> serialize must be byte-stable: the shard workers'
+// store loads and the coordinator's fill must agree on one canonical
+// form, and repeated store rewrites must not churn the file.
+TEST(GoldenJson, ReserializationIsByteStable) {
+  const harness::GoldenRun golden = profile_cg(2);
+  const std::string once = harness::golden_to_json(golden).dump();
+  const std::string twice =
+      harness::golden_to_json(
+          harness::golden_from_json(util::Json::parse(once)))
+          .dump();
+  EXPECT_EQ(once, twice);
+}
+
+TEST(CampaignJson, ReserializationIsByteStable) {
+  const auto app = apps::make_app(apps::AppId::CG);
+  harness::DeploymentConfig dep;
+  dep.nranks = 2;
+  dep.trials = 12;
+  const auto campaign = harness::CampaignRunner::run(*app, dep);
+  const std::string once = harness::to_json(campaign).dump();
+  const std::string twice =
+      harness::to_json(harness::campaign_from_json(util::Json::parse(once)))
+          .dump();
+  EXPECT_EQ(once, twice);
+}
+
+TEST(Base64, RandomBlobsRoundTrip) {
+  util::Xoshiro256 rng(20180813);
+  for (std::size_t len = 0; len < 70; ++len) {
+    std::vector<std::byte> blob(len);
+    for (auto& b : blob) b = static_cast<std::byte>(rng.next() & 0xff);
+    const std::string text = util::base64_encode(blob);
+    EXPECT_EQ(text.size() % 4, 0u) << len;
+    EXPECT_EQ(util::base64_decode(text), blob) << len;
+  }
+}
+
+TEST(Base64, RejectsMalformedInput) {
+  EXPECT_THROW((void)util::base64_decode("abc"), std::invalid_argument);
+  EXPECT_THROW((void)util::base64_decode("ab=c"), std::invalid_argument);
+  EXPECT_THROW((void)util::base64_decode("a#bc"), std::invalid_argument);
+  EXPECT_EQ(util::base64_decode("").size(), 0u);
+}
+
+TEST(GoldenStore, MissFillHit) {
+  const std::string dir = fresh_dir("store");
+  const auto app = apps::make_app(apps::AppId::CG);
+  telemetry::MetricScope metrics;
+  int profiles = 0;
+  {
+    telemetry::ScopeGuard guard(&metrics);
+    harness::GoldenStore store(dir);
+    EXPECT_EQ(store.load(*app, 2), nullptr);  // cold: miss
+    const auto filled = store.load_or_fill(*app, 2, [&] {
+      ++profiles;
+      return profile_cg(2);
+    });
+    ASSERT_NE(filled, nullptr);
+    const auto again = store.load_or_fill(*app, 2, [&] {
+      ++profiles;
+      return profile_cg(2);
+    });
+    ASSERT_NE(again, nullptr);
+    EXPECT_EQ(again->signature, filled->signature);
+  }
+  EXPECT_EQ(profiles, 1);  // second load_or_fill served from disk
+  const auto snap = metrics.snapshot();
+  EXPECT_GE(snap.value(telemetry::Counter::GoldenStoreMisses), 2u);
+  EXPECT_GE(snap.value(telemetry::Counter::GoldenStoreHits), 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(GoldenStore, CorruptFileIsUnlinkedAndRefilled) {
+  const std::string dir = fresh_dir("corrupt");
+  const auto app = apps::make_app(apps::AppId::CG);
+  harness::GoldenStore store(dir);
+  int profiles = 0;
+  (void)store.load_or_fill(*app, 2, [&] {
+    ++profiles;
+    return profile_cg(2);
+  });
+  const std::string path = store.path_for(*app, 2);
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  {  // not JSON at all
+    std::ofstream out(path, std::ios::trunc);
+    out << "not json {{{";
+  }
+  EXPECT_EQ(store.load(*app, 2), nullptr);
+  EXPECT_FALSE(std::filesystem::exists(path)) << "corrupt file not unlinked";
+
+  (void)store.load_or_fill(*app, 2, [&] {
+    ++profiles;
+    return profile_cg(2);
+  });
+  EXPECT_EQ(profiles, 2);  // clean refill after the corruption
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  {  // valid JSON, truncated mid-document
+    std::ifstream in(path);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::trunc);
+    out << text.substr(0, text.size() / 2);
+  }
+  EXPECT_EQ(store.load(*app, 2), nullptr);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(GoldenStore, KeyedByAppAndScale) {
+  const std::string dir = fresh_dir("keys");
+  harness::GoldenStore store(dir);
+  const auto cg = apps::make_app(apps::AppId::CG);
+  const auto ft = apps::make_app(apps::AppId::FT);
+  EXPECT_NE(store.path_for(*cg, 2), store.path_for(*cg, 4));
+  EXPECT_NE(store.path_for(*cg, 2), store.path_for(*ft, 2));
+  int profiles = 0;
+  (void)store.load_or_fill(*cg, 2, [&] {
+    ++profiles;
+    return profile_cg(2);
+  });
+  // A different scale is a different key: no cross-talk.
+  EXPECT_EQ(store.load(*cg, 4), nullptr);
+  EXPECT_EQ(profiles, 1);
+  std::filesystem::remove_all(dir);
+}
+
+// A golden run loaded from the store must drive a campaign to the exact
+// result a freshly profiled one produces — checkpoint fast path included.
+TEST(GoldenStore, LoadedGoldenReproducesCampaign) {
+  const std::string dir = fresh_dir("repro");
+  const auto app = apps::make_app(apps::AppId::CG);
+  harness::DeploymentConfig dep;
+  dep.nranks = 2;
+  dep.trials = 16;
+
+  auto baseline = harness::CampaignRunner::run(*app, dep);
+
+  harness::GoldenStore store(dir);
+  harness::GoldenCache cache(&store);
+  harness::CampaignContext context;
+  context.golden_cache = &cache;
+  auto first = harness::CampaignRunner::run(*app, dep, context);
+
+  harness::GoldenCache cache2(&store);  // fresh process-equivalent: disk hit
+  harness::CampaignContext context2;
+  context2.golden_cache = &cache2;
+  auto second = harness::CampaignRunner::run(*app, dep, context2);
+
+  baseline.wall_seconds = first.wall_seconds = second.wall_seconds = 0.0;
+  EXPECT_EQ(harness::to_json(first).dump(), harness::to_json(baseline).dump());
+  EXPECT_EQ(harness::to_json(second).dump(),
+            harness::to_json(baseline).dump());
+  EXPECT_EQ(second.metrics.value(telemetry::Counter::HarnessGoldenProfiles),
+            0u);
+  EXPECT_GE(second.metrics.value(telemetry::Counter::GoldenStoreHits), 1u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace

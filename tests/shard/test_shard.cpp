@@ -1,0 +1,239 @@
+// Sharded campaign execution (DESIGN.md §13): wire protocol round trips,
+// coordinator/worker end-to-end determinism against the in-process
+// runner, worker-crash recovery, golden-store reuse, and the StudyService
+// request dispatcher.
+//
+// This binary has a custom main: the coordinator re-execs the test binary
+// itself as its worker processes (--shard-worker=<fd>), so main must
+// route to the worker loop before gtest ever sees argv.
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "harness/campaign.hpp"
+#include "harness/campaign_engine.hpp"
+#include "harness/serialize.hpp"
+#include "shard/coordinator.hpp"
+#include "shard/protocol.hpp"
+#include "shard/service.hpp"
+#include "shard/worker.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace resilience;
+
+std::string fresh_dir(const std::string& tag) {
+  static int counter = 0;
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("resilience-shardtest-" + tag + "-" +
+                    std::to_string(::getpid()) + "-" +
+                    std::to_string(counter++));
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+harness::DeploymentConfig small_config(std::size_t trials) {
+  harness::DeploymentConfig dep;
+  dep.nranks = 4;
+  dep.trials = trials;
+  return dep;
+}
+
+std::string normalized_dump(harness::CampaignResult result) {
+  result.wall_seconds = 0.0;  // the only timing-born field in the schema
+  return harness::to_json(result).dump();
+}
+
+TEST(ShardProtocol, FramesRoundTripOverSocketpair) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+
+  util::JsonObject obj;
+  obj["type"] = util::Json("unit");
+  obj["id"] = util::Json(7);
+  const std::string sent = util::Json(obj).dump();
+  shard::write_frame(sv[0], util::Json(std::move(obj)));
+  const auto got = shard::read_frame(sv[1]);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->dump(), sent);
+
+  ::close(sv[0]);  // EOF at a frame boundary: clean nullopt
+  EXPECT_FALSE(shard::read_frame(sv[1]).has_value());
+  ::close(sv[1]);
+}
+
+TEST(ShardProtocol, TruncatedFrameThrows) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const unsigned char partial[] = {200, 0, 0, 0, 'x'};  // claims 200 bytes
+  ASSERT_EQ(::write(sv[0], partial, sizeof(partial)),
+            static_cast<ssize_t>(sizeof(partial)));
+  ::close(sv[0]);
+  EXPECT_THROW((void)shard::read_frame(sv[1]), std::runtime_error);
+  ::close(sv[1]);
+}
+
+TEST(ShardProtocol, RefsKeepNoStratumAndConfigFullFidelity) {
+  const std::vector<harness::TrialRef> refs = {
+      {harness::kNoStratum, 3, 3}, {42, 7, 11}};
+  const auto back =
+      shard::refs_from_json(util::Json::parse(shard::refs_to_json(refs).dump()));
+  ASSERT_EQ(back.size(), refs.size());
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    EXPECT_EQ(back[i].stratum, refs[i].stratum);
+    EXPECT_EQ(back[i].index, refs[i].index);
+    EXPECT_EQ(back[i].tag, refs[i].tag);
+  }
+
+  harness::DeploymentConfig dep = small_config(17);
+  dep.errors_per_test = 2;
+  dep.seed = 99;
+  dep.adaptive.enabled = true;
+  dep.adaptive.batch = 5;
+  dep.adaptive.ci_half_width = 0.05;
+  const harness::DeploymentConfig cfg_back = shard::deployment_from_json(
+      util::Json::parse(shard::deployment_to_json(dep).dump()));
+  EXPECT_EQ(shard::deployment_to_json(cfg_back).dump(),
+            shard::deployment_to_json(dep).dump());
+}
+
+TEST(ShardCampaign, FixedShardedMatchesInProcess) {
+  const auto app = apps::make_app(apps::AppId::CG);
+  const harness::DeploymentConfig dep = small_config(24);
+
+  const auto baseline = harness::CampaignRunner::run(*app, dep);
+
+  shard::ShardOptions opts;
+  opts.shards = 3;
+  const auto sharded = shard::run_sharded_campaign(*app, dep, opts);
+
+  EXPECT_EQ(normalized_dump(sharded), normalized_dump(baseline));
+  EXPECT_TRUE(sharded.metrics.logical_equal(baseline.metrics));
+  EXPECT_GE(sharded.metrics.value(telemetry::Counter::ShardUnitsDispatched),
+            3u);
+  EXPECT_EQ(sharded.metrics.value(telemetry::Counter::HarnessCampaigns), 1u);
+  EXPECT_EQ(sharded.metrics.value(telemetry::Counter::HarnessGoldenProfiles),
+            1u);
+}
+
+TEST(ShardCampaign, AdaptiveShardedMatchesInProcess) {
+  const auto app = apps::make_app(apps::AppId::CG);
+  harness::DeploymentConfig dep = small_config(48);
+  dep.adaptive.enabled = true;
+  dep.adaptive.batch = 8;
+  dep.adaptive.min_trials = 16;
+
+  const auto baseline = harness::CampaignRunner::run(*app, dep);
+
+  shard::ShardOptions opts;
+  opts.shards = 2;
+  const auto sharded = shard::run_sharded_campaign(*app, dep, opts);
+
+  EXPECT_EQ(normalized_dump(sharded), normalized_dump(baseline));
+  EXPECT_TRUE(sharded.metrics.logical_equal(baseline.metrics));
+  ASSERT_TRUE(sharded.adaptive.has_value());
+  EXPECT_EQ(sharded.adaptive->trials_executed,
+            baseline.adaptive->trials_executed);
+  EXPECT_EQ(sharded.adaptive->stop_reason, baseline.adaptive->stop_reason);
+}
+
+// A worker SIGKILLed mid-campaign (before reporting its unit) must not
+// perturb the result: the unit is re-run elsewhere bit-identically, and
+// the lost process's unreported counts never reach the merged metrics.
+TEST(ShardCampaign, KilledWorkerRecoversBitIdentically) {
+  const auto app = apps::make_app(apps::AppId::CG);
+  const harness::DeploymentConfig dep = small_config(24);
+
+  const auto baseline = harness::CampaignRunner::run(*app, dep);
+
+  shard::ShardOptions opts;
+  opts.shards = 2;
+  opts.debug_kill_unit = 0;  // worker 0 dies before its first result
+  const auto sharded = shard::run_sharded_campaign(*app, dep, opts);
+
+  EXPECT_EQ(normalized_dump(sharded), normalized_dump(baseline));
+  EXPECT_TRUE(sharded.metrics.logical_equal(baseline.metrics));
+  EXPECT_GE(sharded.metrics.value(telemetry::Counter::ShardWorkerRestarts),
+            1u);
+}
+
+TEST(ShardCampaign, GoldenStoreServesSecondInvocation) {
+  const auto app = apps::make_app(apps::AppId::CG);
+  const harness::DeploymentConfig dep = small_config(12);
+  shard::ShardOptions opts;
+  opts.shards = 2;
+  opts.golden_store_dir = fresh_dir("persist");
+
+  const auto first = shard::run_sharded_campaign(*app, dep, opts);
+  const auto second = shard::run_sharded_campaign(*app, dep, opts);
+
+  EXPECT_EQ(normalized_dump(first), normalized_dump(second));
+  EXPECT_EQ(first.metrics.value(telemetry::Counter::HarnessGoldenProfiles),
+            1u);
+  // Second invocation: nobody re-profiles — coordinator and both workers
+  // all hit the persisted file.
+  EXPECT_EQ(second.metrics.value(telemetry::Counter::HarnessGoldenProfiles),
+            0u);
+  EXPECT_GE(second.metrics.value(telemetry::Counter::GoldenStoreHits), 3u);
+  std::filesystem::remove_all(opts.golden_store_dir);
+}
+
+TEST(StudyService, CachesDeterministicCampaigns) {
+  shard::StudyService service;
+
+  util::JsonObject ping;
+  ping["type"] = util::Json("ping");
+  EXPECT_EQ(service.handle(util::Json(std::move(ping))).at("type").as_string(),
+            "pong");
+
+  util::JsonObject req;
+  req["type"] = util::Json("campaign");
+  req["app"] = util::Json("CG");
+  req["size_class"] = util::Json("");
+  req["config"] = shard::deployment_to_json(small_config(10));
+  req["shards"] = util::Json(0);  // in-process inside the service
+  const util::Json request(std::move(req));
+
+  const util::Json first = service.handle(request);
+  ASSERT_EQ(first.at("type").as_string(), "result");
+  EXPECT_FALSE(first.at("cached").as_bool());
+
+  const util::Json second = service.handle(request);
+  ASSERT_EQ(second.at("type").as_string(), "result");
+  EXPECT_TRUE(second.at("cached").as_bool());
+  EXPECT_EQ(second.at("campaign").dump(), first.at("campaign").dump());
+  EXPECT_EQ(service.cache_hits(), 1u);
+
+  util::JsonObject bad;
+  bad["type"] = util::Json("campaign");
+  bad["app"] = util::Json("NOPE");
+  bad["config"] = shard::deployment_to_json(small_config(1));
+  EXPECT_EQ(service.handle(util::Json(std::move(bad))).at("type").as_string(),
+            "error");
+
+  util::JsonObject down;
+  down["type"] = util::Json("shutdown");
+  EXPECT_EQ(service.handle(util::Json(std::move(down))).at("type").as_string(),
+            "ok");
+  EXPECT_TRUE(service.shutdown_requested());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Worker re-exec path: must run before gtest touches the arguments.
+  if (const int rc = resilience::shard::maybe_worker_main(argc, argv);
+      rc >= 0) {
+    return rc;
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -298,16 +298,14 @@ TEST(MetricsJson, SchemaHasNonZeroCountersAndNonEmptyHistograms) {
   EXPECT_EQ(ops.at("buckets").as_array()[10].as_int(), 25);
 }
 
-// ---- deprecated accessors --------------------------------------------------
+// ---- registry-backed result fields -----------------------------------------
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(DeprecatedAccessors, ForwardIntoTheRegistry) {
+TEST(ResultFields, PoolCountersAndMetricsValues) {
   simmpi::RunResult run;
   run.pool_allocs = 3;
   run.pool_reuses = 97;
-  EXPECT_EQ(run.buffer_allocs(), 3u);
-  EXPECT_EQ(run.buffer_reuses(), 97u);
+  EXPECT_EQ(run.pool_allocs, 3u);
+  EXPECT_EQ(run.pool_reuses, 97u);
 
   harness::CampaignResult campaign;
   campaign.metrics
@@ -315,10 +313,9 @@ TEST(DeprecatedAccessors, ForwardIntoTheRegistry) {
       11;
   campaign.metrics
       .counters[static_cast<std::size_t>(Counter::HarnessEarlyExits)] = 5;
-  EXPECT_EQ(campaign.checkpoint_restores(), 11u);
-  EXPECT_EQ(campaign.early_exits(), 5u);
+  EXPECT_EQ(campaign.metrics.value(Counter::HarnessCheckpointRestores), 11u);
+  EXPECT_EQ(campaign.metrics.value(Counter::HarnessEarlyExits), 5u);
 }
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace resilience::telemetry

@@ -53,6 +53,16 @@ Output:
                                    (bar: >= 3x mean); each leg also
                                    asserts the fixed-budget success rate
                                    landed inside the adaptive 95% CI
+                                 - shard_speedup.<n>: in-process serial
+                                   campaign wall time vs the same
+                                   deployment fanned out over n
+                                   coordinator-spawned worker processes
+                                   (bar: >= 2x at 4 shards); results are
+                                   bit-identical by construction
+                                 - golden_store_hit_rate: store hits /
+                                   (hits + misses) of a sharded rerun
+                                   against a persistent golden store —
+                                   1.0 means nobody re-profiled
 
 When any input dump carries a load_avg above its num_cpus the host was
 saturated while benching; the merge warns and stamps the output with
@@ -201,6 +211,21 @@ def derive_adaptive_metrics(intro):
     return {"adaptive_trial_reduction": reduction}, outside_ci
 
 
+def derive_shard_metrics(intro):
+    """Process-fan-out speedup and store-reuse hit rate of the shard legs."""
+    shard = intro.get("shard", {})
+    metrics = {}
+    if shard.get("sharded_wall_seconds"):
+        metrics["shard_speedup"] = {
+            str(shard.get("shards", 0)):
+                shard["serial_wall_seconds"] / shard["sharded_wall_seconds"]}
+    hits = shard.get("reuse_store_hits", 0)
+    misses = shard.get("reuse_store_misses", 0)
+    if hits + misses:
+        metrics["golden_store_hit_rate"] = hits / (hits + misses)
+    return metrics
+
+
 def check_host_load(merged, name, dump, fallback_cpus=None):
     """Warn and stamp the merge when a dump was taken on a saturated host.
 
@@ -273,6 +298,7 @@ def main():
             derive_checkpoint_metrics(intro))
         adaptive_metrics, outside_ci = derive_adaptive_metrics(intro)
         merged["metrics"].update(adaptive_metrics)
+        merged["metrics"].update(derive_shard_metrics(intro))
         check_host_load(merged, "intro_overhead", intro,
                         fallback_cpus=merged.get("host", {}).get("num_cpus"))
 
@@ -314,6 +340,15 @@ def main():
     for app in outside_ci:
         print(f"  ** adaptive CI for {app} does NOT contain the "
               "fixed-budget rate **")
+    for shards, ratio in sorted(metrics.get("shard_speedup", {}).items(),
+                                key=lambda kv: int(kv[0])):
+        bar = ""
+        if int(shards) >= 4 and ratio < 2.0:
+            bar = "  ** BELOW the >= 2x bar **"
+        print(f"  sharded campaign speedup @{shards} shards: {ratio:.2f}x{bar}")
+    hit_rate = metrics.get("golden_store_hit_rate")
+    if hit_rate is not None:
+        print(f"  golden-store reuse hit rate: {hit_rate:.0%}")
     return 0
 
 

@@ -14,6 +14,24 @@
 //   resilience propagation --app CG [--ranks 8] [--trials 400] [--seed N]
 //       [--jobs N]
 //       Profile error propagation across ranks.
+//   resilience serve --socket /path/to.sock
+//       Long-running campaign service: accepts campaign requests over an
+//       AF_UNIX socket, caches results (campaigns are deterministic in
+//       their request), answers repeats from the cache.
+//   resilience request --socket /path/to.sock [campaign flags] [--shards N]
+//       [--do ping|stats|shutdown]
+//       Client for `serve`: submit one campaign (default) or a control
+//       request and print the reply.
+//
+// campaign and propagation also accept multi-process sharding
+// (DESIGN.md §13):
+//   --shards N           Execute the campaign's trials across N worker
+//                        processes (0 = in-process; default the
+//                        RESILIENCE_SHARDS env knob). Results are
+//                        bit-identical to the in-process run.
+// The golden pre-pass consults the on-disk golden store when
+// RESILIENCE_GOLDEN_STORE names a directory — repeated invocations skip
+// re-profiling (sharded or not).
 //
 // campaign, predict, and propagation also accept the adaptive engine
 // flags (DESIGN.md §12):
@@ -51,10 +69,17 @@
 
 #include "core/bootstrap.hpp"
 #include "core/report.hpp"
-#include "harness/serialize.hpp"
 #include "core/study.hpp"
+#include "harness/golden_cache.hpp"
+#include "harness/golden_store.hpp"
+#include "harness/serialize.hpp"
+#include "shard/coordinator.hpp"
+#include "shard/protocol.hpp"
+#include "shard/service.hpp"
+#include "shard/worker.hpp"
 #include "telemetry/sinks.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/json.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 
@@ -211,6 +236,40 @@ fsefi::RegionMask parse_region(const std::string& name) {
   throw std::invalid_argument("unknown region: " + name);
 }
 
+/// The deployment flags shared by campaign, propagation, and request.
+harness::DeploymentConfig parse_deployment(Args& args) {
+  harness::DeploymentConfig dep;
+  dep.nranks = static_cast<int>(args.get_int("ranks", 8));
+  dep.trials = static_cast<std::size_t>(args.get_int("trials", 400));
+  dep.errors_per_test = static_cast<int>(args.get_int("errors", 1));
+  dep.pattern = parse_pattern(args.get("pattern", "single"));
+  dep.regions = parse_region(args.get("region", "all"));
+  dep.seed = static_cast<std::uint64_t>(args.get_int("seed", 20180813));
+  dep.max_workers = static_cast<int>(args.get_int("jobs", 0));
+  dep.adaptive = parse_adaptive(args);
+  return dep;
+}
+
+/// Run one campaign honoring the sharding/store knobs: --shards (else
+/// RESILIENCE_SHARDS) > 0 fans the trials out across worker processes;
+/// otherwise in-process, with the golden pre-pass served through the
+/// on-disk store when RESILIENCE_GOLDEN_STORE is set.
+harness::CampaignResult run_configured_campaign(
+    const apps::App& app, const harness::DeploymentConfig& dep,
+    long shards_flag) {
+  shard::ShardOptions opts = shard::ShardOptions::from_runtime();
+  if (shards_flag >= 0) opts.shards = static_cast<int>(shards_flag);
+  if (opts.shards > 0) return shard::run_sharded_campaign(app, dep, opts);
+  if (!opts.golden_store_dir.empty()) {
+    harness::GoldenStore store(opts.golden_store_dir);
+    harness::GoldenCache cache(&store);
+    harness::CampaignContext context;
+    context.golden_cache = &cache;
+    return harness::CampaignRunner::run(app, dep, context);
+  }
+  return harness::CampaignRunner::run(app, dep);
+}
+
 int cmd_list() {
   util::TablePrinter table({"name", "input problem", "notes"});
   table.add_row({"CG", "S (also B, C)", "sparse eigenvalue, power + CG solves"});
@@ -226,20 +285,13 @@ int cmd_list() {
 int cmd_campaign(Args& args) {
   const auto app = apps::make_app(apps::parse_app_id(args.get("app", "CG")),
                                   args.get("class", ""));
-  harness::DeploymentConfig dep;
-  dep.nranks = static_cast<int>(args.get_int("ranks", 8));
-  dep.trials = static_cast<std::size_t>(args.get_int("trials", 400));
-  dep.errors_per_test = static_cast<int>(args.get_int("errors", 1));
-  dep.pattern = parse_pattern(args.get("pattern", "single"));
-  dep.regions = parse_region(args.get("region", "all"));
-  dep.seed = static_cast<std::uint64_t>(args.get_int("seed", 20180813));
-  dep.max_workers = static_cast<int>(args.get_int("jobs", 0));
-  dep.adaptive = parse_adaptive(args);
+  const harness::DeploymentConfig dep = parse_deployment(args);
+  const long shards_flag = args.get_int("shards", -1);
   const std::string save_path = args.get("save", "");
   TelemetryOutputs telemetry_out(args);
   args.check_consumed();
 
-  const auto campaign = harness::CampaignRunner::run(*app, dep);
+  const auto campaign = run_configured_campaign(*app, dep, shards_flag);
   if (!save_path.empty()) {
     harness::save_campaign(save_path, campaign);
     std::cout << "campaign saved to " << save_path << "\n";
@@ -368,16 +420,12 @@ int cmd_predict(Args& args) {
 int cmd_propagation(Args& args) {
   const auto app = apps::make_app(apps::parse_app_id(args.get("app", "CG")),
                                   args.get("class", ""));
-  harness::DeploymentConfig dep;
-  dep.nranks = static_cast<int>(args.get_int("ranks", 8));
-  dep.trials = static_cast<std::size_t>(args.get_int("trials", 400));
-  dep.seed = static_cast<std::uint64_t>(args.get_int("seed", 20180813));
-  dep.max_workers = static_cast<int>(args.get_int("jobs", 0));
-  dep.adaptive = parse_adaptive(args);
+  const harness::DeploymentConfig dep = parse_deployment(args);
+  const long shards_flag = args.get_int("shards", -1);
   TelemetryOutputs telemetry_out(args);
   args.check_consumed();
 
-  const auto campaign = harness::CampaignRunner::run(*app, dep);
+  const auto campaign = run_configured_campaign(*app, dep, shards_flag);
   std::cout << app->label() << " error propagation at " << dep.nranks
             << " ranks\n\n";
   util::TablePrinter table({"ranks contaminated", "tests", "r_x",
@@ -396,8 +444,77 @@ int cmd_propagation(Args& args) {
   return 0;
 }
 
+int cmd_serve(Args& args) {
+  const std::string socket_path = args.get("socket", "");
+  args.check_consumed();
+  if (socket_path.empty()) {
+    throw std::invalid_argument("serve: --socket is required");
+  }
+  return shard::run_server(socket_path);
+}
+
+int cmd_request(Args& args) {
+  const std::string socket_path = args.get("socket", "");
+  if (socket_path.empty()) {
+    throw std::invalid_argument("request: --socket is required");
+  }
+  const std::string action = args.get("do", "campaign");
+  if (action != "campaign") {
+    args.check_consumed();
+    util::JsonObject req;
+    req["type"] = util::Json(action);
+    const util::Json reply =
+        shard::send_request(socket_path, util::Json(std::move(req)));
+    std::cout << reply.dump(2) << "\n";
+    return reply.at("type").as_string() == "error" ? 1 : 0;
+  }
+
+  const std::string app_name = args.get("app", "CG");
+  const std::string size_class = args.get("class", "");
+  const harness::DeploymentConfig dep = parse_deployment(args);
+  const long shards_flag = args.get_int("shards", -1);
+  const std::string save_path = args.get("save", "");
+  args.check_consumed();
+
+  util::JsonObject req;
+  req["type"] = util::Json("campaign");
+  req["app"] = util::Json(app_name);
+  req["size_class"] = util::Json(size_class);
+  req["config"] = shard::deployment_to_json(dep);
+  if (shards_flag >= 0) {
+    req["shards"] = util::Json(static_cast<int>(shards_flag));
+  }
+  const util::Json reply =
+      shard::send_request(socket_path, util::Json(std::move(req)));
+  if (reply.at("type").as_string() == "error") {
+    std::cerr << "server error: " << reply.at("message").as_string() << "\n";
+    return 1;
+  }
+  const auto campaign = harness::campaign_from_json(reply.at("campaign"));
+  if (!save_path.empty()) {
+    harness::save_campaign(save_path, campaign);
+    std::cout << "campaign saved to " << save_path << "\n";
+  }
+  std::cout << app_name << " on " << dep.nranks << " ranks, " << dep.trials
+            << " tests ("
+            << (reply.at("cached").as_bool() ? "served from cache"
+                                             : "freshly executed")
+            << ")\n";
+  util::TablePrinter table({"outcome", "tests", "rate"});
+  table.add_row({"Success", std::to_string(campaign.overall.success),
+                 util::TablePrinter::pct(campaign.overall.success_rate())});
+  table.add_row({"SDC", std::to_string(campaign.overall.sdc),
+                 util::TablePrinter::pct(campaign.overall.sdc_rate())});
+  table.add_row({"Failure", std::to_string(campaign.overall.failure),
+                 util::TablePrinter::pct(campaign.overall.failure_rate())});
+  table.print();
+  print_adaptive(campaign);
+  return 0;
+}
+
 int usage() {
-  std::cerr << "usage: resilience <list|campaign|predict|propagation> "
+  std::cerr << "usage: resilience "
+               "<list|campaign|predict|propagation|serve|request> "
                "[options]\n(see the header of tools/resilience_cli.cpp)\n";
   return 2;
 }
@@ -405,6 +522,12 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Shard-worker re-exec: when the coordinator spawned this process with
+  // --shard-worker=<fd>, run the worker protocol loop instead of the CLI.
+  if (const int rc = resilience::shard::maybe_worker_main(argc, argv);
+      rc >= 0) {
+    return rc;
+  }
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
@@ -413,6 +536,8 @@ int main(int argc, char** argv) {
     if (command == "campaign") return cmd_campaign(args);
     if (command == "predict") return cmd_predict(args);
     if (command == "propagation") return cmd_propagation(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "request") return cmd_request(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
