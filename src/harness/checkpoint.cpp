@@ -211,7 +211,8 @@ bool CaptureControl::boundary(simmpi::Comm&, int iter,
 
 int FastForwardControl::begin(std::span<const apps::StateView> views) {
   if (resume_ == nullptr) return 0;
-  restore_views(resume_->state[static_cast<std::size_t>(rank_)], views);
+  restore_views(resume_->state[static_cast<std::size_t>(rank_)].bytes(),
+                views);
   if (fsefi::FaultContext* ctx = fsefi::current_context()) {
     ctx->fast_forward(resume_->profiles[static_cast<std::size_t>(rank_)]);
   }

@@ -25,6 +25,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <span>
 #include <vector>
@@ -72,6 +73,47 @@ void restore_views(std::span<const std::byte> bytes,
 
 // ---- checkpoint store ------------------------------------------------------
 
+/// Byte storage of one rank's checkpoint state: either owned (captured in
+/// this process, or decoded from the JSON store format) or borrowed from
+/// an mmap'd golden-v2 store file. A borrowed span's mapping is pinned by
+/// the enclosing CheckpointData's `backing`, so the fast-forward restore
+/// memcpys checkpoint bytes exactly once — mapping to live StateViews —
+/// with no intermediate owned copy.
+class StateBytes {
+ public:
+  StateBytes() = default;
+  /*implicit*/ StateBytes(std::vector<std::byte> owned)
+      : owned_(std::move(owned)) {}
+
+  [[nodiscard]] static StateBytes borrowed(
+      std::span<const std::byte> bytes) noexcept {
+    StateBytes s;
+    s.borrowed_ = bytes;
+    return s;
+  }
+
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    return borrowed_.data() != nullptr
+               ? borrowed_
+               : std::span<const std::byte>(owned_);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return bytes().size(); }
+  [[nodiscard]] bool is_borrowed() const noexcept {
+    return borrowed_.data() != nullptr;
+  }
+
+  friend bool operator==(const StateBytes& a, const StateBytes& b) noexcept {
+    const auto x = a.bytes();
+    const auto y = b.bytes();
+    return x.size() == y.size() &&
+           (x.empty() || std::memcmp(x.data(), y.data(), x.size()) == 0);
+  }
+
+ private:
+  std::vector<std::byte> owned_;
+  std::span<const std::byte> borrowed_{};
+};
+
 /// One recorded boundary of the golden run. `iter` is the iteration a
 /// restored trial resumes at: the boundary at the end of iteration i is
 /// record iter i + 1.
@@ -81,7 +123,7 @@ struct BoundaryRecord {
   std::vector<std::uint64_t> digests;           ///< per rank
   /// Per-rank full state snapshots; empty at boundaries outside the
   /// storage budget.
-  std::vector<std::vector<std::byte>> state;
+  std::vector<StateBytes> state;
 
   [[nodiscard]] bool stored() const noexcept { return !state.empty(); }
 };
@@ -97,6 +139,10 @@ struct CheckpointData {
   std::vector<double> signature;
   int iterations = 0;
   std::vector<fsefi::OpCountProfile> final_profiles;
+  /// Keeps the storage behind borrowed state spans alive (the golden-v2
+  /// loader parks its MappedFile here). Owning records leave it null; it
+  /// is never serialized.
+  std::shared_ptr<const void> backing;
 
   /// The record whose resume iteration is `iter`, or nullptr.
   [[nodiscard]] const BoundaryRecord* find(int iter) const noexcept;

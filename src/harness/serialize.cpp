@@ -256,7 +256,7 @@ util::Json golden_to_json(const GoldenRun& golden) {
       // storage budget (stored() is false on both sides of a round trip).
       util::JsonArray state;
       for (const auto& bytes : rec.state) {
-        state.push_back(util::Json(util::base64_encode(bytes)));
+        state.push_back(util::Json(util::base64_encode(bytes.bytes())));
       }
       recj["state"] = util::Json(std::move(state));
       boundaries.push_back(util::Json(std::move(recj)));

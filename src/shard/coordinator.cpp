@@ -14,9 +14,11 @@
 #include <deque>
 #include <filesystem>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "apps/app.hpp"
@@ -93,9 +95,7 @@ class Coordinator {
     for (Worker& w : workers_) {
       if (w.fd < 0) continue;
       try {
-        util::JsonObject shutdown;
-        shutdown["type"] = util::Json("shutdown");
-        write_frame(w.fd, util::Json(std::move(shutdown)));
+        write_message(w.fd, opts_.wire, ShutdownMsg{});
       } catch (...) {
       }
       ::close(w.fd);
@@ -180,6 +180,11 @@ class Coordinator {
   struct Worker {
     pid_t pid = -1;
     int fd = -1;
+    bool handshaken = false;  ///< protocol handshake echoed and validated
+    /// This incarnation already sent an ErrorMsg naming its failure; the
+    /// transport noise that follows (ECONNRESET from its exit) must not
+    /// overwrite that cause in last_error_.
+    bool errored = false;
     bool ready = false;
     int unit = -1;  ///< in-flight unit id, -1 when idle
     Clock::time_point deadline{};
@@ -214,19 +219,23 @@ class Coordinator {
     Worker& w = workers_[slot];
     w.pid = pid;
     w.fd = sv[0];
+    w.handshaken = false;
+    w.errored = false;
     w.ready = false;
     w.unit = -1;
     w.deadline = Clock::now() + opts_.unit_timeout;
 
-    util::JsonObject init;
-    init["type"] = util::Json("init");
-    init["app"] = util::Json(app_.name());
-    init["size_class"] = util::Json(app_.size_class());
-    init["config"] = deployment_to_json(config_);
-    init["store"] = util::Json(store_dir_);
-    init["kill_after_units"] = util::Json(kill_after_units);
+    InitMsg init;
+    init.app = app_.name();
+    init.size_class = app_.size_class();
+    init.config = config_;
+    init.store = store_dir_;
+    init.kill_after_units = kill_after_units;
     try {
-      write_frame(w.fd, util::Json(std::move(init)));
+      // Handshake first, init pipelined behind it: the worker validates
+      // the handshake before it parses anything else.
+      write_handshake(w.fd, opts_.wire);
+      write_message(w.fd, opts_.wire, init);
     } catch (const std::exception&) {
       // A worker that died before reading init surfaces as EOF in the
       // event loop; the recovery path there replaces it.
@@ -238,12 +247,10 @@ class Coordinator {
     Worker& w = workers_[slot];
     const std::size_t id = pending_.front();
     pending_.pop_front();
-    util::JsonObject frame;
-    frame["type"] = util::Json("unit");
-    frame["id"] = util::Json(static_cast<std::int64_t>(id));
-    frame["refs"] = refs_to_json((*units_)[id].refs);
     try {
-      write_frame(w.fd, util::Json(std::move(frame)));
+      write_message(w.fd, opts_.wire,
+                    UnitMsg{static_cast<std::uint64_t>(id),
+                            (*units_)[id].refs});
     } catch (const std::exception&) {
       pending_.push_front(id);
       handle_worker_down(slot);
@@ -258,42 +265,91 @@ class Coordinator {
   void handle_readable(std::size_t slot) {
     Worker& w = workers_[slot];
     if (w.fd < 0) return;
-    std::optional<util::Json> frame;
+    std::optional<std::vector<std::byte>> payload;
     try {
-      frame = read_frame(w.fd);
+      payload = read_frame_bytes(w.fd);
+    } catch (const std::exception& e) {
+      if (!w.errored) last_error_ = e.what();
+      handle_worker_down(slot);
+      return;
+    }
+    if (!payload) {
+      handle_worker_down(slot);
+      return;
+    }
+    if (!w.handshaken) {
+      handle_handshake(slot, *payload);
+      return;
+    }
+    Message msg;
+    try {
+      msg = decode_message(*payload, opts_.wire);
     } catch (const std::exception& e) {
       last_error_ = e.what();
       handle_worker_down(slot);
       return;
     }
-    if (!frame) {
-      handle_worker_down(slot);
-      return;
-    }
-    const std::string type = frame->at("type").as_string();
-    if (type == "ready") {
+    if (const auto* ready = std::get_if<ReadyMsg>(&msg)) {
       w.ready = true;
-      metrics_.absorb(telemetry::metrics_from_json(frame->at("metrics")));
+      metrics_.absorb(ready->metrics);
       dispatch(slot);
       return;
     }
-    if (type == "result") {
-      const auto id = static_cast<std::size_t>(frame->at("id").as_int());
+    if (auto* result = std::get_if<ResultMsg>(&msg)) {
+      const auto id = static_cast<std::size_t>(result->id);
       Unit& unit = (*units_)[id];
-      unit.results = results_from_json(frame->at("outcomes"));
-      unit.wall = frame->at("wall_seconds").as_double();
-      metrics_.absorb(telemetry::metrics_from_json(frame->at("metrics")));
+      unit.results = std::move(result->outcomes);
+      unit.wall = result->wall_seconds;
+      metrics_.absorb(result->metrics);
       w.unit = -1;
       remaining_ -= 1;
       dispatch(slot);
       return;
     }
-    if (type == "error") {
-      last_error_ = frame->at("message").as_string();
+    if (const auto* error = std::get_if<ErrorMsg>(&msg)) {
+      last_error_ = error->message;
+      w.errored = true;
       // The worker exits right after; its EOF drives the recovery path.
       return;
     }
-    last_error_ = "unexpected frame: " + type;
+    last_error_ = "shard: unexpected frame from worker";
+    handle_worker_down(slot);
+  }
+
+  /// First frame from a fresh worker: its handshake echo — or, when the
+  /// worker bailed out (wire-format mismatch, bad environment), its error
+  /// frame, whose message is worth keeping over a generic parse failure.
+  void handle_handshake(std::size_t slot, std::span<const std::byte> payload) {
+    Worker& w = workers_[slot];
+    if (const auto hs = parse_handshake(payload)) {
+      if (hs->version != kShardProtocolVersion) {
+        last_error_ = "shard: worker speaks protocol version " +
+                      std::to_string(hs->version) + ", coordinator speaks " +
+                      std::to_string(kShardProtocolVersion);
+        handle_worker_down(slot);
+        return;
+      }
+      if (hs->format != opts_.wire) {
+        last_error_ =
+            std::string("shard: wire format mismatch: worker uses ") +
+            wire_format_name(hs->format) + ", coordinator uses " +
+            wire_format_name(opts_.wire);
+        handle_worker_down(slot);
+        return;
+      }
+      w.handshaken = true;
+      return;
+    }
+    try {
+      const Message msg = decode_message(payload, opts_.wire);
+      if (const auto* error = std::get_if<ErrorMsg>(&msg)) {
+        last_error_ = error->message;
+        w.errored = true;
+        return;  // the worker's EOF drives the recovery path
+      }
+    } catch (const std::exception&) {
+    }
+    last_error_ = "shard: worker did not send a protocol handshake";
     handle_worker_down(slot);
   }
 
@@ -346,6 +402,7 @@ ShardOptions ShardOptions::from_runtime() {
   s.shards = opt.shards;
   s.golden_store_dir = opt.golden_store;
   s.debug_kill_unit = opt.shard_kill_unit;
+  s.wire = wire_format_from_runtime();
   return s;
 }
 

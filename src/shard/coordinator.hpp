@@ -22,6 +22,7 @@
 #include <string>
 
 #include "harness/campaign.hpp"
+#include "shard/protocol.hpp"
 
 namespace resilience::shard {
 
@@ -44,9 +45,14 @@ struct ShardOptions {
   /// SIGKILLs itself after completing this many units, exercising the
   /// recovery path. -1 = off.
   int debug_kill_unit = -1;
+  /// Frame encoding the coordinator speaks and expects workers to echo in
+  /// the handshake. Workers resolve theirs from RESILIENCE_WIRE (which
+  /// they inherit), so the two agree unless the environment is changed
+  /// between spawn and exec — which the handshake then rejects.
+  WireFormat wire = WireFormat::Binary;
 
   /// Resolve from RESILIENCE_SHARDS / RESILIENCE_GOLDEN_STORE /
-  /// RESILIENCE_SHARD_KILL (util::RuntimeOptions).
+  /// RESILIENCE_SHARD_KILL / RESILIENCE_WIRE (util::RuntimeOptions).
   static ShardOptions from_runtime();
 };
 

@@ -8,13 +8,25 @@
 #include <stdexcept>
 #include <string>
 
+#include "telemetry/sinks.hpp"
+#include "util/binio.hpp"
+#include "util/options.hpp"
+
 namespace resilience::shard {
 
 namespace {
 
+constexpr char kHandshakeMagic[4] = {'R', 'S', 'W', 'H'};
+constexpr std::size_t kHandshakeSize = 9;  // magic + u32 version + u8 format
+
 /// Backstop against a corrupted length prefix (a stray write into the
-/// pipe): no legitimate frame approaches this.
-constexpr std::uint32_t kMaxFrame = 256u << 20;
+/// pipe): no legitimate frame approaches the default. RESILIENCE_FRAME_CAP_MB
+/// raises it for apps with outsized payloads.
+std::uint64_t frame_cap_bytes() {
+  return static_cast<std::uint64_t>(
+             util::RuntimeOptions::global().frame_cap_mb)
+         << 20;
+}
 
 void write_all(int fd, const void* data, std::size_t size) {
   const char* p = static_cast<const char*>(data);
@@ -51,12 +63,298 @@ bool read_all(int fd, void* data, std::size_t size) {
   return true;
 }
 
+// ---- binary message payloads ----------------------------------------------
+
+enum MsgTag : std::uint8_t {
+  kTagInit = 1,
+  kTagReady = 2,
+  kTagUnit = 3,
+  kTagResult = 4,
+  kTagError = 5,
+  kTagShutdown = 6,
+};
+
+void write_deployment(util::BinWriter& w,
+                      const harness::DeploymentConfig& c) {
+  w.i32(c.nranks);
+  w.i32(c.errors_per_test);
+  w.u32(static_cast<std::uint32_t>(c.kinds));
+  w.u32(static_cast<std::uint32_t>(c.pattern));
+  w.u32(static_cast<std::uint32_t>(c.regions));
+  w.u64(c.trials);
+  w.u64(c.seed);
+  w.u32(static_cast<std::uint32_t>(c.selection));
+  w.f64(c.hang_budget_factor);
+  w.u64(c.hang_budget_slack);
+  w.i64(c.deadlock_timeout.count());
+  w.i32(c.max_workers);
+  const harness::AdaptiveConfig& ad = c.adaptive;
+  w.u8(ad.enabled ? 1 : 0);
+  w.u64(ad.batch);
+  w.u64(ad.min_trials);
+  w.f64(ad.ci_half_width);
+  w.f64(ad.ci_relative);
+  w.f64(ad.confidence_z);
+  w.f64(ad.rare_threshold);
+  w.u8(ad.stratify ? 1 : 0);
+  w.i32(ad.deciles);
+}
+
+harness::DeploymentConfig read_deployment(util::BinReader& r) {
+  harness::DeploymentConfig c;
+  c.nranks = r.i32();
+  c.errors_per_test = r.i32();
+  c.kinds = static_cast<fsefi::KindMask>(r.u32());
+  c.pattern = static_cast<fsefi::FaultPattern>(r.u32());
+  c.regions = static_cast<fsefi::RegionMask>(r.u32());
+  c.trials = r.u64();
+  c.seed = r.u64();
+  c.selection = static_cast<harness::TargetSelection>(r.u32());
+  c.hang_budget_factor = r.f64();
+  c.hang_budget_slack = r.u64();
+  c.deadlock_timeout = std::chrono::milliseconds(r.i64());
+  c.max_workers = r.i32();
+  harness::AdaptiveConfig& ad = c.adaptive;
+  ad.enabled = r.u8() != 0;
+  ad.batch = r.u64();
+  ad.min_trials = r.u64();
+  ad.ci_half_width = r.f64();
+  ad.ci_relative = r.f64();
+  ad.confidence_z = r.f64();
+  ad.rare_threshold = r.f64();
+  ad.stratify = r.u8() != 0;
+  ad.deciles = r.i32();
+  return c;
+}
+
+/// Counter/histogram arrays as raw little-endian u64s, with the table
+/// shapes up front: the handshake's version check already guarantees both
+/// sides index the same telemetry tables, but a shape mismatch still
+/// fails loudly instead of scrambling counters.
+void write_metrics(util::BinWriter& w,
+                   const telemetry::MetricsSnapshot& m) {
+  w.u32(static_cast<std::uint32_t>(telemetry::kCounterCount));
+  w.u64_array(m.counters);
+  w.u32(static_cast<std::uint32_t>(telemetry::kHistogramCount));
+  w.u32(static_cast<std::uint32_t>(telemetry::kHistogramBuckets));
+  for (const telemetry::HistogramData& h : m.histograms) {
+    w.u64_array(h.buckets);
+  }
+}
+
+telemetry::MetricsSnapshot read_metrics(util::BinReader& r) {
+  telemetry::MetricsSnapshot m;
+  if (r.u32() != telemetry::kCounterCount) {
+    throw util::BinError("shard: metrics counter table shape mismatch");
+  }
+  r.u64_array(m.counters);
+  if (r.u32() != telemetry::kHistogramCount ||
+      r.u32() != telemetry::kHistogramBuckets) {
+    throw util::BinError("shard: metrics histogram table shape mismatch");
+  }
+  for (telemetry::HistogramData& h : m.histograms) {
+    r.u64_array(h.buckets);
+  }
+  return m;
+}
+
+std::vector<std::byte> encode_binary(const Message& message) {
+  util::BinWriter w;
+  if (const auto* m = std::get_if<InitMsg>(&message)) {
+    w.u8(kTagInit);
+    w.str(m->app);
+    w.str(m->size_class);
+    w.str(m->store);
+    w.i32(m->kill_after_units);
+    write_deployment(w, m->config);
+  } else if (const auto* m = std::get_if<ReadyMsg>(&message)) {
+    w.u8(kTagReady);
+    write_metrics(w, m->metrics);
+  } else if (const auto* m = std::get_if<UnitMsg>(&message)) {
+    w.u8(kTagUnit);
+    w.u64(m->id);
+    w.u64(m->refs.size());
+    for (const harness::TrialRef& ref : m->refs) {
+      w.u64(ref.stratum);
+      w.u64(ref.index);
+      w.u64(ref.tag);
+    }
+  } else if (const auto* m = std::get_if<ResultMsg>(&message)) {
+    w.u8(kTagResult);
+    w.u64(m->id);
+    w.u64(m->outcomes.size());
+    for (const harness::TrialResult& t : m->outcomes) {
+      w.u8(static_cast<std::uint8_t>(t.outcome));
+      w.i32(t.contaminated);
+    }
+    w.f64(m->wall_seconds);
+    write_metrics(w, m->metrics);
+  } else if (const auto* m = std::get_if<ErrorMsg>(&message)) {
+    w.u8(kTagError);
+    w.str(m->message);
+  } else {
+    w.u8(kTagShutdown);
+  }
+  return std::move(w).take();
+}
+
+Message decode_binary(std::span<const std::byte> payload) {
+  util::BinReader r(payload);
+  switch (r.u8()) {
+    case kTagInit: {
+      InitMsg m;
+      m.app = r.str();
+      m.size_class = r.str();
+      m.store = r.str();
+      m.kill_after_units = r.i32();
+      m.config = read_deployment(r);
+      return m;
+    }
+    case kTagReady: {
+      ReadyMsg m;
+      m.metrics = read_metrics(r);
+      return m;
+    }
+    case kTagUnit: {
+      UnitMsg m;
+      m.id = r.u64();
+      m.refs.resize(r.u64());
+      for (harness::TrialRef& ref : m.refs) {
+        ref.stratum = r.u64();
+        ref.index = r.u64();
+        ref.tag = r.u64();
+      }
+      return m;
+    }
+    case kTagResult: {
+      ResultMsg m;
+      m.id = r.u64();
+      m.outcomes.resize(r.u64());
+      for (harness::TrialResult& t : m.outcomes) {
+        t.outcome = static_cast<harness::Outcome>(r.u8());
+        t.contaminated = r.i32();
+      }
+      m.wall_seconds = r.f64();
+      m.metrics = read_metrics(r);
+      return m;
+    }
+    case kTagError:
+      return ErrorMsg{r.str()};
+    case kTagShutdown:
+      return ShutdownMsg{};
+    default:
+      throw util::BinError("shard: unknown binary message tag");
+  }
+}
+
+// ---- JSON message payloads (the pre-v2 frame shapes, kept verbatim) --------
+
+util::Json encode_json(const Message& message) {
+  util::JsonObject obj;
+  if (const auto* m = std::get_if<InitMsg>(&message)) {
+    obj["type"] = util::Json("init");
+    obj["app"] = util::Json(m->app);
+    obj["size_class"] = util::Json(m->size_class);
+    obj["config"] = deployment_to_json(m->config);
+    obj["store"] = util::Json(m->store);
+    obj["kill_after_units"] = util::Json(m->kill_after_units);
+  } else if (const auto* m = std::get_if<ReadyMsg>(&message)) {
+    obj["type"] = util::Json("ready");
+    obj["metrics"] = telemetry::metrics_to_json(m->metrics);
+  } else if (const auto* m = std::get_if<UnitMsg>(&message)) {
+    obj["type"] = util::Json("unit");
+    obj["id"] = util::Json(static_cast<std::int64_t>(m->id));
+    obj["refs"] = refs_to_json(m->refs);
+  } else if (const auto* m = std::get_if<ResultMsg>(&message)) {
+    obj["type"] = util::Json("result");
+    obj["id"] = util::Json(static_cast<std::int64_t>(m->id));
+    obj["outcomes"] = results_to_json(m->outcomes);
+    obj["wall_seconds"] = util::Json(m->wall_seconds);
+    obj["metrics"] = telemetry::metrics_to_json(m->metrics);
+  } else if (const auto* m = std::get_if<ErrorMsg>(&message)) {
+    obj["type"] = util::Json("error");
+    obj["message"] = util::Json(m->message);
+  } else {
+    obj["type"] = util::Json("shutdown");
+  }
+  return util::Json(std::move(obj));
+}
+
+Message decode_json(const util::Json& json) {
+  const std::string type = json.at("type").as_string();
+  if (type == "init") {
+    InitMsg m;
+    m.app = json.at("app").as_string();
+    m.size_class = json.at("size_class").as_string();
+    m.config = deployment_from_json(json.at("config"));
+    m.store = json.at("store").as_string();
+    m.kill_after_units =
+        static_cast<int>(json.at("kill_after_units").as_int());
+    return m;
+  }
+  if (type == "ready") {
+    return ReadyMsg{telemetry::metrics_from_json(json.at("metrics"))};
+  }
+  if (type == "unit") {
+    UnitMsg m;
+    m.id = static_cast<std::uint64_t>(json.at("id").as_int());
+    m.refs = refs_from_json(json.at("refs"));
+    return m;
+  }
+  if (type == "result") {
+    ResultMsg m;
+    m.id = static_cast<std::uint64_t>(json.at("id").as_int());
+    m.outcomes = results_from_json(json.at("outcomes"));
+    m.wall_seconds = json.at("wall_seconds").as_double();
+    m.metrics = telemetry::metrics_from_json(json.at("metrics"));
+    return m;
+  }
+  if (type == "error") return ErrorMsg{json.at("message").as_string()};
+  if (type == "shutdown") return ShutdownMsg{};
+  throw std::runtime_error("shard: unknown message type: " + type);
+}
+
+const char* message_kind(const Message& message) {
+  if (std::holds_alternative<InitMsg>(message)) return "init";
+  if (std::holds_alternative<ReadyMsg>(message)) return "ready";
+  if (std::holds_alternative<UnitMsg>(message)) return "unit";
+  if (std::holds_alternative<ResultMsg>(message)) return "result";
+  if (std::holds_alternative<ErrorMsg>(message)) return "error";
+  return "shutdown";
+}
+
+/// Frame-kind + unit-id context for the oversize error — the bug report
+/// writes itself instead of a bare "frame too large".
+std::string message_context(const Message& message) {
+  std::string context = std::string("\"") + message_kind(message) + "\" frame";
+  if (const auto* m = std::get_if<UnitMsg>(&message)) {
+    context += " for unit " + std::to_string(m->id);
+  } else if (const auto* m = std::get_if<ResultMsg>(&message)) {
+    context += " for unit " + std::to_string(m->id);
+  }
+  return context;
+}
+
 }  // namespace
 
-void write_frame(int fd, const util::Json& message) {
-  const std::string payload = message.dump();
-  if (payload.size() > kMaxFrame) {
-    throw std::runtime_error("shard: frame too large");
+const char* wire_format_name(WireFormat format) noexcept {
+  return format == WireFormat::Binary ? "binary" : "json";
+}
+
+WireFormat wire_format_from_runtime() {
+  if (!util::binio_host_supported()) return WireFormat::Json;
+  return util::RuntimeOptions::global().wire_binary ? WireFormat::Binary
+                                                    : WireFormat::Json;
+}
+
+void write_frame_bytes(int fd, std::span<const std::byte> payload,
+                       const std::string& context) {
+  const std::uint64_t cap = frame_cap_bytes();
+  if (payload.size() > cap) {
+    throw std::runtime_error(
+        "shard: " + context + " is " + std::to_string(payload.size()) +
+        " bytes, over the " + std::to_string(cap) +
+        "-byte frame cap (RESILIENCE_FRAME_CAP_MB)");
   }
   const auto len = static_cast<std::uint32_t>(payload.size());
   std::uint8_t prefix[4] = {
@@ -69,21 +367,123 @@ void write_frame(int fd, const util::Json& message) {
   write_all(fd, payload.data(), payload.size());
 }
 
-std::optional<util::Json> read_frame(int fd) {
+std::optional<std::vector<std::byte>> read_frame_bytes(int fd) {
   std::uint8_t prefix[4];
   if (!read_all(fd, prefix, sizeof(prefix))) return std::nullopt;
   const std::uint32_t len = static_cast<std::uint32_t>(prefix[0]) |
                             (static_cast<std::uint32_t>(prefix[1]) << 8) |
                             (static_cast<std::uint32_t>(prefix[2]) << 16) |
                             (static_cast<std::uint32_t>(prefix[3]) << 24);
-  if (len > kMaxFrame) {
-    throw std::runtime_error("shard: oversized frame (corrupt prefix?)");
+  if (len > frame_cap_bytes()) {
+    throw std::runtime_error(
+        "shard: incoming frame of " + std::to_string(len) +
+        " bytes exceeds the " + std::to_string(frame_cap_bytes()) +
+        "-byte frame cap (corrupt prefix? raise RESILIENCE_FRAME_CAP_MB)");
   }
-  std::string payload(len, '\0');
+  std::vector<std::byte> payload(len);
   if (len > 0 && !read_all(fd, payload.data(), len)) {
     throw std::runtime_error("shard: peer closed mid-frame");
   }
-  return util::Json::parse(payload);
+  return payload;
+}
+
+void write_frame(int fd, const util::Json& message) {
+  const std::string payload = message.dump();
+  write_frame_bytes(
+      fd,
+      std::span<const std::byte>(
+          reinterpret_cast<const std::byte*>(payload.data()), payload.size()),
+      "json frame");
+}
+
+std::optional<util::Json> read_frame(int fd) {
+  auto payload = read_frame_bytes(fd);
+  if (!payload) return std::nullopt;
+  return util::Json::parse(
+      std::string(reinterpret_cast<const char*>(payload->data()),
+                  payload->size()));
+}
+
+std::vector<std::byte> encode_handshake(WireFormat format) {
+  util::BinWriter w;
+  w.bytes(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(kHandshakeMagic),
+      sizeof(kHandshakeMagic)));
+  w.u32(kShardProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(format));
+  return std::move(w).take();
+}
+
+std::optional<Handshake> parse_handshake(std::span<const std::byte> payload) {
+  if (payload.size() != kHandshakeSize ||
+      std::memcmp(payload.data(), kHandshakeMagic, sizeof(kHandshakeMagic)) !=
+          0) {
+    return std::nullopt;
+  }
+  util::BinReader r(payload.subspan(sizeof(kHandshakeMagic)));
+  Handshake hs;
+  hs.version = r.u32();
+  const std::uint8_t format = r.u8();
+  if (format > static_cast<std::uint8_t>(WireFormat::Binary)) {
+    return std::nullopt;
+  }
+  hs.format = static_cast<WireFormat>(format);
+  return hs;
+}
+
+void write_handshake(int fd, WireFormat format) {
+  write_frame_bytes(fd, encode_handshake(format), "handshake frame");
+}
+
+Handshake read_handshake(int fd, WireFormat expected) {
+  const auto payload = read_frame_bytes(fd);
+  if (!payload) {
+    throw std::runtime_error("shard: peer closed before handshake");
+  }
+  const auto hs = parse_handshake(*payload);
+  if (!hs) {
+    throw std::runtime_error(
+        "shard: peer did not send a protocol handshake (mixed binaries?)");
+  }
+  if (hs->version != kShardProtocolVersion) {
+    throw std::runtime_error(
+        "shard: peer speaks protocol version " + std::to_string(hs->version) +
+        ", this binary speaks " + std::to_string(kShardProtocolVersion));
+  }
+  if (hs->format != expected) {
+    throw std::runtime_error(
+        std::string("shard: wire format mismatch: peer uses ") +
+        wire_format_name(hs->format) + ", this side uses " +
+        wire_format_name(expected) +
+        " (RESILIENCE_WIRE differs between coordinator and worker?)");
+  }
+  return *hs;
+}
+
+std::vector<std::byte> encode_message(const Message& message,
+                                      WireFormat format) {
+  if (format == WireFormat::Binary) return encode_binary(message);
+  const std::string text = encode_json(message).dump();
+  const auto* p = reinterpret_cast<const std::byte*>(text.data());
+  return {p, p + text.size()};
+}
+
+Message decode_message(std::span<const std::byte> payload,
+                       WireFormat format) {
+  if (format == WireFormat::Binary) return decode_binary(payload);
+  return decode_json(util::Json::parse(std::string(
+      reinterpret_cast<const char*>(payload.data()), payload.size())));
+}
+
+void write_message(int fd, WireFormat format, const Message& message) {
+  write_frame_bytes(fd, encode_message(message, format),
+                    message_context(message));
+}
+
+std::optional<Message> read_message(int fd, WireFormat format) {
+  auto payload = read_frame_bytes(fd);
+  if (!payload) return std::nullopt;
+  return decode_message(*payload, format);
 }
 
 util::Json deployment_to_json(const harness::DeploymentConfig& config) {

@@ -10,6 +10,7 @@
 #include <exception>
 #include <memory>
 #include <string>
+#include <variant>
 
 #include "apps/app.hpp"
 #include "harness/campaign_engine.hpp"
@@ -22,25 +23,56 @@ namespace resilience::shard {
 
 namespace {
 
-void worker_loop(int fd) {
+/// `wire` reports the format the worker will answer in: its own
+/// env-resolved format up front, switched to the negotiated one once the
+/// coordinator's handshake arrives — so even a handshake failure can be
+/// reported in frames the coordinator parses.
+void worker_loop(int fd, WireFormat* wire) {
   // The coordinator detects a dead worker by EOF; a worker writing into a
   // dead coordinator should get EPIPE (an exception), not a process kill.
   ::signal(SIGPIPE, SIG_IGN);
 
-  const auto init = read_frame(fd);
-  if (!init || init->at("type").as_string() != "init") {
+  // Handshake: the coordinator speaks first. Validate version and that
+  // both sides resolved the same wire format, then echo our handshake so
+  // the coordinator can validate us symmetrically.
+  const WireFormat mine = *wire;
+  {
+    const auto payload = read_frame_bytes(fd);
+    if (!payload) return;  // coordinator went away before the handshake
+    const auto hs = parse_handshake(*payload);
+    if (!hs) {
+      throw std::runtime_error(
+          "shard worker: expected a protocol handshake (mixed binaries?)");
+    }
+    if (hs->version != kShardProtocolVersion) {
+      throw std::runtime_error(
+          "shard worker: coordinator speaks protocol version " +
+          std::to_string(hs->version) + ", this binary speaks " +
+          std::to_string(kShardProtocolVersion));
+    }
+    // Answer in the coordinator's format from here on: an error frame in
+    // our own format would just misparse on the other end.
+    *wire = hs->format;
+    if (hs->format != mine) {
+      throw std::runtime_error(
+          std::string("shard worker: wire format mismatch: coordinator "
+                      "uses ") +
+          wire_format_name(hs->format) + ", worker resolved " +
+          wire_format_name(mine) +
+          " (RESILIENCE_WIRE differs between coordinator and worker?)");
+    }
+  }
+  write_handshake(fd, mine);
+
+  auto init_msg = read_message(fd, mine);
+  if (!init_msg || !std::holds_alternative<InitMsg>(*init_msg)) {
     throw std::runtime_error("shard worker: expected init frame");
   }
-  const std::string app_name = init->at("app").as_string();
-  const std::string size_class = init->at("size_class").as_string();
-  const harness::DeploymentConfig config =
-      deployment_from_json(init->at("config"));
-  const std::string store_dir = init->at("store").as_string();
-  const auto kill_after_units =
-      static_cast<int>(init->at("kill_after_units").as_int());
+  const InitMsg& init = std::get<InitMsg>(*init_msg);
+  const harness::DeploymentConfig& config = init.config;
 
   const std::unique_ptr<apps::App> app =
-      apps::make_app(apps::parse_app_id(app_name), size_class);
+      apps::make_app(apps::parse_app_id(init.app), init.size_class);
 
   // Golden acquisition. The coordinator pre-fills the store before
   // spawning workers, so this is a disk load (golden_store.hits), not a
@@ -52,7 +84,7 @@ void worker_loop(int fd) {
   std::shared_ptr<const harness::GoldenRun> golden;
   {
     telemetry::ScopeGuard guard(&init_scope);
-    harness::GoldenStore store(store_dir);
+    harness::GoldenStore store(init.store);
     golden = store.load_or_fill(*app, config.nranks, [&] {
       telemetry::count(telemetry::Counter::HarnessGoldenProfiles);
       return harness::profile_app(*app, config.nranks,
@@ -61,52 +93,40 @@ void worker_loop(int fd) {
   }
   const harness::TrialSpace space(*app, config, *golden);
 
-  {
-    util::JsonObject ready;
-    ready["type"] = util::Json("ready");
-    ready["metrics"] = telemetry::metrics_to_json(init_scope.snapshot());
-    write_frame(fd, util::Json(std::move(ready)));
-  }
+  write_message(fd, mine, ReadyMsg{init_scope.snapshot()});
 
   int units_done = 0;
   while (true) {
-    const auto frame = read_frame(fd);
-    if (!frame) return;  // coordinator went away: nothing left to do
-    const std::string type = frame->at("type").as_string();
-    if (type == "shutdown") return;
-    if (type != "unit") {
-      throw std::runtime_error("shard worker: unexpected frame: " + type);
+    const auto msg = read_message(fd, mine);
+    if (!msg) return;  // coordinator went away: nothing left to do
+    if (std::holds_alternative<ShutdownMsg>(*msg)) return;
+    const auto* unit = std::get_if<UnitMsg>(&*msg);
+    if (unit == nullptr) {
+      throw std::runtime_error("shard worker: unexpected frame");
     }
-    const auto unit_id = frame->at("id").as_int();
-    const std::vector<harness::TrialRef> refs =
-        refs_from_json(frame->at("refs"));
 
     telemetry::MetricScope unit_scope;
-    std::vector<harness::TrialResult> results;
-    results.reserve(refs.size());
+    ResultMsg result;
+    result.id = unit->id;
+    result.outcomes.reserve(unit->refs.size());
     const auto start = std::chrono::steady_clock::now();
-    for (const harness::TrialRef& ref : refs) {
+    for (const harness::TrialRef& ref : unit->refs) {
       telemetry::ScopeGuard guard(&unit_scope);
-      results.push_back(space.run(ref));
+      result.outcomes.push_back(space.run(ref));
     }
-    const double wall =
+    result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
 
     // Crash-recovery hook (tests and CI): die without reporting, as a
     // crashed worker would — the unit's counts and outcomes are lost with
     // the process and the coordinator re-runs the unit elsewhere.
-    if (kill_after_units >= 0 && ++units_done > kill_after_units) {
+    if (init.kill_after_units >= 0 && ++units_done > init.kill_after_units) {
       ::raise(SIGKILL);
     }
 
-    util::JsonObject result;
-    result["type"] = util::Json("result");
-    result["id"] = util::Json(unit_id);
-    result["outcomes"] = results_to_json(results);
-    result["wall_seconds"] = util::Json(wall);
-    result["metrics"] = telemetry::metrics_to_json(unit_scope.snapshot());
-    write_frame(fd, util::Json(std::move(result)));
+    result.metrics = unit_scope.snapshot();
+    write_message(fd, mine, result);
   }
 }
 
@@ -122,17 +142,15 @@ int maybe_worker_main(int argc, char** argv) {
     }
   }
   if (fd < 0) return -1;
+  WireFormat wire = wire_format_from_runtime();
   try {
-    worker_loop(fd);
+    worker_loop(fd, &wire);
     return 0;
   } catch (const std::exception& e) {
     // Best-effort error frame so the coordinator can log the cause; the
     // EOF that follows is what triggers its recovery path.
     try {
-      util::JsonObject err;
-      err["type"] = util::Json("error");
-      err["message"] = util::Json(std::string(e.what()));
-      write_frame(fd, util::Json(std::move(err)));
+      write_message(fd, wire, ErrorMsg{e.what()});
     } catch (...) {
     }
     std::fprintf(stderr, "shard worker: %s\n", e.what());

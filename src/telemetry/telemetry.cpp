@@ -41,6 +41,8 @@ constexpr const char* kCounterNames[kCounterCount] = {
     "shard.worker_restarts",
     "golden_store.hits",
     "golden_store.misses",
+    "golden_store.lock_takeovers",
+    "golden_store.refills",
 };
 
 constexpr const char* kHistogramNames[kHistogramCount] = {
@@ -100,6 +102,8 @@ constexpr bool kTimingBorn[kCounterCount] = {
     /*ShardWorkerRestarts*/ true,
     /*GoldenStoreHits*/ true,
     /*GoldenStoreMisses*/ true,
+    /*GoldenStoreLockTakeovers*/ true,
+    /*GoldenStoreRefills*/ true,
 };
 
 }  // namespace

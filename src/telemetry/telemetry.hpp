@@ -88,6 +88,10 @@ enum class Counter : std::uint16_t {
   ShardWorkerRestarts,    ///< workers respawned after EOF/timeout
   GoldenStoreHits,        ///< golden runs served from the on-disk store
   GoldenStoreMisses,      ///< store lookups that found no usable file
+  GoldenStoreLockTakeovers,  ///< stale fill locks broken after the poll
+                             ///< budget (a crashed filler's leftovers)
+  GoldenStoreRefills,     ///< corrupt/truncated store files unlinked so
+                          ///< the next fill starts clean
   kCount
 };
 inline constexpr std::size_t kCounterCount =

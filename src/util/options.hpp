@@ -80,6 +80,20 @@ struct RuntimeOptions {
   /// first incarnation SIGKILLs itself after completing this many units.
   /// -1 = off.
   int shard_kill_unit = -1;
+  /// RESILIENCE_WIRE — shard frame encoding: "binary" (default) for the
+  /// compact binio frames, "json" for the length-prefixed JSON fallback.
+  /// Coordinator and workers must agree; the protocol handshake rejects
+  /// mismatched peers.
+  bool wire_binary = true;
+  /// RESILIENCE_FRAME_CAP_MB — largest shard frame either side will
+  /// write or accept, in MiB. A backstop against corrupted length
+  /// prefixes; raise it for apps whose metrics/result payloads
+  /// legitimately exceed the default.
+  std::size_t frame_cap_mb = 256;
+  /// RESILIENCE_STORE_FORMAT — golden-store write format: "binary"
+  /// (default) writes golden-v2 files (mmap zero-copy loads), "json"
+  /// writes the v1 JSON files. Loads accept both regardless.
+  bool store_binary = true;
   /// RESILIENCE_TRACE — default trace output path ("" = tracing off).
   /// A ".json" suffix selects the Chrome trace_event format; anything
   /// else gets JSON Lines.

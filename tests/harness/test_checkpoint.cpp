@@ -96,7 +96,9 @@ harness::CheckpointData three_boundary_store() {
     prof.counts[0][0] = static_cast<std::uint64_t>(10 * (i + 1));
     rec.profiles = {prof};
     rec.digests = {0x1234u + static_cast<std::uint64_t>(i)};
-    if (i != 1) rec.state = {{std::byte{0}}};
+    if (i != 1) {
+      rec.state = {harness::StateBytes(std::vector<std::byte>{std::byte{0}})};
+    }
     data.boundaries.push_back(std::move(rec));
   }
   return data;

@@ -236,4 +236,257 @@ TEST(GoldenStore, LoadedGoldenReproducesCampaign) {
   std::filesystem::remove_all(dir);
 }
 
+// ---- golden-v2 binary format ------------------------------------------
+
+void expect_same_golden(const harness::GoldenRun& a,
+                        const harness::GoldenRun& b) {
+  EXPECT_EQ(b.signature, a.signature);
+  EXPECT_EQ(b.max_rank_ops, a.max_rank_ops);
+  ASSERT_EQ(b.profiles.size(), a.profiles.size());
+  for (std::size_t r = 0; r < a.profiles.size(); ++r) {
+    EXPECT_EQ(b.profiles[r], a.profiles[r]) << r;
+  }
+  ASSERT_EQ(b.checkpoints == nullptr, a.checkpoints == nullptr);
+  if (a.checkpoints == nullptr) return;
+  const auto& ca = *a.checkpoints;
+  const auto& cb = *b.checkpoints;
+  EXPECT_EQ(cb.nranks, ca.nranks);
+  EXPECT_EQ(cb.iterations, ca.iterations);
+  EXPECT_EQ(cb.signature, ca.signature);
+  ASSERT_EQ(cb.final_profiles.size(), ca.final_profiles.size());
+  for (std::size_t r = 0; r < ca.final_profiles.size(); ++r) {
+    EXPECT_EQ(cb.final_profiles[r], ca.final_profiles[r]) << r;
+  }
+  ASSERT_EQ(cb.boundaries.size(), ca.boundaries.size());
+  for (std::size_t i = 0; i < ca.boundaries.size(); ++i) {
+    EXPECT_EQ(cb.boundaries[i].iter, ca.boundaries[i].iter);
+    EXPECT_EQ(cb.boundaries[i].profiles, ca.boundaries[i].profiles);
+    EXPECT_EQ(cb.boundaries[i].digests, ca.boundaries[i].digests);
+    ASSERT_EQ(cb.boundaries[i].state.size(), ca.boundaries[i].state.size());
+    for (std::size_t r = 0; r < ca.boundaries[i].state.size(); ++r) {
+      EXPECT_EQ(cb.boundaries[i].state[r], ca.boundaries[i].state[r]);
+    }
+  }
+}
+
+// The binary and JSON stores must serve the exact same golden run — and
+// their loads must re-serialize to byte-identical JSON, the property the
+// wire/store cross-checks in CI build on.
+TEST(GoldenStoreBinary, BinaryAndJsonStoresServeIdenticalGolden) {
+  const harness::GoldenRun golden = profile_cg(2);
+  ASSERT_NE(golden.checkpoints, nullptr);
+  const auto app = apps::make_app(apps::AppId::CG);
+
+  const std::string bin_dir = fresh_dir("fmt-bin");
+  const std::string json_dir = fresh_dir("fmt-json");
+  harness::GoldenStore bin_store(bin_dir, harness::StoreFormat::BinaryV2);
+  harness::GoldenStore json_store(json_dir, harness::StoreFormat::JsonV1);
+  bin_store.put(*app, 2, golden);
+  json_store.put(*app, 2, golden);
+
+  const auto from_bin = bin_store.load(*app, 2);
+  const auto from_json = json_store.load(*app, 2);
+  ASSERT_NE(from_bin, nullptr);
+  ASSERT_NE(from_json, nullptr);
+  expect_same_golden(golden, *from_bin);
+  expect_same_golden(golden, *from_json);
+  EXPECT_EQ(harness::golden_to_json(*from_bin).dump(),
+            harness::golden_to_json(*from_json).dump());
+
+  std::filesystem::remove_all(bin_dir);
+  std::filesystem::remove_all(json_dir);
+}
+
+TEST(GoldenStoreBinary, RoundTripsGoldenWithoutCheckpoints) {
+  harness::GoldenRun golden = profile_cg(2);
+  golden.checkpoints = nullptr;  // apps without boundary hooks
+  const auto app = apps::make_app(apps::AppId::CG);
+  const std::string dir = fresh_dir("no-ckpt");
+  harness::GoldenStore store(dir, harness::StoreFormat::BinaryV2);
+  store.put(*app, 2, golden);
+  const auto back = store.load(*app, 2);
+  ASSERT_NE(back, nullptr);
+  expect_same_golden(golden, *back);
+  std::filesystem::remove_all(dir);
+}
+
+// The restore fast path copies checkpoint bytes exactly once: the store
+// load must hand out state spans borrowed straight from the mmap, not
+// heap copies of them.
+TEST(GoldenStoreBinary, LoadedStateIsBorrowedFromTheMapping) {
+  const auto app = apps::make_app(apps::AppId::CG);
+  const std::string dir = fresh_dir("borrow");
+  harness::GoldenStore store(dir, harness::StoreFormat::BinaryV2);
+  store.put(*app, 2, profile_cg(2));
+  const auto back = store.load(*app, 2);
+  ASSERT_NE(back, nullptr);
+  ASSERT_NE(back->checkpoints, nullptr);
+  EXPECT_NE(back->checkpoints->backing, nullptr) << "mmap not pinned";
+  bool saw_state = false;
+  for (const auto& boundary : back->checkpoints->boundaries) {
+    for (const auto& state : boundary.state) {
+      if (state.size() == 0) continue;
+      saw_state = true;
+      EXPECT_TRUE(state.is_borrowed());
+    }
+  }
+  EXPECT_TRUE(saw_state) << "CG checkpoints should carry rank state";
+  std::filesystem::remove_all(dir);
+}
+
+// A borrowed golden must outlive both the store object and the file's
+// directory entry: the mapping pins the inode.
+TEST(GoldenStoreBinary, LoadedGoldenSurvivesStoreAndFileRemoval) {
+  const auto app = apps::make_app(apps::AppId::CG);
+  const harness::GoldenRun golden = profile_cg(2);
+  const std::string dir = fresh_dir("pin");
+  std::shared_ptr<const harness::GoldenRun> back;
+  {
+    harness::GoldenStore store(dir, harness::StoreFormat::BinaryV2);
+    store.put(*app, 2, golden);
+    back = store.load(*app, 2);
+    ASSERT_NE(back, nullptr);
+  }
+  std::filesystem::remove_all(dir);
+  expect_same_golden(golden, *back);  // still reads the unlinked mapping
+}
+
+TEST(GoldenStoreBinary, BitFlippedFileIsUnlinkedAndRefilled) {
+  const auto app = apps::make_app(apps::AppId::CG);
+  const std::string dir = fresh_dir("bitflip");
+  telemetry::MetricScope metrics;
+  int profiles = 0;
+  {
+    telemetry::ScopeGuard guard(&metrics);
+    harness::GoldenStore store(dir, harness::StoreFormat::BinaryV2);
+    (void)store.load_or_fill(*app, 2, [&] {
+      ++profiles;
+      return profile_cg(2);
+    });
+    const std::string path = store.path_for(*app, 2);
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    // Flip one bit in the middle of the section data: the section CRC
+    // must catch it, unlink the file, and report a miss.
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    ASSERT_GT(bytes.size(), 100u);
+    bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    EXPECT_EQ(store.load(*app, 2), nullptr);
+    EXPECT_FALSE(std::filesystem::exists(path)) << "corrupt v2 not unlinked";
+
+    (void)store.load_or_fill(*app, 2, [&] {
+      ++profiles;
+      return profile_cg(2);
+    });
+    EXPECT_EQ(profiles, 2);
+  }
+  const auto snap = metrics.snapshot();
+  EXPECT_GE(snap.value(telemetry::Counter::GoldenStoreRefills), 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(GoldenStoreBinary, TruncatedFileIsUnlinkedAndRefilled) {
+  const auto app = apps::make_app(apps::AppId::CG);
+  const std::string dir = fresh_dir("trunc-bin");
+  harness::GoldenStore store(dir, harness::StoreFormat::BinaryV2);
+  store.put(*app, 2, profile_cg(2));
+  const std::string path = store.path_for(*app, 2);
+
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_EQ(store.load(*app, 2), nullptr);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  std::filesystem::remove_all(dir);
+}
+
+// A store directory carrying a pre-upgrade v1 JSON file: the binary-format
+// store reads it once, rewrites the key as v2, and removes the v1 file.
+TEST(GoldenStoreBinary, V1FileIsReadOnceAndRewrittenAsV2) {
+  const auto app = apps::make_app(apps::AppId::CG);
+  const harness::GoldenRun golden = profile_cg(2);
+  const std::string dir = fresh_dir("upgrade");
+  {
+    harness::GoldenStore v1_store(dir, harness::StoreFormat::JsonV1);
+    v1_store.put(*app, 2, golden);
+  }
+  harness::GoldenStore store(dir, harness::StoreFormat::BinaryV2);
+  const std::string v1_path =
+      store.path_for(*app, 2, harness::StoreFormat::JsonV1);
+  const std::string v2_path =
+      store.path_for(*app, 2, harness::StoreFormat::BinaryV2);
+  ASSERT_TRUE(std::filesystem::exists(v1_path));
+  ASSERT_FALSE(std::filesystem::exists(v2_path));
+
+  const auto first = store.load(*app, 2);  // v1 hit + upgrade
+  ASSERT_NE(first, nullptr);
+  expect_same_golden(golden, *first);
+  EXPECT_TRUE(std::filesystem::exists(v2_path)) << "v1 hit not rewritten";
+  EXPECT_FALSE(std::filesystem::exists(v1_path)) << "stale v1 left behind";
+
+  const auto second = store.load(*app, 2);  // now served from v2
+  ASSERT_NE(second, nullptr);
+  expect_same_golden(golden, *second);
+  std::filesystem::remove_all(dir);
+}
+
+// And the reverse knob: a JSON-format store keeps serving an existing v2
+// file (reads try v2 first regardless of the write format).
+TEST(GoldenStoreBinary, JsonWriteFormatStillReadsV2Files) {
+  const auto app = apps::make_app(apps::AppId::CG);
+  const harness::GoldenRun golden = profile_cg(2);
+  const std::string dir = fresh_dir("mixed");
+  {
+    harness::GoldenStore v2_store(dir, harness::StoreFormat::BinaryV2);
+    v2_store.put(*app, 2, golden);
+  }
+  harness::GoldenStore store(dir, harness::StoreFormat::JsonV1);
+  const auto back = store.load(*app, 2);
+  ASSERT_NE(back, nullptr);
+  expect_same_golden(golden, *back);
+  std::filesystem::remove_all(dir);
+}
+
+// Store format must not leak into campaign results: both formats drive a
+// campaign to the byte-identical saved JSON of an in-memory golden run.
+TEST(GoldenStoreBinary, CampaignResultsAreByteIdenticalAcrossFormats) {
+  const auto app = apps::make_app(apps::AppId::CG);
+  harness::DeploymentConfig dep;
+  dep.nranks = 2;
+  dep.trials = 16;
+
+  auto baseline = harness::CampaignRunner::run(*app, dep);
+
+  auto run_with = [&](harness::StoreFormat format, const std::string& tag) {
+    const std::string dir = fresh_dir(tag);
+    harness::GoldenStore store(dir, format);
+    store.put(*app, 2, profile_cg(2));  // campaigns load, never profile
+    harness::GoldenCache cache(&store);
+    harness::CampaignContext context;
+    context.golden_cache = &cache;
+    auto result = harness::CampaignRunner::run(*app, dep, context);
+    std::filesystem::remove_all(dir);
+    return result;
+  };
+  auto from_bin = run_with(harness::StoreFormat::BinaryV2, "cmp-bin");
+  auto from_json = run_with(harness::StoreFormat::JsonV1, "cmp-json");
+
+  baseline.wall_seconds = from_bin.wall_seconds = from_json.wall_seconds = 0.0;
+  const std::string want = harness::to_json(baseline).dump();
+  EXPECT_EQ(harness::to_json(from_bin).dump(), want);
+  EXPECT_EQ(harness::to_json(from_json).dump(), want);
+}
+
 }  // namespace

@@ -9,8 +9,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstddef>
+#include <cstdlib>
 #include <filesystem>
+#include <stdexcept>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -25,6 +29,7 @@
 #include "shard/worker.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/json.hpp"
+#include "util/options.hpp"
 
 namespace {
 
@@ -103,6 +108,206 @@ TEST(ShardProtocol, RefsKeepNoStratumAndConfigFullFidelity) {
       util::Json::parse(shard::deployment_to_json(dep).dump()));
   EXPECT_EQ(shard::deployment_to_json(cfg_back).dump(),
             shard::deployment_to_json(dep).dump());
+}
+
+// ---- binary wire protocol ---------------------------------------------
+
+const shard::WireFormat kBothFormats[] = {shard::WireFormat::Json,
+                                          shard::WireFormat::Binary};
+
+telemetry::MetricsSnapshot sample_metrics() {
+  telemetry::MetricsSnapshot m;
+  m.counters[0] = 7;
+  m.counters[telemetry::kCounterCount - 1] = 0xDEADBEEFCAFEull;
+  m.histograms[0].buckets[0] = 1;
+  m.histograms[telemetry::kHistogramCount - 1]
+      .buckets[telemetry::kHistogramBuckets - 1] = 42;
+  return m;
+}
+
+// Every message kind, both encodings: decode(encode(m)) == m, field by
+// field — including the adaptive engine parameters and kNoStratum refs
+// that only full-fidelity codecs preserve.
+TEST(ShardWire, EveryMessageKindRoundTripsInBothFormats) {
+  shard::InitMsg init;
+  init.app = "CG";
+  init.size_class = "small";
+  init.config = small_config(17);
+  init.config.errors_per_test = 2;
+  init.config.seed = 99;
+  init.config.hang_budget_factor = 2.5;
+  init.config.adaptive.enabled = true;
+  init.config.adaptive.batch = 5;
+  init.config.adaptive.ci_half_width = 0.05;
+  init.store = "/tmp/store";
+  init.kill_after_units = 3;
+
+  shard::UnitMsg unit;
+  unit.id = 12;
+  unit.refs = {{harness::kNoStratum, 3, 3}, {42, 7, 11}};
+
+  shard::ResultMsg result;
+  result.id = 12;
+  result.outcomes = {{harness::Outcome::Success, 0},
+                     {harness::Outcome::SDC, 5},
+                     {harness::Outcome::Failure, 2}};
+  result.wall_seconds = 1.25;
+  result.metrics = sample_metrics();
+
+  for (const auto format : kBothFormats) {
+    SCOPED_TRACE(shard::wire_format_name(format));
+
+    const auto init_back = shard::decode_message(
+        shard::encode_message(shard::Message(init), format), format);
+    const auto* i = std::get_if<shard::InitMsg>(&init_back);
+    ASSERT_NE(i, nullptr);
+    EXPECT_EQ(i->app, init.app);
+    EXPECT_EQ(i->size_class, init.size_class);
+    EXPECT_EQ(i->store, init.store);
+    EXPECT_EQ(i->kill_after_units, init.kill_after_units);
+    EXPECT_EQ(shard::deployment_to_json(i->config).dump(),
+              shard::deployment_to_json(init.config).dump());
+
+    const auto ready_back = shard::decode_message(
+        shard::encode_message(shard::Message(shard::ReadyMsg{sample_metrics()}),
+                              format),
+        format);
+    const auto* rd = std::get_if<shard::ReadyMsg>(&ready_back);
+    ASSERT_NE(rd, nullptr);
+    EXPECT_TRUE(rd->metrics.counters == sample_metrics().counters);
+    EXPECT_TRUE(rd->metrics.histograms == sample_metrics().histograms);
+
+    const auto unit_back = shard::decode_message(
+        shard::encode_message(shard::Message(unit), format), format);
+    const auto* u = std::get_if<shard::UnitMsg>(&unit_back);
+    ASSERT_NE(u, nullptr);
+    EXPECT_EQ(u->id, unit.id);
+    ASSERT_EQ(u->refs.size(), unit.refs.size());
+    for (std::size_t r = 0; r < unit.refs.size(); ++r) {
+      EXPECT_EQ(u->refs[r].stratum, unit.refs[r].stratum);
+      EXPECT_EQ(u->refs[r].index, unit.refs[r].index);
+      EXPECT_EQ(u->refs[r].tag, unit.refs[r].tag);
+    }
+
+    const auto result_back = shard::decode_message(
+        shard::encode_message(shard::Message(result), format), format);
+    const auto* res = std::get_if<shard::ResultMsg>(&result_back);
+    ASSERT_NE(res, nullptr);
+    EXPECT_EQ(res->id, result.id);
+    EXPECT_EQ(res->wall_seconds, result.wall_seconds);
+    ASSERT_EQ(res->outcomes.size(), result.outcomes.size());
+    for (std::size_t r = 0; r < result.outcomes.size(); ++r) {
+      EXPECT_EQ(res->outcomes[r].outcome, result.outcomes[r].outcome);
+      EXPECT_EQ(res->outcomes[r].contaminated, result.outcomes[r].contaminated);
+    }
+    EXPECT_TRUE(res->metrics.counters == result.metrics.counters);
+    EXPECT_TRUE(res->metrics.histograms == result.metrics.histograms);
+
+    const auto err_back = shard::decode_message(
+        shard::encode_message(shard::Message(shard::ErrorMsg{"boom"}), format),
+        format);
+    const auto* err = std::get_if<shard::ErrorMsg>(&err_back);
+    ASSERT_NE(err, nullptr);
+    EXPECT_EQ(err->message, "boom");
+
+    const auto down_back = shard::decode_message(
+        shard::encode_message(shard::Message(shard::ShutdownMsg{}), format),
+        format);
+    EXPECT_TRUE(std::holds_alternative<shard::ShutdownMsg>(down_back));
+  }
+}
+
+TEST(ShardWire, HandshakeRoundTripsAndRejectsNonHandshakes) {
+  for (const auto format : kBothFormats) {
+    const auto payload = shard::encode_handshake(format);
+    const auto hs = shard::parse_handshake(payload);
+    ASSERT_TRUE(hs.has_value());
+    EXPECT_EQ(hs->version, shard::kShardProtocolVersion);
+    EXPECT_EQ(hs->format, format);
+  }
+  // An error frame from a bailing worker is not a handshake — nullopt,
+  // not a throw, so the caller can decode it for its message.
+  const auto error_payload = shard::encode_message(
+      shard::Message(shard::ErrorMsg{"bad"}), shard::WireFormat::Binary);
+  EXPECT_FALSE(shard::parse_handshake(error_payload).has_value());
+  EXPECT_FALSE(shard::parse_handshake({}).has_value());
+}
+
+TEST(ShardWire, ReadHandshakeRejectsFormatMismatchOverSocketpair) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  shard::write_handshake(sv[0], shard::WireFormat::Json);
+  try {
+    (void)shard::read_handshake(sv[1], shard::WireFormat::Binary);
+    FAIL() << "format mismatch not rejected";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("json"), std::string::npos) << what;
+    EXPECT_NE(what.find("binary"), std::string::npos) << what;
+  }
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST(ShardWire, ReadHandshakeRejectsVersionMismatchOverSocketpair) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  auto payload = shard::encode_handshake(shard::WireFormat::Binary);
+  payload[4] = std::byte{99};  // version field, little-endian low byte
+  shard::write_frame_bytes(sv[0], payload, "test handshake");
+  try {
+    (void)shard::read_handshake(sv[1], shard::WireFormat::Binary);
+    FAIL() << "version mismatch not rejected";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("99"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(shard::kShardProtocolVersion)),
+              std::string::npos)
+        << what;
+  }
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+// The frame cap is a knob, and the oversize error names the frame kind,
+// unit id, and byte count — enough to tell a corrupt length prefix from a
+// genuinely huge unit.
+TEST(ShardWire, FrameCapErrorNamesFrameKindUnitAndByteCount) {
+  auto opts = util::RuntimeOptions::from_env();
+  opts.frame_cap_mb = 1;
+  util::RuntimeOptions::set_global(opts);
+
+  shard::UnitMsg unit;
+  unit.id = 77;
+  unit.refs.resize(100'000);  // >1 MiB of refs in either encoding
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  try {
+    shard::write_message(sv[0], shard::WireFormat::Binary,
+                         shard::Message(unit));
+    FAIL() << "oversize frame not rejected";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unit 77"), std::string::npos) << what;
+    EXPECT_NE(what.find("bytes"), std::string::npos) << what;
+    EXPECT_NE(what.find("RESILIENCE_FRAME_CAP_MB"), std::string::npos) << what;
+  }
+
+  // Read side: a corrupt length prefix over the cap throws before any
+  // allocation, naming the cap.
+  const unsigned char huge_prefix[] = {0, 0, 0, 0x7F};  // ~2 GiB claimed
+  ASSERT_EQ(::write(sv[0], huge_prefix, sizeof(huge_prefix)),
+            static_cast<ssize_t>(sizeof(huge_prefix)));
+  try {
+    (void)shard::read_frame_bytes(sv[1]);
+    FAIL() << "oversize prefix not rejected";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("RESILIENCE_FRAME_CAP_MB"), std::string::npos) << what;
+  }
+  ::close(sv[0]);
+  ::close(sv[1]);
+  util::RuntimeOptions::reset_global();
 }
 
 TEST(ShardCampaign, FixedShardedMatchesInProcess) {
@@ -184,6 +389,49 @@ TEST(ShardCampaign, GoldenStoreServesSecondInvocation) {
             0u);
   EXPECT_GE(second.metrics.value(telemetry::Counter::GoldenStoreHits), 3u);
   std::filesystem::remove_all(opts.golden_store_dir);
+}
+
+// The wire format is execution policy: a JSON-wire campaign must produce
+// the byte-identical saved JSON of a binary-wire one. Workers inherit
+// RESILIENCE_WIRE through the environment, so the env and opts.wire move
+// together here.
+TEST(ShardCampaign, JsonWireMatchesBinaryWireByteForByte) {
+  const auto app = apps::make_app(apps::AppId::CG);
+  const harness::DeploymentConfig dep = small_config(24);
+
+  shard::ShardOptions opts;
+  opts.shards = 2;
+  opts.wire = shard::WireFormat::Binary;
+  const auto over_binary = shard::run_sharded_campaign(*app, dep, opts);
+
+  ASSERT_EQ(::setenv("RESILIENCE_WIRE", "json", 1), 0);
+  opts.wire = shard::WireFormat::Json;
+  const auto over_json = shard::run_sharded_campaign(*app, dep, opts);
+  ASSERT_EQ(::unsetenv("RESILIENCE_WIRE"), 0);
+
+  EXPECT_EQ(normalized_dump(over_json), normalized_dump(over_binary));
+  EXPECT_TRUE(over_json.metrics.logical_equal(over_binary.metrics));
+}
+
+// RESILIENCE_WIRE drift between coordinator and worker: the handshake
+// rejects the pairing with a clear error instead of misparsing frames.
+TEST(ShardCampaign, WireFormatDriftIsRejectedByTheHandshake) {
+  const auto app = apps::make_app(apps::AppId::CG);
+  const harness::DeploymentConfig dep = small_config(8);
+
+  shard::ShardOptions opts;
+  opts.shards = 1;
+  opts.max_worker_restarts = 0;
+  opts.wire = shard::WireFormat::Binary;  // workers will resolve json
+  ASSERT_EQ(::setenv("RESILIENCE_WIRE", "json", 1), 0);
+  try {
+    (void)shard::run_sharded_campaign(*app, dep, opts);
+    FAIL() << "wire drift not rejected";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("wire format mismatch"), std::string::npos) << what;
+  }
+  ASSERT_EQ(::unsetenv("RESILIENCE_WIRE"), 0);
 }
 
 TEST(StudyService, CachesDeterministicCampaigns) {
