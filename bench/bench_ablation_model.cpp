@@ -44,7 +44,7 @@ Inputs collect(const apps::App& app, const util::BenchConfig& cfg,
     harness::DeploymentConfig dep;
     dep.nranks = 1;
     dep.errors_per_test = x;
-    dep.regions = fsefi::RegionMask::Common;
+    dep.scenario.regions = fsefi::RegionMask::Common;
     dep.trials = cfg.trials;
     dep.seed = util::derive_seed(cfg.seed, static_cast<std::uint64_t>(x));
     dep.selection = selection;
@@ -61,7 +61,7 @@ Inputs collect(const apps::App& app, const util::BenchConfig& cfg,
 
   if (in.prob_unique > 0.02) {
     harness::DeploymentConfig unique_dep = small_dep;
-    unique_dep.regions = fsefi::RegionMask::ParallelUnique;
+    unique_dep.scenario.regions = fsefi::RegionMask::ParallelUnique;
     in.unique_result = harness::CampaignRunner::run(app, unique_dep).overall;
   }
   return in;

@@ -31,7 +31,7 @@ int main() {
     harness::DeploymentConfig dep;
     dep.nranks = 1;
     dep.errors_per_test = x;
-    dep.regions = fsefi::RegionMask::Common;
+    dep.scenario.regions = fsefi::RegionMask::Common;
     dep.trials = cfg.trials;
     dep.seed = util::derive_seed(cfg.seed, static_cast<std::uint64_t>(x));
     sweep.results.push_back(harness::CampaignRunner::run(*app, dep).overall);

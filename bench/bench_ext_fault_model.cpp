@@ -27,7 +27,7 @@ int main() {
       dep.nranks = 8;
       dep.trials = cfg.trials;
       dep.seed = cfg.seed;
-      dep.pattern = pattern;
+      dep.scenario.pattern = pattern;
       const auto campaign = harness::CampaignRunner::run(*app, dep);
       row.push_back(bench::pct(campaign.overall.success_rate()));
     }
@@ -47,7 +47,7 @@ int main() {
       dep.nranks = 8;
       dep.trials = cfg.trials;
       dep.seed = cfg.seed;
-      dep.kinds = mask;
+      dep.scenario.kinds = mask;
       // Some apps execute no ops of a given kind: report "-" rather than
       // fail the deployment.
       try {

@@ -34,7 +34,7 @@ int main() {
       harness::DeploymentConfig ser;
       ser.nranks = 1;
       ser.errors_per_test = x;
-      ser.regions = fsefi::RegionMask::Common;
+      ser.scenario.regions = fsefi::RegionMask::Common;
       ser.trials = cfg.trials;
       ser.seed = util::derive_seed(cfg.seed, static_cast<std::uint64_t>(x));
       const auto serial = harness::CampaignRunner::run(*app, ser);

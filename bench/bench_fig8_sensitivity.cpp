@@ -59,7 +59,7 @@ int main() {
         harness::DeploymentConfig dep;
         dep.nranks = 1;
         dep.errors_per_test = x;
-        dep.regions = fsefi::RegionMask::Common;
+        dep.scenario.regions = fsefi::RegionMask::Common;
         dep.trials = cfg.trials;
         dep.seed = util::derive_seed(cfg.seed, 100 + static_cast<std::uint64_t>(x));
         const auto campaign = harness::CampaignRunner::run(*app, dep);
@@ -86,7 +86,7 @@ int main() {
       core::PredictorOptions opts;
       if (prob_unique > 0.02) {
         harness::DeploymentConfig unique_dep = small_dep;
-        unique_dep.regions = fsefi::RegionMask::ParallelUnique;
+        unique_dep.scenario.regions = fsefi::RegionMask::ParallelUnique;
         unique_dep.seed = util::derive_seed(cfg.seed, 200 + static_cast<std::uint64_t>(s));
         opts.prob_unique = prob_unique;
         opts.unique_result =

@@ -118,7 +118,7 @@ StudyResult run_study(const apps::App& app, const StudyConfig& cfg) {
       harness::DeploymentConfig dep = base_deployment(cfg, 1000 + i);
       dep.nranks = 1;
       dep.errors_per_test = out.sweep.sample_x[i];
-      dep.regions = fsefi::RegionMask::Common;  // errors go into the common
+      dep.scenario.regions = fsefi::RegionMask::Common;  // errors go into the common
                                                 // computation (Section 3.3)
       const auto campaign = harness::CampaignRunner::run(app, dep, ctx);
       sweep_seconds[i] = campaign.wall_seconds;
@@ -170,7 +170,7 @@ StudyResult run_study(const apps::App& app, const StudyConfig& cfg) {
     as_phase("unique_campaign", [&] {
       harness::DeploymentConfig dep = base_deployment(cfg, 3000);
       dep.nranks = cfg.small_p;
-      dep.regions = fsefi::RegionMask::ParallelUnique;
+      dep.scenario.regions = fsefi::RegionMask::ParallelUnique;
       const auto campaign = harness::CampaignRunner::run(app, dep, ctx);
       out.small_injection_seconds += campaign.wall_seconds;
       popts.prob_unique = out.prob_unique;

@@ -62,17 +62,34 @@ const char* to_string(FaultPattern pattern) noexcept {
       return "double-bit";
     case FaultPattern::Burst4:
       return "burst-4";
+    case FaultPattern::Byte:
+      return "byte";
+    case FaultPattern::RankCrash:
+      return "rank-crash";
   }
   return "?";
 }
 
 void FaultContext::arm(InjectionPlan plan) {
   reset();
-  if (!std::is_sorted(plan.points.begin(), plan.points.end(),
-                      [](const InjectionPoint& a, const InjectionPoint& b) {
-                        return a.op_index < b.op_index;
-                      })) {
+  const auto by_op_index = [](const InjectionPoint& a,
+                              const InjectionPoint& b) {
+    return a.op_index < b.op_index;
+  };
+  if (!std::is_sorted(plan.points.begin(), plan.points.end(), by_op_index)) {
     throw std::invalid_argument("InjectionPlan points must be sorted");
+  }
+  if (!std::is_sorted(plan.payload_points.begin(), plan.payload_points.end(),
+                      by_op_index)) {
+    throw std::invalid_argument(
+        "InjectionPlan payload points must be sorted");
+  }
+  if (!std::is_sorted(plan.state_faults.begin(), plan.state_faults.end(),
+                      [](const StateFault& a, const StateFault& b) {
+                        return a.boundary < b.boundary;
+                      })) {
+    throw std::invalid_argument(
+        "InjectionPlan state faults must be sorted by boundary");
   }
   // Pre-size the trace so the first flip never reallocates inside the
   // instrumented hot path.
@@ -101,9 +118,11 @@ void FaultContext::reset() {
   profile_ = OpCountProfile{};
   ops_total_ = 0;
   filtered_ops_ = 0;
+  recv_reals_ = 0;
   plan_ = InjectionPlan{};
   armed_ = false;
   next_point_ = 0;
+  next_payload_ = 0;
   events_.clear();
   contaminated_ = false;
   first_contamination_op_ = 0;
@@ -167,6 +186,14 @@ void FaultContext::on_event(OpKind kind, double& a, double& b) {
   }
   if (((filter_word_ >> filter_bit(region_, kind)) & 1u) != 0) {
     const std::uint64_t idx = filtered_ops() - 1;  // this op's filtered index
+    if (plan_.crash && next_point_ < plan_.points.size() &&
+        plan_.points[next_point_].op_index == idx) {
+      ++next_point_;
+      countdown_ = 1;  // catch-and-continue keeps the rank dead
+      telemetry::count(telemetry::Counter::ScenarioRankCrashes);
+      telemetry::trace_instant("scenario", "rank_crash", "op", ops_total());
+      throw RankCrashError();
+    }
     while (next_point_ < plan_.points.size() &&
            plan_.points[next_point_].op_index == idx) {
       const InjectionPoint& pt = plan_.points[next_point_];
@@ -193,6 +220,13 @@ void FaultContext::reference_on_op(OpKind kind, double& a, double& b) {
   if (armed_ && contains(plan_.kinds, kind) &&
       contains(plan_.regions, region_)) {
     const std::uint64_t idx = filtered_ops_++;
+    if (plan_.crash && next_point_ < plan_.points.size() &&
+        plan_.points[next_point_].op_index == idx) {
+      ++next_point_;
+      telemetry::count(telemetry::Counter::ScenarioRankCrashes);
+      telemetry::trace_instant("scenario", "rank_crash", "op", ops_total_);
+      throw RankCrashError();
+    }
     while (next_point_ < plan_.points.size() &&
            plan_.points[next_point_].op_index == idx) {
       const InjectionPoint& pt = plan_.points[next_point_];
@@ -207,6 +241,16 @@ void FaultContext::reference_on_op(OpKind kind, double& a, double& b) {
       telemetry::trace_instant("fsefi", "injection", "op", ops_total_);
     }
   }
+}
+
+const InjectionPoint* FaultContext::take_payload_flip_slow(
+    std::uint64_t base, std::size_t n) noexcept {
+  const InjectionPoint& pt = plan_.payload_points[next_payload_];
+  if (pt.op_index < base || pt.op_index - base >= n) return nullptr;
+  ++next_payload_;
+  telemetry::count(telemetry::Counter::ScenarioPayloadFlips);
+  telemetry::trace_instant("scenario", "payload_flip", "recv", pt.op_index);
+  return &pt;
 }
 
 }  // namespace resilience::fsefi

@@ -62,6 +62,17 @@ class HangBudgetExceeded : public std::runtime_error {
       : std::runtime_error("dynamic FP operation budget exceeded (hang)") {}
 };
 
+/// Thrown by the fault context when a fail-stop (RankCrash) injection
+/// point fires: the rank dies at its planned dynamic op and the simmpi
+/// runtime's abort/teardown path winds the rest of the job down, exactly
+/// as an uncaught application error would. The harness recognizes the
+/// message substring and classifies the trial as a Crash outcome.
+class RankCrashError : public std::runtime_error {
+ public:
+  RankCrashError()
+      : std::runtime_error("injected rank crash (fail-stop fault)") {}
+};
+
 /// True when primary and shadow values diverge. Bit-pattern comparison so
 /// that NaN == NaN and +0 != -0 behave as memory diffing would.
 inline bool values_diverge(double primary, double shadow) noexcept {
@@ -161,6 +172,33 @@ class FaultContext {
 
   /// Mark this rank contaminated outside an op (message delivery).
   void note_external_taint() noexcept { mark_contaminated(); }
+
+  // ---- message-payload stream ----------------------------------------------
+
+  /// fsefi::Real elements delivered into this rank by receives so far
+  /// (point-to-point and collective-internal alike). This is the sample
+  /// space MessagePayload scenarios draw from; golden runs record it.
+  [[nodiscard]] std::uint64_t recv_reals() const noexcept {
+    return recv_reals_;
+  }
+  /// Account `n` delivered Real elements (transport delivery hook).
+  void add_recv_reals(std::size_t n) noexcept {
+    recv_reals_ += static_cast<std::uint64_t>(n);
+  }
+  /// The next pending payload flip whose delivery index falls in
+  /// [base, base + n), consuming it, or nullptr. The caller performs the
+  /// flip on element (point->op_index - base) of the delivered span.
+  [[nodiscard]] const InjectionPoint* take_payload_flip(
+      std::uint64_t base, std::size_t n) noexcept {
+    if (!armed_ || next_payload_ >= plan_.payload_points.size()) {
+      return nullptr;
+    }
+    return take_payload_flip_slow(base, n);
+  }
+  /// Payload flips performed so far.
+  [[nodiscard]] std::size_t payload_flips_done() const noexcept {
+    return next_payload_;
+  }
 
   // ---- region tracking ------------------------------------------------------
 
@@ -275,14 +313,20 @@ class FaultContext {
   /// next injection becoming due or the budget running out; >= 1 always.
   void recompute_countdown() noexcept;
 
+  /// Cold path of take_payload_flip: range check, telemetry, consume.
+  [[nodiscard]] const InjectionPoint* take_payload_flip_slow(
+      std::uint64_t base, std::size_t n) noexcept;
+
   OpCountProfile profile_{};
   std::uint64_t ops_total_ = 0;
   std::uint64_t filtered_ops_ = 0;
   std::uint64_t op_budget_ = 0;
+  std::uint64_t recv_reals_ = 0;
 
   InjectionPlan plan_{};
   bool armed_ = false;
   std::size_t next_point_ = 0;
+  std::size_t next_payload_ = 0;
   std::vector<InjectionEvent> events_;
 
   bool contaminated_ = false;

@@ -112,17 +112,48 @@ enum class FaultPattern : std::uint8_t {
   SingleBit,  ///< one random bit (the paper's model)
   DoubleBit,  ///< two independent random bits of the same operand
   Burst4,     ///< four adjacent bits starting at a random position
+  Byte,       ///< one whole byte: 8 adjacent bits at a byte boundary
+  RankCrash,  ///< no flip: the target rank dies at the drawn op (fail-stop)
 };
 
 const char* to_string(FaultPattern pattern) noexcept;
 
+/// One resident-state fault: when the rank reaches the iteration boundary
+/// whose golden record carries `boundary` (= app iteration index + 1),
+/// flip `width` adjacent bits starting at `bit` of the primary value of
+/// the `element`-th fsefi::Real in the rank's live-state views (elements
+/// counted across the views in declaration order; Doubles views are not
+/// part of the sample space).
+struct StateFault {
+  std::int32_t boundary = 0;
+  std::uint64_t element = 0;
+  std::uint8_t bit = 0;
+  std::uint8_t width = 1;
+};
+
 /// A complete per-rank injection plan for one fault-injection test.
 /// `points` must be sorted by op_index (duplicates allowed: two flips at
-/// the same dynamic op hit both operands or the same operand twice).
+/// the same dynamic op hit both operands or the same operand twice), as
+/// must `payload_points`; `state_faults` must be sorted by boundary.
 struct InjectionPlan {
   KindMask kinds = KindMask::AddMul;
   RegionMask regions = RegionMask::All;
   std::vector<InjectionPoint> points;
+  /// Payload faults: op_index counts fsefi::Real elements delivered into
+  /// this rank by receives (point-to-point and collective-internal alike),
+  /// 0-based; operand is unused.
+  std::vector<InjectionPoint> payload_points;
+  /// Resident-state faults applied at iteration boundaries.
+  std::vector<StateFault> state_faults;
+  /// Fail-stop plan: `points` mark where the rank dies instead of where a
+  /// bit flips (only the first point can ever fire).
+  bool crash = false;
+
+  /// True when this plan injects anything at all on its rank.
+  [[nodiscard]] bool armed() const noexcept {
+    return !points.empty() || !payload_points.empty() ||
+           !state_faults.empty();
+  }
 };
 
 /// Dynamic-operation counts observed in one rank of a fault-free run,

@@ -13,10 +13,27 @@ namespace resilience::simmpi {
 
 template <>
 struct TransportTraits<resilience::fsefi::Real> {
-  static void on_receive(std::span<const resilience::fsefi::Real> values) noexcept {
+  static void on_receive(std::span<resilience::fsefi::Real> values) noexcept {
     using resilience::fsefi::current_context;
+    using resilience::fsefi::Real;
     auto* ctx = current_context();
     if (ctx == nullptr) return;
+    // Advance this rank's delivered-Real stream — the MessagePayload
+    // sample space, recorded by golden runs and indexed by payload
+    // injection points. The count must advance identically in golden and
+    // trial runs, armed or not.
+    const std::uint64_t base = ctx->recv_reals();
+    ctx->add_recv_reals(values.size());
+    // Perform any payload flips due in this delivery window: corrupt the
+    // primary value in place (the shadow keeps the fault-free value, so
+    // divergence tracking sees the corruption immediately).
+    while (const auto* pt = ctx->take_payload_flip(base, values.size())) {
+      Real& v = values[static_cast<std::size_t>(pt->op_index - base)];
+      v = Real::corrupted(
+          resilience::fsefi::flip_bits(v.value(), pt->bit, pt->width),
+          v.shadow());
+      ctx->note_external_taint();
+    }
     for (const auto& v : values) {
       if (v.tainted()) {
         ctx->note_external_taint();

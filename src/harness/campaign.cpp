@@ -25,6 +25,8 @@ const char* to_string(Outcome o) noexcept {
       return "SDC";
     case Outcome::Failure:
       return "Failure";
+    case Outcome::Crash:
+      return "Crash";
   }
   return "?";
 }
@@ -66,6 +68,9 @@ double signature_deviation(const std::vector<double>& a,
 Outcome CampaignRunner::classify(const RunOutput& out,
                                  const std::vector<double>& golden_signature,
                                  double tolerance) {
+  // A planned rank death is the fault itself, not a symptom of one: the
+  // abort that tears the job down classifies as Crash, not Failure.
+  if (out.crashed) return Outcome::Crash;
   if (!out.runtime.ok || !out.result.has_value()) return Outcome::Failure;
   const auto& sig = out.result->signature;
   if (sig == golden_signature) return Outcome::Success;  // bit-identical

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "fsefi/scenario.hpp"
 #include "harness/result.hpp"
 #include "harness/runner.hpp"
 #include "telemetry/telemetry.hpp"
@@ -131,13 +132,11 @@ struct DeploymentConfig {
   /// all errors of one test are injected into the same target rank (the
   /// paper's multi-error tests run serially; parallel tests use 1 error).
   int errors_per_test = 1;
-  /// Instruction-type filter; the paper uses FP add and multiply.
-  fsefi::KindMask kinds = fsefi::KindMask::AddMul;
-  /// Fault pattern per injected error; the paper uses single-bit flips.
-  fsefi::FaultPattern pattern = fsefi::FaultPattern::SingleBit;
-  /// Code-region filter: All for parallel campaigns, Common for the serial
-  /// emulation sweeps, ParallelUnique for the FI_par_unique estimate.
-  fsefi::RegionMask regions = fsefi::RegionMask::All;
+  /// What is injected and when: the full fault-scenario descriptor
+  /// (domain, pattern, arrival model, instruction-kind and code-region
+  /// filters, MTBF knob). The default value reproduces the paper's
+  /// campaigns — single-bit register flips at a fixed drawn operation.
+  fsefi::FaultScenario scenario;
   std::size_t trials = 400;
   std::uint64_t seed = 20180813;  // ICPP 2018 opening day
   TargetSelection selection = TargetSelection::UniformInstruction;
@@ -164,8 +163,9 @@ struct CampaignResult {
   DeploymentConfig config;
   FaultInjectionResult overall;
   /// contamination_hist[x] = tests whose error contaminated exactly x
-  /// ranks (x in [0, nranks]; 0 never occurs — injection itself
-  /// contaminates the target).
+  /// ranks (x in [0, nranks]). Bit-flip injection itself contaminates the
+  /// target, so those trials land at x >= 1; fail-stop (RankCrash) trials
+  /// corrupt no value and land at x = 0.
   std::vector<std::size_t> contamination_hist;
   /// Fault-injection result conditioned on x ranks contaminated.
   std::vector<FaultInjectionResult> by_contamination;

@@ -12,29 +12,66 @@ namespace resilience::harness {
 
 namespace {
 
-/// Append the injection points of one drawn dynamic-op index, expanding
-/// the deployment's fault pattern (operand, bit positions, width).
-void expand_pattern(const DeploymentConfig& cfg, std::uint64_t idx,
-                    util::Xoshiro256& rng, fsefi::InjectionPlan& plan) {
-  const auto operand = static_cast<std::uint8_t>(rng.uniform_below(2));
-  switch (cfg.pattern) {
+/// Draw the bit positions of one fault of `pattern`, calling
+/// emit(bit, width) once per flip. RankCrash emits nothing: the fault is
+/// the rank's death, not a flip.
+template <typename Emit>
+void expand_bits(fsefi::FaultPattern pattern, util::Xoshiro256& rng,
+                 Emit&& emit) {
+  switch (pattern) {
     case fsefi::FaultPattern::SingleBit:
-      plan.points.push_back(
-          {idx, operand, static_cast<std::uint8_t>(rng.uniform_below(64)), 1});
+      emit(static_cast<std::uint8_t>(rng.uniform_below(64)), 1);
       break;
     case fsefi::FaultPattern::DoubleBit: {
-      // Two distinct random bits of the same operand.
+      // Two distinct random bits of the same target.
       const auto bits = rng.sample_distinct(64, 2);
-      for (auto bit : bits) {
-        plan.points.push_back({idx, operand, static_cast<std::uint8_t>(bit), 1});
-      }
+      for (auto bit : bits) emit(static_cast<std::uint8_t>(bit), 1);
       break;
     }
     case fsefi::FaultPattern::Burst4:
-      plan.points.push_back(
-          {idx, operand, static_cast<std::uint8_t>(rng.uniform_below(61)), 4});
+      emit(static_cast<std::uint8_t>(rng.uniform_below(61)), 4);
+      break;
+    case fsefi::FaultPattern::Byte:
+      emit(static_cast<std::uint8_t>(8 * rng.uniform_below(8)), 8);
+      break;
+    case fsefi::FaultPattern::RankCrash:
       break;
   }
+}
+
+/// Append the injection points of one drawn dynamic-op index, expanding
+/// the scenario's fault pattern. The draw order — operand first, then the
+/// bit positions — is the pre-scenario order, so legacy campaigns replay
+/// bit-identically. RankCrash marks the death op without consuming any
+/// draws.
+void expand_register(const fsefi::FaultScenario& sc, std::uint64_t idx,
+                     util::Xoshiro256& rng, fsefi::InjectionPlan& plan) {
+  if (sc.pattern == fsefi::FaultPattern::RankCrash) {
+    plan.points.push_back({idx, 0, 0, 0});
+    return;
+  }
+  const auto operand = static_cast<std::uint8_t>(rng.uniform_below(2));
+  expand_bits(sc.pattern, rng, [&](std::uint8_t bit, std::uint8_t width) {
+    plan.points.push_back({idx, operand, bit, width});
+  });
+}
+
+/// Append payload faults at one delivered-Real index (no operand: the
+/// flip lands on the element as delivered).
+void expand_payload(const fsefi::FaultScenario& sc, std::uint64_t idx,
+                    util::Xoshiro256& rng, fsefi::InjectionPlan& plan) {
+  expand_bits(sc.pattern, rng, [&](std::uint8_t bit, std::uint8_t width) {
+    plan.payload_points.push_back({idx, 0, bit, width});
+  });
+}
+
+/// Append resident-state faults on one (boundary, element) cell.
+void expand_state(const fsefi::FaultScenario& sc, std::int32_t boundary,
+                  std::uint64_t element, util::Xoshiro256& rng,
+                  fsefi::InjectionPlan& plan) {
+  expand_bits(sc.pattern, rng, [&](std::uint8_t bit, std::uint8_t width) {
+    plan.state_faults.push_back({boundary, element, bit, width});
+  });
 }
 
 /// Count of one outcome in a tally, by outcome ordinal (0 = Success,
@@ -57,15 +94,84 @@ std::size_t outcome_count(const FaultInjectionResult& tally,
 TrialSpace::TrialSpace(const apps::App& app, const DeploymentConfig& config,
                        const GoldenRun& golden)
     : app_(app), config_(config), golden_(golden) {
-  rank_ops_.reserve(golden_.profiles.size());
-  for (const auto& prof : golden_.profiles) {
-    rank_ops_.push_back(prof.matching(config_.kinds, config_.regions));
-    total_ops_ += rank_ops_.back();
+  const fsefi::FaultScenario& sc = config_.scenario;
+  if (sc.crash()) {
+    if (sc.domain != fsefi::FaultDomain::RegisterOperand) {
+      throw std::invalid_argument(
+          "rank-crash faults are register-domain: the rank dies at a drawn "
+          "dynamic op");
+    }
+    if (sc.arrival != fsefi::ArrivalModel::FixedOpIndex) {
+      throw std::invalid_argument(
+          "rank-crash scenarios use FixedOpIndex arrival (only the first "
+          "fault of a timeline could ever fire)");
+    }
   }
-  if (total_ops_ == 0) {
-    throw std::runtime_error(app_.label() +
-                             ": no dynamic operations match the deployment's "
-                             "kind/region filters");
+  if (sc.domain == fsefi::FaultDomain::ResidentState &&
+      sc.arrival == fsefi::ArrivalModel::PoissonTimeline) {
+    throw std::invalid_argument(
+        "resident-state faults strike at iteration boundaries, not on an "
+        "op timeline: use FixedOpIndex arrival");
+  }
+  if (sc.domain != fsefi::FaultDomain::RegisterOperand &&
+      config_.selection == TargetSelection::UniformRank) {
+    throw std::invalid_argument(
+        "UniformRank selection is defined on the register domain only");
+  }
+  if (sc.arrival == fsefi::ArrivalModel::PoissonTimeline &&
+      !(sc.mtbf_factor > 0.0)) {
+    throw std::invalid_argument("mtbf_factor must be > 0");
+  }
+
+  // The per-rank sample-space sizes of the scenario's domain; every
+  // drawing path weights its rank pick by these.
+  switch (sc.domain) {
+    case fsefi::FaultDomain::RegisterOperand:
+      rank_ops_.reserve(golden_.profiles.size());
+      for (const auto& prof : golden_.profiles) {
+        rank_ops_.push_back(prof.matching(sc.kinds, sc.regions));
+        total_ops_ += rank_ops_.back();
+      }
+      if (total_ops_ == 0) {
+        throw std::runtime_error(
+            app_.label() +
+            ": no dynamic operations match the deployment's "
+            "kind/region filters");
+      }
+      break;
+    case fsefi::FaultDomain::MessagePayload:
+      if (golden_.recv_reals.size() != golden_.profiles.size()) {
+        throw std::runtime_error(
+            app_.label() +
+            ": golden run carries no delivered-Real counts (re-profile to "
+            "run message-payload scenarios)");
+      }
+      rank_ops_ = golden_.recv_reals;
+      for (const std::uint64_t n : rank_ops_) total_ops_ += n;
+      if (total_ops_ == 0) {
+        throw std::runtime_error(
+            app_.label() + ": no Real elements are delivered by receives");
+      }
+      break;
+    case fsefi::FaultDomain::ResidentState: {
+      if (golden_.checkpoints == nullptr ||
+          golden_.checkpoints->boundaries.empty() ||
+          golden_.checkpoints->state_reals.size() !=
+              golden_.profiles.size()) {
+        throw std::runtime_error(
+            app_.label() +
+            ": golden run recorded no boundary state (resident-state "
+            "scenarios need a checkpoint-capturing golden pre-pass)");
+      }
+      state_boundaries_ = golden_.checkpoints->boundaries.size();
+      rank_ops_ = golden_.checkpoints->state_reals;
+      for (const std::uint64_t n : rank_ops_) total_ops_ += n;
+      if (total_ops_ == 0) {
+        throw std::runtime_error(app_.label() +
+                                 ": live-state views hold no Real elements");
+      }
+      break;
+    }
   }
 
   run_opts_.deadlock_timeout = config_.deadlock_timeout;
@@ -80,20 +186,24 @@ TrialSpace::TrialSpace(const apps::App& app, const DeploymentConfig& config,
     run_opts_.checkpoints = golden_.checkpoints.get();
   }
 
-  // Stratification needs single-error UniformInstruction deployments:
-  // decile ranges are defined on single op indices, and multi-error
-  // distinct draws do not decompose into independent strata.
+  // Stratification needs single-error register-domain fixed-arrival
+  // UniformInstruction deployments: decile ranges are defined on single
+  // filtered-op indices, multi-error distinct draws do not decompose into
+  // independent strata, and the other domains/arrivals sample different
+  // spaces entirely.
   const AdaptiveConfig& ad = config_.adaptive;
   const bool want_strata =
       ad.enabled && ad.stratify && config_.errors_per_test == 1 &&
       config_.selection == TargetSelection::UniformInstruction &&
+      sc.domain == fsefi::FaultDomain::RegisterOperand &&
+      sc.arrival == fsefi::ArrivalModel::FixedOpIndex && !sc.crash() &&
       ad.deciles >= 1;
   if (!want_strata) return;
   for (int r = 0; r < fsefi::kNumRegions; ++r) {
-    if (!fsefi::contains(config_.regions, static_cast<fsefi::Region>(r)))
+    if (!fsefi::contains(sc.regions, static_cast<fsefi::Region>(r)))
       continue;
     for (int k = 0; k < fsefi::kNumOpKinds; ++k) {
-      if (!fsefi::contains(config_.kinds, static_cast<fsefi::OpKind>(k)))
+      if (!fsefi::contains(sc.kinds, static_cast<fsefi::OpKind>(k)))
         continue;
       for (int d = 0; d < ad.deciles; ++d) {
         StratumInfo s;
@@ -134,12 +244,18 @@ std::size_t TrialSpace::stratum_slot(std::uint64_t id) const {
 }
 
 TrialResult TrialSpace::run(const TrialRef& ref) const {
+  const fsefi::FaultScenario& sc = config_.scenario;
   if (ref.stratum == kNoStratum) {
     // Uniform drawing, seeded from the global trial index — the
     // fixed-mode stream (and the adaptive engine's fallback when it
-    // cannot stratify). Draw a target rank plus `errors_per_test`
-    // distinct dynamic-op indices in that rank's filtered op stream.
+    // cannot stratify).
     util::Xoshiro256 rng(util::derive_seed(config_.seed, ref.index));
+    if (sc.arrival == fsefi::ArrivalModel::PoissonTimeline) {
+      return run_poisson(ref.tag, rng);
+    }
+    // Fixed arrival: draw a target rank (weighted by its share of the
+    // domain's sample space) plus `errors_per_test` distinct indices in
+    // that rank's stream.
     int target = 0;
     if (config_.selection == TargetSelection::UniformInstruction) {
       std::uint64_t pick = rng.uniform_below(total_ops_);
@@ -168,19 +284,43 @@ TrialResult TrialSpace::run(const TrialRef& ref) const {
 
     const std::uint64_t ops = rank_ops_[static_cast<std::size_t>(target)];
     const auto x = static_cast<std::uint64_t>(config_.errors_per_test);
+
+    fsefi::InjectionPlan plan;
+    plan.kinds = sc.kinds;
+    plan.regions = sc.regions;
+    plan.crash = sc.crash();
+
+    if (sc.domain == fsefi::FaultDomain::ResidentState) {
+      // The rank's cells are the (boundary, element) product; distinct
+      // draws sorted ascending come out boundary-major, which is the
+      // sort order state_faults require.
+      const std::uint64_t cells = state_boundaries_ * ops;
+      if (cells < x) {
+        throw std::runtime_error(
+            "target rank has fewer state cells than errors");
+      }
+      std::vector<std::uint64_t> draws = rng.sample_distinct(cells, x);
+      std::sort(draws.begin(), draws.end());
+      for (std::uint64_t c : draws) {
+        const auto& rec =
+            golden_.checkpoints->boundaries[static_cast<std::size_t>(c / ops)];
+        expand_state(sc, rec.iter, c % ops, rng, plan);
+      }
+      return execute(ref.tag, target, std::move(plan));
+    }
+
     if (ops < x) {
       throw std::runtime_error(
           "target rank has fewer eligible ops than errors");
     }
     std::vector<std::uint64_t> indices = rng.sample_distinct(ops, x);
     std::sort(indices.begin(), indices.end());
-
-    fsefi::InjectionPlan plan;
-    plan.kinds = config_.kinds;
-    plan.regions = config_.regions;
-    plan.points.reserve(indices.size());
     for (std::uint64_t idx : indices) {
-      expand_pattern(config_, idx, rng, plan);
+      if (sc.domain == fsefi::FaultDomain::MessagePayload) {
+        expand_payload(sc, idx, rng, plan);
+      } else {
+        expand_register(sc, idx, rng, plan);
+      }
     }
     return execute(ref.tag, target, std::move(plan));
   }
@@ -211,16 +351,71 @@ TrialResult TrialSpace::run(const TrialRef& ref) const {
   fsefi::InjectionPlan plan;
   plan.kinds = s.stratum.kinds();
   plan.regions = s.stratum.regions();
-  expand_pattern(config_, lo + rng.uniform_below(hi - lo), rng, plan);
+  expand_register(sc, lo + rng.uniform_below(hi - lo), rng, plan);
   return execute(ref.tag, target, std::move(plan));
+}
+
+TrialResult TrialSpace::run_poisson(std::uint64_t tag,
+                                    util::Xoshiro256& rng) const {
+  const fsefi::FaultScenario& sc = config_.scenario;
+  // The trial's timeline is the concatenated per-rank sample-space
+  // streams: T "ticks", one per eligible op (register) or delivered Real
+  // (payload). MTBF is a fraction of the trial length, so the expected
+  // fault count is scale-free.
+  const double horizon = static_cast<double>(total_ops_);
+  const double mtbf = sc.mtbf_factor * horizon;
+  std::vector<std::uint64_t> arrivals;
+  // First arrival from the exponential truncated to (0, horizon):
+  // conditioning the trial on >= 1 fault. log1p keeps precision when
+  // horizon/mtbf is small and the truncation mass is tiny.
+  const double mass = -std::expm1(-horizon / mtbf);
+  double t = -mtbf * std::log1p(-rng.uniform01() * mass);
+  for (;;) {
+    const auto tick = static_cast<std::uint64_t>(t);
+    arrivals.push_back(tick < total_ops_ ? tick : total_ops_ - 1);
+    t += -mtbf * std::log1p(-rng.uniform01());
+    if (!(t < horizon)) break;
+  }
+
+  std::vector<fsefi::InjectionPlan> plans(
+      static_cast<std::size_t>(config_.nranks));
+  for (fsefi::InjectionPlan& plan : plans) {
+    plan.kinds = sc.kinds;
+    plan.regions = sc.regions;
+  }
+  for (const std::uint64_t global : arrivals) {
+    telemetry::trace_instant("scenario", "timeline_arrival", "op", global);
+    std::uint64_t local = global;
+    int rank = 0;
+    for (int r = 0; r < config_.nranks; ++r) {
+      const std::uint64_t ops = rank_ops_[static_cast<std::size_t>(r)];
+      if (local < ops) {
+        rank = r;
+        break;
+      }
+      local -= ops;
+    }
+    fsefi::InjectionPlan& plan = plans[static_cast<std::size_t>(rank)];
+    if (sc.domain == fsefi::FaultDomain::MessagePayload) {
+      expand_payload(sc, local, rng, plan);
+    } else {
+      expand_register(sc, local, rng, plan);
+    }
+  }
+  return execute(tag, std::move(plans));
 }
 
 TrialResult TrialSpace::execute(std::uint64_t tag, int target,
                                 fsefi::InjectionPlan plan) const {
-  telemetry::TraceSpan trial_span("harness", "trial", "index", tag);
   std::vector<fsefi::InjectionPlan> plans(
       static_cast<std::size_t>(config_.nranks));
   plans[static_cast<std::size_t>(target)] = std::move(plan);
+  return execute(tag, std::move(plans));
+}
+
+TrialResult TrialSpace::execute(
+    std::uint64_t tag, std::vector<fsefi::InjectionPlan> plans) const {
+  telemetry::TraceSpan trial_span("harness", "trial", "index", tag);
   const RunOutput out = run_app_once(app_, config_.nranks, plans, run_opts_);
   telemetry::count(telemetry::Counter::HarnessTrials);
   if (out.checkpoint_restored) {

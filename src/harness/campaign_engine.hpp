@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "harness/campaign.hpp"
+#include "util/rng.hpp"
 
 namespace resilience::harness {
 
@@ -70,8 +71,13 @@ class TrialSpace {
   };
 
   /// Holds references to `app` and `golden`: both must outlive the space.
-  /// Throws std::runtime_error when no operations match the deployment's
-  /// kind/region filters.
+  /// Throws std::invalid_argument for unsupported scenario combinations
+  /// (fail-stop outside the register domain or off the fixed arrival,
+  /// Poisson resident-state, UniformRank outside the register domain) and
+  /// std::runtime_error when the scenario's sample space is empty — no
+  /// operations match the kind/region filters, no Real elements are
+  /// delivered (payload), or the golden run recorded no boundary state
+  /// (resident state).
   TrialSpace(const apps::App& app, const DeploymentConfig& config,
              const GoldenRun& golden);
 
@@ -95,14 +101,25 @@ class TrialSpace {
   [[nodiscard]] std::size_t stratum_slot(std::uint64_t id) const;
 
  private:
+  [[nodiscard]] TrialResult execute(
+      std::uint64_t tag, std::vector<fsefi::InjectionPlan> plans) const;
   [[nodiscard]] TrialResult execute(std::uint64_t tag, int target,
                                     fsefi::InjectionPlan plan) const;
+  /// PoissonTimeline trials: draw the arrival sequence over the global
+  /// sample-space timeline and expand each arrival into its rank's plan.
+  [[nodiscard]] TrialResult run_poisson(std::uint64_t tag,
+                                        util::Xoshiro256& rng) const;
 
   const apps::App& app_;
   DeploymentConfig config_;
   const GoldenRun& golden_;
-  std::vector<std::uint64_t> rank_ops_;  ///< filtered ops per rank
+  /// Per-rank sample-space sizes of the scenario's domain: filtered
+  /// dynamic ops (RegisterOperand), delivered Reals (MessagePayload), or
+  /// live-state Real elements (ResidentState).
+  std::vector<std::uint64_t> rank_ops_;
   std::uint64_t total_ops_ = 0;
+  /// Recorded golden boundaries (ResidentState only; 0 otherwise).
+  std::uint64_t state_boundaries_ = 0;
   RunOptions run_opts_;
   std::vector<StratumInfo> strata_;  ///< empty unless stratifying
   std::vector<std::size_t> stratum_by_id_;  ///< grid id -> strata_ index

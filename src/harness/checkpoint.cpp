@@ -7,6 +7,7 @@
 
 #include "fsefi/fault_context.hpp"
 #include "simmpi/comm.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/options.hpp"
 
 namespace resilience::harness {
@@ -116,6 +117,12 @@ const BoundaryRecord* CheckpointData::find(int iter) const noexcept {
 const BoundaryRecord* select_resume(
     const CheckpointData& data,
     const std::vector<fsefi::InjectionPlan>& plans) noexcept {
+  // The delivered-Real stream position is not part of the boundary
+  // record, so a plan with payload faults admits no provably-safe
+  // restore point at all.
+  for (const fsefi::InjectionPlan& plan : plans) {
+    if (!plan.payload_points.empty()) return nullptr;
+  }
   const BoundaryRecord* best = nullptr;
   for (const BoundaryRecord& rec : data.boundaries) {
     if (!rec.stored() || rec.iter <= 0) continue;
@@ -123,12 +130,21 @@ const BoundaryRecord* select_resume(
     bool eligible = true;
     for (std::size_t r = 0; r < plans.size(); ++r) {
       const fsefi::InjectionPlan& plan = plans[r];
-      if (plan.points.empty()) continue;
       // The first flip fires during the filtered op at index op_index;
       // the prefix up to this boundary is fault-free iff fewer filtered
-      // ops have executed by then.
-      if (rec.profiles[r].matching(plan.kinds, plan.regions) >
-          plan.points.front().op_index) {
+      // ops have executed by then. Points are sorted, so bounding the
+      // first bounds every later fault of the timeline too.
+      if (!plan.points.empty() &&
+          rec.profiles[r].matching(plan.kinds, plan.regions) >
+              plan.points.front().op_index) {
+        eligible = false;
+        break;
+      }
+      // Resuming at iteration R fires boundary callbacks for records
+      // R + 1 onward: a state fault at boundary b is preserved iff
+      // rec.iter < b.
+      if (!plan.state_faults.empty() &&
+          rec.iter >= plan.state_faults.front().boundary) {
         eligible = false;
         break;
       }
@@ -151,6 +167,7 @@ std::unique_ptr<CheckpointData> assemble_checkpoints(
   }
   auto data = std::make_unique<CheckpointData>();
   data->nranks = static_cast<int>(cap.ranks.size());
+  data->state_reals = std::move(cap.state_reals);
   data->boundaries.resize(nbound);
   for (std::size_t b = 0; b < nbound; ++b) {
     BoundaryRecord& rec = data->boundaries[b];
@@ -175,6 +192,15 @@ std::unique_ptr<CheckpointData> assemble_checkpoints(
     }
   }
   return data;
+}
+
+int CaptureControl::begin(std::span<const apps::StateView> views) {
+  std::uint64_t reals = 0;
+  for (const apps::StateView& v : views) {
+    if (v.kind == apps::StateView::Kind::Reals) reals += v.count;
+  }
+  state_reals_ = reals;
+  return 0;
 }
 
 bool CaptureControl::boundary(simmpi::Comm&, int iter,
@@ -209,6 +235,38 @@ bool CaptureControl::boundary(simmpi::Comm&, int iter,
   return true;
 }
 
+namespace {
+
+/// Flip `width` bits of the primary value of the `element`-th Real across
+/// the views (declaration order; Doubles views are not part of the sample
+/// space). The shadow keeps the fault-free value, so divergence tracking
+/// sees the corruption immediately.
+void apply_state_fault(const fsefi::StateFault& fault,
+                       std::span<const apps::StateView> views) {
+  std::uint64_t base = 0;
+  for (const apps::StateView& v : views) {
+    if (v.kind != apps::StateView::Kind::Reals) continue;
+    if (fault.element < base + v.count) {
+      fsefi::Real& r = v.as_reals()[static_cast<std::size_t>(
+          fault.element - base)];
+      r = fsefi::Real::corrupted(
+          fsefi::flip_bits(r.value(), fault.bit, fault.width), r.shadow());
+      if (fsefi::FaultContext* ctx = fsefi::current_context()) {
+        ctx->note_external_taint();
+      }
+      telemetry::count(telemetry::Counter::ScenarioStateFlips);
+      telemetry::trace_instant("scenario", "state_flip", "element",
+                               fault.element);
+      return;
+    }
+    base += v.count;
+  }
+  throw std::logic_error(
+      "state fault element beyond the rank's live-state Reals");
+}
+
+}  // namespace
+
 int FastForwardControl::begin(std::span<const apps::StateView> views) {
   if (resume_ == nullptr) return 0;
   restore_views(resume_->state[static_cast<std::size_t>(rank_)].bytes(),
@@ -221,10 +279,20 @@ int FastForwardControl::begin(std::span<const apps::StateView> views) {
 
 bool FastForwardControl::boundary(simmpi::Comm& comm, int iter,
                                   std::span<const apps::StateView> views) {
+  // Inject before the quiet check: a boundary that just received a flip
+  // cannot digest-match the golden run, and must not.
+  while (next_state_ < plan_.state_faults.size() &&
+         plan_.state_faults[next_state_].boundary == iter + 1) {
+    apply_state_fault(plan_.state_faults[next_state_], views);
+    ++next_state_;
+  }
   int quiet = 0;
   const fsefi::FaultContext* ctx = fsefi::current_context();
-  if (ctx != nullptr && ctx->injections_done() == planned_points_) {
-    const BoundaryRecord* rec = data_.find(iter + 1);
+  if (data_ != nullptr && ctx != nullptr &&
+      ctx->injections_done() == plan_.points.size() &&
+      ctx->payload_flips_done() == plan_.payload_points.size() &&
+      next_state_ == plan_.state_faults.size()) {
+    const BoundaryRecord* rec = data_->find(iter + 1);
     if (rec != nullptr && !views_tainted(views) &&
         digest_views(views) ==
             rec->digests[static_cast<std::size_t>(rank_)]) {

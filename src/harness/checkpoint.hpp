@@ -35,9 +35,12 @@
 
 namespace resilience::harness {
 
-/// Whether golden runs capture checkpoints and trials use them (default
-/// yes). RESILIENCE_CHECKPOINT=0 disables; set_checkpoint_enabled()
-/// forces it per process (tests and benches).
+/// Whether trials use captured checkpoints (fast-forward + early exit;
+/// default yes). RESILIENCE_CHECKPOINT=0 disables; set_checkpoint_enabled()
+/// forces it per process (tests and benches). Golden captures themselves
+/// are unconditional: their boundary metadata doubles as the
+/// ResidentState scenario's sample space, which must not change shape
+/// with this knob.
 [[nodiscard]] bool checkpoint_enabled() noexcept;
 void set_checkpoint_enabled(bool enabled) noexcept;
 
@@ -134,6 +137,10 @@ struct CheckpointData {
   int nranks = 0;
   /// Boundary records in execution order, iters strictly increasing.
   std::vector<BoundaryRecord> boundaries;
+  /// Per-rank count of fsefi::Real elements in the live-state views
+  /// (Doubles views excluded) — the ResidentState scenario sample space,
+  /// recorded once at begin() (the view shape is fixed for the run).
+  std::vector<std::uint64_t> state_reals;
   /// Golden final outputs, for synthesizing an early-exited trial's
   /// observables: rank-0 signature, iteration count, per-rank profiles.
   std::vector<double> signature;
@@ -149,9 +156,15 @@ struct CheckpointData {
 };
 
 /// The latest stored boundary every armed rank provably reaches before
-/// its first injection fires (golden filtered-op count at the boundary
-/// <= first point's op index — the fault-free prefix covers it), or
-/// nullptr when no stored boundary qualifies.
+/// its first injection fires, or nullptr when no stored boundary
+/// qualifies. A boundary is provably before EVERY planned fault when, per
+/// armed rank: the golden filtered-op count at the boundary <= the first
+/// register point's op index (the fault-free prefix covers it — points
+/// are sorted, so this bounds all of them); the boundary strictly
+/// precedes the earliest resident-state fault (restoring at or past it
+/// would skip the flip); and the plan has no payload faults at all (the
+/// delivered-Real stream position is not recorded per boundary, so no
+/// restore can be proven safe).
 [[nodiscard]] const BoundaryRecord* select_resume(
     const CheckpointData& data,
     const std::vector<fsefi::InjectionPlan>& plans) noexcept;
@@ -171,6 +184,9 @@ struct RankBoundary {
 /// only its own slot.
 struct CheckpointCapture {
   std::vector<std::vector<RankBoundary>> ranks;
+  /// Per-rank Real-element counts of the state views (see
+  /// CheckpointData::state_reals), recorded at begin().
+  std::vector<std::uint64_t> state_reals;
   std::size_t budget = 8;
 };
 
@@ -189,34 +205,39 @@ std::unique_ptr<CheckpointData> assemble_checkpoints(CheckpointCapture&& cap);
 /// same subset.
 class CaptureControl final : public apps::TrialControl {
  public:
-  CaptureControl(std::vector<RankBoundary>& out, std::size_t budget)
-      : out_(out), budget_(budget == 0 ? 1 : budget) {}
+  CaptureControl(std::vector<RankBoundary>& out, std::uint64_t& state_reals,
+                 std::size_t budget)
+      : out_(out),
+        state_reals_(state_reals),
+        budget_(budget == 0 ? 1 : budget) {}
 
-  int begin(std::span<const apps::StateView>) override { return 0; }
+  int begin(std::span<const apps::StateView> views) override;
   bool boundary(simmpi::Comm& comm, int iter,
                 std::span<const apps::StateView> views) override;
 
  private:
   std::vector<RankBoundary>& out_;
+  std::uint64_t& state_reals_;
   std::size_t budget_;
   int stride_ = 1;
   std::size_t stored_ = 0;
 };
 
-/// Trial controller: restores the selected checkpoint in begin() and runs
-/// the early-exit consensus at every boundary. The consensus is a
-/// Min-allreduce of the per-rank quiet flag on the app's world comm —
+/// Trial controller: restores the selected checkpoint in begin(), applies
+/// the rank's planned resident-state faults as their boundaries come up,
+/// and runs the early-exit consensus at every boundary. The consensus is
+/// a Min-allreduce of the per-rank quiet flag on the app's world comm —
 /// abort-aware like every simmpi collective, and uniform across ranks
 /// (each rank either reaches the boundary or the job is already
-/// aborting).
+/// aborting). `data` may be null (checkpoints disabled while the plan
+/// still carries state faults): the control then only injects — no
+/// restore, never quiet — but still joins the consensus so the collective
+/// stays uniform.
 class FastForwardControl final : public apps::TrialControl {
  public:
-  FastForwardControl(const CheckpointData& data, const BoundaryRecord* resume,
-                     int rank, std::size_t planned_points)
-      : data_(data),
-        resume_(resume),
-        rank_(rank),
-        planned_points_(planned_points) {}
+  FastForwardControl(const CheckpointData* data, const BoundaryRecord* resume,
+                     int rank, const fsefi::InjectionPlan& plan)
+      : data_(data), resume_(resume), rank_(rank), plan_(plan) {}
 
   int begin(std::span<const apps::StateView> views) override;
   bool boundary(simmpi::Comm& comm, int iter,
@@ -228,10 +249,11 @@ class FastForwardControl final : public apps::TrialControl {
   [[nodiscard]] int exit_iter() const noexcept { return exit_iter_; }
 
  private:
-  const CheckpointData& data_;
+  const CheckpointData* data_;
   const BoundaryRecord* resume_;
   int rank_;
-  std::size_t planned_points_;
+  const fsefi::InjectionPlan& plan_;
+  std::size_t next_state_ = 0;  ///< state faults applied so far
   int exit_iter_ = -1;
 };
 

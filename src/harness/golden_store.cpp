@@ -34,10 +34,14 @@ constexpr auto kLockPoll = std::chrono::milliseconds(100);
 //
 // header (36 bytes):
 //   [ 0.. 8) magic "RESGLDN2"
-//   [ 8..12) u32 format version (2)
+//   [ 8..12) u32 format version (3: adds per-rank delivered-Real counts to
+//            the golden section and per-rank boundary-state element counts
+//            to the checkpoint section — the payload and resident-state
+//            sample spaces; a version-2 file decodes as corrupt and is
+//            unlinked + refilled)
 //   [12..16) u32 section count
 //   [16..20) u32 nranks
-//   [20..24) u32 flags (bit 0: checkpoint_enabled)
+//   [20..24) u32 flags (bit 0: file carries checkpoint data)
 //   [24..32) u64 checkpoint_budget
 //   [32..36) u32 CRC32 of bytes [0, 32)
 // section table (24 bytes per section):
@@ -45,7 +49,7 @@ constexpr auto kLockPoll = std::chrono::milliseconds(100);
 // then the section payloads, packed in table order.
 
 constexpr char kV2Magic[8] = {'R', 'E', 'S', 'G', 'L', 'D', 'N', '2'};
-constexpr std::uint32_t kV2Version = 2;
+constexpr std::uint32_t kV2Version = 3;
 constexpr std::size_t kV2HeaderSize = 36;
 constexpr std::size_t kV2TableEntrySize = 24;
 
@@ -114,7 +118,11 @@ std::vector<std::byte> encode_golden_v2(const std::string& label, int nranks,
   const std::uint32_t nsections = has_cp ? 3 : 2;
   w.u32(nsections);
   w.u32(static_cast<std::uint32_t>(nranks));
-  w.u32(checkpoint_enabled() ? 1u : 0u);
+  // Captures are unconditional now; the flag survives so files written by
+  // older binaries under RESILIENCE_CHECKPOINT=0 (flag 0, no capture
+  // data) read as misses and get refilled. An app without boundary hooks
+  // still writes flag 1 with no checkpoint section.
+  w.u32(1u);
   w.u64(checkpoint_budget());
   w.u32(0);  // header CRC, patched below
   const std::size_t table_off = w.size();
@@ -147,6 +155,8 @@ std::vector<std::byte> encode_golden_v2(const std::string& label, int nranks,
   w.u64(golden.max_rank_ops);
   write_profiles(w, golden.profiles);
   write_doubles(w, golden.signature);
+  w.u64(golden.recv_reals.size());
+  w.u64_array(golden.recv_reals);
   end_section();
 
   if (has_cp) {
@@ -154,6 +164,8 @@ std::vector<std::byte> encode_golden_v2(const std::string& label, int nranks,
     begin_section(kSecCheckpoints);
     w.i32(cp.nranks);
     w.i32(cp.iterations);
+    w.u64(cp.state_reals.size());
+    w.u64_array(cp.state_reals);
     write_doubles(w, cp.signature);
     write_profiles(w, cp.final_profiles);
     w.u64(cp.boundaries.size());
@@ -246,11 +258,12 @@ std::shared_ptr<const GoldenRun> decode_golden_v2(
     throw util::BinError("golden store: app label mismatch");
   }
 
-  // A file captured under other checkpoint settings is valid but not what
-  // this process would have profiled: the fast-forward path would diverge
-  // from a fresh run. Miss without unlinking — a fill renames over it.
-  if (file_ckpt != checkpoint_enabled() ||
-      (file_ckpt && file_budget != checkpoint_budget())) {
+  // A file captured under RESILIENCE_CHECKPOINT=0 (flag 0: written before
+  // captures became unconditional) or under another budget is valid but
+  // not what this process would have profiled: the fast-forward path and
+  // the resident-state sample space would diverge from a fresh run. Miss
+  // without unlinking — a fill renames over it.
+  if (!file_ckpt || file_budget != checkpoint_budget()) {
     return nullptr;
   }
 
@@ -260,6 +273,8 @@ std::shared_ptr<const GoldenRun> decode_golden_v2(
     golden->max_rank_ops = r.u64();
     golden->profiles = read_profiles(r);
     golden->signature = read_doubles(r);
+    golden->recv_reals.resize(r.u64());
+    r.u64_array(golden->recv_reals);
   }
   bool has_cp = false;
   for (const TableEntry& e : table) has_cp |= e.id == kSecCheckpoints;
@@ -268,6 +283,8 @@ std::shared_ptr<const GoldenRun> decode_golden_v2(
     auto cp = std::make_shared<CheckpointData>();
     cp->nranks = r.i32();
     cp->iterations = r.i32();
+    cp->state_reals.resize(r.u64());
+    r.u64_array(cp->state_reals);
     cp->signature = read_doubles(r);
     cp->final_profiles = read_profiles(r);
     const auto cp_ranks = static_cast<std::size_t>(cp->nranks);
@@ -418,8 +435,7 @@ std::shared_ptr<const GoldenRun> GoldenStore::load_impl(const apps::App& app,
     const bool file_ckpt = json.at("checkpoint_enabled").as_bool();
     const auto file_budget =
         static_cast<std::size_t>(json.at("checkpoint_budget").as_int());
-    if (file_ckpt != checkpoint_enabled() ||
-        (file_ckpt && file_budget != checkpoint_budget())) {
+    if (!file_ckpt || file_budget != checkpoint_budget()) {
       return miss();
     }
     auto golden =
@@ -452,7 +468,7 @@ void GoldenStore::put(const apps::App& app, int nranks,
     obj["schema"] = util::Json(kStoreSchema);
     obj["app"] = util::Json(app.label());
     obj["nranks"] = util::Json(nranks);
-    obj["checkpoint_enabled"] = util::Json(checkpoint_enabled());
+    obj["checkpoint_enabled"] = util::Json(true);
     obj["checkpoint_budget"] = util::Json(checkpoint_budget());
     obj["golden"] = golden_to_json(golden);
     const std::string text = util::Json(std::move(obj)).dump(2) + "\n";

@@ -19,6 +19,10 @@ enum class Outcome {
   SDC,
   /// The run crashed, aborted, hung, or exceeded its operation budget.
   Failure,
+  /// An injected fail-stop fault (FaultPattern::RankCrash) killed the
+  /// target rank; the job wound down through simmpi's abort/teardown.
+  /// Distinct from Failure: the rank death is the *fault*, not a symptom.
+  Crash,
 };
 
 const char* to_string(Outcome o) noexcept;
@@ -29,6 +33,7 @@ struct FaultInjectionResult {
   std::size_t success = 0;
   std::size_t sdc = 0;
   std::size_t failure = 0;
+  std::size_t crash = 0;
 
   void add(Outcome o) {
     ++trials;
@@ -42,6 +47,9 @@ struct FaultInjectionResult {
       case Outcome::Failure:
         ++failure;
         break;
+      case Outcome::Crash:
+        ++crash;
+        break;
     }
   }
 
@@ -50,12 +58,15 @@ struct FaultInjectionResult {
     success += other.success;
     sdc += other.sdc;
     failure += other.failure;
+    crash += other.crash;
   }
 
   [[nodiscard]] double rate(Outcome o) const noexcept {
     if (trials == 0) return 0.0;
-    const std::size_t count =
-        (o == Outcome::Success) ? success : (o == Outcome::SDC) ? sdc : failure;
+    const std::size_t count = (o == Outcome::Success) ? success
+                              : (o == Outcome::SDC)   ? sdc
+                              : (o == Outcome::Crash) ? crash
+                                                      : failure;
     return static_cast<double>(count) / static_cast<double>(trials);
   }
   [[nodiscard]] double success_rate() const noexcept {
@@ -64,6 +75,9 @@ struct FaultInjectionResult {
   [[nodiscard]] double sdc_rate() const noexcept { return rate(Outcome::SDC); }
   [[nodiscard]] double failure_rate() const noexcept {
     return rate(Outcome::Failure);
+  }
+  [[nodiscard]] double crash_rate() const noexcept {
+    return rate(Outcome::Crash);
   }
 };
 

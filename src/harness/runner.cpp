@@ -58,7 +58,13 @@ RunOutput run_app_once(const apps::App& app, int nranks,
   // same iteration.
   const bool armed = [&] {
     for (const auto& plan : plans) {
-      if (!plan.points.empty()) return true;
+      if (plan.armed()) return true;
+    }
+    return false;
+  }();
+  const bool state_armed = [&] {
+    for (const auto& plan : plans) {
+      if (!plan.state_faults.empty()) return true;
     }
     return false;
   }();
@@ -71,15 +77,21 @@ RunOutput run_app_once(const apps::App& app, int nranks,
   std::vector<FastForwardControl*> ff_controls;
   if (options.capture != nullptr) {
     options.capture->ranks.assign(static_cast<std::size_t>(nranks), {});
+    options.capture->state_reals.assign(static_cast<std::size_t>(nranks), 0);
     for (int r = 0; r < nranks; ++r) {
       controls.push_back(std::make_unique<CaptureControl>(
           options.capture->ranks[static_cast<std::size_t>(r)],
+          options.capture->state_reals[static_cast<std::size_t>(r)],
           options.capture->budget));
     }
-  } else if (ckpt != nullptr) {
+  } else if (ckpt != nullptr || state_armed) {
+    // With checkpoints the control fast-forwards and early-exits; without
+    // them (kill switch off) a state-armed plan still needs the boundary
+    // hook to perform its flips — data stays null, so the control only
+    // injects and joins the consensus.
     for (int r = 0; r < nranks; ++r) {
       auto ctl = std::make_unique<FastForwardControl>(
-          *ckpt, resume, r, plans[static_cast<std::size_t>(r)].points.size());
+          ckpt, resume, r, plans[static_cast<std::size_t>(r)]);
       ff_controls.push_back(ctl.get());
       controls.push_back(std::move(ctl));
     }
@@ -121,16 +133,21 @@ RunOutput run_app_once(const apps::App& app, int nranks,
   out.hang = !out.runtime.ok &&
              out.runtime.error.find("operation budget exceeded") !=
                  std::string::npos;
+  out.crashed = !out.runtime.ok &&
+                out.runtime.error.find("injected rank crash") !=
+                    std::string::npos;
 
   out.profiles.reserve(contexts.size());
   out.contaminated.reserve(contexts.size());
   out.filtered_ops.reserve(contexts.size());
   out.injection_events.reserve(contexts.size());
+  out.recv_reals.reserve(contexts.size());
   for (const auto& ctx : contexts) {
     out.profiles.push_back(ctx->profile());
     out.contaminated.push_back(ctx->contaminated());
     out.filtered_ops.push_back(ctx->filtered_ops());
     out.injection_events.push_back(ctx->injection_events());
+    out.recv_reals.push_back(ctx->recv_reals());
   }
 
   if (!ff_controls.empty()) {
@@ -156,6 +173,8 @@ RunOutput run_app_once(const apps::App& app, int nranks,
         out.filtered_ops[ri] +=
             tail.matching(plans[ri].kinds, plans[ri].regions);
       }
+      // recv_reals is left at the exit-boundary value: only golden runs
+      // (which never early-exit) feed the payload sample space.
     }
     out.result = apps::AppResult{ckpt->signature, ckpt->iterations};
   }
@@ -200,6 +219,7 @@ GoldenRun profile_app(const apps::App& app, int nranks,
   GoldenRun golden;
   golden.profiles = std::move(out.profiles);
   golden.signature = out.result->signature;
+  golden.recv_reals = std::move(out.recv_reals);
   for (const auto& prof : golden.profiles) {
     golden.max_rank_ops = std::max(golden.max_rank_ops, prof.total());
   }

@@ -47,7 +47,13 @@ struct RunOutput {
   /// counting-only runs), and the trace of performed injections.
   std::vector<std::uint64_t> filtered_ops;
   std::vector<std::vector<fsefi::InjectionEvent>> injection_events;
+  /// Per rank: fsefi::Real elements delivered by receives — the
+  /// MessagePayload scenario sample space, recorded on golden runs.
+  std::vector<std::uint64_t> recv_reals;
   bool hang = false;  ///< failure was the op-budget (hang) guard
+  /// Failure was an injected fail-stop fault (RankCrash): the planned
+  /// rank death aborted the job through simmpi teardown.
+  bool crashed = false;
   /// Checkpoint fast path: whether the run resumed from a stored golden
   /// boundary (and at which iteration), and whether it exited early with
   /// synthesized outputs.
@@ -76,6 +82,10 @@ struct GoldenRun {
   std::vector<fsefi::OpCountProfile> profiles;  ///< per rank
   std::vector<double> signature;                ///< rank-0 output
   std::uint64_t max_rank_ops = 0;
+  /// Per-rank delivered-Real counts (the MessagePayload sample space).
+  /// Empty in campaign files saved before the scenario catalog; such
+  /// golden runs cannot drive payload deployments until re-profiled.
+  std::vector<std::uint64_t> recv_reals;
   /// Boundary checkpoints captured during the pre-pass (null when capture
   /// was disabled or the app has no boundary hooks). Not part of the
   /// campaign file schema; the on-disk GoldenStore serializes them with
@@ -94,10 +104,13 @@ struct GoldenRun {
 
 /// Run the fault-free pre-pass; throws std::runtime_error if the golden
 /// run itself fails (an app/configuration bug, never an injected fault).
-/// `capture_checkpoints` defaults to the process-wide kill switch.
+/// Capture is on by default regardless of the RESILIENCE_CHECKPOINT kill
+/// switch: the switch gates trial *use* (fast-forward + early exit), but
+/// the boundary metadata a capture records is also the ResidentState
+/// scenario's sample space, which must not change shape with the knob.
 GoldenRun profile_app(const apps::App& app, int nranks,
                       std::chrono::milliseconds deadlock_timeout =
                           std::chrono::milliseconds{10'000},
-                      bool capture_checkpoints = checkpoint_enabled());
+                      bool capture_checkpoints = true);
 
 }  // namespace resilience::harness

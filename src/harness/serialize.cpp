@@ -11,7 +11,11 @@ namespace resilience::harness {
 namespace {
 
 constexpr int kSchemaVersion = 1;
-constexpr int kGoldenSchemaVersion = 1;
+// v2: delivered-Real counts (recv_reals) + per-rank boundary-state element
+// counts (checkpoints.state_reals) — the payload and resident-state sample
+// spaces. Golden stores treat a version mismatch as a cache miss and
+// re-profile, so no migration path is needed.
+constexpr int kGoldenSchemaVersion = 2;
 
 util::Json profile_to_json(const fsefi::OpCountProfile& prof) {
   util::JsonArray counts;
@@ -44,6 +48,10 @@ util::Json to_json(const FaultInjectionResult& r) {
   obj["success"] = util::Json(r.success);
   obj["sdc"] = util::Json(r.sdc);
   obj["failure"] = util::Json(r.failure);
+  // Optional key (schema stays at version 1): only fail-stop scenarios
+  // produce Crash outcomes, so pre-scenario campaigns keep their exact
+  // bytes.
+  if (r.crash != 0) obj["crash"] = util::Json(r.crash);
   return util::Json(std::move(obj));
 }
 
@@ -53,7 +61,11 @@ FaultInjectionResult result_from_json(const util::Json& json) {
   r.success = static_cast<std::size_t>(json.at("success").as_int());
   r.sdc = static_cast<std::size_t>(json.at("sdc").as_int());
   r.failure = static_cast<std::size_t>(json.at("failure").as_int());
-  if (r.success + r.sdc + r.failure != r.trials) {
+  const auto& obj = json.as_object();
+  if (const auto it = obj.find("crash"); it != obj.end()) {
+    r.crash = static_cast<std::size_t>(it->second.as_int());
+  }
+  if (r.success + r.sdc + r.failure + r.crash != r.trials) {
     throw util::JsonError("fault injection result counts are inconsistent");
   }
   return r;
@@ -63,12 +75,27 @@ util::Json to_json(const DeploymentConfig& cfg) {
   util::JsonObject obj;
   obj["nranks"] = util::Json(cfg.nranks);
   obj["errors_per_test"] = util::Json(cfg.errors_per_test);
-  obj["kinds"] = util::Json(static_cast<int>(cfg.kinds));
-  obj["pattern"] = util::Json(static_cast<int>(cfg.pattern));
-  obj["regions"] = util::Json(static_cast<int>(cfg.regions));
+  // The legacy triple is always emitted (derived from the scenario), so
+  // pre-scenario configs keep their exact bytes and old tooling keeps
+  // reading the filters it understands.
+  obj["kinds"] = util::Json(static_cast<int>(cfg.scenario.kinds));
+  obj["pattern"] = util::Json(static_cast<int>(cfg.scenario.pattern));
+  obj["regions"] = util::Json(static_cast<int>(cfg.scenario.regions));
   obj["trials"] = util::Json(cfg.trials);
   obj["seed"] = util::Json(cfg.seed);
   obj["selection"] = util::Json(static_cast<int>(cfg.selection));
+  // Optional block: only scenarios the legacy triple cannot express carry
+  // the full descriptor.
+  if (!cfg.scenario.legacy()) {
+    util::JsonObject sc;
+    sc["domain"] = util::Json(static_cast<int>(cfg.scenario.domain));
+    sc["pattern"] = util::Json(static_cast<int>(cfg.scenario.pattern));
+    sc["arrival"] = util::Json(static_cast<int>(cfg.scenario.arrival));
+    sc["kinds"] = util::Json(static_cast<int>(cfg.scenario.kinds));
+    sc["regions"] = util::Json(static_cast<int>(cfg.scenario.regions));
+    sc["mtbf_factor"] = util::Json(cfg.scenario.mtbf_factor);
+    obj["scenario"] = util::Json(std::move(sc));
+  }
   return util::Json(std::move(obj));
 }
 
@@ -128,13 +155,32 @@ DeploymentConfig config_from_json(const util::Json& json) {
   DeploymentConfig cfg;
   cfg.nranks = static_cast<int>(json.at("nranks").as_int());
   cfg.errors_per_test = static_cast<int>(json.at("errors_per_test").as_int());
-  cfg.kinds = static_cast<fsefi::KindMask>(json.at("kinds").as_int());
-  cfg.pattern = static_cast<fsefi::FaultPattern>(json.at("pattern").as_int());
-  cfg.regions = static_cast<fsefi::RegionMask>(json.at("regions").as_int());
   cfg.trials = static_cast<std::size_t>(json.at("trials").as_int());
   cfg.seed = static_cast<std::uint64_t>(json.at("seed").as_int());
   cfg.selection =
       static_cast<TargetSelection>(json.at("selection").as_int());
+  const auto& obj = json.as_object();
+  if (const auto it = obj.find("scenario"); it != obj.end()) {
+    const auto& sc = it->second;
+    cfg.scenario.domain =
+        static_cast<fsefi::FaultDomain>(sc.at("domain").as_int());
+    cfg.scenario.pattern =
+        static_cast<fsefi::FaultPattern>(sc.at("pattern").as_int());
+    cfg.scenario.arrival =
+        static_cast<fsefi::ArrivalModel>(sc.at("arrival").as_int());
+    cfg.scenario.kinds = static_cast<fsefi::KindMask>(sc.at("kinds").as_int());
+    cfg.scenario.regions =
+        static_cast<fsefi::RegionMask>(sc.at("regions").as_int());
+    cfg.scenario.mtbf_factor = sc.at("mtbf_factor").as_double();
+  } else {
+    // Pre-scenario file: the legacy triple is the whole description — an
+    // implicit register-operand, fixed-arrival scenario.
+    cfg.scenario.kinds = static_cast<fsefi::KindMask>(json.at("kinds").as_int());
+    cfg.scenario.pattern =
+        static_cast<fsefi::FaultPattern>(json.at("pattern").as_int());
+    cfg.scenario.regions =
+        static_cast<fsefi::RegionMask>(json.at("regions").as_int());
+  }
   return cfg;
 }
 
@@ -169,6 +215,16 @@ util::Json to_json(const CampaignResult& result) {
       profiles.push_back(profile_to_json(prof));
     }
     golden["profiles"] = util::Json(std::move(profiles));
+    // Optional key: only non-legacy scenarios need the delivered-Real
+    // counts (the payload sample space) to rerun from a saved file, and
+    // omitting it keeps pre-scenario campaign files byte-identical.
+    if (!result.config.scenario.legacy()) {
+      util::JsonArray recv;
+      for (std::uint64_t c : result.golden.recv_reals) {
+        recv.push_back(util::Json(c));
+      }
+      golden["recv_reals"] = util::Json(std::move(recv));
+    }
   }
   obj["golden"] = util::Json(std::move(golden));
   obj["wall_seconds"] = util::Json(result.wall_seconds);
@@ -209,6 +265,13 @@ CampaignResult campaign_from_json(const util::Json& json) {
   for (const auto& item : golden.at("profiles").as_array()) {
     result.golden.profiles.push_back(profile_from_json(item));
   }
+  const auto& golden_obj = golden.as_object();
+  if (const auto it = golden_obj.find("recv_reals"); it != golden_obj.end()) {
+    for (const auto& item : it->second.as_array()) {
+      result.golden.recv_reals.push_back(
+          static_cast<std::uint64_t>(item.as_int()));
+    }
+  }
   result.wall_seconds = json.at("wall_seconds").as_double();
   const auto& obj = json.as_object();
   if (const auto it = obj.find("adaptive"); it != obj.end()) {
@@ -229,11 +292,19 @@ util::Json golden_to_json(const GoldenRun& golden) {
     profiles.push_back(profile_to_json(prof));
   }
   obj["profiles"] = util::Json(std::move(profiles));
+  util::JsonArray recv;
+  for (std::uint64_t c : golden.recv_reals) recv.push_back(util::Json(c));
+  obj["recv_reals"] = util::Json(std::move(recv));
   if (golden.checkpoints != nullptr) {
     const CheckpointData& cp = *golden.checkpoints;
     util::JsonObject cpj;
     cpj["nranks"] = util::Json(cp.nranks);
     cpj["iterations"] = util::Json(cp.iterations);
+    util::JsonArray state_reals;
+    for (std::uint64_t c : cp.state_reals) {
+      state_reals.push_back(util::Json(c));
+    }
+    cpj["state_reals"] = util::Json(std::move(state_reals));
     util::JsonArray cpsig;
     for (double v : cp.signature) cpsig.push_back(util::Json(v));
     cpj["signature"] = util::Json(std::move(cpsig));
@@ -280,12 +351,18 @@ GoldenRun golden_from_json(const util::Json& json) {
   for (const auto& item : json.at("profiles").as_array()) {
     golden.profiles.push_back(profile_from_json(item));
   }
+  for (const auto& item : json.at("recv_reals").as_array()) {
+    golden.recv_reals.push_back(static_cast<std::uint64_t>(item.as_int()));
+  }
   const auto& obj = json.as_object();
   if (const auto it = obj.find("checkpoints"); it != obj.end()) {
     const auto& cpj = it->second;
     auto cp = std::make_shared<CheckpointData>();
     cp->nranks = static_cast<int>(cpj.at("nranks").as_int());
     cp->iterations = static_cast<int>(cpj.at("iterations").as_int());
+    for (const auto& item : cpj.at("state_reals").as_array()) {
+      cp->state_reals.push_back(static_cast<std::uint64_t>(item.as_int()));
+    }
     for (const auto& item : cpj.at("signature").as_array()) {
       cp->signature.push_back(item.as_double());
     }
@@ -335,8 +412,7 @@ CampaignResult merge_campaigns(const CampaignResult& a,
   const auto& ca = a.config;
   const auto& cb = b.config;
   if (ca.nranks != cb.nranks || ca.errors_per_test != cb.errors_per_test ||
-      ca.kinds != cb.kinds || ca.regions != cb.regions ||
-      ca.pattern != cb.pattern || ca.selection != cb.selection) {
+      ca.scenario != cb.scenario || ca.selection != cb.selection) {
     throw simmpi::UsageError(
         "merge_campaigns: deployments have different shapes");
   }

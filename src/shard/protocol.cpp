@@ -78,9 +78,12 @@ void write_deployment(util::BinWriter& w,
                       const harness::DeploymentConfig& c) {
   w.i32(c.nranks);
   w.i32(c.errors_per_test);
-  w.u32(static_cast<std::uint32_t>(c.kinds));
-  w.u32(static_cast<std::uint32_t>(c.pattern));
-  w.u32(static_cast<std::uint32_t>(c.regions));
+  w.u8(static_cast<std::uint8_t>(c.scenario.domain));
+  w.u8(static_cast<std::uint8_t>(c.scenario.pattern));
+  w.u8(static_cast<std::uint8_t>(c.scenario.arrival));
+  w.u32(static_cast<std::uint32_t>(c.scenario.kinds));
+  w.u32(static_cast<std::uint32_t>(c.scenario.regions));
+  w.f64(c.scenario.mtbf_factor);
   w.u64(c.trials);
   w.u64(c.seed);
   w.u32(static_cast<std::uint32_t>(c.selection));
@@ -104,9 +107,12 @@ harness::DeploymentConfig read_deployment(util::BinReader& r) {
   harness::DeploymentConfig c;
   c.nranks = r.i32();
   c.errors_per_test = r.i32();
-  c.kinds = static_cast<fsefi::KindMask>(r.u32());
-  c.pattern = static_cast<fsefi::FaultPattern>(r.u32());
-  c.regions = static_cast<fsefi::RegionMask>(r.u32());
+  c.scenario.domain = static_cast<fsefi::FaultDomain>(r.u8());
+  c.scenario.pattern = static_cast<fsefi::FaultPattern>(r.u8());
+  c.scenario.arrival = static_cast<fsefi::ArrivalModel>(r.u8());
+  c.scenario.kinds = static_cast<fsefi::KindMask>(r.u32());
+  c.scenario.regions = static_cast<fsefi::RegionMask>(r.u32());
+  c.scenario.mtbf_factor = r.f64();
   c.trials = r.u64();
   c.seed = r.u64();
   c.selection = static_cast<harness::TargetSelection>(r.u32());
@@ -490,9 +496,17 @@ util::Json deployment_to_json(const harness::DeploymentConfig& config) {
   util::JsonObject obj;
   obj["nranks"] = util::Json(config.nranks);
   obj["errors_per_test"] = util::Json(config.errors_per_test);
-  obj["kinds"] = util::Json(static_cast<int>(config.kinds));
-  obj["pattern"] = util::Json(static_cast<int>(config.pattern));
-  obj["regions"] = util::Json(static_cast<int>(config.regions));
+  // The wire carries the whole scenario unconditionally: the handshake's
+  // version gate already rules out pre-scenario peers, so no legacy shape
+  // to preserve here.
+  util::JsonObject sc;
+  sc["domain"] = util::Json(static_cast<int>(config.scenario.domain));
+  sc["pattern"] = util::Json(static_cast<int>(config.scenario.pattern));
+  sc["arrival"] = util::Json(static_cast<int>(config.scenario.arrival));
+  sc["kinds"] = util::Json(static_cast<int>(config.scenario.kinds));
+  sc["regions"] = util::Json(static_cast<int>(config.scenario.regions));
+  sc["mtbf_factor"] = util::Json(config.scenario.mtbf_factor);
+  obj["scenario"] = util::Json(std::move(sc));
   obj["trials"] = util::Json(config.trials);
   obj["seed"] = util::Json(config.seed);
   obj["selection"] = util::Json(static_cast<int>(config.selection));
@@ -521,10 +535,18 @@ harness::DeploymentConfig deployment_from_json(const util::Json& json) {
   config.nranks = static_cast<int>(json.at("nranks").as_int());
   config.errors_per_test =
       static_cast<int>(json.at("errors_per_test").as_int());
-  config.kinds = static_cast<fsefi::KindMask>(json.at("kinds").as_int());
-  config.pattern =
-      static_cast<fsefi::FaultPattern>(json.at("pattern").as_int());
-  config.regions = static_cast<fsefi::RegionMask>(json.at("regions").as_int());
+  const auto& sc = json.at("scenario");
+  config.scenario.domain =
+      static_cast<fsefi::FaultDomain>(sc.at("domain").as_int());
+  config.scenario.pattern =
+      static_cast<fsefi::FaultPattern>(sc.at("pattern").as_int());
+  config.scenario.arrival =
+      static_cast<fsefi::ArrivalModel>(sc.at("arrival").as_int());
+  config.scenario.kinds =
+      static_cast<fsefi::KindMask>(sc.at("kinds").as_int());
+  config.scenario.regions =
+      static_cast<fsefi::RegionMask>(sc.at("regions").as_int());
+  config.scenario.mtbf_factor = sc.at("mtbf_factor").as_double();
   config.trials = static_cast<std::size_t>(json.at("trials").as_int());
   config.seed = static_cast<std::uint64_t>(json.at("seed").as_int());
   config.selection =

@@ -48,7 +48,10 @@ enum class WireFormat : std::uint8_t { Json = 0, Binary = 1 };
 
 /// Bumped on any incompatible change to the handshake or either payload
 /// encoding; peers with different versions refuse to talk.
-inline constexpr std::uint32_t kShardProtocolVersion = 2;
+/// v3: the deployment config carries the full FaultScenario descriptor
+/// (domain/pattern/arrival/kinds/regions/mtbf) instead of the legacy
+/// kinds/pattern/regions triple.
+inline constexpr std::uint32_t kShardProtocolVersion = 3;
 
 // ---- raw frames ------------------------------------------------------------
 

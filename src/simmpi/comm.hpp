@@ -185,7 +185,7 @@ class Comm {
     if (!out.empty()) std::memcpy(out.data(), env.bytes.data(), out.size_bytes());
     const int source_rank = local_rank_of(env.source);
     my_mailbox().recycle(std::move(env));
-    TransportTraits<T>::on_receive(std::span<const T>(out.data(), out.size()));
+    TransportTraits<T>::on_receive(std::span<T>(out.data(), out.size()));
     return source_rank;
   }
 
@@ -233,9 +233,9 @@ class Comm {
     const int wire_src = wire_source(source, "irecv");
     return Request(&my_mailbox(), wire_src, wire_recv_tag(tag),
                    std::as_writable_bytes(out),
-                   [](std::span<const std::byte> bytes) {
-                     TransportTraits<T>::on_receive(std::span<const T>(
-                         reinterpret_cast<const T*>(bytes.data()),
+                   [](std::span<std::byte> bytes) {
+                     TransportTraits<T>::on_receive(std::span<T>(
+                         reinterpret_cast<T*>(bytes.data()),
                          bytes.size() / sizeof(T)));
                    });
   }
@@ -571,7 +571,7 @@ class Comm {
       std::memcpy(out.data(), env.bytes.data(), out.size_bytes());
     }
     my_mailbox().recycle(std::move(env));
-    TransportTraits<T>::on_receive(std::span<const T>(out.data(), out.size()));
+    TransportTraits<T>::on_receive(std::span<T>(out.data(), out.size()));
   }
 
   // ---- fused collectives ----------------------------------------------------
@@ -680,24 +680,29 @@ class Comm {
   }
 
   /// Combiner side of a fused bcast: pre-order walk from virtual rank
-  /// `v`, copying the root's buffer to each child and replaying the
+  /// `v`, copying each parent's buffer to its children and replaying the
   /// child's receive instrumentation under the child's own fiber TLS.
+  /// The copy source is the *parent's* buffer, not the root's: the
+  /// mailbox walk forwards whatever bytes a rank holds after its own
+  /// receive, so a payload flip landing mid-tree contaminates that rank's
+  /// whole subtree. Copying from the root would silently localize the
+  /// corruption and make trial outcomes scheduler-dependent.
   template <Transportable T>
   void combine_bcast_subtree(detail::FusedGroup& group, int v) {
-    const detail::Arrival& from_root = group.slot(0);
+    const detail::Arrival& parent = group.slot(v);
     for (int child_v : {2 * v + 1, 2 * v + 2}) {
       if (child_v >= size_) continue;
       detail::Arrival& child = group.slot(child_v);
-      if (child.len != from_root.len) {
+      if (child.len != parent.len) {
         throw UsageError("collective: message size mismatch");
       }
-      if (child.len != 0 && child.out != from_root.data) {
-        std::memcpy(child.out, from_root.data, child.len);
+      if (child.len != 0 && child.out != parent.out) {
+        std::memcpy(child.out, parent.out, child.len);
       }
       {
         BorrowFiberTls borrow(child.fiber);
-        TransportTraits<T>::on_receive(std::span<const T>(
-            reinterpret_cast<const T*>(child.out), child.len / sizeof(T)));
+        TransportTraits<T>::on_receive(std::span<T>(
+            reinterpret_cast<T*>(child.out), child.len / sizeof(T)));
       }
       combine_bcast_subtree<T>(group, child_v);
     }
@@ -759,9 +764,13 @@ class Comm {
       if (child.len != parent.len) {
         throw UsageError("collective: message size mismatch");
       }
-      const auto* child_vals = reinterpret_cast<const T*>(child.data);
+      // child.data is the child fiber's stack-local accumulator (a copy
+      // of its contribution), so a payload flip here corrupts only what
+      // this parent combines — the same bytes the mailbox path would have
+      // flipped in its own receive temp — never the child's live state.
+      auto* child_vals = reinterpret_cast<T*>(child.data);
       BorrowFiberTls borrow(parent.fiber);
-      TransportTraits<T>::on_receive(std::span<const T>(child_vals, count));
+      TransportTraits<T>::on_receive(std::span<T>(child_vals, count));
       // Combine as library code: not application computation.
       [[maybe_unused]] typename TransportTraits<T>::LibraryGuard guard{};
       for (std::size_t i = 0; i < count; ++i) {

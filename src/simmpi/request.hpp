@@ -78,7 +78,7 @@ class Request {
 
   /// Construct a pending receive (used by Comm::irecv).
   Request(Mailbox* mailbox, int source, int tag, std::span<std::byte> bytes,
-          void (*deliver)(std::span<const std::byte>))
+          void (*deliver)(std::span<std::byte>))
       : mailbox_(mailbox),
         source_(source),
         tag_(tag),
@@ -102,7 +102,7 @@ class Request {
   int source_ = 0;
   int tag_ = 0;
   std::span<std::byte> bytes_{};
-  void (*deliver_)(std::span<const std::byte>) = nullptr;
+  void (*deliver_)(std::span<std::byte>) = nullptr;
   bool pending_ = false;
 };
 

@@ -15,10 +15,12 @@ namespace resilience::simmpi {
 template <typename T>
 struct TransportTraits {
   /// Called on the receiving rank's thread after `values` have been
-  /// delivered into application memory. Default: nothing to observe.
-  static void on_receive(std::span<const T> values) noexcept {
-    (void)values;
-  }
+  /// delivered into receiver-owned memory (the application buffer of a
+  /// recv/bcast, or a library-internal scratch accumulator inside a
+  /// collective). The span is mutable so the fault injector can corrupt a
+  /// payload exactly as it lands — never the sender's memory. Default:
+  /// nothing to observe.
+  static void on_receive(std::span<T> values) noexcept { (void)values; }
 
   /// RAII scope instantiated around arithmetic the runtime performs
   /// internally (reduction combines, scans). The fault injector

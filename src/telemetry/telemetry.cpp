@@ -43,6 +43,9 @@ constexpr const char* kCounterNames[kCounterCount] = {
     "golden_store.misses",
     "golden_store.lock_takeovers",
     "golden_store.refills",
+    "scenario.payload_flips",
+    "scenario.state_flips",
+    "scenario.rank_crashes",
 };
 
 constexpr const char* kHistogramNames[kHistogramCount] = {
@@ -104,6 +107,12 @@ constexpr bool kTimingBorn[kCounterCount] = {
     /*GoldenStoreMisses*/ true,
     /*GoldenStoreLockTakeovers*/ true,
     /*GoldenStoreRefills*/ true,
+    // Scenario injections are deterministic per trial, but — like
+    // FsefiInjections — a racing abort (hang budget, crash teardown) can
+    // preempt a pending flip on a surviving rank, so the tails vary.
+    /*ScenarioPayloadFlips*/ true,
+    /*ScenarioStateFlips*/ true,
+    /*ScenarioRankCrashes*/ true,
 };
 
 }  // namespace

@@ -92,6 +92,10 @@ enum class Counter : std::uint16_t {
                              ///< budget (a crashed filler's leftovers)
   GoldenStoreRefills,     ///< corrupt/truncated store files unlinked so
                           ///< the next fill starts clean
+  // scenario — fault-scenario catalog injection mechanisms
+  ScenarioPayloadFlips,   ///< message-payload bit flips performed
+  ScenarioStateFlips,     ///< resident-state bit flips performed
+  ScenarioRankCrashes,    ///< fail-stop rank deaths injected
   kCount
 };
 inline constexpr std::size_t kCounterCount =

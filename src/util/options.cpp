@@ -164,6 +164,9 @@ RuntimeOptions RuntimeOptions::from_env() {
                    fmt.c_str(), options.store_binary ? "binary" : "json");
     }
   }
+  options.scenario = env_str("RESILIENCE_SCENARIO", "");
+  options.mtbf_factor =
+      env_double("RESILIENCE_MTBF", options.mtbf_factor, /*min_value=*/0.0);
   options.trace_path = env_str("RESILIENCE_TRACE", "");
   options.metrics_path = env_str("RESILIENCE_METRICS", "");
   return options;

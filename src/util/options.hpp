@@ -43,8 +43,9 @@ struct RuntimeOptions {
   /// RESILIENCE_FAST_REAL — countdown dispatcher for instrumented Real
   /// arithmetic.
   bool fast_real = true;
-  /// RESILIENCE_CHECKPOINT — golden checkpoints (trial fast-forward +
-  /// early-exit pruning).
+  /// RESILIENCE_CHECKPOINT — trial use of golden checkpoints
+  /// (fast-forward + early-exit pruning). Golden runs always capture;
+  /// this gates consumption only.
   bool checkpoint = true;
   /// RESILIENCE_CHECKPOINT_BUDGET — max full state snapshots kept per
   /// golden run.
@@ -94,6 +95,14 @@ struct RuntimeOptions {
   /// (default) writes golden-v2 files (mmap zero-copy loads), "json"
   /// writes the v1 JSON files. Loads accept both regardless.
   bool store_binary = true;
+  /// RESILIENCE_SCENARIO — default fault-scenario catalog entry for the
+  /// CLI and benches ("" = "paper", the pre-catalog behaviour). See
+  /// `resilience scenarios` for the catalog.
+  std::string scenario;
+  /// RESILIENCE_MTBF — mean-time-between-faults factor for Poisson
+  /// scenarios, as a fraction of the trial's sample-space size; 0 = keep
+  /// the scenario's own default (0.5).
+  double mtbf_factor = 0.0;
   /// RESILIENCE_TRACE — default trace output path ("" = tracing off).
   /// A ".json" suffix selects the Chrome trace_event format; anything
   /// else gets JSON Lines.

@@ -84,7 +84,7 @@ TEST(Cg2d, UniqueRegionDeploymentTargetsTheMerge) {
   harness::DeploymentConfig cfg;
   cfg.nranks = 4;
   cfg.trials = 20;
-  cfg.regions = fsefi::RegionMask::ParallelUnique;
+  cfg.scenario.regions = fsefi::RegionMask::ParallelUnique;
   const auto result = harness::CampaignRunner::run(*app, cfg);
   EXPECT_EQ(result.overall.trials, 20u);
 }

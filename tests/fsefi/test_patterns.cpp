@@ -98,7 +98,7 @@ TEST(PatternCampaign, DoubleBitInjectsTwoFlipsPerError) {
   harness::DeploymentConfig cfg;
   cfg.nranks = 1;
   cfg.trials = 10;
-  cfg.pattern = FaultPattern::DoubleBit;
+  cfg.scenario.pattern = FaultPattern::DoubleBit;
   const auto result = harness::CampaignRunner::run(*app, cfg);
   EXPECT_EQ(result.overall.trials, 10u);
 }
@@ -110,9 +110,9 @@ TEST(PatternCampaign, PatternsShiftTheOutcomeDistribution) {
   harness::DeploymentConfig cfg;
   cfg.nranks = 1;
   cfg.trials = 80;
-  cfg.pattern = FaultPattern::SingleBit;
+  cfg.scenario.pattern = FaultPattern::SingleBit;
   const auto single = harness::CampaignRunner::run(*app, cfg);
-  cfg.pattern = FaultPattern::Burst4;
+  cfg.scenario.pattern = FaultPattern::Burst4;
   const auto burst = harness::CampaignRunner::run(*app, cfg);
   EXPECT_LE(burst.overall.success_rate(),
             single.overall.success_rate() + 0.15);

@@ -154,7 +154,7 @@ TEST(Campaign, MultiErrorSerialDeploymentRuns) {
   cfg.nranks = 1;
   cfg.errors_per_test = 8;
   cfg.trials = 20;
-  cfg.regions = fsefi::RegionMask::Common;
+  cfg.scenario.regions = fsefi::RegionMask::Common;
   const auto result = CampaignRunner::run(*app, cfg);
   EXPECT_EQ(result.overall.trials, 20u);
 }
@@ -177,7 +177,7 @@ TEST(Campaign, UniqueRegionDeploymentTargetsUniqueOps) {
   DeploymentConfig cfg;
   cfg.nranks = 4;
   cfg.trials = 10;
-  cfg.regions = fsefi::RegionMask::ParallelUnique;
+  cfg.scenario.regions = fsefi::RegionMask::ParallelUnique;
   const auto result = CampaignRunner::run(*app, cfg);
   EXPECT_EQ(result.overall.trials, 10u);
 }
@@ -187,7 +187,7 @@ TEST(Campaign, UniqueRegionOnSerialIsEmptySampleSpace) {
   const auto app = apps::make_app(apps::AppId::FT);
   DeploymentConfig cfg;
   cfg.nranks = 1;
-  cfg.regions = fsefi::RegionMask::ParallelUnique;
+  cfg.scenario.regions = fsefi::RegionMask::ParallelUnique;
   EXPECT_THROW(CampaignRunner::run(*app, cfg), std::runtime_error);
 }
 

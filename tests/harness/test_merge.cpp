@@ -50,7 +50,7 @@ TEST(MergeCampaigns, RejectsDifferentShapes) {
   EXPECT_THROW(merge_campaigns(a, b), simmpi::UsageError);
 
   auto c = run_with_seed(3);
-  c.config.pattern = fsefi::FaultPattern::Burst4;
+  c.config.scenario.pattern = fsefi::FaultPattern::Burst4;
   EXPECT_THROW(merge_campaigns(a, c), simmpi::UsageError);
 }
 

@@ -14,7 +14,7 @@ CampaignResult sample_campaign() {
   DeploymentConfig cfg;
   cfg.nranks = 4;
   cfg.trials = 20;
-  cfg.pattern = fsefi::FaultPattern::DoubleBit;
+  cfg.scenario.pattern = fsefi::FaultPattern::DoubleBit;
   cfg.seed = 99;
   return CampaignRunner::run(*app, cfg);
 }
@@ -27,8 +27,8 @@ TEST(Serialize, JsonRoundTripPreservesEverything) {
   EXPECT_EQ(restored.config.nranks, original.config.nranks);
   EXPECT_EQ(restored.config.trials, original.config.trials);
   EXPECT_EQ(restored.config.seed, original.config.seed);
-  EXPECT_EQ(static_cast<int>(restored.config.pattern),
-            static_cast<int>(original.config.pattern));
+  EXPECT_EQ(static_cast<int>(restored.config.scenario.pattern),
+            static_cast<int>(original.config.scenario.pattern));
   EXPECT_EQ(restored.overall.success, original.overall.success);
   EXPECT_EQ(restored.overall.sdc, original.overall.sdc);
   EXPECT_EQ(restored.overall.failure, original.overall.failure);

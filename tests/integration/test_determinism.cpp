@@ -89,7 +89,7 @@ TEST(Determinism, ParallelCampaignBitIdenticalToSerial) {
     cfg.nranks = c.nranks;
     cfg.trials = 40;
     cfg.seed = 20180813;
-    if (c.nranks == 1) cfg.regions = fsefi::RegionMask::Common;
+    if (c.nranks == 1) cfg.scenario.regions = fsefi::RegionMask::Common;
 
     cfg.max_workers = 1;
     const auto serial = CampaignRunner::run(*app, cfg);

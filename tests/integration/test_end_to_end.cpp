@@ -58,7 +58,7 @@ TEST(EndToEnd, SerialMultiErrorEmulationTrendsWithContamination) {
     cfg.nranks = 1;
     cfg.errors_per_test = errors;
     cfg.trials = 50;
-    cfg.regions = fsefi::RegionMask::Common;
+    cfg.scenario.regions = fsefi::RegionMask::Common;
     success.push_back(
         harness::CampaignRunner::run(*app, cfg).overall.success_rate());
   }

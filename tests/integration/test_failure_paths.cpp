@@ -70,7 +70,7 @@ TEST(FailurePaths, CampaignWithAggressiveFaultsSeesFailures) {
   cfg.nranks = 1;
   cfg.trials = 120;
   cfg.errors_per_test = 4;
-  cfg.pattern = fsefi::FaultPattern::Burst4;
+  cfg.scenario.pattern = fsefi::FaultPattern::Burst4;
   const auto result = CampaignRunner::run(*app, cfg);
   EXPECT_GT(result.overall.failure, 0u)
       << "expected at least one Failure among " << cfg.trials

@@ -2,10 +2,17 @@
 //
 //   resilience list
 //       Show the built-in benchmarks and their input problems.
+//   resilience scenarios
+//       Show the fault-scenario catalog (--scenario names).
 //   resilience campaign --app CG [--ranks 8] [--trials 400] [--errors 1]
-//       [--pattern single|double|burst] [--region all|common|unique]
+//       [--scenario paper|register-byte|payload|state|poisson|crash]
+//       [--pattern single|double|burst|byte|crash]
+//       [--region all|common|unique] [--mtbf F]
 //       [--save campaign.json] [--seed N] [--jobs N]
 //       Run one fault-injection deployment and print its result.
+//       --scenario picks a catalog entry (default the RESILIENCE_SCENARIO
+//       env knob, else "paper"); --pattern/--region/--mtbf then override
+//       individual scenario fields.
 //   resilience predict --app CG [--small 8] [--large 64] [--trials 400]
 //       [--no-measure] [--ci resamples] [--report out.md] [--seed N]
 //       [--jobs N]
@@ -70,6 +77,7 @@
 #include "core/bootstrap.hpp"
 #include "core/report.hpp"
 #include "core/study.hpp"
+#include "fsefi/scenario.hpp"
 #include "harness/golden_cache.hpp"
 #include "harness/golden_store.hpp"
 #include "harness/serialize.hpp"
@@ -226,6 +234,8 @@ fsefi::FaultPattern parse_pattern(const std::string& name) {
   if (name == "single") return fsefi::FaultPattern::SingleBit;
   if (name == "double") return fsefi::FaultPattern::DoubleBit;
   if (name == "burst") return fsefi::FaultPattern::Burst4;
+  if (name == "byte") return fsefi::FaultPattern::Byte;
+  if (name == "crash") return fsefi::FaultPattern::RankCrash;
   throw std::invalid_argument("unknown pattern: " + name);
 }
 
@@ -237,13 +247,24 @@ fsefi::RegionMask parse_region(const std::string& name) {
 }
 
 /// The deployment flags shared by campaign, propagation, and request.
+/// The scenario resolves in layers: catalog entry (--scenario, else the
+/// RESILIENCE_SCENARIO env knob, else "paper"), then field overrides
+/// (--pattern, --region, --mtbf / RESILIENCE_MTBF).
 harness::DeploymentConfig parse_deployment(Args& args) {
+  const auto& opts = util::RuntimeOptions::global();
   harness::DeploymentConfig dep;
   dep.nranks = static_cast<int>(args.get_int("ranks", 8));
   dep.trials = static_cast<std::size_t>(args.get_int("trials", 400));
   dep.errors_per_test = static_cast<int>(args.get_int("errors", 1));
-  dep.pattern = parse_pattern(args.get("pattern", "single"));
-  dep.regions = parse_region(args.get("region", "all"));
+  std::string scenario = args.get("scenario", opts.scenario);
+  if (scenario.empty()) scenario = "paper";
+  dep.scenario = fsefi::scenario_by_name(scenario);
+  const std::string pattern = args.get("pattern", "");
+  if (!pattern.empty()) dep.scenario.pattern = parse_pattern(pattern);
+  const std::string region = args.get("region", "");
+  if (!region.empty()) dep.scenario.regions = parse_region(region);
+  const double mtbf = args.get_double("mtbf", opts.mtbf_factor);
+  if (mtbf > 0.0) dep.scenario.mtbf_factor = mtbf;
   dep.seed = static_cast<std::uint64_t>(args.get_int("seed", 20180813));
   dep.max_workers = static_cast<int>(args.get_int("jobs", 0));
   dep.adaptive = parse_adaptive(args);
@@ -268,6 +289,35 @@ harness::CampaignResult run_configured_campaign(
     return harness::CampaignRunner::run(app, dep, context);
   }
   return harness::CampaignRunner::run(app, dep);
+}
+
+/// The Success/SDC/Failure outcome table shared by campaign and request;
+/// a Crash row appears only when a fail-stop scenario produced one, so
+/// the classic output is unchanged.
+void print_outcomes(const harness::FaultInjectionResult& overall) {
+  util::TablePrinter table({"outcome", "tests", "rate"});
+  table.add_row({"Success", std::to_string(overall.success),
+                 util::TablePrinter::pct(overall.success_rate())});
+  table.add_row({"SDC", std::to_string(overall.sdc),
+                 util::TablePrinter::pct(overall.sdc_rate())});
+  table.add_row({"Failure", std::to_string(overall.failure),
+                 util::TablePrinter::pct(overall.failure_rate())});
+  if (overall.crash != 0) {
+    table.add_row({"Crash", std::to_string(overall.crash),
+                   util::TablePrinter::pct(overall.crash_rate())});
+  }
+  table.print();
+}
+
+int cmd_scenarios() {
+  util::TablePrinter table({"name", "domain", "pattern", "arrival", "notes"});
+  for (const fsefi::ScenarioCatalogEntry& entry : fsefi::scenario_catalog()) {
+    table.add_row({entry.name, to_string(entry.scenario.domain),
+                   to_string(entry.scenario.pattern),
+                   to_string(entry.scenario.arrival), entry.summary});
+  }
+  table.print();
+  return 0;
 }
 
 int cmd_list() {
@@ -298,15 +348,10 @@ int cmd_campaign(Args& args) {
   }
   std::cout << app->label() << " on " << dep.nranks << " ranks, "
             << dep.trials << " tests, " << dep.errors_per_test
-            << " error(s)/test, pattern " << to_string(dep.pattern) << "\n\n";
-  util::TablePrinter table({"outcome", "tests", "rate"});
-  table.add_row({"Success", std::to_string(campaign.overall.success),
-                 util::TablePrinter::pct(campaign.overall.success_rate())});
-  table.add_row({"SDC", std::to_string(campaign.overall.sdc),
-                 util::TablePrinter::pct(campaign.overall.sdc_rate())});
-  table.add_row({"Failure", std::to_string(campaign.overall.failure),
-                 util::TablePrinter::pct(campaign.overall.failure_rate())});
-  table.print();
+            << " error(s)/test, scenario "
+            << fsefi::scenario_name(dep.scenario) << " (pattern "
+            << to_string(dep.scenario.pattern) << ")\n\n";
+  print_outcomes(campaign.overall);
   print_adaptive(campaign);
   std::cout << "\npropagation r_x:";
   const auto r = campaign.propagation_probabilities();
@@ -500,21 +545,14 @@ int cmd_request(Args& args) {
             << (reply.at("cached").as_bool() ? "served from cache"
                                              : "freshly executed")
             << ")\n";
-  util::TablePrinter table({"outcome", "tests", "rate"});
-  table.add_row({"Success", std::to_string(campaign.overall.success),
-                 util::TablePrinter::pct(campaign.overall.success_rate())});
-  table.add_row({"SDC", std::to_string(campaign.overall.sdc),
-                 util::TablePrinter::pct(campaign.overall.sdc_rate())});
-  table.add_row({"Failure", std::to_string(campaign.overall.failure),
-                 util::TablePrinter::pct(campaign.overall.failure_rate())});
-  table.print();
+  print_outcomes(campaign.overall);
   print_adaptive(campaign);
   return 0;
 }
 
 int usage() {
   std::cerr << "usage: resilience "
-               "<list|campaign|predict|propagation|serve|request> "
+               "<list|scenarios|campaign|predict|propagation|serve|request> "
                "[options]\n(see the header of tools/resilience_cli.cpp)\n";
   return 2;
 }
@@ -533,6 +571,10 @@ int main(int argc, char** argv) {
   try {
     Args args(argc, argv, 2);
     if (command == "list") return cmd_list();
+    if (command == "scenarios") {
+      args.check_consumed();
+      return cmd_scenarios();
+    }
     if (command == "campaign") return cmd_campaign(args);
     if (command == "predict") return cmd_predict(args);
     if (command == "propagation") return cmd_propagation(args);
